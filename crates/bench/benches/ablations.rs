@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md calls out: spatial
+//! region size, stream-address-buffer geometry, and the choice of history
+//! generator core. Each bench runs the full simulator with the parameter
+//! varied and reports coverage in its label output via eprintln (the timing
+//! itself measures simulation cost at that design point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_cache::{LlcConfig, NucaLlc};
+use shift_core::sab::SabConfig;
+use shift_core::{InstructionPrefetcher, Shift, ShiftConfig};
+use shift_trace::{presets, CoreTraceGenerator};
+use shift_types::CoreId;
+
+const SEED: u64 = 0x5417_2013;
+
+/// Drives a two-core SHIFT (core 0 records, core 1 replays) over a trace and
+/// returns the fraction of core-1 accesses covered by active streams.
+fn replay_coverage(config: ShiftConfig, fetches: usize) -> f64 {
+    let spec = presets::tiny();
+    let mut gen0 = CoreTraceGenerator::new(&spec, CoreId::new(0), SEED);
+    let mut gen1 = CoreTraceGenerator::new(&spec, CoreId::new(1), SEED);
+    let mut llc = NucaLlc::new(LlcConfig::micro13(2));
+    let mut shift = Shift::new(config, 2);
+    let mut out = Vec::new();
+    let mut covered = 0u64;
+    for _ in 0..fetches {
+        let b0 = gen0.next_fetch().block;
+        let b1 = gen1.next_fetch().block;
+        out.clear();
+        shift.on_retire(CoreId::new(0), b0, &mut llc, &mut out);
+        if shift.covers(CoreId::new(1), b1) {
+            covered += 1;
+        } else {
+            shift.on_access(CoreId::new(1), b1, false, &mut llc, &mut out);
+        }
+        shift.on_retire(CoreId::new(1), b1, &mut llc, &mut out);
+    }
+    covered as f64 / fetches as f64
+}
+
+fn bench_region_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_region_size");
+    group.sample_size(10);
+    for region_blocks in [2u8, 4, 8, 16] {
+        let mut cfg = ShiftConfig::zero_latency_micro13(CoreId::new(0));
+        cfg.region_blocks = region_blocks;
+        let coverage = replay_coverage(cfg, 20_000);
+        eprintln!("region size {region_blocks}: replay coverage {:.1}%", coverage * 100.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(region_blocks),
+            &region_blocks,
+            |b, &_rb| b.iter(|| replay_coverage(cfg, 5_000)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sab_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sab");
+    group.sample_size(10);
+    for (streams, capacity, lookahead) in [(1, 4, 2), (2, 8, 3), (4, 12, 5), (8, 24, 8)] {
+        let mut cfg = ShiftConfig::zero_latency_micro13(CoreId::new(0));
+        cfg.sab = SabConfig {
+            streams,
+            capacity_regions: capacity,
+            lookahead,
+        };
+        let coverage = replay_coverage(cfg, 20_000);
+        eprintln!(
+            "SAB {streams}x{capacity} lookahead {lookahead}: replay coverage {:.1}%",
+            coverage * 100.0
+        );
+        let label = format!("{streams}x{capacity}la{lookahead}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| replay_coverage(*cfg, 5_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generator_core_choice(c: &mut Criterion) {
+    // §6.1: the choice of history generator core does not matter. Measure the
+    // replay coverage seen by core 1 with different recorder seeds standing in
+    // for "different cores chosen as generator".
+    let mut group = c.benchmark_group("ablation_generator_core");
+    group.sample_size(10);
+    for recorder in [0u16, 1, 2, 3] {
+        let spec = presets::tiny();
+        let cfg = ShiftConfig::zero_latency_micro13(CoreId::new(0));
+        let coverage = {
+            let mut gen_r = CoreTraceGenerator::new(&spec, CoreId::new(recorder), SEED);
+            let mut gen_o = CoreTraceGenerator::new(&spec, CoreId::new(recorder + 8), SEED);
+            let mut llc = NucaLlc::new(LlcConfig::micro13(2));
+            let mut shift = Shift::new(cfg, 2);
+            let mut out = Vec::new();
+            let mut covered = 0u64;
+            let total = 20_000u64;
+            for _ in 0..total {
+                let br = gen_r.next_fetch().block;
+                let bo = gen_o.next_fetch().block;
+                out.clear();
+                shift.on_retire(CoreId::new(0), br, &mut llc, &mut out);
+                if shift.covers(CoreId::new(1), bo) {
+                    covered += 1;
+                } else {
+                    shift.on_access(CoreId::new(1), bo, false, &mut llc, &mut out);
+                }
+                shift.on_retire(CoreId::new(1), bo, &mut llc, &mut out);
+            }
+            covered as f64 / total as f64
+        };
+        eprintln!("generator candidate {recorder}: replay coverage {:.1}%", coverage * 100.0);
+        group.bench_with_input(BenchmarkId::from_parameter(recorder), &recorder, |b, _| {
+            b.iter(|| replay_coverage(cfg, 5_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_region_size,
+    bench_sab_geometry,
+    bench_generator_core_choice
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Microbenchmarks of the prefetcher building blocks and substrates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use shift_cache::{CacheConfig, LlcConfig, NucaLlc, SetAssocCache};
+use shift_core::{
+    HistoryBuffer, IndexTable, InstructionPrefetcher, Pif, PifConfig, Shift, ShiftConfig,
+    SpatialRegion, SpatialRegionCompactor,
+};
+use shift_core::sab::SabConfig;
+use shift_core::StreamAddressBufferSet;
+use shift_trace::{presets, CoreTraceGenerator};
+use shift_types::{AccessClass, BlockAddr, CoreId};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("tiny_10k_fetches", |b| {
+        let spec = presets::tiny();
+        b.iter(|| {
+            let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 1);
+            let mut sum = 0u64;
+            for _ in 0..10_000 {
+                sum += gen.next_fetch().block.get();
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+fn bench_history_and_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history_index");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("history_append_10k", |b| {
+        b.iter(|| {
+            let mut history = HistoryBuffer::new(32 * 1024);
+            for i in 0..10_000u64 {
+                history.append(SpatialRegion::new(BlockAddr::new(i * 8), 8));
+            }
+            black_box(history.write_ptr())
+        });
+    });
+    group.bench_function("index_update_lookup_10k", |b| {
+        b.iter(|| {
+            let mut index = IndexTable::new(8 * 1024);
+            for i in 0..10_000u64 {
+                index.update(BlockAddr::new(i % 9_001), i as u32 % 32_768);
+                black_box(index.lookup(BlockAddr::new((i * 7) % 9_001)));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_compactor_and_sab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compactor_sab");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("compactor_10k_observes", |b| {
+        let spec = presets::tiny();
+        let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 2);
+        let blocks: Vec<BlockAddr> = (0..10_000).map(|_| gen.next_fetch().block).collect();
+        b.iter(|| {
+            let mut compactor = SpatialRegionCompactor::new(8);
+            let mut emitted = 0u64;
+            for &blk in &blocks {
+                if compactor.observe(blk).is_some() {
+                    emitted += 1;
+                }
+            }
+            black_box(emitted)
+        });
+    });
+    group.bench_function("sab_allocate_and_advance", |b| {
+        let mut history = HistoryBuffer::new(4096);
+        for i in 0..4096u64 {
+            let mut r = SpatialRegion::new(BlockAddr::new(i * 16), 8);
+            r.try_record(BlockAddr::new(i * 16 + 2));
+            history.append(r);
+        }
+        b.iter(|| {
+            let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
+            let mut read = |p: u32, n: usize| {
+                let recs = history.read(p, n);
+                let next = history.advance_ptr(p, recs.len() as u32);
+                (recs, next)
+            };
+            let mut total = 0usize;
+            total += sabs.allocate(0, &mut read).len();
+            for i in 0..1_000u64 {
+                total += sabs.on_retire(BlockAddr::new(i * 16), &mut read).len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caches");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("l1i_access_fill_10k", |b| {
+        b.iter(|| {
+            let mut l1: SetAssocCache<()> = SetAssocCache::new(CacheConfig::l1i_micro13());
+            for i in 0..10_000u64 {
+                let blk = BlockAddr::new(i % 2_048);
+                if l1.access(blk).is_miss() {
+                    l1.fill(blk, ());
+                }
+            }
+            black_box(l1.stats().hits)
+        });
+    });
+    group.bench_function("llc_access_10k", |b| {
+        b.iter(|| {
+            let mut llc = NucaLlc::new(LlcConfig::micro13(16));
+            for i in 0..10_000u64 {
+                llc.access(BlockAddr::new(i % 20_000), AccessClass::Demand);
+            }
+            black_box(llc.stats().hits)
+        });
+    });
+    group.finish();
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetchers");
+    group.throughput(Throughput::Elements(20_000));
+    let spec = presets::tiny();
+    let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 3);
+    let blocks: Vec<BlockAddr> = (0..20_000).map(|_| gen.next_fetch().block).collect();
+
+    group.bench_function("pif_record_replay_20k", |b| {
+        b.iter(|| {
+            let mut llc = NucaLlc::new(LlcConfig::micro13(1));
+            let mut pif = Pif::new(PifConfig::pif_32k(), 1);
+            let mut out = Vec::new();
+            for &blk in &blocks {
+                out.clear();
+                pif.on_access(CoreId::new(0), blk, false, &mut llc, &mut out);
+                pif.on_retire(CoreId::new(0), blk, &mut llc, &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+    group.bench_function("shift_record_replay_20k", |b| {
+        b.iter(|| {
+            let mut llc = NucaLlc::new(LlcConfig::micro13(2));
+            let cfg = ShiftConfig::virtualized_micro13(CoreId::new(0), BlockAddr::new(0x40_0000));
+            let mut shift = Shift::new(cfg, 2);
+            let mut out = Vec::new();
+            for &blk in &blocks {
+                out.clear();
+                shift.on_access(CoreId::new(1), blk, false, &mut llc, &mut out);
+                shift.on_retire(CoreId::new(0), blk, &mut llc, &mut out);
+                shift.on_retire(CoreId::new(1), blk, &mut llc, &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_history_and_index,
+    bench_compactor_and_sab,
+    bench_caches,
+    bench_prefetchers
+);
+criterion_main!(benches);

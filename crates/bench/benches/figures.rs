@@ -1,0 +1,88 @@
+//! One Criterion bench per paper figure/table: each runs the corresponding
+//! experiment driver at `Scale::Test` on a reduced workload set, so the full
+//! pipeline behind every figure is exercised and timed by `cargo bench`.
+//! The `fig*`/`table*` binaries produce the full-scale numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_sim::experiments::{
+    commonality, consolidation, coverage_breakdown, coverage_vs_history, llc_traffic,
+    performance_density, power_overhead, probabilistic_elimination, speedup_comparison,
+    storage_table,
+};
+use shift_sim::PrefetcherConfig;
+use shift_trace::{presets, Scale};
+
+const SEED: u64 = 0x5417_2013;
+const CORES: u16 = 4;
+
+fn small_suite() -> Vec<shift_trace::WorkloadSpec> {
+    vec![presets::tiny()]
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig01_elimination", |b| {
+        b.iter(|| probabilistic_elimination(&small_suite(), &[0.0, 0.5, 1.0], CORES, Scale::Test, SEED))
+    });
+    group.bench_function("fig02_pd", |b| {
+        b.iter(|| {
+            performance_density(
+                &small_suite(),
+                &[PrefetcherConfig::pif_32k()],
+                CORES,
+                Scale::Test,
+                SEED,
+            )
+        })
+    });
+    group.bench_function("fig03_commonality", |b| {
+        b.iter(|| commonality(&small_suite(), CORES, Scale::Test, SEED))
+    });
+    group.bench_function("fig06_history_sweep", |b| {
+        b.iter(|| {
+            coverage_vs_history(
+                &small_suite(),
+                &[Some(1 << 10), Some(32 << 10)],
+                CORES,
+                Scale::Test,
+                SEED,
+            )
+        })
+    });
+    group.bench_function("fig07_coverage", |b| {
+        b.iter(|| coverage_breakdown(&small_suite(), CORES, Scale::Test, SEED))
+    });
+    group.bench_function("fig08_speedup", |b| {
+        b.iter(|| speedup_comparison(&small_suite(), CORES, Scale::Test, SEED))
+    });
+    group.bench_function("fig09_traffic", |b| {
+        b.iter(|| llc_traffic(&small_suite(), CORES, Scale::Test, SEED))
+    });
+    group.bench_function("fig10_consolidation", |b| {
+        let mix = vec![
+            presets::tiny().with_region_index(0),
+            presets::tiny().with_region_index(1),
+        ];
+        b.iter(|| {
+            consolidation(
+                &mix,
+                &[PrefetcherConfig::shift_virtualized()],
+                CORES,
+                Scale::Test,
+                SEED,
+            )
+        })
+    });
+    group.bench_function("table_power", |b| {
+        b.iter(|| power_overhead(&small_suite(), CORES, Scale::Test, SEED))
+    });
+    group.bench_function("table1_storage_cost", |b| {
+        b.iter(|| storage_table(16, 8 * 1024 * 1024 / 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 1: speedup as a function of instruction cache misses eliminated.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_sim::experiments::probabilistic_elimination;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("Figure 1 (speedup vs. misses eliminated)", scale, cores, &workloads);
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let result = probabilistic_elimination(&workloads, &fractions, cores, scale, HARNESS_SEED);
+    println!("{result}");
+    println!(
+        "perfect-I$ geometric-mean speedup: {:.3} (paper: ~1.31)",
+        result.perfect_cache_speedup()
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 2: PIF performance vs. area for the three core types.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_sim::experiments::performance_density;
+use shift_sim::PrefetcherConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("Figure 2 (PIF performance density by core type)", scale, cores, &workloads);
+    let result = performance_density(
+        &workloads,
+        &[PrefetcherConfig::pif_32k()],
+        cores,
+        scale,
+        HARNESS_SEED,
+    );
+    println!("{result}");
+    println!("(PD > 1 lies in the paper's shaded gain region; < 1 is the loss region)");
+}

@@ -1,0 +1,19 @@
+//! Figure 7: misses covered / uncovered / overpredicted per workload.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_sim::experiments::coverage_breakdown;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("Figure 7 (coverage breakdown)", scale, cores, &workloads);
+    let result = coverage_breakdown(&workloads, cores, scale, HARNESS_SEED);
+    println!("{result}");
+    println!(
+        "averages: PIF_2K {:.1}%  PIF_32K {:.1}%  SHIFT {:.1}%   (paper: 53% / 92% / 81%)",
+        result.average_coverage("PIF_2K") * 100.0,
+        result.average_coverage("PIF_32K") * 100.0,
+        result.average_coverage("SHIFT") * 100.0
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 8: speedup comparison (NextLine, PIF_2K, PIF_32K, ZeroLat-SHIFT, SHIFT).
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_sim::experiments::speedup_comparison;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("Figure 8 (speedup comparison)", scale, cores, &workloads);
+    let result = speedup_comparison(&workloads, cores, scale, HARNESS_SEED);
+    println!("{result}");
+    println!("(paper geomeans: NextLine 1.09, PIF_2K ~1.10, PIF_32K 1.21, ZeroLat-SHIFT 1.20, SHIFT 1.19)");
+}

@@ -1,0 +1,14 @@
+//! Figure 9: LLC traffic overhead of SHIFT.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_sim::experiments::llc_traffic;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("Figure 9 (LLC traffic overhead)", scale, cores, &workloads);
+    let result = llc_traffic(&workloads, cores, scale, HARNESS_SEED);
+    println!("{result}");
+    println!("(paper: history reads+writes ~6%, discards ~7%, index updates ~2.5% of baseline)");
+}

@@ -1,0 +1,22 @@
+//! Figure 10: speedup under workload consolidation.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, HARNESS_SEED};
+use shift_sim::experiments::consolidation;
+use shift_sim::PrefetcherConfig;
+use shift_trace::presets;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = presets::consolidation_suite();
+    banner("Figure 10 (workload consolidation)", scale, cores, &workloads);
+    let result = consolidation(
+        &workloads,
+        &PrefetcherConfig::figure8_suite(),
+        cores,
+        scale,
+        HARNESS_SEED,
+    );
+    println!("{result}");
+    println!("(paper: SHIFT ~1.22, ZeroLat-SHIFT ~1.25, SHIFT ≈ 95% of PIF_32K's benefit)");
+}

@@ -1,0 +1,56 @@
+//! Table I: system and application parameters.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
+use shift_sim::{CmpConfig, PrefetcherConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("Table I (system and application parameters)", scale, cores, &workloads);
+
+    let cfg = CmpConfig::micro13(cores, PrefetcherConfig::shift_virtualized());
+    println!("Processing nodes : {} x {} @ 2 GHz", cfg.cores, cfg.core_kind);
+    println!(
+        "L1-I cache       : {} KB, {}-way, {} B blocks, {}-cycle load-to-use",
+        cfg.l1i.capacity_bytes / 1024,
+        cfg.l1i.ways,
+        cfg.l1i.block_bytes,
+        cfg.l1i.hit_latency
+    );
+    println!(
+        "L1-D cache       : {} KB, {}-way, {} B blocks, {}-cycle load-to-use",
+        cfg.l1d.capacity_bytes / 1024,
+        cfg.l1d.ways,
+        cfg.l1d.block_bytes,
+        cfg.l1d.hit_latency
+    );
+    println!(
+        "L2 NUCA LLC      : {} MB total ({} KB/core), {}-way, {} banks, {}-cycle bank hit",
+        cfg.llc.total_bytes / (1024 * 1024),
+        cfg.llc.total_bytes / 1024 / cores as usize,
+        cfg.llc.ways,
+        cfg.llc.banks,
+        cfg.llc.hit_latency
+    );
+    println!(
+        "Main memory      : {} cycles ({} ns at 2 GHz)",
+        cfg.llc.memory_latency,
+        cfg.llc.memory_latency / 2
+    );
+    println!(
+        "Interconnect     : {}x{} 2D mesh, {} cycles/hop",
+        cfg.mesh.cols, cfg.mesh.rows, cfg.mesh.hop_latency
+    );
+    println!();
+    println!("Workloads (synthetic equivalents of Table I):");
+    for w in &workloads {
+        println!(
+            "  {:<18} ~{:>6.1} KB instruction footprint, {} request types, {} calls/request",
+            w.name,
+            w.expected_footprint_blocks() * 64.0 / 1024.0,
+            w.request_types,
+            w.calls_per_request
+        );
+    }
+}

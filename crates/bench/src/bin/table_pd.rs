@@ -1,0 +1,31 @@
+//! §5.6: performance density of SHIFT vs. PIF_32K and PIF_2K per core type.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_cpu::CoreKind;
+use shift_sim::experiments::performance_density;
+use shift_sim::PrefetcherConfig;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("§5.6 (performance density)", scale, cores, &workloads);
+    let result = performance_density(
+        &workloads,
+        &[
+            PrefetcherConfig::pif_2k(),
+            PrefetcherConfig::pif_32k(),
+            PrefetcherConfig::shift_virtualized(),
+        ],
+        cores,
+        scale,
+        HARNESS_SEED,
+    );
+    println!("{result}");
+    for kind in CoreKind::ALL {
+        if let Some(improvement) = result.pd_improvement(kind, "SHIFT", "PIF_32K") {
+            println!("{kind}: SHIFT improves PD over PIF_32K by {:.1}%", (improvement - 1.0) * 100.0);
+        }
+    }
+    println!("(paper: +2% Fat-OoO, +16% Lean-OoO, +59% Lean-IO)");
+}

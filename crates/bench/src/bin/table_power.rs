@@ -1,0 +1,14 @@
+//! §5.7: power overhead of SHIFT's history and index activity.
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_sim::experiments::power_overhead;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("§5.7 (power overhead)", scale, cores, &workloads);
+    let result = power_overhead(&workloads, cores, scale, HARNESS_SEED);
+    println!("{result}");
+    println!("(paper: < 150 mW total for a 16-core CMP)");
+}

@@ -1,0 +1,16 @@
+//! §5.1: storage cost table (PIF_2K, PIF_32K, SHIFT).
+
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
+use shift_sim::experiments::storage_table;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner("§5.1 (storage cost)", scale, cores, &workloads);
+    let result = storage_table(cores, cores as usize * 512 * 1024 / 64);
+    println!("{result}");
+    if let Some(ratio) = result.sram_ratio("PIF_32K", "SHIFT") {
+        println!("PIF_32K / SHIFT added-SRAM ratio: {ratio:.1}x (paper: ~14x)");
+    }
+}

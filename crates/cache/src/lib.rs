@@ -1,0 +1,46 @@
+//! Cache hierarchy models for the SHIFT reproduction.
+//!
+//! This crate provides the storage substrates the simulated CMP is built
+//! from:
+//!
+//! * [`SetAssocCache`] — a set-associative cache with pluggable replacement,
+//!   per-line user metadata, and optional *pinned* (non-evictable) lines. The
+//!   L1 instruction and data caches are instances of it.
+//! * [`Mshr`] — miss-status holding registers that merge secondary misses.
+//! * [`NucaLlc`] — the shared, banked last-level cache. It supports the two
+//!   extensions virtualized SHIFT needs: an index-pointer field appended to
+//!   every tag (the paper's embedded index table) and a non-evictable address
+//!   window that holds the virtualized history buffer.
+//! * [`CacheStats`] / [`TrafficStats`] — hit/miss and per-class traffic
+//!   accounting used to reproduce the paper's LLC-overhead results (Fig. 9).
+//!
+//! # Examples
+//!
+//! ```
+//! use shift_cache::{CacheConfig, SetAssocCache};
+//! use shift_types::BlockAddr;
+//!
+//! // The paper's 32 KB, 2-way, 64 B-block L1-I cache.
+//! let mut l1i: SetAssocCache<()> = SetAssocCache::new(CacheConfig::l1i_micro13());
+//! let block = BlockAddr::new(0x400);
+//! assert!(!l1i.access(block).is_hit());
+//! l1i.fill(block, ());
+//! assert!(l1i.access(block).is_hit());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod config;
+pub mod llc;
+pub mod mshr;
+pub mod replacement;
+pub mod set_assoc;
+pub mod stats;
+
+pub use config::{CacheConfig, LlcConfig};
+pub use llc::{LlcAccessOutcome, LlcMeta, NucaLlc};
+pub use mshr::{Mshr, MshrAllocation};
+pub use replacement::ReplacementPolicy;
+pub use set_assoc::{AccessResult, EvictedLine, SetAssocCache};
+pub use stats::{CacheStats, TrafficStats};

@@ -1,0 +1,350 @@
+//! The shared, banked NUCA last-level cache.
+//!
+//! The LLC is the substrate into which virtualized SHIFT embeds its shared
+//! history: a reserved, non-evictable block range holds the history buffer,
+//! and every tag carries an optional index pointer into that buffer (the
+//! embedded index table of §4.2). The LLC also accounts traffic per
+//! [`AccessClass`] so that the Figure 9 overhead breakdown can be reproduced.
+
+use serde::{Deserialize, Serialize};
+use shift_types::{AccessClass, BlockAddr};
+
+use crate::config::LlcConfig;
+use crate::set_assoc::SetAssocCache;
+use crate::stats::{CacheStats, TrafficStats};
+
+/// Per-line LLC metadata: the index pointer appended to the tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcMeta {
+    /// Pointer to the most recent occurrence of this (instruction) block's
+    /// trigger in the virtualized history buffer, if any.
+    pub index_ptr: Option<u32>,
+}
+
+/// Outcome of an LLC access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcAccessOutcome {
+    /// Whether the block was found in the LLC.
+    pub hit: bool,
+    /// The bank that served the request.
+    pub bank: usize,
+    /// Access latency in cycles (bank hit latency, plus memory latency on a
+    /// miss).
+    pub latency: u64,
+    /// Index pointer stored alongside the block's tag, if the block was
+    /// present and had one. The LLC returns it with every demand response so
+    /// the requesting core's SHIFT logic can start a history read (§4.2,
+    /// replay step 1).
+    pub index_ptr: Option<u32>,
+}
+
+/// The shared, banked last-level cache.
+///
+/// # Examples
+///
+/// ```
+/// use shift_cache::{LlcConfig, NucaLlc};
+/// use shift_types::{AccessClass, BlockAddr};
+///
+/// let mut llc = NucaLlc::new(LlcConfig::micro13(4));
+/// let outcome = llc.access(BlockAddr::new(0x1234), AccessClass::Demand);
+/// assert!(!outcome.hit);
+/// let outcome = llc.access(BlockAddr::new(0x1234), AccessClass::Demand);
+/// assert!(outcome.hit);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NucaLlc {
+    config: LlcConfig,
+    banks: Vec<SetAssocCache<LlcMeta>>,
+    traffic: TrafficStats,
+    pinned_ranges: Vec<(BlockAddr, u64)>,
+}
+
+impl NucaLlc {
+    /// Creates an empty LLC.
+    pub fn new(config: LlcConfig) -> Self {
+        let banks = (0..config.banks)
+            .map(|_| SetAssocCache::new(config.bank_config()))
+            .collect();
+        NucaLlc {
+            config,
+            banks,
+            traffic: TrafficStats::new(),
+            pinned_ranges: Vec::new(),
+        }
+    }
+
+    /// The LLC configuration.
+    pub fn config(&self) -> &LlcConfig {
+        &self.config
+    }
+
+    /// The bank a block maps to (block-interleaved).
+    pub fn bank_of(&self, block: BlockAddr) -> usize {
+        (block.get() % self.config.banks as u64) as usize
+    }
+
+    /// The address used to index within a bank: the bank-selection bits are
+    /// stripped so consecutive blocks of one bank spread over all of its sets.
+    fn bank_local(&self, block: BlockAddr) -> BlockAddr {
+        BlockAddr::new(block.get() / self.config.banks as u64)
+    }
+
+    /// Per-class traffic statistics.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Records a traffic event that does not correspond to a block transfer
+    /// performed through [`access`](Self::access) (e.g. a discarded prefetch
+    /// or a tag-only index update).
+    pub fn record_traffic(&mut self, class: AccessClass, bytes: u64) {
+        self.traffic.record(class, bytes);
+    }
+
+    /// Aggregate hit/miss statistics across all banks.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for bank in &self.banks {
+            let s = bank.stats();
+            total.accesses += s.accesses;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.fills += s.fills;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Resets hit/miss and traffic statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        for bank in &mut self.banks {
+            bank.reset_stats();
+        }
+        self.traffic = TrafficStats::new();
+    }
+
+    /// Performs an access of the given class, filling the block on a miss.
+    ///
+    /// The returned latency covers the bank lookup plus, on a miss, the
+    /// memory round trip. NoC latency between the requesting core and the
+    /// bank is accounted separately by the interconnect model.
+    pub fn access(&mut self, block: BlockAddr, class: AccessClass) -> LlcAccessOutcome {
+        self.traffic.record(class, self.config.block_bytes as u64);
+        let bank_idx = self.bank_of(block);
+        let local = self.bank_local(block);
+        let pinned = self.is_pinned(block);
+        let bank = &mut self.banks[bank_idx];
+        let hit = bank.access(local).is_hit();
+        let index_ptr = if hit {
+            bank.meta(local).and_then(|m| m.index_ptr)
+        } else {
+            if pinned {
+                bank.fill_pinned(local, LlcMeta::default());
+            } else {
+                bank.fill(local, LlcMeta::default());
+            }
+            None
+        };
+        let latency = if hit {
+            self.config.hit_latency
+        } else {
+            self.config.hit_latency + self.config.memory_latency
+        };
+        LlcAccessOutcome {
+            hit,
+            bank: bank_idx,
+            latency,
+            index_ptr,
+        }
+    }
+
+    /// Checks whether a block is resident without perturbing state.
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        self.banks[self.bank_of(block)].probe(self.bank_local(block))
+    }
+
+    /// Reads the index pointer stored with `block`'s tag, if the block is
+    /// resident. Does not count as traffic (the pointer travels with demand
+    /// responses).
+    pub fn index_ptr(&self, block: BlockAddr) -> Option<u32> {
+        self.banks[self.bank_of(block)]
+            .meta(self.bank_local(block))
+            .and_then(|m| m.index_ptr)
+    }
+
+    /// Updates the index pointer of `block` if it is resident, recording the
+    /// tag-array traffic. Returns `true` if the pointer was stored.
+    ///
+    /// This is the "index update request" the history generator core issues
+    /// for every new spatial-region record (§4.2, record step 2).
+    pub fn update_index_ptr(&mut self, block: BlockAddr, ptr: u32) -> bool {
+        // Index updates only touch the tag array; account two bytes (the
+        // 15-bit pointer) rather than a full block.
+        self.traffic.record(AccessClass::IndexUpdate, 2);
+        let bank = self.bank_of(block);
+        let local = self.bank_local(block);
+        match self.banks[bank].meta_mut(local) {
+            Some(meta) => {
+                meta.index_ptr = Some(ptr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reserves `blocks` LLC lines starting at `start` for a virtualized
+    /// history buffer: the lines are installed immediately and pinned so they
+    /// can never be evicted, guaranteeing that the entire history is always
+    /// LLC-resident (§4.2).
+    pub fn reserve_history_region(&mut self, start: BlockAddr, blocks: u64) {
+        assert!(blocks > 0, "history region must not be empty");
+        self.pinned_ranges.push((start, blocks));
+        for i in 0..blocks {
+            let block = start.offset(i);
+            let bank = self.bank_of(block);
+            let local = self.bank_local(block);
+            self.banks[bank].fill_pinned(local, LlcMeta::default());
+        }
+    }
+
+    /// Returns `true` if `block` belongs to a reserved history region.
+    pub fn is_pinned(&self, block: BlockAddr) -> bool {
+        self.pinned_ranges
+            .iter()
+            .any(|&(start, len)| block >= start && block < start.offset(len))
+    }
+
+    /// Total number of LLC blocks reserved for history buffers.
+    pub fn pinned_blocks(&self) -> u64 {
+        self.pinned_ranges.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Number of blocks currently resident across all banks.
+    pub fn resident_blocks(&self) -> usize {
+        self.banks.iter().map(|b| b.resident_blocks()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_llc() -> NucaLlc {
+        NucaLlc::new(LlcConfig {
+            total_bytes: 64 * 1024,
+            ways: 4,
+            banks: 4,
+            block_bytes: 64,
+            hit_latency: 5,
+            memory_latency: 90,
+            index_pointer_bits: 15,
+        })
+    }
+
+    #[test]
+    fn miss_fills_and_charges_memory_latency() {
+        let mut llc = small_llc();
+        let b = BlockAddr::new(77);
+        let first = llc.access(b, AccessClass::Demand);
+        assert!(!first.hit);
+        assert_eq!(first.latency, 95);
+        let second = llc.access(b, AccessClass::Demand);
+        assert!(second.hit);
+        assert_eq!(second.latency, 5);
+        assert_eq!(llc.stats().accesses, 2);
+    }
+
+    #[test]
+    fn banks_are_block_interleaved() {
+        let llc = small_llc();
+        assert_eq!(llc.bank_of(BlockAddr::new(0)), 0);
+        assert_eq!(llc.bank_of(BlockAddr::new(1)), 1);
+        assert_eq!(llc.bank_of(BlockAddr::new(5)), 1);
+        assert_eq!(llc.bank_of(BlockAddr::new(7)), 3);
+    }
+
+    #[test]
+    fn index_pointer_round_trips_while_block_resident() {
+        let mut llc = small_llc();
+        let b = BlockAddr::new(100);
+        // Not resident yet: update fails.
+        assert!(!llc.update_index_ptr(b, 5));
+        llc.access(b, AccessClass::Demand);
+        assert!(llc.update_index_ptr(b, 5));
+        assert_eq!(llc.index_ptr(b), Some(5));
+        // A demand hit returns the pointer with the response.
+        let outcome = llc.access(b, AccessClass::Demand);
+        assert_eq!(outcome.index_ptr, Some(5));
+    }
+
+    #[test]
+    fn history_region_is_always_resident() {
+        let mut llc = small_llc();
+        let start = BlockAddr::new(0x8000);
+        llc.reserve_history_region(start, 64);
+        assert_eq!(llc.pinned_blocks(), 64);
+        // Thrash the cache with demand traffic.
+        for i in 0..10_000u64 {
+            llc.access(BlockAddr::new(i), AccessClass::Demand);
+        }
+        for i in 0..64u64 {
+            assert!(llc.probe(start.offset(i)), "history block evicted");
+            assert!(llc.is_pinned(start.offset(i)));
+        }
+    }
+
+    #[test]
+    fn history_reads_are_hits_after_reservation() {
+        let mut llc = small_llc();
+        let start = BlockAddr::new(0x4000);
+        llc.reserve_history_region(start, 16);
+        let outcome = llc.access(start.offset(3), AccessClass::HistoryRead);
+        assert!(outcome.hit);
+        assert_eq!(llc.traffic().count(AccessClass::HistoryRead), 1);
+    }
+
+    #[test]
+    fn traffic_classes_are_recorded_separately() {
+        let mut llc = small_llc();
+        llc.access(BlockAddr::new(1), AccessClass::Demand);
+        llc.access(BlockAddr::new(2), AccessClass::HistoryWrite);
+        llc.record_traffic(AccessClass::Discard, 64);
+        llc.update_index_ptr(BlockAddr::new(1), 9);
+        assert_eq!(llc.traffic().count(AccessClass::Demand), 1);
+        assert_eq!(llc.traffic().count(AccessClass::HistoryWrite), 1);
+        assert_eq!(llc.traffic().count(AccessClass::Discard), 1);
+        assert_eq!(llc.traffic().count(AccessClass::IndexUpdate), 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_traffic_and_counters() {
+        let mut llc = small_llc();
+        llc.access(BlockAddr::new(1), AccessClass::Demand);
+        llc.reset_stats();
+        assert_eq!(llc.stats().accesses, 0);
+        assert_eq!(llc.traffic().total_count(), 0);
+    }
+
+    #[test]
+    fn evicted_blocks_lose_their_index_pointer() {
+        let mut llc = NucaLlc::new(LlcConfig {
+            total_bytes: 4096, // 1 bank × 1 set... actually 4096/ (4*64)=16 sets? keep small
+            ways: 2,
+            banks: 1,
+            block_bytes: 64,
+            hit_latency: 5,
+            memory_latency: 90,
+            index_pointer_bits: 15,
+        });
+        let sets = llc.config().bank_config().sets() as u64;
+        let b = BlockAddr::new(3);
+        llc.access(b, AccessClass::Demand);
+        llc.update_index_ptr(b, 42);
+        // Evict it by filling two more blocks mapping to the same set.
+        llc.access(BlockAddr::new(3 + sets), AccessClass::Demand);
+        llc.access(BlockAddr::new(3 + 2 * sets), AccessClass::Demand);
+        assert!(!llc.probe(b));
+        assert_eq!(llc.index_ptr(b), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Miss-status holding registers.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use shift_types::BlockAddr;
+
+/// Outcome of trying to allocate an MSHR entry for a miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MshrAllocation {
+    /// A new entry was allocated; the request must be sent to the next level.
+    Primary,
+    /// The block already has an outstanding miss; this request was merged.
+    Secondary,
+    /// All MSHRs are occupied; the requester must stall and retry.
+    Full,
+}
+
+impl MshrAllocation {
+    /// Returns `true` if the allocation requires a new request to the next
+    /// cache level.
+    pub const fn needs_request(self) -> bool {
+        matches!(self, MshrAllocation::Primary)
+    }
+}
+
+/// A file of miss-status holding registers.
+///
+/// Each entry tracks one outstanding miss; secondary misses to the same block
+/// merge into the existing entry. The paper's L1 caches have 32 MSHRs and the
+/// LLC banks 64.
+///
+/// # Examples
+///
+/// ```
+/// use shift_cache::{Mshr, MshrAllocation};
+/// use shift_types::BlockAddr;
+///
+/// let mut mshr = Mshr::new(2);
+/// assert_eq!(mshr.allocate(BlockAddr::new(1)), MshrAllocation::Primary);
+/// assert_eq!(mshr.allocate(BlockAddr::new(1)), MshrAllocation::Secondary);
+/// assert_eq!(mshr.allocate(BlockAddr::new(2)), MshrAllocation::Primary);
+/// assert_eq!(mshr.allocate(BlockAddr::new(3)), MshrAllocation::Full);
+/// assert_eq!(mshr.complete(BlockAddr::new(1)), Some(2));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mshr {
+    capacity: usize,
+    outstanding: HashMap<BlockAddr, u32>,
+    peak_occupancy: usize,
+    full_stalls: u64,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        Mshr {
+            capacity,
+            outstanding: HashMap::new(),
+            peak_occupancy: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently outstanding (distinct) misses.
+    pub fn occupancy(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Highest occupancy observed so far.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of allocation attempts rejected because the file was full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Returns `true` if `block` already has an outstanding miss.
+    pub fn is_outstanding(&self, block: BlockAddr) -> bool {
+        self.outstanding.contains_key(&block)
+    }
+
+    /// Attempts to allocate (or merge into) an entry for `block`.
+    pub fn allocate(&mut self, block: BlockAddr) -> MshrAllocation {
+        if let Some(count) = self.outstanding.get_mut(&block) {
+            *count += 1;
+            return MshrAllocation::Secondary;
+        }
+        if self.outstanding.len() >= self.capacity {
+            self.full_stalls += 1;
+            return MshrAllocation::Full;
+        }
+        self.outstanding.insert(block, 1);
+        self.peak_occupancy = self.peak_occupancy.max(self.outstanding.len());
+        MshrAllocation::Primary
+    }
+
+    /// Completes the outstanding miss for `block`, returning how many
+    /// requests (primary + merged) were waiting on it, or `None` if the block
+    /// had no outstanding miss.
+    pub fn complete(&mut self, block: BlockAddr) -> Option<u32> {
+        self.outstanding.remove(&block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_counts_waiters() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.allocate(BlockAddr::new(9)), MshrAllocation::Primary);
+        assert_eq!(m.allocate(BlockAddr::new(9)), MshrAllocation::Secondary);
+        assert_eq!(m.allocate(BlockAddr::new(9)), MshrAllocation::Secondary);
+        assert!(m.is_outstanding(BlockAddr::new(9)));
+        assert_eq!(m.complete(BlockAddr::new(9)), Some(3));
+        assert!(!m.is_outstanding(BlockAddr::new(9)));
+        assert_eq!(m.complete(BlockAddr::new(9)), None);
+    }
+
+    #[test]
+    fn full_file_rejects_new_primaries_but_accepts_secondaries() {
+        let mut m = Mshr::new(1);
+        assert_eq!(m.allocate(BlockAddr::new(1)), MshrAllocation::Primary);
+        assert_eq!(m.allocate(BlockAddr::new(2)), MshrAllocation::Full);
+        assert_eq!(m.allocate(BlockAddr::new(1)), MshrAllocation::Secondary);
+        assert_eq!(m.full_stalls(), 1);
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut m = Mshr::new(8);
+        for i in 0..5 {
+            m.allocate(BlockAddr::new(i));
+        }
+        assert_eq!(m.occupancy(), 5);
+        assert_eq!(m.peak_occupancy(), 5);
+        m.complete(BlockAddr::new(0));
+        assert_eq!(m.occupancy(), 4);
+        assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn needs_request_only_for_primary() {
+        assert!(MshrAllocation::Primary.needs_request());
+        assert!(!MshrAllocation::Secondary.needs_request());
+        assert!(!MshrAllocation::Full.needs_request());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Mshr::new(0);
+    }
+}

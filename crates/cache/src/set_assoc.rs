@@ -1,0 +1,386 @@
+//! A set-associative cache with per-line metadata and pinning support.
+
+use serde::{Deserialize, Serialize};
+use shift_types::BlockAddr;
+
+use crate::config::CacheConfig;
+use crate::replacement::{ReplacementPolicy, VictimRng};
+use crate::stats::CacheStats;
+
+/// Result of a lookup through [`SetAssocCache::access`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessResult {
+    /// The block was present.
+    Hit,
+    /// The block was absent.
+    Miss,
+}
+
+impl AccessResult {
+    /// Returns `true` for [`AccessResult::Hit`].
+    pub const fn is_hit(self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// Returns `true` for [`AccessResult::Miss`].
+    pub const fn is_miss(self) -> bool {
+        matches!(self, AccessResult::Miss)
+    }
+}
+
+/// A line evicted by a fill, returned to the caller so bookkeeping (e.g.
+/// counting prefetched-but-unused blocks) can be performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictedLine<M> {
+    /// The evicted block address.
+    pub block: BlockAddr,
+    /// The metadata that was stored with the block.
+    pub meta: M,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Line<M> {
+    block: BlockAddr,
+    meta: M,
+    last_use: u64,
+    pinned: bool,
+}
+
+/// A set-associative cache parameterized by per-line metadata `M`.
+///
+/// The cache tracks only tags and metadata, never data contents — exactly what
+/// a trace-driven simulator needs. Lookups ([`access`](Self::access)) update
+/// recency and statistics; [`probe`](Self::probe) checks presence without
+/// perturbing either. Fills install blocks and report the victim, and lines
+/// can be *pinned* so they are never chosen for eviction (used by the LLC to
+/// make the virtualized history buffer non-evictable, as §4.2 requires).
+///
+/// # Examples
+///
+/// ```
+/// use shift_cache::{CacheConfig, SetAssocCache};
+/// use shift_types::BlockAddr;
+///
+/// let mut cache: SetAssocCache<u32> = SetAssocCache::new(CacheConfig::new(1024, 2, 64, 1));
+/// cache.fill(BlockAddr::new(1), 10);
+/// assert_eq!(cache.meta(BlockAddr::new(1)), Some(&10));
+/// assert!(cache.access(BlockAddr::new(1)).is_hit());
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SetAssocCache<M> {
+    config: CacheConfig,
+    policy: ReplacementPolicy,
+    sets: Vec<Vec<Line<M>>>,
+    clock: u64,
+    stats: CacheStats,
+    victim_rng: VictimRng,
+}
+
+impl<M> SetAssocCache<M> {
+    /// Creates an empty cache with LRU replacement.
+    pub fn new(config: CacheConfig) -> Self {
+        Self::with_policy(config, ReplacementPolicy::Lru)
+    }
+
+    /// Creates an empty cache with the given replacement policy.
+    pub fn with_policy(config: CacheConfig, policy: ReplacementPolicy) -> Self {
+        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
+        SetAssocCache {
+            config,
+            policy,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+            victim_rng: VictimRng::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the hit/miss statistics (e.g. after cache warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.get() % self.config.sets() as u64) as usize
+    }
+
+    /// Returns `true` if `block` is resident, without updating recency or
+    /// statistics.
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        let set = &self.sets[self.set_index(block)];
+        set.iter().any(|l| l.block == block)
+    }
+
+    /// Looks up `block`, updating recency and statistics. Does **not** fill on
+    /// a miss; the caller decides whether and when to call
+    /// [`fill`](Self::fill).
+    pub fn access(&mut self, block: BlockAddr) -> AccessResult {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let clock = self.clock;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
+            line.last_use = clock;
+            self.stats.hits += 1;
+            AccessResult::Hit
+        } else {
+            self.stats.misses += 1;
+            AccessResult::Miss
+        }
+    }
+
+    /// Installs `block` with `meta`, evicting a victim if the set is full.
+    /// If the block is already resident its metadata is replaced and no
+    /// eviction occurs.
+    ///
+    /// Returns the evicted line, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every way of the target set is pinned.
+    pub fn fill(&mut self, block: BlockAddr, meta: M) -> Option<EvictedLine<M>> {
+        self.fill_inner(block, meta, false)
+    }
+
+    /// Installs `block` as a *pinned* (non-evictable) line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every way of the target set is already pinned.
+    pub fn fill_pinned(&mut self, block: BlockAddr, meta: M) -> Option<EvictedLine<M>> {
+        self.fill_inner(block, meta, true)
+    }
+
+    fn fill_inner(&mut self, block: BlockAddr, meta: M, pinned: bool) -> Option<EvictedLine<M>> {
+        self.clock += 1;
+        self.stats.fills += 1;
+        let clock = self.clock;
+        let ways = self.config.ways;
+        let policy = self.policy;
+        let idx = self.set_index(block);
+
+        // Fast path: block already resident → update metadata in place.
+        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.block == block) {
+            line.meta = meta;
+            line.last_use = clock;
+            line.pinned = line.pinned || pinned;
+            return None;
+        }
+
+        let evicted = if self.sets[idx].len() < ways {
+            None
+        } else {
+            let victim = {
+                let set = &self.sets[idx];
+                let candidates: Vec<usize> = (0..set.len()).filter(|&i| !set[i].pinned).collect();
+                assert!(
+                    !candidates.is_empty(),
+                    "all ways of set {idx} are pinned; cannot fill {block}"
+                );
+                match policy {
+                    ReplacementPolicy::Lru => candidates
+                        .iter()
+                        .copied()
+                        .min_by_key(|&i| set[i].last_use)
+                        .expect("candidates non-empty"),
+                    ReplacementPolicy::Random => {
+                        candidates[self.victim_rng.next_below(candidates.len())]
+                    }
+                }
+            };
+            self.stats.evictions += 1;
+            let line = self.sets[idx].swap_remove(victim);
+            Some(EvictedLine {
+                block: line.block,
+                meta: line.meta,
+            })
+        };
+
+        self.sets[idx].push(Line {
+            block,
+            meta,
+            last_use: clock,
+            pinned,
+        });
+        evicted
+    }
+
+    /// Returns a reference to the metadata of `block`, if resident.
+    pub fn meta(&self, block: BlockAddr) -> Option<&M> {
+        let set = &self.sets[self.set_index(block)];
+        set.iter().find(|l| l.block == block).map(|l| &l.meta)
+    }
+
+    /// Returns a mutable reference to the metadata of `block`, if resident.
+    pub fn meta_mut(&mut self, block: BlockAddr) -> Option<&mut M> {
+        let idx = self.set_index(block);
+        self.sets[idx]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .map(|l| &mut l.meta)
+    }
+
+    /// Removes `block` from the cache, returning its metadata if it was
+    /// resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<M> {
+        let idx = self.set_index(block);
+        let pos = self.sets[idx].iter().position(|l| l.block == block)?;
+        Some(self.sets[idx].swap_remove(pos).meta)
+    }
+
+    /// Iterates over all resident blocks (in no particular order).
+    pub fn resident(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.sets.iter().flat_map(|s| s.iter().map(|l| l.block))
+    }
+
+    /// Applies `f` to the metadata of every resident line (used e.g. to clear
+    /// transient bookkeeping after cache warm-up).
+    pub fn for_each_meta_mut<F: FnMut(&mut M)>(&mut self, mut f: F) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                f(&mut line.meta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u8> {
+        // 4 sets × 2 ways.
+        SetAssocCache::new(CacheConfig::new(512, 2, 64, 1))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        let b = BlockAddr::new(5);
+        assert!(c.access(b).is_miss());
+        assert!(c.fill(b, 1).is_none());
+        assert!(c.access(b).is_hit());
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats_or_lru() {
+        let mut c = small();
+        c.fill(BlockAddr::new(1), 0);
+        let before = *c.stats();
+        assert!(c.probe(BlockAddr::new(1)));
+        assert!(!c.probe(BlockAddr::new(2)));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_set() {
+        let mut c = small();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(BlockAddr::new(0), 0);
+        c.fill(BlockAddr::new(4), 4);
+        // Touch block 0 so block 4 becomes LRU.
+        assert!(c.access(BlockAddr::new(0)).is_hit());
+        let evicted = c.fill(BlockAddr::new(8), 8).expect("eviction expected");
+        assert_eq!(evicted.block, BlockAddr::new(4));
+        assert!(c.probe(BlockAddr::new(0)));
+        assert!(c.probe(BlockAddr::new(8)));
+    }
+
+    #[test]
+    fn refill_of_resident_block_updates_meta_without_eviction() {
+        let mut c = small();
+        c.fill(BlockAddr::new(3), 1);
+        assert!(c.fill(BlockAddr::new(3), 9).is_none());
+        assert_eq!(c.meta(BlockAddr::new(3)), Some(&9));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn pinned_lines_are_never_victims() {
+        let mut c = small();
+        c.fill_pinned(BlockAddr::new(0), 7);
+        c.fill(BlockAddr::new(4), 1);
+        // Set 0 is now full; filling another block of set 0 must evict the
+        // unpinned line even though the pinned one is older.
+        let evicted = c.fill(BlockAddr::new(8), 2).expect("eviction expected");
+        assert_eq!(evicted.block, BlockAddr::new(4));
+        assert!(c.probe(BlockAddr::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned")]
+    fn filling_a_fully_pinned_set_panics() {
+        let mut c = small();
+        c.fill_pinned(BlockAddr::new(0), 0);
+        c.fill_pinned(BlockAddr::new(4), 0);
+        let _ = c.fill(BlockAddr::new(8), 0);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = small();
+        c.fill(BlockAddr::new(2), 5);
+        assert_eq!(c.invalidate(BlockAddr::new(2)), Some(5));
+        assert!(!c.probe(BlockAddr::new(2)));
+        assert_eq!(c.invalidate(BlockAddr::new(2)), None);
+    }
+
+    #[test]
+    fn meta_mut_allows_in_place_update() {
+        let mut c = small();
+        c.fill(BlockAddr::new(1), 5);
+        *c.meta_mut(BlockAddr::new(1)).unwrap() = 6;
+        assert_eq!(c.meta(BlockAddr::new(1)), Some(&6));
+        assert_eq!(c.meta(BlockAddr::new(9)), None);
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_config() {
+        let mut c = small();
+        for i in 0..100 {
+            c.fill(BlockAddr::new(i), 0);
+        }
+        assert!(c.resident_blocks() <= c.config().capacity_blocks());
+        assert_eq!(c.resident_blocks(), 8);
+        assert_eq!(c.resident().count(), 8);
+    }
+
+    #[test]
+    fn random_policy_still_bounds_capacity() {
+        let mut c: SetAssocCache<()> = SetAssocCache::with_policy(
+            CacheConfig::new(512, 2, 64, 1),
+            ReplacementPolicy::Random,
+        );
+        for i in 0..1000 {
+            c.fill(BlockAddr::new(i), ());
+        }
+        assert_eq!(c.resident_blocks(), 8);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut c = small();
+        c.access(BlockAddr::new(1));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Hit/miss and traffic statistics.
+
+use serde::{Deserialize, Serialize};
+use shift_types::AccessClass;
+
+/// Hit/miss counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups performed through `access`.
+    pub accesses: u64,
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of blocks installed by fills.
+    pub fills: u64,
+    /// Number of valid blocks evicted to make room for fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (`misses / accesses`), or zero when no accesses occurred.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio (`hits / accesses`), or zero when no accesses occurred.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per kilo-instruction given a retired instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// Per-[`AccessClass`] request counters for a shared resource (LLC or NoC).
+///
+/// Used to reproduce Figure 9: history reads ("LogRead"), history writes
+/// ("LogWrite"), discarded prefetches, and index updates, each normalized to
+/// baseline demand traffic.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    counts: [u64; AccessClass::ALL.len()],
+    bytes: [u64; AccessClass::ALL.len()],
+}
+
+impl TrafficStats {
+    /// Creates empty traffic statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(class: AccessClass) -> usize {
+        AccessClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class present in ALL")
+    }
+
+    /// Records one request of `class` transferring `bytes` bytes.
+    pub fn record(&mut self, class: AccessClass, bytes: u64) {
+        let i = Self::slot(class);
+        self.counts[i] += 1;
+        self.bytes[i] += bytes;
+    }
+
+    /// Number of requests recorded for `class`.
+    pub fn count(&self, class: AccessClass) -> u64 {
+        self.counts[Self::slot(class)]
+    }
+
+    /// Bytes transferred for `class`.
+    pub fn bytes(&self, class: AccessClass) -> u64 {
+        self.bytes[Self::slot(class)]
+    }
+
+    /// Total requests across all classes.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total baseline (demand) requests.
+    pub fn baseline_count(&self) -> u64 {
+        AccessClass::ALL
+            .iter()
+            .filter(|c| c.is_baseline())
+            .map(|&c| self.count(c))
+            .sum()
+    }
+
+    /// Ratio of `class` requests to baseline demand requests, the
+    /// normalization Figure 9 uses. Returns zero if there is no baseline
+    /// traffic.
+    pub fn overhead_ratio(&self, class: AccessClass) -> f64 {
+        let base = self.baseline_count();
+        if base == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / base as f64
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+            self.bytes[i] += other.bytes[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_accesses() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn mpki_scales_with_instructions() {
+        let s = CacheStats {
+            accesses: 100,
+            hits: 60,
+            misses: 40,
+            fills: 40,
+            evictions: 10,
+        };
+        assert!((s.miss_ratio() - 0.4).abs() < 1e-12);
+        assert!((s.mpki(10_000) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_overhead_ratio_normalizes_to_demand() {
+        let mut t = TrafficStats::new();
+        for _ in 0..100 {
+            t.record(AccessClass::Demand, 64);
+        }
+        for _ in 0..6 {
+            t.record(AccessClass::HistoryRead, 64);
+        }
+        for _ in 0..7 {
+            t.record(AccessClass::Discard, 64);
+        }
+        assert_eq!(t.baseline_count(), 100);
+        assert!((t.overhead_ratio(AccessClass::HistoryRead) - 0.06).abs() < 1e-12);
+        assert!((t.overhead_ratio(AccessClass::Discard) - 0.07).abs() < 1e-12);
+        assert_eq!(t.bytes(AccessClass::Demand), 6400);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TrafficStats::new();
+        a.record(AccessClass::Demand, 64);
+        let mut b = TrafficStats::new();
+        b.record(AccessClass::Demand, 64);
+        b.record(AccessClass::HistoryWrite, 64);
+        a.merge(&b);
+        assert_eq!(a.count(AccessClass::Demand), 2);
+        assert_eq!(a.count(AccessClass::HistoryWrite), 1);
+        assert_eq!(a.total_count(), 3);
+    }
+}

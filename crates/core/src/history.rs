@@ -1,0 +1,181 @@
+//! The circular history buffer of spatial region records.
+//!
+//! The history buffer is logically a circular log (Global History Buffer
+//! style \[Nesbit & Smith\]): new records are appended at the write pointer,
+//! which wraps around when it reaches the end, overwriting the oldest
+//! records. Replay reads a window of consecutive records starting from a
+//! pointer obtained from the index table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::region::SpatialRegion;
+
+/// A circular buffer of [`SpatialRegion`] records.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::{HistoryBuffer, SpatialRegion};
+/// use shift_types::BlockAddr;
+///
+/// let mut history = HistoryBuffer::new(4);
+/// let ptr = history.append(SpatialRegion::new(BlockAddr::new(10), 8));
+/// history.append(SpatialRegion::new(BlockAddr::new(20), 8));
+/// let window = history.read(ptr, 2);
+/// assert_eq!(window.len(), 2);
+/// assert_eq!(window[0].trigger(), BlockAddr::new(10));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistoryBuffer {
+    entries: Vec<Option<SpatialRegion>>,
+    write_ptr: u32,
+    total_appends: u64,
+}
+
+impl HistoryBuffer {
+    /// Creates a history buffer holding up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds `u32::MAX`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history buffer needs at least one entry");
+        assert!(capacity <= u32::MAX as usize, "capacity exceeds pointer width");
+        HistoryBuffer {
+            entries: vec![None; capacity],
+            write_ptr: 0,
+            total_appends: 0,
+        }
+    }
+
+    /// Capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of records currently stored (saturates at the capacity).
+    pub fn len(&self) -> usize {
+        if self.total_appends >= self.entries.len() as u64 {
+            self.entries.len()
+        } else {
+            self.total_appends as usize
+        }
+    }
+
+    /// Returns `true` if no record has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.total_appends == 0
+    }
+
+    /// Total number of records ever appended (including overwritten ones).
+    pub fn total_appends(&self) -> u64 {
+        self.total_appends
+    }
+
+    /// Current write pointer (the slot the *next* record will occupy).
+    pub fn write_ptr(&self) -> u32 {
+        self.write_ptr
+    }
+
+    /// Appends a record, returning the pointer (slot index) where it was
+    /// stored. The write pointer then advances, wrapping at the capacity.
+    pub fn append(&mut self, record: SpatialRegion) -> u32 {
+        let slot = self.write_ptr;
+        self.entries[slot as usize] = Some(record);
+        self.write_ptr = (self.write_ptr + 1) % self.entries.len() as u32;
+        self.total_appends += 1;
+        slot
+    }
+
+    /// Reads the record at `ptr`, if one has been written there.
+    pub fn get(&self, ptr: u32) -> Option<SpatialRegion> {
+        self.entries.get(ptr as usize).copied().flatten()
+    }
+
+    /// Reads up to `count` consecutive records starting at `ptr` (wrapping
+    /// around the end of the buffer), skipping slots that were never written.
+    /// Reading never passes the write pointer more than once around, so the
+    /// window length is also bounded by the buffer length.
+    pub fn read(&self, ptr: u32, count: usize) -> Vec<SpatialRegion> {
+        let cap = self.entries.len() as u32;
+        let count = count.min(self.len());
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count as u32 {
+            let slot = (ptr + i) % cap;
+            if let Some(rec) = self.entries[slot as usize] {
+                out.push(rec);
+            }
+        }
+        out
+    }
+
+    /// Advances a pointer by `n` slots, wrapping at the capacity.
+    pub fn advance_ptr(&self, ptr: u32, n: u32) -> u32 {
+        (ptr + n) % self.entries.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_types::BlockAddr;
+
+    fn rec(trigger: u64) -> SpatialRegion {
+        SpatialRegion::new(BlockAddr::new(trigger), 8)
+    }
+
+    #[test]
+    fn append_returns_consecutive_slots_then_wraps() {
+        let mut h = HistoryBuffer::new(3);
+        assert_eq!(h.append(rec(1)), 0);
+        assert_eq!(h.append(rec(2)), 1);
+        assert_eq!(h.append(rec(3)), 2);
+        assert_eq!(h.append(rec(4)), 0, "write pointer wraps");
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.total_appends(), 4);
+        // Slot 0 now holds the newest record; the oldest was overwritten.
+        assert_eq!(h.get(0).unwrap().trigger(), BlockAddr::new(4));
+    }
+
+    #[test]
+    fn read_window_wraps_around() {
+        let mut h = HistoryBuffer::new(4);
+        for i in 0..4 {
+            h.append(rec(i));
+        }
+        let window = h.read(2, 3);
+        let triggers: Vec<u64> = window.iter().map(|r| r.trigger().get()).collect();
+        assert_eq!(triggers, vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn read_skips_unwritten_slots() {
+        let mut h = HistoryBuffer::new(8);
+        h.append(rec(10));
+        h.append(rec(11));
+        let window = h.read(0, 5);
+        assert_eq!(window.len(), 2, "only written slots are returned");
+    }
+
+    #[test]
+    fn empty_buffer_reads_nothing() {
+        let h = HistoryBuffer::new(16);
+        assert!(h.is_empty());
+        assert!(h.read(3, 4).is_empty());
+        assert_eq!(h.get(3), None);
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn advance_ptr_wraps() {
+        let h = HistoryBuffer::new(10);
+        assert_eq!(h.advance_ptr(7, 5), 2);
+        assert_eq!(h.advance_ptr(0, 10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = HistoryBuffer::new(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The index table: trigger block address → most recent history position.
+//!
+//! The index table provides the fast lookup that turns an instruction-cache
+//! miss into a pointer at which replay should start. PIF keeps a private,
+//! bounded index table per core (8 K entries for the paper's PIF_32K design
+//! point); dedicated-storage SHIFT keeps one shared bounded table, and
+//! virtualized SHIFT replaces the table entirely with pointer bits appended to
+//! LLC tags (modelled in [`crate::shift`], not here).
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+use shift_types::BlockAddr;
+
+/// A bounded, LRU-evicting map from trigger block address to history pointer.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::IndexTable;
+/// use shift_types::BlockAddr;
+///
+/// let mut index = IndexTable::new(2);
+/// index.update(BlockAddr::new(1), 10);
+/// index.update(BlockAddr::new(2), 11);
+/// index.update(BlockAddr::new(3), 12); // evicts the LRU entry (block 1)
+/// assert_eq!(index.lookup(BlockAddr::new(1)), None);
+/// assert_eq!(index.lookup(BlockAddr::new(3)), Some(12));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IndexTable {
+    capacity: usize,
+    entries: HashMap<BlockAddr, IndexEntry>,
+    lru: BTreeMap<u64, BlockAddr>,
+    clock: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct IndexEntry {
+    ptr: u32,
+    stamp: u64,
+}
+
+impl IndexTable {
+    /// Creates an index table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "index table needs at least one entry");
+        IndexTable {
+            capacity,
+            entries: HashMap::with_capacity(capacity.min(1 << 20)),
+            lru: BTreeMap::new(),
+            clock: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Number of lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Inserts or updates the pointer for `trigger`, evicting the
+    /// least-recently-used entry if the table is full.
+    pub fn update(&mut self, trigger: BlockAddr, ptr: u32) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(entry) = self.entries.get_mut(&trigger) {
+            self.lru.remove(&entry.stamp);
+            entry.ptr = ptr;
+            entry.stamp = stamp;
+            self.lru.insert(stamp, trigger);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some((&oldest_stamp, &victim)) = self.lru.iter().next() {
+                self.lru.remove(&oldest_stamp);
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(trigger, IndexEntry { ptr, stamp });
+        self.lru.insert(stamp, trigger);
+    }
+
+    /// Looks up the most recent history pointer for `trigger`, refreshing its
+    /// recency on a hit.
+    pub fn lookup(&mut self, trigger: BlockAddr) -> Option<u32> {
+        self.lookups += 1;
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(entry) = self.entries.get_mut(&trigger) {
+            self.hits += 1;
+            self.lru.remove(&entry.stamp);
+            entry.stamp = stamp;
+            self.lru.insert(stamp, trigger);
+            Some(entry.ptr)
+        } else {
+            None
+        }
+    }
+
+    /// Looks up without updating recency or statistics.
+    pub fn peek(&self, trigger: BlockAddr) -> Option<u32> {
+        self.entries.get(&trigger).map(|e| e.ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_then_lookup_round_trips() {
+        let mut idx = IndexTable::new(16);
+        idx.update(BlockAddr::new(42), 7);
+        assert_eq!(idx.lookup(BlockAddr::new(42)), Some(7));
+        assert_eq!(idx.peek(BlockAddr::new(42)), Some(7));
+        assert_eq!(idx.lookup(BlockAddr::new(43)), None);
+        assert_eq!(idx.lookups(), 2);
+        assert_eq!(idx.hits(), 1);
+    }
+
+    #[test]
+    fn update_overwrites_existing_pointer() {
+        let mut idx = IndexTable::new(4);
+        idx.update(BlockAddr::new(1), 10);
+        idx.update(BlockAddr::new(1), 20);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.peek(BlockAddr::new(1)), Some(20));
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let mut idx = IndexTable::new(3);
+        for i in 0..3u64 {
+            idx.update(BlockAddr::new(i), i as u32);
+        }
+        // Touch block 0 so block 1 becomes LRU.
+        assert!(idx.lookup(BlockAddr::new(0)).is_some());
+        idx.update(BlockAddr::new(99), 99);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.peek(BlockAddr::new(1)), None, "LRU entry evicted");
+        assert!(idx.peek(BlockAddr::new(0)).is_some());
+        assert!(idx.peek(BlockAddr::new(99)).is_some());
+    }
+
+    #[test]
+    fn heavy_use_never_exceeds_capacity() {
+        let mut idx = IndexTable::new(64);
+        for i in 0..10_000u64 {
+            idx.update(BlockAddr::new(i % 977), (i % 4096) as u32);
+            idx.lookup(BlockAddr::new((i * 7) % 977));
+        }
+        assert!(idx.len() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = IndexTable::new(0);
+    }
+}

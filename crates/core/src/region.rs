@@ -1,0 +1,269 @@
+//! Spatial region records and the compactor that produces them.
+//!
+//! To keep the history compact, the history generator does not log every
+//! retired block address individually. Instead it collapses the retire-order
+//! stream into *spatial region records*: a trigger block address plus a bit
+//! vector marking which of the following blocks in the same region were also
+//! accessed before control flow left the region (§4.1, Figure 4a). The paper
+//! uses regions of eight blocks (trigger + 7 bit positions).
+
+use serde::{Deserialize, Serialize};
+use shift_types::BlockAddr;
+
+/// Default spatial region size (in blocks) used throughout the paper.
+pub const DEFAULT_REGION_BLOCKS: u8 = 8;
+
+/// A spatial region record: the trigger block plus a bit vector over the
+/// following `region_blocks - 1` blocks.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::SpatialRegion;
+/// use shift_types::BlockAddr;
+///
+/// let mut region = SpatialRegion::new(BlockAddr::new(0x100), 8);
+/// assert!(region.try_record(BlockAddr::new(0x102)));
+/// assert!(!region.try_record(BlockAddr::new(0x200))); // outside the region
+/// let blocks: Vec<_> = region.blocks().collect();
+/// assert_eq!(blocks, vec![BlockAddr::new(0x100), BlockAddr::new(0x102)]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpatialRegion {
+    trigger: BlockAddr,
+    bits: u64,
+    region_blocks: u8,
+}
+
+impl SpatialRegion {
+    /// Creates a region record anchored at `trigger` spanning `region_blocks`
+    /// consecutive blocks (the trigger plus `region_blocks - 1` following).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_blocks` is not in `2..=64`.
+    pub fn new(trigger: BlockAddr, region_blocks: u8) -> Self {
+        assert!(
+            (2..=64).contains(&region_blocks),
+            "region size must be between 2 and 64 blocks"
+        );
+        SpatialRegion {
+            trigger,
+            bits: 0,
+            region_blocks,
+        }
+    }
+
+    /// The trigger (first-accessed) block of the region.
+    pub fn trigger(&self) -> BlockAddr {
+        self.trigger
+    }
+
+    /// The region size in blocks.
+    pub fn region_blocks(&self) -> u8 {
+        self.region_blocks
+    }
+
+    /// The raw bit vector (bit `i` set means block `trigger + i + 1` was
+    /// accessed).
+    pub fn bit_vector(&self) -> u64 {
+        self.bits
+    }
+
+    /// Returns `true` if `block` falls inside this region's address range.
+    pub fn contains_address(&self, block: BlockAddr) -> bool {
+        match block.offset_from(self.trigger) {
+            Some(off) => off < self.region_blocks as u64,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if `block` was recorded as accessed (the trigger always
+    /// counts as accessed).
+    pub fn contains_access(&self, block: BlockAddr) -> bool {
+        match block.offset_from(self.trigger) {
+            Some(0) => true,
+            Some(off) if off < self.region_blocks as u64 => self.bits & (1 << (off - 1)) != 0,
+            _ => false,
+        }
+    }
+
+    /// Records an access to `block` if it falls inside the region, returning
+    /// whether it did.
+    pub fn try_record(&mut self, block: BlockAddr) -> bool {
+        match block.offset_from(self.trigger) {
+            Some(0) => true,
+            Some(off) if off < self.region_blocks as u64 => {
+                self.bits |= 1 << (off - 1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Iterates over the accessed blocks encoded by the record (trigger first,
+    /// then the set bit positions in ascending address order).
+    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        let trigger = self.trigger;
+        let bits = self.bits;
+        let extra = (1..self.region_blocks as u64).filter_map(move |off| {
+            if bits & (1 << (off - 1)) != 0 {
+                Some(trigger.offset(off))
+            } else {
+                None
+            }
+        });
+        std::iter::once(trigger).chain(extra)
+    }
+
+    /// Number of accessed blocks encoded (including the trigger).
+    pub fn accessed_blocks(&self) -> u32 {
+        1 + self.bits.count_ones()
+    }
+
+    /// Number of storage bits one record occupies: a block address plus
+    /// `region_blocks - 1` bit-vector bits (41 bits for the paper's 8-block
+    /// regions and 34-bit block addresses).
+    pub fn storage_bits(region_blocks: u8) -> u32 {
+        BlockAddr::STORAGE_BITS + (region_blocks as u32 - 1)
+    }
+}
+
+/// Folds a retire-order block stream into spatial region records.
+///
+/// A record is emitted whenever the stream leaves the current region; the
+/// record describes the region that was just left.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpatialRegionCompactor {
+    region_blocks: u8,
+    current: Option<SpatialRegion>,
+}
+
+impl SpatialRegionCompactor {
+    /// Creates a compactor producing regions of `region_blocks` blocks.
+    pub fn new(region_blocks: u8) -> Self {
+        SpatialRegionCompactor {
+            region_blocks,
+            current: None,
+        }
+    }
+
+    /// The configured region size.
+    pub fn region_blocks(&self) -> u8 {
+        self.region_blocks
+    }
+
+    /// Observes one retired block. Returns the completed record when the
+    /// stream leaves the previous region.
+    pub fn observe(&mut self, block: BlockAddr) -> Option<SpatialRegion> {
+        if let Some(region) = self.current.as_mut() {
+            if region.try_record(block) {
+                return None;
+            }
+        }
+        let finished = self.current.take();
+        self.current = Some(SpatialRegion::new(block, self.region_blocks));
+        finished
+    }
+
+    /// The record currently being accumulated, if any.
+    pub fn current(&self) -> Option<&SpatialRegion> {
+        self.current.as_ref()
+    }
+
+    /// Flushes and returns the in-progress record, if any.
+    pub fn flush(&mut self) -> Option<SpatialRegion> {
+        self.current.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_bits_match_paper_figure4_example() {
+        // Figure 4(a): access stream A, A+2, A+3, B → record (A, 0110) with a
+        // 5-block region in the figure. Reproduce with the figure's region
+        // size.
+        let mut compactor = SpatialRegionCompactor::new(5);
+        let a = BlockAddr::new(0x1000);
+        let b = BlockAddr::new(0x2000);
+        assert_eq!(compactor.observe(a), None);
+        assert_eq!(compactor.observe(a.offset(2)), None);
+        assert_eq!(compactor.observe(a.offset(3)), None);
+        let record = compactor.observe(b).expect("leaving region emits record");
+        assert_eq!(record.trigger(), a);
+        // Bits: offset1→0, offset2→1, offset3→1, offset4→0  = 0b0110.
+        assert_eq!(record.bit_vector(), 0b0110);
+        let blocks: Vec<_> = record.blocks().collect();
+        assert_eq!(blocks, vec![a, a.offset(2), a.offset(3)]);
+        assert_eq!(record.accessed_blocks(), 3);
+    }
+
+    #[test]
+    fn storage_bits_match_paper() {
+        // 34-bit block address + 7-bit vector = 41 bits per record.
+        assert_eq!(SpatialRegion::storage_bits(8), 41);
+    }
+
+    #[test]
+    fn blocks_behind_trigger_start_a_new_region() {
+        let mut compactor = SpatialRegionCompactor::new(8);
+        let a = BlockAddr::new(100);
+        compactor.observe(a);
+        // An access to a *lower* address is outside the region (regions only
+        // extend forward from the trigger).
+        let emitted = compactor.observe(BlockAddr::new(99));
+        assert!(emitted.is_some());
+        assert_eq!(compactor.current().unwrap().trigger(), BlockAddr::new(99));
+    }
+
+    #[test]
+    fn contains_access_vs_contains_address() {
+        let mut region = SpatialRegion::new(BlockAddr::new(10), 8);
+        region.try_record(BlockAddr::new(12));
+        assert!(region.contains_address(BlockAddr::new(15)));
+        assert!(!region.contains_access(BlockAddr::new(15)));
+        assert!(region.contains_access(BlockAddr::new(12)));
+        assert!(region.contains_access(BlockAddr::new(10)));
+        assert!(!region.contains_address(BlockAddr::new(18)));
+        assert!(!region.contains_address(BlockAddr::new(9)));
+    }
+
+    #[test]
+    fn revisiting_the_trigger_does_not_emit() {
+        let mut compactor = SpatialRegionCompactor::new(8);
+        let a = BlockAddr::new(50);
+        compactor.observe(a);
+        compactor.observe(a.offset(1));
+        assert_eq!(compactor.observe(a), None, "trigger revisit stays in region");
+    }
+
+    #[test]
+    fn flush_returns_pending_record() {
+        let mut compactor = SpatialRegionCompactor::new(8);
+        assert!(compactor.flush().is_none());
+        compactor.observe(BlockAddr::new(7));
+        let flushed = compactor.flush().expect("pending record");
+        assert_eq!(flushed.trigger(), BlockAddr::new(7));
+        assert!(compactor.current().is_none());
+    }
+
+    #[test]
+    fn full_region_encodes_all_blocks() {
+        let mut region = SpatialRegion::new(BlockAddr::new(0), 8);
+        for i in 1..8 {
+            region.try_record(BlockAddr::new(i));
+        }
+        assert_eq!(region.accessed_blocks(), 8);
+        assert_eq!(region.blocks().count(), 8);
+        assert_eq!(region.bit_vector(), 0x7f);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 2 and 64")]
+    fn degenerate_region_size_rejected() {
+        let _ = SpatialRegion::new(BlockAddr::new(0), 1);
+    }
+}

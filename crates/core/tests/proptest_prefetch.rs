@@ -1,0 +1,84 @@
+//! Property tests for the prefetcher building blocks.
+
+use proptest::prelude::*;
+use shift_core::sab::SabConfig;
+use shift_core::{
+    HistoryBuffer, IndexTable, SpatialRegion, SpatialRegionCompactor, StreamAddressBufferSet,
+};
+use shift_types::BlockAddr;
+
+proptest! {
+    /// Replaying a recorded stream predicts exactly blocks that were recorded:
+    /// SAB coverage is sound with respect to the history contents.
+    #[test]
+    fn sab_only_covers_recorded_blocks(
+        raw_blocks in proptest::collection::vec(0u64..4_096, 16..300),
+        probe in 0u64..4_096,
+    ) {
+        let mut compactor = SpatialRegionCompactor::new(8);
+        let mut history = HistoryBuffer::new(1024);
+        let mut index = IndexTable::new(1024);
+        let mut recorded = std::collections::HashSet::new();
+        for &b in &raw_blocks {
+            recorded.insert(BlockAddr::new(b));
+            if let Some(r) = compactor.observe(BlockAddr::new(b)) {
+                let ptr = history.append(r);
+                index.update(r.trigger(), ptr);
+            }
+        }
+        if let Some(r) = compactor.flush() {
+            let ptr = history.append(r);
+            index.update(r.trigger(), ptr);
+        }
+
+        let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
+        if let Some(ptr) = index.lookup(BlockAddr::new(raw_blocks[0])) {
+            let mut read = |p: u32, n: usize| {
+                let recs = history.read(p, n);
+                let next = history.advance_ptr(p, recs.len() as u32);
+                (recs, next)
+            };
+            sabs.allocate(ptr, &mut read);
+        }
+        let block = BlockAddr::new(probe);
+        if sabs.covers(block) {
+            prop_assert!(recorded.contains(&block),
+                "SAB predicts {block} which was never recorded");
+        }
+    }
+
+    /// The index table always returns the most recent pointer stored for a
+    /// trigger that is still resident.
+    #[test]
+    fn index_returns_most_recent_pointer(
+        updates in proptest::collection::vec((0u64..64, 0u32..10_000), 1..200),
+    ) {
+        let mut index = IndexTable::new(1024); // large enough: no evictions
+        let mut latest = std::collections::HashMap::new();
+        for &(trigger, ptr) in &updates {
+            index.update(BlockAddr::new(trigger), ptr);
+            latest.insert(trigger, ptr);
+        }
+        for (&trigger, &ptr) in &latest {
+            prop_assert_eq!(index.peek(BlockAddr::new(trigger)), Some(ptr));
+        }
+    }
+
+    /// Region records are insensitive to intra-region access order: the set of
+    /// encoded blocks equals the set of observed in-region blocks.
+    #[test]
+    fn region_encoding_is_order_insensitive(
+        offsets in proptest::collection::vec(0u64..8, 1..20),
+    ) {
+        let trigger = BlockAddr::new(1_000);
+        let mut region = SpatialRegion::new(trigger, 8);
+        let mut expected = std::collections::BTreeSet::new();
+        expected.insert(trigger);
+        for &off in &offsets {
+            prop_assert!(region.try_record(trigger.offset(off)));
+            expected.insert(trigger.offset(off));
+        }
+        let encoded: std::collections::BTreeSet<BlockAddr> = region.blocks().collect();
+        prop_assert_eq!(encoded, expected);
+    }
+}

@@ -1,0 +1,161 @@
+//! Core-type parameters.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three core microarchitectures the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Xeon-class fat out-of-order core (4-wide, 128-entry ROB, 25 mm²).
+    FatOoO,
+    /// Cortex-A15-class lean out-of-order core (3-wide, 60-entry ROB,
+    /// 4.5 mm²). This is the primary evaluation core of the paper.
+    LeanOoO,
+    /// Cortex-A8-class lean in-order core (2-wide, 1.3 mm²).
+    LeanIO,
+}
+
+impl CoreKind {
+    /// All core kinds, in the paper's order (fattest first).
+    pub const ALL: [CoreKind; 3] = [CoreKind::FatOoO, CoreKind::LeanOoO, CoreKind::LeanIO];
+
+    /// The paper's parameters for this core kind.
+    pub fn params(self) -> CoreParams {
+        match self {
+            CoreKind::FatOoO => CoreParams {
+                kind: self,
+                dispatch_width: 4,
+                rob_entries: 128,
+                lsq_entries: 32,
+                area_mm2: 25.0,
+                base_cpi: 0.62,
+                fetch_stall_overlap: 0.35,
+                data_stall_overlap: 0.70,
+                fetch_runahead_cycles: 40,
+            },
+            CoreKind::LeanOoO => CoreParams {
+                kind: self,
+                dispatch_width: 3,
+                rob_entries: 60,
+                lsq_entries: 16,
+                area_mm2: 4.5,
+                base_cpi: 0.72,
+                fetch_stall_overlap: 0.20,
+                data_stall_overlap: 0.55,
+                fetch_runahead_cycles: 24,
+            },
+            CoreKind::LeanIO => CoreParams {
+                kind: self,
+                dispatch_width: 2,
+                rob_entries: 0,
+                lsq_entries: 0,
+                area_mm2: 1.3,
+                base_cpi: 0.95,
+                fetch_stall_overlap: 0.0,
+                data_stall_overlap: 0.30,
+                fetch_runahead_cycles: 16,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoreKind::FatOoO => "Fat-OoO",
+            CoreKind::LeanOoO => "Lean-OoO",
+            CoreKind::LeanIO => "Lean-IO",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Microarchitectural parameters of one core type.
+///
+/// The area figures include the core's private L1 caches and are the paper's
+/// published 40 nm numbers; `base_cpi` and the overlap factors are the free
+/// parameters of the analytical timing model (see the crate-level docs).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoreParams {
+    /// Which core type these parameters describe.
+    pub kind: CoreKind,
+    /// Dispatch/retire width.
+    pub dispatch_width: u32,
+    /// Reorder buffer entries (zero for in-order cores).
+    pub rob_entries: u32,
+    /// Load/store queue entries (zero for in-order cores).
+    pub lsq_entries: u32,
+    /// Core area including L1 caches, in mm² at 40 nm.
+    pub area_mm2: f64,
+    /// Cycles per instruction in the absence of L1 misses.
+    pub base_cpi: f64,
+    /// Fraction of an instruction-miss round trip the core hides by
+    /// overlapping it with useful work (0 for in-order front ends).
+    pub fetch_stall_overlap: f64,
+    /// Fraction of a data-miss round trip hidden by memory-level parallelism.
+    pub data_stall_overlap: f64,
+    /// How many cycles ahead of retirement the fetch engine runs (decoupled
+    /// front end / fetch queue depth). A prefetch issued this far before its
+    /// block is needed completes in time and exposes no stall.
+    pub fetch_runahead_cycles: u64,
+}
+
+impl CoreParams {
+    /// Fraction of an instruction-miss latency that is exposed as stall.
+    pub fn exposed_fetch_fraction(&self) -> f64 {
+        1.0 - self.fetch_stall_overlap
+    }
+
+    /// Fraction of a data-miss latency that is exposed as stall.
+    pub fn exposed_data_fraction(&self) -> f64 {
+        1.0 - self.data_stall_overlap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_match_published_numbers() {
+        assert_eq!(CoreKind::FatOoO.params().area_mm2, 25.0);
+        assert_eq!(CoreKind::LeanOoO.params().area_mm2, 4.5);
+        assert_eq!(CoreKind::LeanIO.params().area_mm2, 1.3);
+    }
+
+    #[test]
+    fn widths_match_table1() {
+        assert_eq!(CoreKind::FatOoO.params().dispatch_width, 4);
+        assert_eq!(CoreKind::LeanOoO.params().dispatch_width, 3);
+        assert_eq!(CoreKind::LeanIO.params().dispatch_width, 2);
+        assert_eq!(CoreKind::FatOoO.params().rob_entries, 128);
+        assert_eq!(CoreKind::LeanOoO.params().rob_entries, 60);
+    }
+
+    #[test]
+    fn fatter_cores_hide_more_fetch_latency() {
+        let fat = CoreKind::FatOoO.params();
+        let lean = CoreKind::LeanOoO.params();
+        let io = CoreKind::LeanIO.params();
+        assert!(fat.fetch_stall_overlap > lean.fetch_stall_overlap);
+        assert!(lean.fetch_stall_overlap > io.fetch_stall_overlap);
+        assert_eq!(io.exposed_fetch_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fatter_cores_have_lower_base_cpi() {
+        let fat = CoreKind::FatOoO.params();
+        let lean = CoreKind::LeanOoO.params();
+        let io = CoreKind::LeanIO.params();
+        assert!(fat.base_cpi < lean.base_cpi);
+        assert!(lean.base_cpi < io.base_cpi);
+    }
+
+    #[test]
+    fn display_names_are_paper_names() {
+        assert_eq!(CoreKind::FatOoO.to_string(), "Fat-OoO");
+        assert_eq!(CoreKind::LeanOoO.to_string(), "Lean-OoO");
+        assert_eq!(CoreKind::LeanIO.to_string(), "Lean-IO");
+    }
+}

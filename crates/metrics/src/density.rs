@@ -1,0 +1,103 @@
+//! Performance-density arithmetic (Figure 2 and §5.6).
+
+use serde::{Deserialize, Serialize};
+
+/// Performance density: performance per unit area.
+///
+/// # Panics
+///
+/// Panics if `area_mm2` is not positive.
+pub fn performance_density(performance: f64, area_mm2: f64) -> f64 {
+    assert!(area_mm2 > 0.0, "area must be positive");
+    performance / area_mm2
+}
+
+/// Comparison of a prefetcher-equipped design against its no-prefetch
+/// baseline, in the relative-performance vs relative-area plane of Figure 2.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PdComparison {
+    /// Performance of the design relative to the baseline (speedup).
+    pub relative_performance: f64,
+    /// Area of the design relative to the baseline.
+    pub relative_area: f64,
+}
+
+impl PdComparison {
+    /// Creates a comparison from baseline and design (performance, area)
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quantity is not positive.
+    pub fn new(
+        baseline_performance: f64,
+        baseline_area_mm2: f64,
+        design_performance: f64,
+        design_area_mm2: f64,
+    ) -> Self {
+        assert!(
+            baseline_performance > 0.0
+                && baseline_area_mm2 > 0.0
+                && design_performance > 0.0
+                && design_area_mm2 > 0.0,
+            "performance and area must be positive"
+        );
+        PdComparison {
+            relative_performance: design_performance / baseline_performance,
+            relative_area: design_area_mm2 / baseline_area_mm2,
+        }
+    }
+
+    /// Performance-density of the design relative to the baseline
+    /// (> 1 means the design lands in Figure 2's shaded "PD gain" region).
+    pub fn pd_ratio(&self) -> f64 {
+        self.relative_performance / self.relative_area
+    }
+
+    /// Returns `true` if the design improves performance density, i.e. the
+    /// relative performance exceeds the relative area.
+    pub fn improves_density(&self) -> bool {
+        self.pd_ratio() > 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_perf_over_area() {
+        assert!((performance_density(2.0, 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_cores_keeps_density_constant() {
+        // Twice the performance in twice the area: PD ratio of exactly 1.
+        let cmp = PdComparison::new(1.0, 10.0, 2.0, 20.0);
+        assert!((cmp.pd_ratio() - 1.0).abs() < 1e-12);
+        assert!(!cmp.improves_density());
+    }
+
+    #[test]
+    fn paper_fat_core_example_gains_density() {
+        // §2.3: PIF on a Xeon adds 4% area for 23% performance → PD gain.
+        let cmp = PdComparison::new(1.0, 25.0, 1.23, 25.0 + 0.9);
+        assert!(cmp.improves_density());
+        assert!(cmp.pd_ratio() > 1.15);
+    }
+
+    #[test]
+    fn paper_lean_io_example_loses_density() {
+        // §2.3: PIF on a Cortex-A8 adds 0.9 mm² to a 1.3 mm² core for 17%
+        // performance → PD loss.
+        let cmp = PdComparison::new(1.0, 1.3, 1.17, 1.3 + 0.9);
+        assert!(!cmp.improves_density());
+        assert!(cmp.pd_ratio() < 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_area_rejected() {
+        let _ = performance_density(1.0, 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Area, power, and performance-density models.
+//!
+//! The paper's headline argument is not raw speedup but *performance per unit
+//! area* (performance density, §2.3 and §5.6): a prefetcher whose storage
+//! rivals a lean core's area must buy more performance than simply adding
+//! another core would. This crate provides the small analytic models needed
+//! to reproduce that analysis:
+//!
+//! * [`AreaModel`] — SRAM area per kilobyte at 40 nm, calibrated to the
+//!   paper's figure of 0.9 mm² for PIF's 213 KB of per-core storage, plus the
+//!   published core areas (25 / 4.5 / 1.3 mm²).
+//! * [`density`] — performance-density arithmetic for Figure 2 and §5.6.
+//! * [`PowerModel`] — CACTI-style energy-per-access constants for the LLC and
+//!   NoC, used to reproduce the §5.7 estimate that SHIFT's history traffic
+//!   costs less than 150 mW in a 16-core CMP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod area;
+pub mod density;
+pub mod power;
+
+pub use area::AreaModel;
+pub use density::{performance_density, PdComparison};
+pub use power::{PowerBreakdown, PowerModel};

@@ -1,0 +1,31 @@
+//! 2D-mesh network-on-chip model for the SHIFT reproduction.
+//!
+//! The paper's CMP is a tiled design: each tile holds one core, its private L1
+//! caches, and one LLC bank, and the tiles are connected by a 4×4 2D mesh with
+//! a 3-cycle per-hop latency (Table I). This crate models that interconnect at
+//! the level the evaluation needs:
+//!
+//! * request/response latency between a core tile and an LLC bank tile
+//!   (Manhattan distance × hop latency), used by the timing model to compute
+//!   the exposed instruction-miss penalty;
+//! * per-class traffic accounting in flit-hops, used by the power model of
+//!   §5.7 to estimate the energy cost of SHIFT's extra history traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use shift_noc::{Mesh, MeshConfig};
+//!
+//! let mesh = Mesh::new(MeshConfig::micro13());
+//! // Opposite corners of the 4×4 mesh: 6 hops of 3 cycles each.
+//! assert_eq!(mesh.hops(0, 15), 6);
+//! assert_eq!(mesh.latency(0, 15), 18);
+//! assert_eq!(mesh.round_trip_latency(0, 15), 36);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod mesh;
+
+pub use mesh::{Mesh, MeshConfig, NocTrafficStats};

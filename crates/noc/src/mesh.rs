@@ -1,0 +1,241 @@
+//! The 2D-mesh interconnect model.
+
+use serde::{Deserialize, Serialize};
+use shift_types::AccessClass;
+
+/// Geometry and latency of the mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Number of tile columns.
+    pub cols: usize,
+    /// Number of tile rows.
+    pub rows: usize,
+    /// Latency of one hop (router + link) in cycles.
+    pub hop_latency: u64,
+    /// Flit width in bytes; a transfer of `n` bytes occupies
+    /// `ceil(n / flit_bytes)` flits on every traversed link.
+    pub flit_bytes: usize,
+}
+
+impl MeshConfig {
+    /// The paper's interconnect: a 4×4 mesh with 3 cycles per hop and
+    /// 16-byte links.
+    pub fn micro13() -> Self {
+        MeshConfig {
+            cols: 4,
+            rows: 4,
+            hop_latency: 3,
+            flit_bytes: 16,
+        }
+    }
+
+    /// A square-ish mesh large enough for `tiles` tiles, keeping the paper's
+    /// per-hop latency. Useful for scaling studies beyond 16 cores.
+    pub fn for_tiles(tiles: usize) -> Self {
+        assert!(tiles > 0, "mesh needs at least one tile");
+        let cols = (tiles as f64).sqrt().ceil() as usize;
+        let rows = tiles.div_ceil(cols);
+        MeshConfig {
+            cols,
+            rows,
+            hop_latency: 3,
+            flit_bytes: 16,
+        }
+    }
+
+    /// Number of tiles in the mesh.
+    pub fn tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+}
+
+/// Per-class traffic accounting in flits and flit-hops.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocTrafficStats {
+    flits: [u64; AccessClass::ALL.len()],
+    flit_hops: [u64; AccessClass::ALL.len()],
+}
+
+impl NocTrafficStats {
+    fn slot(class: AccessClass) -> usize {
+        AccessClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class present in ALL")
+    }
+
+    /// Flits injected for `class`.
+    pub fn flits(&self, class: AccessClass) -> u64 {
+        self.flits[Self::slot(class)]
+    }
+
+    /// Flit-hops (flits × hops traversed) for `class`; the quantity NoC
+    /// dynamic energy is proportional to.
+    pub fn flit_hops(&self, class: AccessClass) -> u64 {
+        self.flit_hops[Self::slot(class)]
+    }
+
+    /// Total flit-hops across all classes.
+    pub fn total_flit_hops(&self) -> u64 {
+        self.flit_hops.iter().sum()
+    }
+
+    fn record(&mut self, class: AccessClass, flits: u64, hops: u64) {
+        let i = Self::slot(class);
+        self.flits[i] += flits;
+        self.flit_hops[i] += flits * hops;
+    }
+}
+
+/// The mesh interconnect.
+///
+/// Tiles are numbered row-major: tile `t` sits at column `t % cols`, row
+/// `t / cols`. In the modelled tiled CMP, core `i` and LLC bank `i` share
+/// tile `i`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mesh {
+    config: MeshConfig,
+    traffic: NocTrafficStats,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    pub fn new(config: MeshConfig) -> Self {
+        assert!(config.cols > 0 && config.rows > 0, "mesh must have tiles");
+        assert!(config.flit_bytes > 0, "flit size must be positive");
+        Mesh {
+            config,
+            traffic: NocTrafficStats::default(),
+        }
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn traffic(&self) -> &NocTrafficStats {
+        &self.traffic
+    }
+
+    /// Resets the traffic statistics.
+    pub fn reset_stats(&mut self) {
+        self.traffic = NocTrafficStats::default();
+    }
+
+    fn coords(&self, tile: usize) -> (usize, usize) {
+        assert!(tile < self.config.tiles(), "tile {tile} outside mesh");
+        (tile % self.config.cols, tile / self.config.cols)
+    }
+
+    /// Manhattan hop count between two tiles.
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// One-way latency between two tiles in cycles.
+    pub fn latency(&self, from: usize, to: usize) -> u64 {
+        self.hops(from, to) * self.config.hop_latency
+    }
+
+    /// Round-trip (request + response) latency between two tiles in cycles.
+    pub fn round_trip_latency(&self, from: usize, to: usize) -> u64 {
+        2 * self.latency(from, to)
+    }
+
+    /// Average round-trip latency from `from` to every tile of the mesh —
+    /// the expected latency of reaching a random (block-interleaved) LLC bank.
+    pub fn average_round_trip_latency(&self, from: usize) -> f64 {
+        let tiles = self.config.tiles();
+        let total: u64 = (0..tiles).map(|t| self.round_trip_latency(from, t)).sum();
+        total as f64 / tiles as f64
+    }
+
+    /// Records a transfer of `bytes` payload bytes from tile `from` to tile
+    /// `to` for traffic/energy accounting, returning its one-way latency.
+    pub fn record_transfer(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        class: AccessClass,
+    ) -> u64 {
+        let hops = self.hops(from, to);
+        let flits = bytes.div_ceil(self.config.flit_bytes as u64).max(1);
+        self.traffic.record(class, flits, hops);
+        hops * self.config.hop_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_is_4x4() {
+        let cfg = MeshConfig::micro13();
+        assert_eq!(cfg.tiles(), 16);
+        assert_eq!(cfg.hop_latency, 3);
+    }
+
+    #[test]
+    fn hops_are_manhattan_distance() {
+        let mesh = Mesh::new(MeshConfig::micro13());
+        assert_eq!(mesh.hops(0, 0), 0);
+        assert_eq!(mesh.hops(0, 3), 3);
+        assert_eq!(mesh.hops(0, 12), 3);
+        assert_eq!(mesh.hops(0, 15), 6);
+        assert_eq!(mesh.hops(5, 10), 2);
+        // Symmetry.
+        assert_eq!(mesh.hops(2, 11), mesh.hops(11, 2));
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let mesh = Mesh::new(MeshConfig::micro13());
+        assert_eq!(mesh.latency(0, 15), 18);
+        assert_eq!(mesh.round_trip_latency(0, 15), 36);
+        assert_eq!(mesh.latency(7, 7), 0);
+    }
+
+    #[test]
+    fn average_round_trip_is_between_extremes() {
+        let mesh = Mesh::new(MeshConfig::micro13());
+        let avg = mesh.average_round_trip_latency(0);
+        assert!(avg > 0.0);
+        assert!(avg < mesh.round_trip_latency(0, 15) as f64);
+    }
+
+    #[test]
+    fn transfers_accumulate_flit_hops() {
+        let mut mesh = Mesh::new(MeshConfig::micro13());
+        // 64-byte block + 16-byte flits = 4 flits; 0→15 is 6 hops.
+        let latency = mesh.record_transfer(0, 15, 64, AccessClass::Demand);
+        assert_eq!(latency, 18);
+        assert_eq!(mesh.traffic().flits(AccessClass::Demand), 4);
+        assert_eq!(mesh.traffic().flit_hops(AccessClass::Demand), 24);
+        mesh.record_transfer(0, 1, 8, AccessClass::HistoryRead);
+        assert_eq!(mesh.traffic().flits(AccessClass::HistoryRead), 1);
+        assert_eq!(mesh.traffic().total_flit_hops(), 25);
+        mesh.reset_stats();
+        assert_eq!(mesh.traffic().total_flit_hops(), 0);
+    }
+
+    #[test]
+    fn for_tiles_covers_requested_count() {
+        for n in [1usize, 4, 9, 16, 20, 64] {
+            let cfg = MeshConfig::for_tiles(n);
+            assert!(cfg.tiles() >= n, "{n} tiles requested, got {}", cfg.tiles());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn out_of_range_tile_rejected() {
+        let mesh = Mesh::new(MeshConfig::micro13());
+        let _ = mesh.hops(0, 16);
+    }
+}

@@ -1,0 +1,254 @@
+//! System configuration (Table I) and simulation options.
+
+use serde::{Deserialize, Serialize};
+use shift_cache::{CacheConfig, LlcConfig};
+use shift_core::{PifConfig, ShiftMode};
+use shift_cpu::CoreKind;
+use shift_noc::MeshConfig;
+use shift_trace::Scale;
+
+/// Which instruction prefetcher the simulated CMP uses.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PrefetcherConfig {
+    /// No instruction prefetching (the baseline all speedups are relative to).
+    None,
+    /// Next-line prefetcher of the given degree.
+    NextLine {
+        /// Number of sequential blocks prefetched per access.
+        degree: u64,
+    },
+    /// Proactive Instruction Fetch with per-core history.
+    Pif(PifConfig),
+    /// Shared History Instruction Fetch.
+    Shift {
+        /// Shared history capacity in spatial region records.
+        history_records: usize,
+        /// Storage mode (dedicated, zero-latency, or LLC-virtualized).
+        mode: ShiftMode,
+    },
+}
+
+impl PrefetcherConfig {
+    /// The paper's PIF_32K configuration.
+    pub fn pif_32k() -> Self {
+        PrefetcherConfig::Pif(PifConfig::pif_32k())
+    }
+
+    /// The equal-storage PIF_2K configuration.
+    pub fn pif_2k() -> Self {
+        PrefetcherConfig::Pif(PifConfig::pif_2k())
+    }
+
+    /// The paper's virtualized SHIFT configuration (32 K shared records in
+    /// the LLC).
+    pub fn shift_virtualized() -> Self {
+        PrefetcherConfig::Shift {
+            history_records: 32 * 1024,
+            mode: ShiftMode::Virtualized,
+        }
+    }
+
+    /// The idealized zero-latency SHIFT configuration.
+    pub fn shift_zero_latency() -> Self {
+        PrefetcherConfig::Shift {
+            history_records: 32 * 1024,
+            mode: ShiftMode::Dedicated { zero_latency: true },
+        }
+    }
+
+    /// The dedicated-storage SHIFT baseline of §4.1.
+    pub fn shift_dedicated() -> Self {
+        PrefetcherConfig::Shift {
+            history_records: 32 * 1024,
+            mode: ShiftMode::Dedicated {
+                zero_latency: false,
+            },
+        }
+    }
+
+    /// A next-line prefetcher of degree 1.
+    pub fn next_line() -> Self {
+        PrefetcherConfig::NextLine { degree: 1 }
+    }
+
+    /// Human-readable label used in reports and figures.
+    pub fn label(&self) -> String {
+        match self {
+            PrefetcherConfig::None => "Baseline".to_owned(),
+            PrefetcherConfig::NextLine { .. } => "NextLine".to_owned(),
+            PrefetcherConfig::Pif(cfg) => cfg.design_name(),
+            PrefetcherConfig::Shift { mode, .. } => match mode {
+                ShiftMode::Virtualized => "SHIFT".to_owned(),
+                ShiftMode::Dedicated { zero_latency: true } => "ZeroLat-SHIFT".to_owned(),
+                ShiftMode::Dedicated {
+                    zero_latency: false,
+                } => "SHIFT-dedicated".to_owned(),
+            },
+        }
+    }
+
+    /// The five configurations Figure 8 compares, in the paper's order.
+    pub fn figure8_suite() -> Vec<PrefetcherConfig> {
+        vec![
+            PrefetcherConfig::next_line(),
+            PrefetcherConfig::pif_2k(),
+            PrefetcherConfig::pif_32k(),
+            PrefetcherConfig::shift_zero_latency(),
+            PrefetcherConfig::shift_virtualized(),
+        ]
+    }
+}
+
+/// The full CMP configuration (Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CmpConfig {
+    /// Number of cores (16 in the paper).
+    pub cores: u16,
+    /// Core microarchitecture.
+    pub core_kind: CoreKind,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared LLC geometry.
+    pub llc: LlcConfig,
+    /// Mesh interconnect geometry.
+    pub mesh: MeshConfig,
+    /// Instruction prefetcher.
+    pub prefetcher: PrefetcherConfig,
+}
+
+impl CmpConfig {
+    /// The paper's 16-core configuration with the given prefetcher, scaled to
+    /// `cores` cores (LLC capacity and mesh size scale with the core count).
+    pub fn micro13(cores: u16, prefetcher: PrefetcherConfig) -> Self {
+        assert!(cores > 0, "CMP needs at least one core");
+        CmpConfig {
+            cores,
+            core_kind: CoreKind::LeanOoO,
+            l1i: CacheConfig::l1i_micro13(),
+            l1d: CacheConfig::l1d_micro13(),
+            llc: LlcConfig::micro13(cores as usize),
+            mesh: if cores == 16 {
+                MeshConfig::micro13()
+            } else {
+                MeshConfig::for_tiles(cores as usize)
+            },
+            prefetcher,
+        }
+    }
+
+    /// Changes the core kind (used by the performance-density study).
+    #[must_use]
+    pub fn with_core_kind(mut self, kind: CoreKind) -> Self {
+        self.core_kind = kind;
+        self
+    }
+
+    /// Changes the prefetcher.
+    #[must_use]
+    pub fn with_prefetcher(mut self, prefetcher: PrefetcherConfig) -> Self {
+        self.prefetcher = prefetcher;
+        self
+    }
+}
+
+/// Options controlling one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Trace length per core.
+    pub scale: Scale,
+    /// Seed for workload interleaving and the miss-elimination lottery.
+    pub seed: u64,
+    /// If `true`, prefetches are predicted but never installed in the cache
+    /// (the Figure 6 methodology).
+    pub prediction_only: bool,
+    /// If set, each instruction-cache miss is converted into a hit with this
+    /// probability (the Figure 1 methodology).
+    pub miss_elimination_probability: Option<f64>,
+}
+
+impl SimOptions {
+    /// Creates default options for a given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        SimOptions {
+            scale,
+            seed,
+            prediction_only: false,
+            miss_elimination_probability: None,
+        }
+    }
+
+    /// Enables prediction-only mode.
+    #[must_use]
+    pub fn prediction_only(mut self) -> Self {
+        self.prediction_only = true;
+        self
+    }
+
+    /// Enables probabilistic miss elimination with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_miss_elimination(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.miss_elimination_probability = Some(p);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro13_matches_table1() {
+        let cfg = CmpConfig::micro13(16, PrefetcherConfig::None);
+        assert_eq!(cfg.cores, 16);
+        assert_eq!(cfg.core_kind, CoreKind::LeanOoO);
+        assert_eq!(cfg.l1i.capacity_bytes, 32 * 1024);
+        assert_eq!(cfg.llc.total_bytes, 8 * 1024 * 1024);
+        assert_eq!(cfg.mesh.tiles(), 16);
+    }
+
+    #[test]
+    fn figure8_suite_has_five_configs_in_order() {
+        let suite = PrefetcherConfig::figure8_suite();
+        let labels: Vec<_> = suite.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["NextLine", "PIF_2K", "PIF_32K", "ZeroLat-SHIFT", "SHIFT"]
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PrefetcherConfig::None.label(), "Baseline");
+        assert_eq!(PrefetcherConfig::shift_dedicated().label(), "SHIFT-dedicated");
+    }
+
+    #[test]
+    fn options_builders_set_flags() {
+        let opts = SimOptions::new(Scale::Test, 1)
+            .prediction_only()
+            .with_miss_elimination(0.5);
+        assert!(opts.prediction_only);
+        assert_eq!(opts.miss_elimination_probability, Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn bad_probability_rejected() {
+        let _ = SimOptions::new(Scale::Test, 1).with_miss_elimination(1.5);
+    }
+
+    #[test]
+    fn non_16_core_config_scales_mesh_and_llc() {
+        let cfg = CmpConfig::micro13(4, PrefetcherConfig::None);
+        assert!(cfg.mesh.tiles() >= 4);
+        assert_eq!(cfg.llc.banks, 4);
+        assert_eq!(cfg.llc.total_bytes, 4 * 512 * 1024);
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 10: workload consolidation — four server workloads sharing the CMP,
+//! each with its own OS image, history generator core, and LLC-embedded
+//! history buffer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_trace::{ConsolidationSpec, Scale, WorkloadSpec};
+
+use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::system::Simulation;
+
+/// The Figure 10 result: speedups of each prefetcher configuration over the
+/// no-prefetch baseline for the consolidated mix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConsolidationResult {
+    /// Names of the consolidated workloads.
+    pub workloads: Vec<String>,
+    /// `(prefetcher label, speedup)` pairs in configuration order.
+    pub speedups: Vec<(String, f64)>,
+}
+
+impl ConsolidationResult {
+    /// Speedup of the configuration with the given label.
+    pub fn speedup_of(&self, label: &str) -> Option<f64> {
+        self.speedups
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+    }
+}
+
+impl fmt::Display for ConsolidationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 10: speedup under workload consolidation")?;
+        writeln!(f, "mix: {}", self.workloads.join(" + "))?;
+        for (label, speedup) in &self.speedups {
+            writeln!(f, "{label:<18}{speedup:>8.3}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Figure 10 experiment: `workloads` are consolidated evenly onto
+/// `cores` cores and each configuration's throughput is compared to the
+/// no-prefetch baseline.
+pub fn consolidation(
+    workloads: &[WorkloadSpec],
+    prefetchers: &[PrefetcherConfig],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> ConsolidationResult {
+    assert!(!workloads.is_empty() && !prefetchers.is_empty());
+    let spec = ConsolidationSpec::even_split(workloads.to_vec(), cores);
+    let options = SimOptions::new(scale, seed);
+
+    let baseline = Simulation::consolidated(
+        CmpConfig::micro13(cores, PrefetcherConfig::None),
+        spec.clone(),
+        options,
+    )
+    .run();
+
+    let speedups = prefetchers
+        .iter()
+        .map(|p| {
+            let run = Simulation::consolidated(
+                CmpConfig::micro13(cores, *p),
+                spec.clone(),
+                options,
+            )
+            .run();
+            (p.label(), run.speedup_over(&baseline))
+        })
+        .collect();
+
+    ConsolidationResult {
+        workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+        speedups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn consolidated_shift_still_speeds_up() {
+        // Two tiny workloads on four cores keeps the test fast while still
+        // exercising per-workload histories and generator cores.
+        let workloads = vec![
+            presets::tiny().with_region_index(0),
+            presets::tiny().with_region_index(1),
+        ];
+        let result = consolidation(
+            &workloads,
+            &[
+                PrefetcherConfig::next_line(),
+                PrefetcherConfig::shift_virtualized(),
+            ],
+            4,
+            Scale::Test,
+            23,
+        );
+        let shift = result.speedup_of("SHIFT").unwrap();
+        let nl = result.speedup_of("NextLine").unwrap();
+        assert!(shift > 1.0, "SHIFT must speed up the consolidated mix");
+        assert!(shift > nl * 0.98, "SHIFT should be at least on par with next-line");
+        assert_eq!(result.workloads.len(), 2);
+        assert!(!result.to_string().is_empty());
+    }
+}

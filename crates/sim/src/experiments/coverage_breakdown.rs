@@ -1,0 +1,175 @@
+//! Figure 7: instruction misses covered, uncovered, and overpredicted, per
+//! workload, for PIF_2K, PIF_32K, and SHIFT.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_trace::{Scale, WorkloadSpec};
+
+use crate::config::PrefetcherConfig;
+use crate::experiments::run_standalone;
+use crate::results::CoverageStats;
+
+/// Coverage breakdown of one (workload, prefetcher) pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoverageCell {
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// Coverage accounting, normalized via [`CoverageStats`] accessors.
+    pub coverage: CoverageStats,
+}
+
+/// One workload's row of Figure 7.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Workload name.
+    pub workload: String,
+    /// One cell per prefetcher configuration, in the order given to
+    /// [`coverage_breakdown`].
+    pub cells: Vec<CoverageCell>,
+}
+
+/// The Figure 7 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoverageBreakdownResult {
+    /// One row per workload.
+    pub rows: Vec<CoverageRow>,
+}
+
+impl CoverageBreakdownResult {
+    /// Average coverage fraction of the given prefetcher label across
+    /// workloads.
+    pub fn average_coverage(&self, prefetcher: &str) -> f64 {
+        let values: Vec<f64> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .filter(|c| c.prefetcher == prefetcher)
+            .map(|c| c.coverage.coverage())
+            .collect();
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Average overprediction fraction of the given prefetcher label.
+    pub fn average_overprediction(&self, prefetcher: &str) -> f64 {
+        let values: Vec<f64> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .filter(|c| c.prefetcher == prefetcher)
+            .map(|c| c.coverage.overprediction())
+            .collect();
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for CoverageBreakdownResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7: L1-I misses covered / uncovered / overpredicted (% of baseline misses)"
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}:", row.workload)?;
+            for cell in &row.cells {
+                writeln!(
+                    f,
+                    "  {:<14} covered {:>5.1}%  uncovered {:>5.1}%  overpredicted {:>5.1}%",
+                    cell.prefetcher,
+                    cell.coverage.coverage() * 100.0,
+                    (1.0 - cell.coverage.coverage()) * 100.0,
+                    cell.coverage.overprediction() * 100.0
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Figure 7 experiment with the paper's three configurations
+/// (PIF_2K, PIF_32K, SHIFT).
+pub fn coverage_breakdown(
+    workloads: &[WorkloadSpec],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> CoverageBreakdownResult {
+    coverage_breakdown_with(
+        workloads,
+        &[
+            PrefetcherConfig::pif_2k(),
+            PrefetcherConfig::pif_32k(),
+            PrefetcherConfig::shift_virtualized(),
+        ],
+        cores,
+        scale,
+        seed,
+    )
+}
+
+/// Runs the Figure 7 experiment with an arbitrary prefetcher list.
+pub fn coverage_breakdown_with(
+    workloads: &[WorkloadSpec],
+    prefetchers: &[PrefetcherConfig],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> CoverageBreakdownResult {
+    let rows = workloads
+        .iter()
+        .map(|w| CoverageRow {
+            workload: w.name.clone(),
+            cells: prefetchers
+                .iter()
+                .map(|p| {
+                    let run = run_standalone(w, *p, cores, scale, seed);
+                    CoverageCell {
+                        prefetcher: p.label(),
+                        coverage: run.coverage,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    CoverageBreakdownResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn shift_and_pif32k_beat_pif2k_on_tiny_workload() {
+        // The tiny workload's footprint is small, so use proportionally tiny
+        // history budgets to exercise the capacity effect quickly.
+        let result = coverage_breakdown_with(
+            &[presets::tiny()],
+            &[
+                PrefetcherConfig::Pif(shift_core::PifConfig::with_history_records(64)),
+                PrefetcherConfig::pif_32k(),
+                PrefetcherConfig::shift_virtualized(),
+            ],
+            4,
+            Scale::Test,
+            9,
+        );
+        let cells = &result.rows[0].cells;
+        let pif_small = cells[0].coverage.coverage();
+        let pif_large = cells[1].coverage.coverage();
+        let shift = cells[2].coverage.coverage();
+        assert!(pif_large > pif_small, "large history must cover more ({pif_large} vs {pif_small})");
+        assert!(shift > pif_small, "SHIFT must beat the small per-core history");
+        assert!(result.average_coverage("PIF_32K") > 0.0);
+        assert!(result.average_overprediction("SHIFT") < 1.0);
+        assert!(!result.to_string().is_empty());
+    }
+}

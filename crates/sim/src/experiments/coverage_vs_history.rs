@@ -1,0 +1,147 @@
+//! Figure 6: instruction miss coverage as a function of aggregate history
+//! size, SHIFT vs. PIF.
+//!
+//! The x-axis is the *aggregate* history capacity in spatial region records:
+//! for PIF the capacity is split evenly across the cores' private histories;
+//! for SHIFT it is the size of the single shared history. Predictions are
+//! tracked without prefetching into (or perturbing) the instruction cache.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_core::{PifConfig, ShiftMode};
+use shift_trace::{Scale, WorkloadSpec};
+
+use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::system::Simulation;
+
+/// Coverage at one aggregate history size.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HistorySweepPoint {
+    /// Aggregate history capacity in records (`None` = unbounded).
+    pub aggregate_records: Option<usize>,
+    /// Fraction of baseline misses predicted by SHIFT.
+    pub shift_coverage: f64,
+    /// Fraction of baseline misses predicted by PIF.
+    pub pif_coverage: f64,
+}
+
+/// The Figure 6 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistorySweepResult {
+    /// Sweep points, in increasing aggregate-size order.
+    pub points: Vec<HistorySweepPoint>,
+}
+
+impl fmt::Display for HistorySweepResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6: L1-I miss coverage vs. aggregate history size")?;
+        writeln!(f, "{:>12}{:>10}{:>10}", "agg. size", "SHIFT", "PIF")?;
+        for p in &self.points {
+            let label = match p.aggregate_records {
+                Some(n) if n % 1024 == 0 => format!("{}K", n / 1024),
+                Some(n) => n.to_string(),
+                None => "inf".to_owned(),
+            };
+            writeln!(
+                f,
+                "{:>12}{:>9.1}%{:>9.1}%",
+                label,
+                p.shift_coverage * 100.0,
+                p.pif_coverage * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Figure 6 sweep. `aggregate_sizes` entries of `None` model an
+/// unbounded ("inf") history. Coverage is averaged (miss-weighted) across the
+/// given workloads.
+pub fn coverage_vs_history(
+    workloads: &[WorkloadSpec],
+    aggregate_sizes: &[Option<usize>],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> HistorySweepResult {
+    assert!(!workloads.is_empty() && !aggregate_sizes.is_empty());
+    let unbounded_records = 4 * 1024 * 1024;
+    let mut points = Vec::new();
+    for &aggregate in aggregate_sizes {
+        let aggregate_records = aggregate.unwrap_or(unbounded_records);
+        let per_core_records = (aggregate_records / cores as usize).max(16);
+
+        let mut shift_pred = 0u64;
+        let mut shift_misses = 0u64;
+        let mut pif_pred = 0u64;
+        let mut pif_misses = 0u64;
+        for workload in workloads {
+            let shift_cfg = PrefetcherConfig::Shift {
+                history_records: aggregate_records,
+                mode: ShiftMode::Dedicated { zero_latency: true },
+            };
+            let shift_run = Simulation::standalone(
+                CmpConfig::micro13(cores, shift_cfg),
+                workload.clone(),
+                SimOptions::new(scale, seed).prediction_only(),
+            )
+            .run();
+            shift_pred += shift_run.coverage.predicted;
+            shift_misses += shift_run.coverage.baseline_misses();
+
+            let pif_cfg = PrefetcherConfig::Pif(PifConfig::with_history_records(per_core_records));
+            let pif_run = Simulation::standalone(
+                CmpConfig::micro13(cores, pif_cfg),
+                workload.clone(),
+                SimOptions::new(scale, seed).prediction_only(),
+            )
+            .run();
+            pif_pred += pif_run.coverage.predicted;
+            pif_misses += pif_run.coverage.baseline_misses();
+        }
+        points.push(HistorySweepPoint {
+            aggregate_records: aggregate,
+            shift_coverage: ratio(shift_pred, shift_misses),
+            pif_coverage: ratio(pif_pred, pif_misses),
+        });
+    }
+    HistorySweepResult { points }
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn coverage_grows_with_history_size_and_shift_beats_pif() {
+        let workloads = vec![presets::tiny()];
+        let result = coverage_vs_history(
+            &workloads,
+            &[Some(64), Some(4096)],
+            4,
+            Scale::Test,
+            3,
+        );
+        assert_eq!(result.points.len(), 2);
+        let small = &result.points[0];
+        let large = &result.points[1];
+        assert!(
+            large.shift_coverage >= small.shift_coverage,
+            "SHIFT coverage must not shrink with more history"
+        );
+        // With equal aggregate capacity, the shared history covers at least as
+        // much as the partitioned per-core histories.
+        assert!(small.shift_coverage >= small.pif_coverage * 0.95);
+        assert!(!result.to_string().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 9: extra LLC traffic introduced by SHIFT (history reads, history
+//! writes, and discarded prefetches), normalized to the baseline LLC traffic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_trace::{Scale, WorkloadSpec};
+use shift_types::AccessClass;
+
+use crate::config::PrefetcherConfig;
+use crate::experiments::run_standalone;
+
+/// One workload's LLC traffic overhead.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LlcTrafficRow {
+    /// History-buffer reads ("LogRead") as a fraction of baseline traffic.
+    pub log_read: f64,
+    /// History-buffer writes ("LogWrite") as a fraction of baseline traffic.
+    pub log_write: f64,
+    /// Discarded prefetch reads as a fraction of baseline traffic.
+    pub discard: f64,
+    /// Index updates (tag array only) as a fraction of baseline traffic.
+    pub index_update: f64,
+}
+
+impl LlcTrafficRow {
+    /// Total data-array traffic overhead (index updates excluded, as in the
+    /// paper's figure).
+    pub fn total_data_overhead(&self) -> f64 {
+        self.log_read + self.log_write + self.discard
+    }
+}
+
+/// The Figure 9 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LlcTrafficResult {
+    /// `(workload name, overhead breakdown)` per workload.
+    pub rows: Vec<(String, LlcTrafficRow)>,
+}
+
+impl LlcTrafficResult {
+    /// Average of a column across workloads.
+    pub fn average<F: Fn(&LlcTrafficRow) -> f64>(&self, column: F) -> f64 {
+        if self.rows.is_empty() {
+            0.0
+        } else {
+            self.rows.iter().map(|(_, r)| column(r)).sum::<f64>() / self.rows.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for LlcTrafficResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 9: LLC traffic increase (% of baseline LLC traffic)")?;
+        writeln!(
+            f,
+            "{:<18}{:>10}{:>10}{:>10}{:>14}",
+            "workload", "LogRead", "LogWrite", "Discard", "IndexUpdate"
+        )?;
+        for (name, row) in &self.rows {
+            writeln!(
+                f,
+                "{:<18}{:>9.1}%{:>9.1}%{:>9.1}%{:>13.1}%",
+                name,
+                row.log_read * 100.0,
+                row.log_write * 100.0,
+                row.discard * 100.0,
+                row.index_update * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<18}{:>9.1}%{:>9.1}%{:>9.1}%{:>13.1}%",
+            "Average",
+            self.average(|r| r.log_read) * 100.0,
+            self.average(|r| r.log_write) * 100.0,
+            self.average(|r| r.discard) * 100.0,
+            self.average(|r| r.index_update) * 100.0
+        )
+    }
+}
+
+/// Runs the Figure 9 experiment (virtualized SHIFT on every workload).
+pub fn llc_traffic(
+    workloads: &[WorkloadSpec],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> LlcTrafficResult {
+    let rows = workloads
+        .iter()
+        .map(|w| {
+            let run = run_standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed);
+            (
+                w.name.clone(),
+                LlcTrafficRow {
+                    log_read: run.llc_overhead_ratio(AccessClass::HistoryRead),
+                    log_write: run.llc_overhead_ratio(AccessClass::HistoryWrite),
+                    discard: run.llc_overhead_ratio(AccessClass::Discard),
+                    index_update: run.llc_overhead_ratio(AccessClass::IndexUpdate),
+                },
+            )
+        })
+        .collect();
+    LlcTrafficResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn shift_traffic_overhead_is_modest() {
+        let result = llc_traffic(&[presets::tiny()], 4, Scale::Test, 17);
+        let (_, row) = &result.rows[0];
+        assert!(row.log_read > 0.0, "history reads must appear in the LLC traffic");
+        assert!(
+            row.total_data_overhead() < 0.8,
+            "history traffic must remain a modest fraction of baseline traffic (got {})",
+            row.total_data_overhead()
+        );
+        assert!(!result.to_string().is_empty());
+        assert!(result.average(|r| r.log_read) > 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment drivers: one module per figure/table of the paper's evaluation.
+//!
+//! Every driver takes the workload list, a [`shift_trace::Scale`], and
+//! a seed, runs the required simulations, and returns a serializable result
+//! type whose `Display` implementation prints the same rows/series the paper
+//! reports. The benchmark harness (`shift-bench`) wraps each driver in a
+//! binary and a Criterion bench.
+
+pub mod commonality;
+pub mod consolidation;
+pub mod coverage_breakdown;
+pub mod coverage_vs_history;
+pub mod llc_traffic;
+pub mod performance_density;
+pub mod power_overhead;
+pub mod probabilistic_elimination;
+pub mod speedup_comparison;
+pub mod storage_table;
+
+pub use commonality::{commonality, CommonalityResult};
+pub use consolidation::{consolidation, ConsolidationResult};
+pub use coverage_breakdown::{coverage_breakdown, CoverageBreakdownResult};
+pub use coverage_vs_history::{coverage_vs_history, HistorySweepResult};
+pub use llc_traffic::{llc_traffic, LlcTrafficResult};
+pub use performance_density::{performance_density, PerformanceDensityResult};
+pub use power_overhead::{power_overhead, PowerOverheadResult};
+pub use probabilistic_elimination::{probabilistic_elimination, EliminationResult};
+pub use speedup_comparison::{speedup_comparison, SpeedupComparisonResult};
+pub use storage_table::{storage_table, StorageTableResult};
+
+use shift_trace::{Scale, WorkloadSpec};
+
+use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::results::RunResult;
+use crate::system::Simulation;
+
+/// Runs one standalone-workload simulation with the paper's 16-core CMP
+/// (or `cores` cores) and the given prefetcher.
+pub(crate) fn run_standalone(
+    workload: &WorkloadSpec,
+    prefetcher: PrefetcherConfig,
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> RunResult {
+    let config = CmpConfig::micro13(cores, prefetcher);
+    let options = SimOptions::new(scale, seed);
+    Simulation::standalone(config, workload.clone(), options).run()
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub(crate) fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -1,0 +1,204 @@
+//! Figure 2 and §5.6: performance-density analysis across core types.
+//!
+//! For each core microarchitecture (Fat-OoO, Lean-OoO, Lean-IO) the study
+//! compares prefetcher designs in the relative-performance / relative-area
+//! plane: a design improves performance density only if its relative
+//! performance exceeds its relative area. PIF's 0.9 mm²-per-core storage is
+//! a bargain next to a 25 mm² Xeon but prohibitive next to a 1.3 mm² A8;
+//! SHIFT's ≈1 mm² *total* cost improves density for every core type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_core::{InstructionPrefetcher, Pif, Shift, ShiftConfig, StorageCost};
+use shift_cpu::CoreKind;
+use shift_metrics::{AreaModel, PdComparison};
+use shift_trace::{Scale, WorkloadSpec};
+use shift_types::{BlockAddr, CoreId};
+
+use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::results::geometric_mean;
+use crate::system::Simulation;
+
+/// One (core type, prefetcher) point in the Figure 2 plane.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PdPoint {
+    /// Core microarchitecture.
+    pub core_kind: CoreKind,
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// Geometric-mean speedup over the no-prefetch baseline on the same core.
+    pub speedup: f64,
+    /// Area relative to the baseline CMP (cores only + prefetcher storage).
+    pub relative_area: f64,
+}
+
+impl PdPoint {
+    /// Performance-density ratio relative to the baseline (> 1 is a gain).
+    pub fn pd_ratio(&self) -> f64 {
+        PdComparison {
+            relative_performance: self.speedup,
+            relative_area: self.relative_area,
+        }
+        .pd_ratio()
+    }
+}
+
+/// The Figure 2 / §5.6 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerformanceDensityResult {
+    /// All evaluated points.
+    pub points: Vec<PdPoint>,
+}
+
+impl PerformanceDensityResult {
+    /// Finds a point by core kind and prefetcher label.
+    pub fn point(&self, kind: CoreKind, prefetcher: &str) -> Option<&PdPoint> {
+        self.points
+            .iter()
+            .find(|p| p.core_kind == kind && p.prefetcher == prefetcher)
+    }
+
+    /// Performance-density improvement of `a` over `b` for a core kind.
+    pub fn pd_improvement(&self, kind: CoreKind, a: &str, b: &str) -> Option<f64> {
+        let pa = self.point(kind, a)?;
+        let pb = self.point(kind, b)?;
+        Some(pa.pd_ratio() / pb.pd_ratio())
+    }
+}
+
+impl fmt::Display for PerformanceDensityResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2 / §5.6: relative performance, relative area, and PD ratio"
+        )?;
+        writeln!(
+            f,
+            "{:<10}{:<16}{:>10}{:>12}{:>10}",
+            "core", "prefetcher", "speedup", "rel. area", "PD"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:<10}{:<16}{:>10.3}{:>12.3}{:>10.3}",
+                p.core_kind.to_string(),
+                p.prefetcher,
+                p.speedup,
+                p.relative_area,
+                p.pd_ratio()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn storage_of(prefetcher: &PrefetcherConfig, cores: u16, llc_blocks: usize) -> StorageCost {
+    match prefetcher {
+        PrefetcherConfig::None | PrefetcherConfig::NextLine { .. } => StorageCost::none(),
+        PrefetcherConfig::Pif(cfg) => Pif::new(*cfg, cores).storage(cores),
+        PrefetcherConfig::Shift {
+            history_records,
+            mode,
+        } => {
+            let mut cfg = ShiftConfig::virtualized_micro13(CoreId::new(0), BlockAddr::new(0));
+            cfg.history_records = *history_records;
+            cfg.mode = *mode;
+            cfg.llc_capacity_blocks = llc_blocks;
+            Shift::new(cfg, cores).storage(cores)
+        }
+    }
+}
+
+/// Runs the performance-density study for the given prefetchers over the
+/// three core types.
+pub fn performance_density(
+    workloads: &[WorkloadSpec],
+    prefetchers: &[PrefetcherConfig],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> PerformanceDensityResult {
+    assert!(!workloads.is_empty() && !prefetchers.is_empty());
+    let area_model = AreaModel::nm40();
+    let mut points = Vec::new();
+    for kind in CoreKind::ALL {
+        // Baseline runs for this core type, one per workload.
+        let baselines: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                Simulation::standalone(
+                    CmpConfig::micro13(cores, PrefetcherConfig::None).with_core_kind(kind),
+                    w.clone(),
+                    SimOptions::new(scale, seed),
+                )
+                .run()
+            })
+            .collect();
+        let baseline_area =
+            area_model.cmp_core_area_mm2(kind, cores, &StorageCost::none());
+
+        for prefetcher in prefetchers {
+            let speedups: Vec<f64> = workloads
+                .iter()
+                .zip(&baselines)
+                .map(|(w, baseline)| {
+                    let run = Simulation::standalone(
+                        CmpConfig::micro13(cores, *prefetcher).with_core_kind(kind),
+                        w.clone(),
+                        SimOptions::new(scale, seed),
+                    )
+                    .run();
+                    run.speedup_over(baseline)
+                })
+                .collect();
+            let llc_blocks = CmpConfig::micro13(cores, *prefetcher).llc.capacity_blocks();
+            let storage = storage_of(prefetcher, cores, llc_blocks);
+            let area = area_model.cmp_core_area_mm2(kind, cores, &storage);
+            points.push(PdPoint {
+                core_kind: kind,
+                prefetcher: prefetcher.label(),
+                speedup: geometric_mean(&speedups),
+                relative_area: area / baseline_area,
+            });
+        }
+    }
+    PerformanceDensityResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn shift_area_overhead_is_far_smaller_than_pif() {
+        let result = performance_density(
+            &[presets::tiny()],
+            &[PrefetcherConfig::pif_32k(), PrefetcherConfig::shift_virtualized()],
+            4,
+            Scale::Test,
+            31,
+        );
+        for kind in CoreKind::ALL {
+            let pif = result.point(kind, "PIF_32K").unwrap();
+            let shift = result.point(kind, "SHIFT").unwrap();
+            assert!(
+                shift.relative_area < pif.relative_area,
+                "{kind}: SHIFT area {} must be below PIF {}",
+                shift.relative_area,
+                pif.relative_area
+            );
+            assert!(shift.speedup > 1.0);
+        }
+        // The leaner the core, the larger PIF's relative area penalty.
+        let pif_fat = result.point(CoreKind::FatOoO, "PIF_32K").unwrap().relative_area;
+        let pif_io = result.point(CoreKind::LeanIO, "PIF_32K").unwrap().relative_area;
+        assert!(pif_io > pif_fat);
+        assert!(!result.to_string().is_empty());
+        assert!(result
+            .pd_improvement(CoreKind::LeanIO, "SHIFT", "PIF_32K")
+            .unwrap()
+            > 1.0);
+    }
+}

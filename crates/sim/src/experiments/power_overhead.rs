@@ -1,0 +1,116 @@
+//! §5.7: power overhead of SHIFT's history and index activity.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_metrics::{PowerBreakdown, PowerModel};
+use shift_trace::{Scale, WorkloadSpec};
+
+use crate::config::PrefetcherConfig;
+use crate::experiments::run_standalone;
+
+/// One workload's power overhead.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PowerRow {
+    /// LLC + NoC power overhead breakdown.
+    pub breakdown: PowerBreakdown,
+}
+
+/// The §5.7 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerOverheadResult {
+    /// `(workload, power breakdown)` rows.
+    pub rows: Vec<(String, PowerRow)>,
+}
+
+impl PowerOverheadResult {
+    /// Worst-case (maximum) total overhead across workloads, in milliwatts.
+    pub fn max_total_mw(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|(_, r)| r.breakdown.total_mw())
+            .fold(0.0, f64::max)
+    }
+
+    /// Average total overhead across workloads, in milliwatts.
+    pub fn mean_total_mw(&self) -> f64 {
+        if self.rows.is_empty() {
+            0.0
+        } else {
+            self.rows
+                .iter()
+                .map(|(_, r)| r.breakdown.total_mw())
+                .sum::<f64>()
+                / self.rows.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for PowerOverheadResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§5.7: SHIFT power overhead (16-core CMP)")?;
+        writeln!(
+            f,
+            "{:<18}{:>12}{:>12}{:>10}{:>12}",
+            "workload", "LLC data", "LLC tag", "NoC", "total"
+        )?;
+        for (name, row) in &self.rows {
+            writeln!(
+                f,
+                "{:<18}{:>9.2} mW{:>9.2} mW{:>7.2} mW{:>9.2} mW",
+                name,
+                row.breakdown.llc_data_mw,
+                row.breakdown.llc_tag_mw,
+                row.breakdown.noc_mw,
+                row.breakdown.total_mw()
+            )?;
+        }
+        writeln!(f, "max total: {:.1} mW", self.max_total_mw())
+    }
+}
+
+/// Runs the §5.7 power estimate: a virtualized SHIFT run per workload, with
+/// the history/index/NoC activity converted to power by [`PowerModel`].
+pub fn power_overhead(
+    workloads: &[WorkloadSpec],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> PowerOverheadResult {
+    let model = PowerModel::nm40();
+    let rows = workloads
+        .iter()
+        .map(|w| {
+            let run = run_standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed);
+            let cycles = run.mean_cycles().max(1.0) as u64;
+            let breakdown = model.overhead(
+                run.history_block_accesses,
+                run.index_accesses,
+                run.overhead_flit_hops,
+                cycles,
+            );
+            (w.name.clone(), PowerRow { breakdown })
+        })
+        .collect();
+    PowerOverheadResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn power_overhead_is_small() {
+        let result = power_overhead(&[presets::tiny()], 4, Scale::Test, 13);
+        assert_eq!(result.rows.len(), 1);
+        let total = result.max_total_mw();
+        assert!(total > 0.0, "history activity must consume some power");
+        assert!(
+            total < 300.0,
+            "power overhead must stay small (got {total} mW)"
+        );
+        assert!(result.mean_total_mw() <= result.max_total_mw());
+        assert!(!result.to_string().is_empty());
+    }
+}

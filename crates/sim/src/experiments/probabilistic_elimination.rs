@@ -1,0 +1,131 @@
+//! Figure 1: speedup as a function of the fraction of instruction cache
+//! misses eliminated.
+//!
+//! Each instruction cache miss is converted into a hit with a configurable
+//! probability; 100 % elimination corresponds to a perfect L1-I. The paper
+//! finds a linear relationship reaching ≈31 % average speedup at 100 %.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_trace::{Scale, WorkloadSpec};
+
+use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::results::geometric_mean;
+use crate::system::Simulation;
+
+/// One workload's speedup series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EliminationSeries {
+    /// Workload name.
+    pub workload: String,
+    /// `(fraction eliminated, speedup)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The Figure 1 result: one series per workload plus the geometric mean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EliminationResult {
+    /// Per-workload series.
+    pub series: Vec<EliminationSeries>,
+    /// Geometric-mean series across workloads.
+    pub geomean: Vec<(f64, f64)>,
+}
+
+impl EliminationResult {
+    /// Speedup of the geometric-mean series at full (100 %) elimination.
+    pub fn perfect_cache_speedup(&self) -> f64 {
+        self.geomean
+            .iter()
+            .rev()
+            .find(|(f, _)| (*f - 1.0).abs() < 1e-9)
+            .map(|(_, s)| *s)
+            .unwrap_or(1.0)
+    }
+}
+
+impl fmt::Display for EliminationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 1: speedup vs. instruction cache misses eliminated")?;
+        write!(f, "{:<18}", "workload")?;
+        if let Some(first) = self.series.first() {
+            for (frac, _) in &first.points {
+                write!(f, "{:>8}", format!("{:.0}%", frac * 100.0))?;
+            }
+        }
+        writeln!(f)?;
+        for s in &self.series {
+            write!(f, "{:<18}", s.workload)?;
+            for (_, speedup) in &s.points {
+                write!(f, "{speedup:>8.3}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<18}", "Geo. Mean")?;
+        for (_, speedup) in &self.geomean {
+            write!(f, "{speedup:>8.3}")?;
+        }
+        writeln!(f)
+    }
+}
+
+/// Runs the Figure 1 experiment over `fractions` (e.g. `[0.0, 0.1, …, 1.0]`).
+pub fn probabilistic_elimination(
+    workloads: &[WorkloadSpec],
+    fractions: &[f64],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> EliminationResult {
+    assert!(!workloads.is_empty(), "need at least one workload");
+    assert!(!fractions.is_empty(), "need at least one elimination point");
+    let mut series = Vec::new();
+    for workload in workloads {
+        let config = CmpConfig::micro13(cores, PrefetcherConfig::None);
+        let baseline =
+            Simulation::standalone(config, workload.clone(), SimOptions::new(scale, seed)).run();
+        let mut points = Vec::new();
+        for &frac in fractions {
+            let speedup = if frac == 0.0 {
+                1.0
+            } else {
+                let options = SimOptions::new(scale, seed).with_miss_elimination(frac);
+                let run = Simulation::standalone(config, workload.clone(), options).run();
+                run.speedup_over(&baseline)
+            };
+            points.push((frac, speedup));
+        }
+        series.push(EliminationSeries {
+            workload: workload.name.clone(),
+            points,
+        });
+    }
+    let geomean = fractions
+        .iter()
+        .enumerate()
+        .map(|(i, &frac)| {
+            let speedups: Vec<f64> = series.iter().map(|s| s.points[i].1).collect();
+            (frac, geometric_mean(&speedups))
+        })
+        .collect();
+    EliminationResult { series, geomean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn speedup_grows_with_elimination_fraction() {
+        let workloads = vec![presets::tiny()];
+        let result = probabilistic_elimination(&workloads, &[0.0, 0.5, 1.0], 2, Scale::Test, 11);
+        let points = &result.series[0].points;
+        assert_eq!(points.len(), 3);
+        assert!((points[0].1 - 1.0).abs() < 1e-9);
+        assert!(points[1].1 > 1.0, "half elimination must speed up");
+        assert!(points[2].1 > points[1].1, "full elimination fastest");
+        assert!(result.perfect_cache_speedup() > 1.0);
+        assert!(!result.to_string().is_empty());
+    }
+}

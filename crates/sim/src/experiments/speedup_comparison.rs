@@ -1,0 +1,141 @@
+//! Figure 8: speedup of NextLine, PIF_2K, PIF_32K, ZeroLat-SHIFT, and SHIFT
+//! over the no-prefetching baseline, per workload.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_trace::{Scale, WorkloadSpec};
+
+use crate::config::PrefetcherConfig;
+use crate::experiments::run_standalone;
+use crate::results::geometric_mean;
+
+/// One workload's speedups.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Workload name.
+    pub workload: String,
+    /// `(prefetcher label, speedup over baseline)` in configuration order.
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// The Figure 8 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeedupComparisonResult {
+    /// One row per workload.
+    pub rows: Vec<SpeedupRow>,
+    /// Geometric-mean speedup per configuration, in configuration order.
+    pub geomean: Vec<(String, f64)>,
+}
+
+impl SpeedupComparisonResult {
+    /// Geometric-mean speedup of the configuration with the given label.
+    pub fn geomean_of(&self, label: &str) -> Option<f64> {
+        self.geomean
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+    }
+}
+
+impl fmt::Display for SpeedupComparisonResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 8: speedup over the no-prefetch baseline")?;
+        write!(f, "{:<18}", "workload")?;
+        for (label, _) in &self.geomean {
+            write!(f, "{label:>15}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:<18}", row.workload)?;
+            for (_, speedup) in &row.speedups {
+                write!(f, "{speedup:>15.3}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<18}", "Geo. Mean")?;
+        for (_, speedup) in &self.geomean {
+            write!(f, "{speedup:>15.3}")?;
+        }
+        writeln!(f)
+    }
+}
+
+/// Runs Figure 8 with the paper's five configurations.
+pub fn speedup_comparison(
+    workloads: &[WorkloadSpec],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> SpeedupComparisonResult {
+    speedup_comparison_with(
+        workloads,
+        &PrefetcherConfig::figure8_suite(),
+        cores,
+        scale,
+        seed,
+    )
+}
+
+/// Runs the speedup comparison for an arbitrary configuration list.
+pub fn speedup_comparison_with(
+    workloads: &[WorkloadSpec],
+    prefetchers: &[PrefetcherConfig],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> SpeedupComparisonResult {
+    assert!(!workloads.is_empty() && !prefetchers.is_empty());
+    let mut rows = Vec::new();
+    for workload in workloads {
+        let baseline = run_standalone(workload, PrefetcherConfig::None, cores, scale, seed);
+        let speedups = prefetchers
+            .iter()
+            .map(|p| {
+                let run = run_standalone(workload, *p, cores, scale, seed);
+                (p.label(), run.speedup_over(&baseline))
+            })
+            .collect();
+        rows.push(SpeedupRow {
+            workload: workload.name.clone(),
+            speedups,
+        });
+    }
+    let geomean = prefetchers
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let values: Vec<f64> = rows.iter().map(|r| r.speedups[i].1).collect();
+            (p.label(), geometric_mean(&values))
+        })
+        .collect();
+    SpeedupComparisonResult { rows, geomean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn stream_prefetchers_outperform_baseline_and_next_line() {
+        let result = speedup_comparison_with(
+            &[presets::tiny()],
+            &[
+                PrefetcherConfig::next_line(),
+                PrefetcherConfig::pif_32k(),
+                PrefetcherConfig::shift_virtualized(),
+            ],
+            4,
+            Scale::Test,
+            21,
+        );
+        let nl = result.geomean_of("NextLine").unwrap();
+        let pif = result.geomean_of("PIF_32K").unwrap();
+        let shift = result.geomean_of("SHIFT").unwrap();
+        assert!(nl > 1.0);
+        assert!(pif > nl, "PIF_32K ({pif}) must beat next-line ({nl})");
+        assert!(shift > nl, "SHIFT ({shift}) must beat next-line ({nl})");
+        assert!(!result.to_string().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! §5.1: storage cost of each prefetcher design (the paper's configuration
+//! discussion and the basis for the equal-cost PIF_2K design point).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shift_core::{InstructionPrefetcher, Pif, PifConfig, Shift, ShiftConfig, StorageCost};
+use shift_metrics::AreaModel;
+use shift_types::{BlockAddr, CoreId};
+
+/// One design's storage and area summary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StorageRow {
+    /// Design label.
+    pub design: String,
+    /// Storage breakdown.
+    pub storage: StorageCost,
+    /// Added SRAM for a 16-core CMP, in KiB.
+    pub added_sram_kib: f64,
+    /// Added SRAM area for a 16-core CMP, in mm² (40 nm).
+    pub added_area_mm2: f64,
+}
+
+/// The §5.1 storage table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StorageTableResult {
+    /// One row per design.
+    pub rows: Vec<StorageRow>,
+    /// Number of cores the costs are computed for.
+    pub cores: u16,
+}
+
+impl StorageTableResult {
+    /// Finds a row by design label.
+    pub fn row(&self, design: &str) -> Option<&StorageRow> {
+        self.rows.iter().find(|r| r.design == design)
+    }
+
+    /// Storage-cost ratio between two designs (added SRAM).
+    pub fn sram_ratio(&self, a: &str, b: &str) -> Option<f64> {
+        let ra = self.row(a)?;
+        let rb = self.row(b)?;
+        Some(ra.added_sram_kib / rb.added_sram_kib)
+    }
+}
+
+impl fmt::Display for StorageTableResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§5.1: storage cost for a {}-core CMP", self.cores)?;
+        writeln!(
+            f,
+            "{:<16}{:>14}{:>14}{:>16}{:>14}{:>12}",
+            "design", "per-core KiB", "LLC data KiB", "LLC tag KiB", "added KiB", "area mm²"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<16}{:>14.1}{:>14.1}{:>16.1}{:>14.1}{:>12.2}",
+                r.design,
+                r.storage.per_core_bytes as f64 / 1024.0,
+                r.storage.llc_data_bytes as f64 / 1024.0,
+                r.storage.llc_tag_bytes as f64 / 1024.0,
+                r.added_sram_kib,
+                r.added_area_mm2
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the storage table for the paper's designs on a `cores`-core CMP
+/// with an LLC of `llc_capacity_blocks` tags.
+pub fn storage_table(cores: u16, llc_capacity_blocks: usize) -> StorageTableResult {
+    let area = AreaModel::nm40();
+    let mut rows = Vec::new();
+
+    for config in [PifConfig::pif_2k(), PifConfig::pif_32k()] {
+        let pif = Pif::new(config, cores);
+        let storage = pif.storage(cores);
+        rows.push(StorageRow {
+            design: config.design_name(),
+            added_sram_kib: storage.added_sram_kib(cores),
+            added_area_mm2: area.prefetcher_mm2(&storage, cores),
+            storage,
+        });
+    }
+
+    let mut shift_cfg = ShiftConfig::virtualized_micro13(CoreId::new(0), BlockAddr::new(0));
+    shift_cfg.llc_capacity_blocks = llc_capacity_blocks;
+    let shift = Shift::new(shift_cfg, cores);
+    let storage = shift.storage(cores);
+    rows.push(StorageRow {
+        design: "SHIFT".to_owned(),
+        added_sram_kib: storage.added_sram_kib(cores),
+        added_area_mm2: area.prefetcher_mm2(&storage, cores),
+        storage,
+    });
+
+    StorageTableResult { rows, cores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_table_reproduces_paper_ratios() {
+        let table = storage_table(16, 8 * 1024 * 1024 / 64);
+        let pif32 = table.row("PIF_32K").unwrap();
+        let shift = table.row("SHIFT").unwrap();
+
+        // PIF_32K: 213 KB per core → 3.4 MB aggregate; ~0.9 mm² per core.
+        assert_eq!(pif32.storage.per_core_bytes / 1024, 213);
+        assert!((pif32.added_area_mm2 / 16.0 - 0.9).abs() < 0.02);
+
+        // SHIFT: 240 KB of tag extension + tiny per-core SABs.
+        assert_eq!(shift.storage.llc_tag_bytes / 1024, 240);
+        assert!(shift.added_sram_kib < 300.0);
+
+        // The paper's headline: SHIFT costs ~14x less storage than PIF_32K.
+        let ratio = table.sram_ratio("PIF_32K", "SHIFT").unwrap();
+        assert!(
+            ratio > 10.0 && ratio < 20.0,
+            "storage ratio {ratio} outside the paper's ~14x claim"
+        );
+        assert!(!table.to_string().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Trace-driven 16-core CMP simulator and experiment drivers.
+//!
+//! This crate assembles the substrates (synthetic traces, caches, NoC, core
+//! timing, prefetchers) into the full system the paper evaluates and provides
+//! one driver per figure/table of the evaluation section:
+//!
+//! | Paper result | Driver |
+//! |---|---|
+//! | Fig. 1 — speedup vs. fraction of I-misses eliminated | [`experiments::probabilistic_elimination`](fn@experiments::probabilistic_elimination) |
+//! | Fig. 2 / §5.6 — performance density | [`experiments::performance_density`](fn@experiments::performance_density) |
+//! | Fig. 3 — instruction stream commonality across cores | [`experiments::commonality`](fn@experiments::commonality) |
+//! | Fig. 6 — miss coverage vs. aggregate history size | [`experiments::coverage_vs_history`](fn@experiments::coverage_vs_history) |
+//! | Fig. 7 — covered / overpredicted breakdown | [`experiments::coverage_breakdown`](fn@experiments::coverage_breakdown) |
+//! | Fig. 8 — speedup comparison | [`experiments::speedup_comparison`](fn@experiments::speedup_comparison) |
+//! | Fig. 9 — LLC traffic overhead | [`experiments::llc_traffic`](fn@experiments::llc_traffic) |
+//! | Fig. 10 — workload consolidation | [`experiments::consolidation`](fn@experiments::consolidation) |
+//! | §5.7 — power overhead | [`experiments::power_overhead`](fn@experiments::power_overhead) |
+//! | §5.1 — storage cost table | [`experiments::storage_table`](fn@experiments::storage_table) |
+//!
+//! # Quick start
+//!
+//! ```
+//! use shift_sim::{CmpConfig, PrefetcherConfig, SimOptions, Simulation};
+//! use shift_trace::{presets, Scale};
+//!
+//! let workload = presets::tiny();
+//! let config = CmpConfig::micro13(4, PrefetcherConfig::shift_virtualized());
+//! let options = SimOptions::new(Scale::Test, 42);
+//! let result = Simulation::standalone(config, workload, options).run();
+//! assert!(result.coverage.covered + result.coverage.uncovered > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod config;
+pub mod experiments;
+pub mod results;
+pub mod system;
+
+pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
+pub use results::{CoverageStats, RunResult};
+pub use system::Simulation;

@@ -1,0 +1,270 @@
+//! Result types produced by simulation runs.
+
+use serde::{Deserialize, Serialize};
+use shift_cache::{CacheStats, TrafficStats};
+use shift_types::AccessClass;
+
+/// Instruction-miss coverage accounting for one run.
+///
+/// "Covered" misses are baseline misses that the prefetcher turned into hits;
+/// "uncovered" misses still reached the LLC; "overpredicted" blocks were
+/// prefetched but evicted (discarded) before the core referenced them. All
+/// three are normalized against the baseline miss count (covered +
+/// uncovered), exactly as Figure 7 of the paper does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageStats {
+    /// Misses eliminated by prefetching.
+    pub covered: u64,
+    /// Misses that still occurred.
+    pub uncovered: u64,
+    /// Prefetched blocks discarded before use.
+    pub overpredicted: u64,
+    /// Misses that would have been predicted (prediction-only runs).
+    pub predicted: u64,
+}
+
+impl CoverageStats {
+    /// Baseline miss count this run is normalized against.
+    pub fn baseline_misses(&self) -> u64 {
+        self.covered + self.uncovered
+    }
+
+    /// Fraction of baseline misses eliminated.
+    pub fn coverage(&self) -> f64 {
+        let base = self.baseline_misses();
+        if base == 0 {
+            0.0
+        } else {
+            self.covered as f64 / base as f64
+        }
+    }
+
+    /// Overpredicted blocks as a fraction of baseline misses.
+    pub fn overprediction(&self) -> f64 {
+        let base = self.baseline_misses();
+        if base == 0 {
+            0.0
+        } else {
+            self.overpredicted as f64 / base as f64
+        }
+    }
+
+    /// Fraction of baseline misses predicted (prediction-only runs).
+    pub fn predicted_fraction(&self) -> f64 {
+        let base = self.baseline_misses();
+        if base == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / base as f64
+        }
+    }
+
+    /// Merges another run's coverage into this one.
+    pub fn merge(&mut self, other: &CoverageStats) {
+        self.covered += other.covered;
+        self.uncovered += other.uncovered;
+        self.overpredicted += other.overpredicted;
+        self.predicted += other.predicted;
+    }
+}
+
+/// Per-core measurement summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Instruction-block fetch events.
+    pub fetches: u64,
+    /// Total execution cycles (analytical timing model).
+    pub cycles: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Raw (pre-overlap) instruction-fetch stall cycles accumulated.
+    pub raw_fetch_stall_cycles: u64,
+    /// Raw (pre-overlap) data stall cycles accumulated.
+    pub raw_data_stall_cycles: u64,
+    /// L1-I statistics.
+    pub l1i: CacheStats,
+    /// L1-D statistics.
+    pub l1d: CacheStats,
+    /// Coverage accounting for this core.
+    pub coverage: CoverageStats,
+}
+
+/// Aggregate result of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Prefetcher label (e.g. `"SHIFT"`).
+    pub prefetcher: String,
+    /// Workload name(s).
+    pub workloads: Vec<String>,
+    /// Per-core results.
+    pub per_core: Vec<CoreResult>,
+    /// Aggregate coverage across cores.
+    pub coverage: CoverageStats,
+    /// LLC traffic broken down by class.
+    pub llc_traffic: TrafficStats,
+    /// Aggregate LLC hit/miss statistics.
+    pub llc: CacheStats,
+    /// Total NoC flit-hops carrying prefetcher-overhead traffic.
+    pub overhead_flit_hops: u64,
+    /// Total history-buffer LLC block accesses (reads + writes).
+    pub history_block_accesses: u64,
+    /// Total index-table updates/lookups issued to the LLC tag array.
+    pub index_accesses: u64,
+}
+
+impl RunResult {
+    /// System throughput: the sum of per-core IPCs (the paper's
+    /// user-instructions-per-cycle throughput metric, summed over cores).
+    pub fn throughput(&self) -> f64 {
+        self.per_core.iter().map(|c| c.ipc).sum()
+    }
+
+    /// Average per-core cycles (used as the interval length for power
+    /// estimates).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.per_core.is_empty() {
+            0.0
+        } else {
+            self.per_core.iter().map(|c| c.cycles).sum::<f64>() / self.per_core.len() as f64
+        }
+    }
+
+    /// Total retired instructions across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Aggregate L1-I misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        let misses: u64 = self.per_core.iter().map(|c| c.l1i.misses).sum();
+        let instr = self.total_instructions();
+        if instr == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / instr as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline run (ratio of throughputs).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        let base = baseline.throughput();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.throughput() / base
+        }
+    }
+
+    /// LLC traffic of `class` as a fraction of baseline demand traffic
+    /// (the Figure 9 normalization).
+    pub fn llc_overhead_ratio(&self, class: AccessClass) -> f64 {
+        self.llc_traffic.overhead_ratio(class)
+    }
+}
+
+/// Geometric mean of a set of positive values (the paper reports geometric
+/// mean speedups).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty set");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_fractions() {
+        let c = CoverageStats {
+            covered: 80,
+            uncovered: 20,
+            overpredicted: 15,
+            predicted: 0,
+        };
+        assert_eq!(c.baseline_misses(), 100);
+        assert!((c.coverage() - 0.8).abs() < 1e-12);
+        assert!((c.overprediction() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_coverage_is_zero() {
+        let c = CoverageStats::default();
+        assert_eq!(c.coverage(), 0.0);
+        assert_eq!(c.overprediction(), 0.0);
+        assert_eq!(c.predicted_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CoverageStats {
+            covered: 1,
+            uncovered: 2,
+            overpredicted: 3,
+            predicted: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.covered, 2);
+        assert_eq!(a.predicted, 8);
+    }
+
+    #[test]
+    fn geometric_mean_of_uniform_values_is_the_value() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        let gm = geometric_mean(&[1.0, 4.0]);
+        assert!((gm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    fn result_with_ipcs(ipcs: &[f64]) -> RunResult {
+        RunResult {
+            prefetcher: "test".into(),
+            workloads: vec!["w".into()],
+            per_core: ipcs
+                .iter()
+                .map(|&ipc| CoreResult {
+                    instructions: 1000,
+                    fetches: 100,
+                    cycles: 1000.0 / ipc,
+                    ipc,
+                    raw_fetch_stall_cycles: 0,
+                    raw_data_stall_cycles: 0,
+                    l1i: CacheStats::default(),
+                    l1d: CacheStats::default(),
+                    coverage: CoverageStats::default(),
+                })
+                .collect(),
+            coverage: CoverageStats::default(),
+            llc_traffic: TrafficStats::new(),
+            llc: CacheStats::default(),
+            overhead_flit_hops: 0,
+            history_block_accesses: 0,
+            index_accesses: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_and_speedup() {
+        let base = result_with_ipcs(&[0.5, 0.5]);
+        let better = result_with_ipcs(&[0.6, 0.6]);
+        assert!((base.throughput() - 1.0).abs() < 1e-12);
+        assert!((better.speedup_over(&base) - 1.2).abs() < 1e-12);
+        assert!(base.mean_cycles() > 0.0);
+        assert_eq!(base.total_instructions(), 2000);
+    }
+}

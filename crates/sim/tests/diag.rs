@@ -1,0 +1,44 @@
+//! Diagnostic harness (ignored by default): prints per-prefetcher coverage,
+//! traffic, and timing breakdowns on the tiny workload. Run with
+//! `cargo test -p shift-sim --test diag -- --ignored --nocapture`.
+
+use shift_sim::{CmpConfig, PrefetcherConfig, SimOptions, Simulation};
+use shift_trace::{presets, Scale};
+use shift_types::AccessClass;
+
+fn run(p: PrefetcherConfig) -> shift_sim::RunResult {
+    let config = CmpConfig::micro13(4, p);
+    Simulation::standalone(config, presets::tiny(), SimOptions::new(Scale::Test, 7)).run()
+}
+
+#[test]
+#[ignore]
+fn diag() {
+    for p in [PrefetcherConfig::None, PrefetcherConfig::next_line(), PrefetcherConfig::pif_32k(), PrefetcherConfig::shift_virtualized(), PrefetcherConfig::shift_zero_latency()] {
+        let r = run(p);
+        let c0 = &r.per_core[0];
+        println!("{:<16} thr={:.3} cov={:.3} ovp={:.3} covered={} uncovered={} l1i_miss={} mpki={:.1} stall={} instr={} demand={} pf={} discard={} hr={}",
+            r.prefetcher, r.throughput(), r.coverage.coverage(), r.coverage.overprediction(),
+            r.coverage.covered, r.coverage.uncovered,
+            r.per_core.iter().map(|c| c.l1i.misses).sum::<u64>(),
+            r.l1i_mpki(),
+            c0.cycles as u64,
+            r.total_instructions(),
+            r.llc_traffic.count(AccessClass::Demand),
+            r.llc_traffic.count(AccessClass::PrefetchUseful),
+            r.llc_traffic.count(AccessClass::Discard),
+            r.llc_traffic.count(AccessClass::HistoryRead));
+    }
+}
+
+#[test]
+#[ignore]
+fn diag_timing() {
+    for p in [PrefetcherConfig::None, PrefetcherConfig::next_line(), PrefetcherConfig::pif_32k()] {
+        let r = run(p);
+        let c0 = &r.per_core[0];
+        // reconstruct stalls: cycles = instr*0.72 + fetch*0.8 + data*0.45
+        println!("{:<16} cycles={:.0} instr={} l1i_miss={} l1d_miss={} ipc={:.3} raw_fetch={} raw_data={}",
+            r.prefetcher, c0.cycles, c0.instructions, c0.l1i.misses, c0.l1d.misses, c0.ipc, c0.raw_fetch_stall_cycles, c0.raw_data_stall_cycles);
+    }
+}

@@ -1,0 +1,193 @@
+//! Workload consolidation: several workloads sharing one CMP.
+//!
+//! §5.5 of the paper consolidates four server workloads onto a 16-core CMP,
+//! four cores each, every workload with its own OS image and its own shared
+//! history buffer. This module describes such configurations and maps cores
+//! to workloads.
+
+use serde::{Deserialize, Serialize};
+use shift_types::{CoreId, WorkloadId};
+
+use crate::workload::WorkloadSpec;
+
+/// Assignment of one core to one workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreAssignment {
+    /// The core.
+    pub core: CoreId,
+    /// The workload it runs.
+    pub workload: WorkloadId,
+}
+
+/// A consolidated configuration: a list of workloads and the number of cores
+/// each one receives.
+///
+/// # Examples
+///
+/// ```
+/// use shift_trace::{presets, ConsolidationSpec};
+///
+/// let spec = ConsolidationSpec::even_split(presets::consolidation_suite(), 16);
+/// assert_eq!(spec.total_cores(), 16);
+/// assert_eq!(spec.workloads().len(), 4);
+/// assert_eq!(spec.cores_of(shift_types::WorkloadId::new(2)).len(), 4);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConsolidationSpec {
+    workloads: Vec<WorkloadSpec>,
+    cores_per_workload: Vec<u16>,
+}
+
+impl ConsolidationSpec {
+    /// Creates a consolidation spec with an explicit core count per workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists have different lengths, are empty, or any workload
+    /// receives zero cores.
+    pub fn new(workloads: Vec<WorkloadSpec>, cores_per_workload: Vec<u16>) -> Self {
+        assert_eq!(
+            workloads.len(),
+            cores_per_workload.len(),
+            "one core count per workload required"
+        );
+        assert!(!workloads.is_empty(), "consolidation needs workloads");
+        assert!(
+            cores_per_workload.iter().all(|&c| c > 0),
+            "every workload needs at least one core"
+        );
+        ConsolidationSpec {
+            workloads,
+            cores_per_workload,
+        }
+    }
+
+    /// Splits `total_cores` evenly across the workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cores` is not divisible by the number of workloads.
+    pub fn even_split(workloads: Vec<WorkloadSpec>, total_cores: u16) -> Self {
+        assert!(!workloads.is_empty(), "consolidation needs workloads");
+        assert_eq!(
+            total_cores as usize % workloads.len(),
+            0,
+            "cores must divide evenly across workloads"
+        );
+        let per = total_cores / workloads.len() as u16;
+        let counts = vec![per; workloads.len()];
+        ConsolidationSpec::new(workloads, counts)
+    }
+
+    /// A single-workload "consolidation" covering all cores; convenient for
+    /// treating standalone and consolidated runs uniformly.
+    pub fn standalone(workload: WorkloadSpec, cores: u16) -> Self {
+        ConsolidationSpec::new(vec![workload], vec![cores])
+    }
+
+    /// The workloads in this configuration.
+    pub fn workloads(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    /// Total number of cores.
+    pub fn total_cores(&self) -> u16 {
+        self.cores_per_workload.iter().sum()
+    }
+
+    /// The per-core workload assignment, cores numbered contiguously workload
+    /// by workload (workload 0 gets the lowest-numbered cores).
+    pub fn assignments(&self) -> Vec<CoreAssignment> {
+        let mut out = Vec::with_capacity(self.total_cores() as usize);
+        let mut next_core = 0u16;
+        for (w, &count) in self.cores_per_workload.iter().enumerate() {
+            for _ in 0..count {
+                out.push(CoreAssignment {
+                    core: CoreId::new(next_core),
+                    workload: WorkloadId::new(w as u8),
+                });
+                next_core += 1;
+            }
+        }
+        out
+    }
+
+    /// The workload a given core runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the configuration.
+    pub fn workload_of(&self, core: CoreId) -> WorkloadId {
+        let mut next_core = 0u16;
+        for (w, &count) in self.cores_per_workload.iter().enumerate() {
+            if core.get() < next_core + count {
+                return WorkloadId::new(w as u8);
+            }
+            next_core += count;
+        }
+        panic!("core {core} is outside this consolidation spec");
+    }
+
+    /// The cores assigned to a workload.
+    pub fn cores_of(&self, workload: WorkloadId) -> Vec<CoreId> {
+        self.assignments()
+            .into_iter()
+            .filter(|a| a.workload == workload)
+            .map(|a| a.core)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn even_split_assigns_contiguous_core_groups() {
+        let spec = ConsolidationSpec::even_split(presets::consolidation_suite(), 16);
+        let assignments = spec.assignments();
+        assert_eq!(assignments.len(), 16);
+        for (i, a) in assignments.iter().enumerate() {
+            assert_eq!(a.core.index(), i);
+            assert_eq!(a.workload.index(), i / 4);
+        }
+    }
+
+    #[test]
+    fn workload_of_matches_assignments() {
+        let spec = ConsolidationSpec::new(
+            vec![presets::tiny(), presets::tiny().with_region_index(1)],
+            vec![3, 5],
+        );
+        assert_eq!(spec.total_cores(), 8);
+        assert_eq!(spec.workload_of(CoreId::new(0)).index(), 0);
+        assert_eq!(spec.workload_of(CoreId::new(2)).index(), 0);
+        assert_eq!(spec.workload_of(CoreId::new(3)).index(), 1);
+        assert_eq!(spec.workload_of(CoreId::new(7)).index(), 1);
+        assert_eq!(spec.cores_of(WorkloadId::new(1)).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside this consolidation spec")]
+    fn workload_of_rejects_out_of_range_core() {
+        let spec = ConsolidationSpec::standalone(presets::tiny(), 4);
+        let _ = spec.workload_of(CoreId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_split_rejected() {
+        let _ = ConsolidationSpec::even_split(presets::consolidation_suite(), 15);
+    }
+
+    #[test]
+    fn standalone_covers_all_cores_with_one_workload() {
+        let spec = ConsolidationSpec::standalone(presets::tiny(), 16);
+        assert_eq!(spec.total_cores(), 16);
+        assert!(spec
+            .assignments()
+            .iter()
+            .all(|a| a.workload == WorkloadId::new(0)));
+    }
+}

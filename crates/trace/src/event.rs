@@ -1,0 +1,130 @@
+//! Events emitted by a per-core trace generator.
+
+use serde::{Deserialize, Serialize};
+use shift_types::{AccessKind, BlockAddr};
+
+/// One visit of the core front end to an instruction cache block.
+///
+/// A `FetchEvent` represents the retire-order access the paper's prefetchers
+/// record: the core entered `block` and retired `instructions` instructions
+/// from it before control flow left the block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FetchEvent {
+    /// The instruction cache block being fetched.
+    pub block: BlockAddr,
+    /// Number of instructions retired from this block visit (used by the
+    /// timing model to convert block visits into execution cycles).
+    pub instructions: u8,
+}
+
+impl FetchEvent {
+    /// Creates a fetch event.
+    pub fn new(block: BlockAddr, instructions: u8) -> Self {
+        FetchEvent {
+            block,
+            instructions,
+        }
+    }
+}
+
+/// One data reference (load or store) performed by the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataEvent {
+    /// Whether the reference is a load or a store.
+    pub kind: AccessKind,
+    /// The data cache block referenced.
+    pub block: BlockAddr,
+}
+
+impl DataEvent {
+    /// Creates a data event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`AccessKind::InstructionFetch`]; instruction
+    /// fetches are represented by [`FetchEvent`].
+    pub fn new(kind: AccessKind, block: BlockAddr) -> Self {
+        assert!(
+            kind.is_data(),
+            "DataEvent must carry a load or store, not an instruction fetch"
+        );
+        DataEvent { kind, block }
+    }
+}
+
+/// An event in a core's retire-order trace.
+///
+/// The trace is an interleaving of instruction-block visits and the data
+/// references made by the instructions in those blocks, in program order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An instruction-block visit.
+    Fetch(FetchEvent),
+    /// A data load or store.
+    Data(DataEvent),
+}
+
+impl TraceEvent {
+    /// Returns the fetch event if this is an instruction-block visit.
+    pub fn as_fetch(&self) -> Option<&FetchEvent> {
+        match self {
+            TraceEvent::Fetch(f) => Some(f),
+            TraceEvent::Data(_) => None,
+        }
+    }
+
+    /// Returns the data event if this is a load or store.
+    pub fn as_data(&self) -> Option<&DataEvent> {
+        match self {
+            TraceEvent::Data(d) => Some(d),
+            TraceEvent::Fetch(_) => None,
+        }
+    }
+
+    /// Returns the block address referenced by the event, regardless of kind.
+    pub fn block(&self) -> BlockAddr {
+        match self {
+            TraceEvent::Fetch(f) => f.block,
+            TraceEvent::Data(d) => d.block,
+        }
+    }
+}
+
+impl From<FetchEvent> for TraceEvent {
+    fn from(f: FetchEvent) -> Self {
+        TraceEvent::Fetch(f)
+    }
+}
+
+impl From<DataEvent> for TraceEvent {
+    fn from(d: DataEvent) -> Self {
+        TraceEvent::Data(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_accessors() {
+        let e: TraceEvent = FetchEvent::new(BlockAddr::new(7), 12).into();
+        assert!(e.as_fetch().is_some());
+        assert!(e.as_data().is_none());
+        assert_eq!(e.block(), BlockAddr::new(7));
+    }
+
+    #[test]
+    fn data_accessors() {
+        let e: TraceEvent = DataEvent::new(AccessKind::Load, BlockAddr::new(9)).into();
+        assert!(e.as_data().is_some());
+        assert!(e.as_fetch().is_none());
+        assert_eq!(e.block(), BlockAddr::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "load or store")]
+    fn data_event_rejects_instruction_kind() {
+        let _ = DataEvent::new(AccessKind::InstructionFetch, BlockAddr::new(1));
+    }
+}

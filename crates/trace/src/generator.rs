@@ -1,0 +1,375 @@
+//! The per-core trace generator.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use shift_types::{AccessKind, BlockAddr, CoreId};
+
+use crate::event::{DataEvent, FetchEvent, TraceEvent};
+use crate::request::pick_request;
+use crate::workload::{WorkloadProgram, WorkloadSpec};
+
+/// Generates the retire-order instruction and data reference stream of one
+/// core running a server workload.
+///
+/// All cores running the same workload share one [`WorkloadProgram`] (the code
+/// layout and request mix); each core draws its own request interleaving and
+/// its own data-dependent control-flow decisions from a per-core RNG. This is
+/// exactly the structure the paper exploits: the streams of different cores
+/// are highly similar (same code, same request types) but not identical.
+///
+/// The generator is an infinite [`Iterator`] over [`TraceEvent`]s; callers
+/// bound it with [`Iterator::take`] or by counting fetch events.
+///
+/// # Examples
+///
+/// ```
+/// use shift_trace::{presets, CoreTraceGenerator};
+/// use shift_types::CoreId;
+///
+/// let spec = presets::tiny();
+/// let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 7);
+/// let events: Vec<_> = gen.by_ref().take(100).collect();
+/// assert_eq!(events.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct CoreTraceGenerator {
+    program: Arc<WorkloadProgram>,
+    core: CoreId,
+    core_bias: u64,
+    rng: SmallRng,
+    pending: VecDeque<TraceEvent>,
+    scratch_blocks: Vec<BlockAddr>,
+    requests_generated: u64,
+    fetches_generated: u64,
+    data_ref_carry: f64,
+}
+
+impl CoreTraceGenerator {
+    /// Creates a generator for `core`, compiling the workload program from
+    /// `spec`. When several generators share a workload, prefer
+    /// [`CoreTraceGenerator::with_program`] to compile the program once.
+    pub fn new(spec: &WorkloadSpec, core: CoreId, seed: u64) -> Self {
+        Self::with_program(WorkloadProgram::build(spec), core, seed)
+    }
+
+    /// Creates a generator for `core` over an already-compiled program.
+    pub fn with_program(program: Arc<WorkloadProgram>, core: CoreId, seed: u64) -> Self {
+        let spec_seed = program.spec().structure_seed;
+        // Mix the workload structure seed, the experiment seed, and the core
+        // id so that (a) different cores see different interleavings and
+        // (b) the same core is reproducible across runs.
+        let mixed = spec_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seed)
+            .wrapping_add((core.index() as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        CoreTraceGenerator {
+            program,
+            core,
+            // Per-core sticky-branch bias: depends on the core identity and the
+            // workload structure, but *not* on the experiment seed, so the same
+            // core diverges the same way in every run.
+            core_bias: spec_seed ^ ((core.index() as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)),
+            rng: SmallRng::seed_from_u64(mixed),
+            pending: VecDeque::new(),
+            scratch_blocks: Vec::new(),
+            requests_generated: 0,
+            fetches_generated: 0,
+            data_ref_carry: 0.0,
+        }
+    }
+
+    /// The core this generator models.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The compiled workload program driving this generator.
+    pub fn program(&self) -> &Arc<WorkloadProgram> {
+        &self.program
+    }
+
+    /// Number of complete requests generated so far.
+    pub fn requests_generated(&self) -> u64 {
+        self.requests_generated
+    }
+
+    /// Number of fetch events generated so far.
+    pub fn fetches_generated(&self) -> u64 {
+        self.fetches_generated
+    }
+
+    /// Produces the next event, generating a new request when the current one
+    /// is exhausted. Never returns `None`; the trace is conceptually infinite.
+    pub fn next_event(&mut self) -> TraceEvent {
+        loop {
+            if let Some(event) = self.pending.pop_front() {
+                if matches!(event, TraceEvent::Fetch(_)) {
+                    self.fetches_generated += 1;
+                }
+                return event;
+            }
+            self.generate_request();
+        }
+    }
+
+    /// Produces the next *fetch* event, discarding interleaved data events.
+    /// Useful for prefetcher-only studies that do not model the data path.
+    pub fn next_fetch(&mut self) -> FetchEvent {
+        loop {
+            if let TraceEvent::Fetch(f) = self.next_event() {
+                return f;
+            }
+        }
+    }
+
+    /// Deterministic per-core decision for a conditional call step.
+    ///
+    /// Conditional calls model data-dependent paths that are *sticky per
+    /// core* (e.g. a core always serving the same client mix or NUMA
+    /// partition): a given core either takes a conditional call on every
+    /// request of that type or never does, but different cores decide
+    /// differently. This is the source of cross-core control-flow divergence
+    /// that separates a shared history (SHIFT) from per-core histories (PIF).
+    fn core_takes_conditional(&self, request: usize, step: usize, probability: f64) -> bool {
+        let mut h = self
+            .core_bias
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((request as u64) << 32 | step as u64);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h as f64 / u64::MAX as f64) < probability
+    }
+
+    fn generate_request(&mut self) {
+        let program = Arc::clone(&self.program);
+        let spec = program.spec();
+        let types = program.request_types();
+        let idx = pick_request(&mut self.rng, types);
+        let request = &types[idx];
+        self.requests_generated += 1;
+
+        for (step_idx, step) in request.steps().iter().enumerate() {
+            if step.execute_probability < 1.0
+                && !self.core_takes_conditional(idx, step_idx, step.execute_probability)
+            {
+                continue;
+            }
+            let function = &program.layout().functions()[step.function];
+            self.emit_function(function, spec);
+
+            // Spontaneous OS activity (scheduler tick, TLB fill, interrupt)
+            // fragments the application's temporal streams, as §6.1 discusses.
+            if spec.os_invocation_probability > 0.0
+                && self.rng.gen_bool(spec.os_invocation_probability)
+            {
+                let os_fns = program.layout().os_functions();
+                let os_idx = self.rng.gen_range(0..os_fns.len());
+                let handler = &os_fns[os_idx];
+                self.emit_function(handler, spec);
+            }
+        }
+    }
+
+    fn emit_function(
+        &mut self,
+        function: &crate::layout::Function,
+        spec: &WorkloadSpec,
+    ) {
+        self.scratch_blocks.clear();
+        function.execute(&mut self.rng, &mut self.scratch_blocks);
+        let blocks = std::mem::take(&mut self.scratch_blocks);
+        for &block in &blocks {
+            let instructions = self.rng.gen_range(
+                spec.instructions_per_block_min..=spec.instructions_per_block_max.max(
+                    spec.instructions_per_block_min,
+                ),
+            );
+            self.pending
+                .push_back(TraceEvent::Fetch(FetchEvent::new(block, instructions)));
+            self.emit_data_refs(instructions, spec);
+        }
+        self.scratch_blocks = blocks;
+    }
+
+    fn emit_data_refs(&mut self, instructions: u8, spec: &WorkloadSpec) {
+        // Expected number of data references for this block visit; carry the
+        // fractional part so the long-run ratio matches the spec exactly.
+        let expected = instructions as f64 * spec.data_refs_per_instruction + self.data_ref_carry;
+        let count = expected.floor() as usize;
+        self.data_ref_carry = expected - count as f64;
+        for _ in 0..count {
+            let block = if self.rng.gen_bool(spec.hot_data_fraction.clamp(0.0, 1.0)) {
+                let off = self.rng.gen_range(0..spec.hot_data_blocks.max(1));
+                spec.data_base.offset(off)
+            } else {
+                let off = self.rng.gen_range(0..spec.data_region_blocks.max(1));
+                spec.data_base.offset(off)
+            };
+            let kind = if self.rng.gen_bool(spec.store_fraction.clamp(0.0, 1.0)) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            self.pending
+                .push_back(TraceEvent::Data(DataEvent::new(kind, block)));
+        }
+    }
+}
+
+impl Iterator for CoreTraceGenerator {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        Some(self.next_event())
+    }
+}
+
+/// Builds one generator per core over a shared compiled program.
+///
+/// # Examples
+///
+/// ```
+/// use shift_trace::{presets, generator::per_core_generators};
+///
+/// let gens = per_core_generators(&presets::tiny(), 4, 99);
+/// assert_eq!(gens.len(), 4);
+/// ```
+pub fn per_core_generators(
+    spec: &WorkloadSpec,
+    cores: u16,
+    seed: u64,
+) -> Vec<CoreTraceGenerator> {
+    let program = WorkloadProgram::build(spec);
+    CoreId::range(cores)
+        .map(|core| CoreTraceGenerator::with_program(Arc::clone(&program), core, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generator_is_deterministic_for_same_seed() {
+        let spec = presets::tiny();
+        let a: Vec<_> = CoreTraceGenerator::new(&spec, CoreId::new(0), 1)
+            .take(5_000)
+            .collect();
+        let b: Vec<_> = CoreTraceGenerator::new(&spec, CoreId::new(0), 1)
+            .take(5_000)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_cores_produce_different_interleavings() {
+        let spec = presets::tiny();
+        let gens = per_core_generators(&spec, 2, 7);
+        let [mut g0, mut g1]: [CoreTraceGenerator; 2] = gens.try_into().unwrap();
+        let a: Vec<_> = g0.by_ref().take(2_000).collect();
+        let b: Vec<_> = g1.by_ref().take(2_000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fetches_stay_within_code_and_os_regions() {
+        let spec = presets::tiny();
+        let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 3);
+        let code = gen.program().layout().code_region();
+        let os = gen.program().layout().os_region();
+        for event in gen.by_ref().take(20_000) {
+            if let TraceEvent::Fetch(f) = event {
+                assert!(
+                    code.contains(f.block) || os.contains(f.block),
+                    "fetch outside code regions: {}",
+                    f.block
+                );
+                assert!(f.instructions >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn data_refs_stay_within_data_region() {
+        let spec = presets::tiny();
+        let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(1), 3);
+        let data = spec.data_region();
+        let mut saw_data = false;
+        for event in gen.by_ref().take(20_000) {
+            if let TraceEvent::Data(d) = event {
+                saw_data = true;
+                assert!(data.contains(d.block), "data ref outside region");
+            }
+        }
+        assert!(saw_data, "expected at least one data reference");
+    }
+
+    #[test]
+    fn data_ref_ratio_tracks_spec() {
+        let spec = presets::tiny();
+        let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 5);
+        let mut instructions = 0u64;
+        let mut data_refs = 0u64;
+        for event in gen.by_ref().take(60_000) {
+            match event {
+                TraceEvent::Fetch(f) => instructions += f.instructions as u64,
+                TraceEvent::Data(_) => data_refs += 1,
+            }
+        }
+        let ratio = data_refs as f64 / instructions as f64;
+        assert!(
+            (ratio - spec.data_refs_per_instruction).abs() < 0.03,
+            "data ref ratio {ratio} too far from {}",
+            spec.data_refs_per_instruction
+        );
+    }
+
+    #[test]
+    fn stream_revisits_blocks_across_requests() {
+        // Requests of the same type recur, so the set of unique blocks grows
+        // much more slowly than the trace length: the signature of temporal
+        // streams that the prefetchers exploit.
+        let spec = presets::tiny();
+        let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 9);
+        let mut unique = HashSet::new();
+        let mut fetches = 0u64;
+        while fetches < 30_000 {
+            let f = gen.next_fetch();
+            unique.insert(f.block);
+            fetches += 1;
+        }
+        assert!(
+            (unique.len() as u64) < fetches / 10,
+            "trace should revisit blocks heavily: {} unique of {}",
+            unique.len(),
+            fetches
+        );
+    }
+
+    #[test]
+    fn cores_share_instruction_footprint() {
+        let spec = presets::tiny();
+        let mut gens = per_core_generators(&spec, 2, 11);
+        let mut sets: Vec<HashSet<_>> = Vec::new();
+        for gen in gens.iter_mut() {
+            let mut set = HashSet::new();
+            for _ in 0..20_000 {
+                set.insert(gen.next_fetch().block);
+            }
+            sets.push(set);
+        }
+        let inter = sets[0].intersection(&sets[1]).count();
+        let union = sets[0].union(&sets[1]).count();
+        let jaccard = inter as f64 / union as f64;
+        assert!(
+            jaccard > 0.75,
+            "cores running the same workload must share most of their footprint (jaccard {jaccard})"
+        );
+    }
+}

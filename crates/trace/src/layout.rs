@@ -1,0 +1,535 @@
+//! Code layout synthesis: address regions, functions, and fragments.
+//!
+//! A workload's instruction footprint is modelled as a set of *functions* laid
+//! out back to back in a dedicated [`AddressRegion`]. Each function is a
+//! sequence of *fragments*: short runs of consecutive cache blocks separated
+//! by control-flow discontinuities (taken branches, calls). A fragment may be
+//! skipped with a small probability when the function executes, modelling
+//! data-dependent branches — the source of the minor control-flow differences
+//! between request instances that the paper discusses.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use shift_types::BlockAddr;
+
+/// A half-open range of cache-block addresses `[start, start + len_blocks)`.
+///
+/// Regions keep the instruction footprints, data footprints, and OS code of
+/// different (possibly consolidated) workloads disjoint.
+///
+/// # Examples
+///
+/// ```
+/// use shift_trace::AddressRegion;
+/// use shift_types::BlockAddr;
+///
+/// let region = AddressRegion::new(BlockAddr::new(0x1000), 64);
+/// assert!(region.contains(BlockAddr::new(0x103f)));
+/// assert!(!region.contains(BlockAddr::new(0x1040)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddressRegion {
+    start: BlockAddr,
+    len_blocks: u64,
+}
+
+impl AddressRegion {
+    /// Creates a region starting at `start` and spanning `len_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_blocks` is zero.
+    pub fn new(start: BlockAddr, len_blocks: u64) -> Self {
+        assert!(len_blocks > 0, "address region must not be empty");
+        AddressRegion { start, len_blocks }
+    }
+
+    /// First block of the region.
+    pub fn start(&self) -> BlockAddr {
+        self.start
+    }
+
+    /// Number of blocks in the region.
+    pub fn len_blocks(&self) -> u64 {
+        self.len_blocks
+    }
+
+    /// One-past-the-end block of the region.
+    pub fn end(&self) -> BlockAddr {
+        self.start.offset(self.len_blocks)
+    }
+
+    /// Returns `true` if `block` falls inside the region.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        block >= self.start && block < self.end()
+    }
+
+    /// Returns `true` if the two regions share any block.
+    pub fn overlaps(&self, other: &AddressRegion) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Returns the `i`-th block of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len_blocks`.
+    pub fn block(&self, i: u64) -> BlockAddr {
+        assert!(i < self.len_blocks, "block index out of region bounds");
+        self.start.offset(i)
+    }
+
+    /// Footprint of the region in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len_blocks * shift_types::BLOCK_BYTES as u64
+    }
+}
+
+/// A run of consecutive instruction blocks within a function, bounded by a
+/// control-flow discontinuity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Offset (in blocks) of the fragment's first block from the function entry.
+    pub offset: u32,
+    /// Number of consecutive blocks in the fragment.
+    pub len: u32,
+    /// Probability that an execution of the function skips this fragment.
+    pub skip_probability: f64,
+}
+
+impl Fragment {
+    /// Creates a fragment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or `skip_probability` is outside `[0, 1)`.
+    pub fn new(offset: u32, len: u32, skip_probability: f64) -> Self {
+        assert!(len > 0, "fragment must contain at least one block");
+        assert!(
+            (0.0..1.0).contains(&skip_probability),
+            "skip probability must be in [0, 1)"
+        );
+        Fragment {
+            offset,
+            len,
+            skip_probability,
+        }
+    }
+}
+
+/// A function: a contiguous range of blocks subdivided into fragments.
+///
+/// Fragments are laid out back to back in the address space, but *execute* in
+/// a fixed, per-function order that generally differs from address order —
+/// modelling taken branches and basic-block reordering. The execution order
+/// is part of the function's static identity, so every execution of the
+/// function produces the same block sequence (up to skipped fragments), which
+/// is what makes temporal streams recur.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    entry: BlockAddr,
+    len_blocks: u32,
+    fragments: Vec<Fragment>,
+    execution_order: Vec<u32>,
+}
+
+impl Function {
+    /// Creates a function whose fragments must tile `[0, len_blocks)` without
+    /// overlapping (gaps are allowed: padding blocks that are never fetched).
+    /// Fragments execute in address order; use
+    /// [`Function::with_execution_order`] to model taken branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fragment extends past `len_blocks`.
+    pub fn new(entry: BlockAddr, len_blocks: u32, fragments: Vec<Fragment>) -> Self {
+        for frag in &fragments {
+            assert!(
+                frag.offset + frag.len <= len_blocks,
+                "fragment extends past end of function"
+            );
+        }
+        let execution_order = (0..fragments.len() as u32).collect();
+        Function {
+            entry,
+            len_blocks,
+            fragments,
+            execution_order,
+        }
+    }
+
+    /// Replaces the fragment execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..fragments.len()` or does
+    /// not start with fragment `0` (the entry fragment must execute first).
+    #[must_use]
+    pub fn with_execution_order(mut self, order: Vec<u32>) -> Self {
+        assert_eq!(order.len(), self.fragments.len(), "order must cover all fragments");
+        let mut seen = vec![false; self.fragments.len()];
+        for &i in &order {
+            let idx = i as usize;
+            assert!(idx < self.fragments.len(), "order references unknown fragment");
+            assert!(!seen[idx], "order repeats a fragment");
+            seen[idx] = true;
+        }
+        assert_eq!(order.first(), Some(&0), "entry fragment must execute first");
+        self.execution_order = order;
+        self
+    }
+
+    /// First block of the function (its entry point).
+    pub fn entry(&self) -> BlockAddr {
+        self.entry
+    }
+
+    /// Total extent of the function in blocks, including padding.
+    pub fn len_blocks(&self) -> u32 {
+        self.len_blocks
+    }
+
+    /// The function's fragments in static program order.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// Expected number of blocks fetched by one execution (each fragment
+    /// weighted by its execution probability).
+    pub fn expected_blocks_per_execution(&self) -> f64 {
+        self.fragments
+            .iter()
+            .map(|f| f.len as f64 * (1.0 - f.skip_probability))
+            .sum()
+    }
+
+    /// The fixed fragment execution order.
+    pub fn execution_order(&self) -> &[u32] {
+        &self.execution_order
+    }
+
+    /// Emits the block addresses touched by one execution of the function,
+    /// using `rng` to decide which fragments are skipped, appending them to
+    /// `out`. Fragments are emitted in the function's execution order; the
+    /// entry fragment is never skipped so that every execution touches the
+    /// function entry block.
+    pub fn execute<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<BlockAddr>) {
+        for &idx in &self.execution_order {
+            let frag = &self.fragments[idx as usize];
+            let always = frag.offset == 0;
+            if !always && frag.skip_probability > 0.0 && rng.gen_bool(frag.skip_probability) {
+                continue;
+            }
+            for i in 0..frag.len {
+                out.push(self.entry.offset((frag.offset + i) as u64));
+            }
+        }
+    }
+}
+
+/// The complete code layout of one workload.
+///
+/// Application functions live in the workload's code region; operating-system
+/// handler functions (scheduler, TLB-miss handler, interrupt handlers) live in
+/// a separate OS region shared by all request types.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CodeLayout {
+    code_region: AddressRegion,
+    os_region: AddressRegion,
+    functions: Vec<Function>,
+    os_functions: Vec<Function>,
+}
+
+/// Parameters controlling random layout synthesis.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayoutParams {
+    /// Number of application functions.
+    pub functions: usize,
+    /// Mean function length in blocks.
+    pub mean_function_blocks: f64,
+    /// Mean fragment length in blocks (controls next-line prefetcher efficacy).
+    pub mean_fragment_blocks: f64,
+    /// Probability that a non-entry fragment is skipped by an execution.
+    pub fragment_skip_probability: f64,
+    /// Probability that control flow *branches* at a fragment boundary instead
+    /// of falling through to the next fragment in address order. Higher values
+    /// mean more discontinuities, which next-line prefetching cannot cover.
+    pub taken_branch_probability: f64,
+    /// Number of OS handler functions.
+    pub os_functions: usize,
+    /// Mean OS handler length in blocks.
+    pub mean_os_function_blocks: f64,
+}
+
+impl CodeLayout {
+    /// Synthesizes a layout from `params`, placing application code at
+    /// `code_base` and OS code at `os_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.functions` is zero.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        params: &LayoutParams,
+        code_base: BlockAddr,
+        os_base: BlockAddr,
+    ) -> Self {
+        assert!(params.functions > 0, "layout needs at least one function");
+        let functions = Self::generate_functions(
+            rng,
+            code_base,
+            params.functions,
+            params.mean_function_blocks,
+            params.mean_fragment_blocks,
+            params.fragment_skip_probability,
+            params.taken_branch_probability,
+        );
+        let os_functions = Self::generate_functions(
+            rng,
+            os_base,
+            params.os_functions.max(1),
+            params.mean_os_function_blocks,
+            params.mean_fragment_blocks,
+            // OS handlers have straighter control flow.
+            params.fragment_skip_probability * 0.5,
+            params.taken_branch_probability * 0.7,
+        );
+        let code_len = functions
+            .last()
+            .map(|f| f.entry().offset(f.len_blocks() as u64) - code_base)
+            .unwrap_or(1)
+            .max(1);
+        let os_len = os_functions
+            .last()
+            .map(|f| f.entry().offset(f.len_blocks() as u64) - os_base)
+            .unwrap_or(1)
+            .max(1);
+        CodeLayout {
+            code_region: AddressRegion::new(code_base, code_len),
+            os_region: AddressRegion::new(os_base, os_len),
+            functions,
+            os_functions,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_functions<R: Rng + ?Sized>(
+        rng: &mut R,
+        base: BlockAddr,
+        count: usize,
+        mean_blocks: f64,
+        mean_fragment_blocks: f64,
+        skip_probability: f64,
+        taken_branch_probability: f64,
+    ) -> Vec<Function> {
+        let mut functions = Vec::with_capacity(count);
+        let mut cursor = base;
+        for _ in 0..count {
+            // Function length: uniform in [mean/2, 3*mean/2], at least 1 block.
+            let lo = (mean_blocks * 0.5).max(1.0);
+            let hi = (mean_blocks * 1.5).max(lo + 1.0);
+            let len = rng.gen_range(lo..hi).round().max(1.0) as u32;
+            let fragments = Self::fragment(rng, len, mean_fragment_blocks, skip_probability);
+            let order = Self::execution_order(rng, fragments.len(), taken_branch_probability);
+            functions.push(Function::new(cursor, len, fragments).with_execution_order(order));
+            cursor = cursor.offset(len as u64);
+        }
+        functions
+    }
+
+    /// Builds a per-function fragment execution order: starting from address
+    /// order, each fragment boundary becomes a taken branch (a jump to a
+    /// random not-yet-executed fragment) with the given probability.
+    fn execution_order<R: Rng + ?Sized>(
+        rng: &mut R,
+        fragment_count: usize,
+        taken_branch_probability: f64,
+    ) -> Vec<u32> {
+        let mut remaining: Vec<u32> = (1..fragment_count as u32).collect();
+        let mut order = Vec::with_capacity(fragment_count);
+        order.push(0u32);
+        let mut last = 0u32;
+        while !remaining.is_empty() {
+            let fallthrough_pos = remaining.iter().position(|&f| f == last + 1);
+            let pick = match fallthrough_pos {
+                Some(pos) if !rng.gen_bool(taken_branch_probability.clamp(0.0, 1.0)) => pos,
+                _ => rng.gen_range(0..remaining.len()),
+            };
+            last = remaining.swap_remove(pick);
+            order.push(last);
+        }
+        order
+    }
+
+    fn fragment<R: Rng + ?Sized>(
+        rng: &mut R,
+        len_blocks: u32,
+        mean_fragment_blocks: f64,
+        skip_probability: f64,
+    ) -> Vec<Fragment> {
+        let mut fragments = Vec::new();
+        let mut offset = 0u32;
+        while offset < len_blocks {
+            let remaining = len_blocks - offset;
+            let lo = 1.0f64;
+            let hi = (mean_fragment_blocks * 2.0).max(lo + 0.5);
+            let frag_len = rng.gen_range(lo..hi).round().max(1.0) as u32;
+            let frag_len = frag_len.min(remaining);
+            // The entry fragment is never skipped; later fragments are skipped
+            // with the configured probability.
+            let skip = if offset == 0 { 0.0 } else { skip_probability };
+            fragments.push(Fragment::new(offset, frag_len, skip));
+            offset += frag_len;
+        }
+        fragments
+    }
+
+    /// The application code region.
+    pub fn code_region(&self) -> AddressRegion {
+        self.code_region
+    }
+
+    /// The OS code region.
+    pub fn os_region(&self) -> AddressRegion {
+        self.os_region
+    }
+
+    /// Application functions.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// OS handler functions.
+    pub fn os_functions(&self) -> &[Function] {
+        &self.os_functions
+    }
+
+    /// Total instruction footprint (application + OS) in blocks.
+    pub fn footprint_blocks(&self) -> u64 {
+        let app: u64 = self.functions.iter().map(|f| f.len_blocks() as u64).sum();
+        let os: u64 = self
+            .os_functions
+            .iter()
+            .map(|f| f.len_blocks() as u64)
+            .sum();
+        app + os
+    }
+
+    /// Total instruction footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_blocks() * shift_types::BLOCK_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_params() -> LayoutParams {
+        LayoutParams {
+            functions: 50,
+            mean_function_blocks: 12.0,
+            mean_fragment_blocks: 2.5,
+            fragment_skip_probability: 0.1,
+            taken_branch_probability: 0.55,
+            os_functions: 5,
+            mean_os_function_blocks: 8.0,
+        }
+    }
+
+    #[test]
+    fn region_containment_and_overlap() {
+        let a = AddressRegion::new(BlockAddr::new(0), 10);
+        let b = AddressRegion::new(BlockAddr::new(10), 10);
+        let c = AddressRegion::new(BlockAddr::new(5), 3);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(a.contains(BlockAddr::new(9)));
+        assert!(!a.contains(BlockAddr::new(10)));
+        assert_eq!(a.bytes(), 640);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_region_rejected() {
+        let _ = AddressRegion::new(BlockAddr::new(0), 0);
+    }
+
+    #[test]
+    fn functions_are_laid_out_contiguously_without_overlap() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let layout = CodeLayout::generate(
+            &mut rng,
+            &small_params(),
+            BlockAddr::new(0x10000),
+            BlockAddr::new(0x80000),
+        );
+        let fns = layout.functions();
+        assert_eq!(fns.len(), 50);
+        for pair in fns.windows(2) {
+            let end = pair[0].entry().offset(pair[0].len_blocks() as u64);
+            assert_eq!(end, pair[1].entry(), "functions must be contiguous");
+        }
+        assert!(layout.code_region().contains(fns[0].entry()));
+        assert!(!layout.code_region().overlaps(&layout.os_region()));
+    }
+
+    #[test]
+    fn execution_emits_blocks_within_function_extent() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let layout = CodeLayout::generate(
+            &mut rng,
+            &small_params(),
+            BlockAddr::new(0),
+            BlockAddr::new(0x80000),
+        );
+        let f = &layout.functions()[7];
+        let mut blocks = Vec::new();
+        f.execute(&mut rng, &mut blocks);
+        assert!(!blocks.is_empty());
+        for b in &blocks {
+            let off = b.offset_from(f.entry()).expect("block before entry");
+            assert!(off < f.len_blocks() as u64);
+        }
+        // Entry block is always fetched.
+        assert_eq!(blocks[0], f.entry());
+    }
+
+    #[test]
+    fn expected_blocks_reflects_skip_probability() {
+        let f = Function::new(
+            BlockAddr::new(0),
+            4,
+            vec![Fragment::new(0, 2, 0.0), Fragment::new(2, 2, 0.5)],
+        );
+        let expected = f.expected_blocks_per_execution();
+        assert!((expected - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_counts_app_and_os_blocks() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let layout = CodeLayout::generate(
+            &mut rng,
+            &small_params(),
+            BlockAddr::new(0),
+            BlockAddr::new(0x80000),
+        );
+        let sum: u64 = layout
+            .functions()
+            .iter()
+            .chain(layout.os_functions())
+            .map(|f| f.len_blocks() as u64)
+            .sum();
+        assert_eq!(layout.footprint_blocks(), sum);
+        assert_eq!(layout.footprint_bytes(), sum * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "extends past end")]
+    fn fragment_past_function_end_rejected() {
+        let _ = Function::new(BlockAddr::new(0), 2, vec![Fragment::new(1, 4, 0.0)]);
+    }
+}

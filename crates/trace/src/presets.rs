@@ -1,0 +1,249 @@
+//! The seven server workloads of Table I, as synthetic-workload presets.
+//!
+//! The parameters below are chosen to reproduce the qualitative properties the
+//! paper reports for each workload: OLTP on Oracle has the largest instruction
+//! working set, DSS queries have few request types with very long recurring
+//! paths, media streaming has the smallest footprint, and the web workloads
+//! sit in between with frequent OS involvement. Absolute footprints are in the
+//! multi-megabyte range, far beyond a 32 KB L1-I, exactly as in the paper.
+
+use shift_types::BlockAddr;
+
+use crate::layout::LayoutParams;
+use crate::workload::WorkloadSpec;
+
+/// Default byte-region bases (expressed in blocks) for a standalone workload.
+const CODE_BASE: u64 = 0x0100_0000;
+const OS_BASE: u64 = 0x0200_0000;
+const DATA_BASE: u64 = 0x0400_0000;
+
+fn base_spec(name: &str, structure_seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_owned(),
+        layout: LayoutParams {
+            functions: 800,
+            mean_function_blocks: 26.0,
+            mean_fragment_blocks: 2.4,
+            fragment_skip_probability: 0.08,
+            taken_branch_probability: 0.68,
+            os_functions: 48,
+            mean_os_function_blocks: 14.0,
+        },
+        request_types: 8,
+        calls_per_request: 64,
+        hot_functions: 40,
+        hot_call_fraction: 0.30,
+        conditional_call_fraction: 0.20,
+        request_skew: 0.6,
+        os_invocation_probability: 0.03,
+        instructions_per_block_min: 6,
+        instructions_per_block_max: 16,
+        data_refs_per_instruction: 0.30,
+        data_region_blocks: 2_000_000,
+        hot_data_blocks: 4_096,
+        hot_data_fraction: 0.70,
+        store_fraction: 0.30,
+        code_base: BlockAddr::new(CODE_BASE),
+        os_base: BlockAddr::new(OS_BASE),
+        data_base: BlockAddr::new(DATA_BASE),
+        structure_seed,
+    }
+}
+
+/// OLTP on IBM DB2 (TPC-C, 100 warehouses): a large instruction working set
+/// and a moderately diverse transaction mix.
+pub fn oltp_db2() -> WorkloadSpec {
+    let mut s = base_spec("OLTP DB2", 0xD82_0001);
+    s.layout.functions = 1_050;
+    s.layout.mean_function_blocks = 28.0;
+    s.request_types = 12;
+    s.calls_per_request = 72;
+    s.hot_functions = 52;
+    s.data_region_blocks = 2_600_000;
+    s
+}
+
+/// OLTP on Oracle (TPC-C): the largest instruction working set in the suite.
+pub fn oltp_oracle() -> WorkloadSpec {
+    let mut s = base_spec("OLTP Oracle", 0x0AC_0002);
+    s.layout.functions = 1_500;
+    s.layout.mean_function_blocks = 30.0;
+    s.request_types = 16;
+    s.calls_per_request = 88;
+    s.hot_functions = 60;
+    s.hot_call_fraction = 0.26;
+    s.os_invocation_probability = 0.035;
+    s.data_region_blocks = 3_200_000;
+    s
+}
+
+/// DSS query 2 (TPC-H on DB2): few request types, very long recurring scans.
+pub fn dss_q2() -> WorkloadSpec {
+    let mut s = base_spec("DSS Qry 2", 0xD55_0003);
+    s.layout.functions = 620;
+    s.layout.mean_function_blocks = 24.0;
+    s.request_types = 3;
+    s.calls_per_request = 150;
+    s.hot_functions = 30;
+    s.hot_call_fraction = 0.38;
+    s.conditional_call_fraction = 0.10;
+    s.os_invocation_probability = 0.02;
+    s.data_region_blocks = 4_000_000;
+    s.hot_data_fraction = 0.55;
+    s
+}
+
+/// DSS query 17 (TPC-H on DB2): like query 2 with a slightly larger footprint.
+pub fn dss_q17() -> WorkloadSpec {
+    let mut s = base_spec("DSS Qry 17", 0xD55_0017);
+    s.layout.functions = 700;
+    s.layout.mean_function_blocks = 25.0;
+    s.request_types = 4;
+    s.calls_per_request = 140;
+    s.hot_functions = 34;
+    s.hot_call_fraction = 0.36;
+    s.conditional_call_fraction = 0.11;
+    s.os_invocation_probability = 0.02;
+    s.data_region_blocks = 4_000_000;
+    s.hot_data_fraction = 0.55;
+    s
+}
+
+/// Darwin media streaming: the smallest instruction footprint of the suite,
+/// dominated by a few packet-pump loops.
+pub fn media_streaming() -> WorkloadSpec {
+    let mut s = base_spec("Media Streaming", 0x3ED_0004);
+    s.layout.functions = 460;
+    s.layout.mean_function_blocks = 22.0;
+    s.request_types = 6;
+    s.calls_per_request = 48;
+    s.hot_functions = 26;
+    s.hot_call_fraction = 0.42;
+    s.os_invocation_probability = 0.045;
+    s.data_region_blocks = 6_000_000;
+    s.hot_data_fraction = 0.45;
+    s
+}
+
+/// Apache web frontend (SPECweb99): a broad URL mix with heavy OS involvement.
+pub fn web_frontend() -> WorkloadSpec {
+    let mut s = base_spec("Web Frontend", 0x3EB_0005);
+    s.layout.functions = 1_150;
+    s.layout.mean_function_blocks = 26.0;
+    s.request_types = 10;
+    s.calls_per_request = 60;
+    s.hot_functions = 46;
+    s.os_invocation_probability = 0.06;
+    s.layout.os_functions = 64;
+    s.data_region_blocks = 1_800_000;
+    s
+}
+
+/// Nutch/Lucene web search: scoring and index traversal with a mid-sized
+/// footprint.
+pub fn web_search() -> WorkloadSpec {
+    let mut s = base_spec("Web Search", 0x3EA_0006);
+    s.layout.functions = 820;
+    s.layout.mean_function_blocks = 24.0;
+    s.request_types = 8;
+    s.calls_per_request = 68;
+    s.hot_functions = 38;
+    s.hot_call_fraction = 0.34;
+    s.os_invocation_probability = 0.025;
+    s.data_region_blocks = 2_400_000;
+    s
+}
+
+/// The full workload suite of Table I, in the paper's reporting order.
+pub fn paper_suite() -> Vec<WorkloadSpec> {
+    vec![
+        oltp_db2(),
+        oltp_oracle(),
+        dss_q2(),
+        dss_q17(),
+        media_streaming(),
+        web_frontend(),
+        web_search(),
+    ]
+}
+
+/// The four-workload consolidation mix of §5.5 (OLTP Oracle, web frontend,
+/// media streaming, web search), each re-based to a disjoint address region.
+pub fn consolidation_suite() -> Vec<WorkloadSpec> {
+    [oltp_oracle(), web_frontend(), media_streaming(), web_search()]
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| spec.with_region_index(i))
+        .collect()
+}
+
+/// A deliberately tiny workload for unit tests: a few dozen functions, short
+/// requests, small data footprint. Its structure matches the real presets so
+/// tests exercise the same code paths quickly.
+pub fn tiny() -> WorkloadSpec {
+    let mut s = base_spec("Tiny", 0x7E57_0000);
+    // Keep the footprint several times the 512-block L1-I so that capacity
+    // misses dominate, as they do for the real server workloads.
+    s.layout.functions = 170;
+    s.layout.mean_function_blocks = 12.0;
+    s.layout.os_functions = 8;
+    s.layout.mean_os_function_blocks = 6.0;
+    s.request_types = 4;
+    s.calls_per_request = 20;
+    s.hot_functions = 8;
+    s.data_region_blocks = 8_192;
+    s.hot_data_blocks = 256;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seven_workloads_with_unique_names() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 7);
+        let names: std::collections::HashSet<_> = suite.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn footprints_exceed_l1i_capacity() {
+        // 32 KB L1-I = 512 blocks; every workload's footprint must exceed it
+        // by a wide margin, as in the paper.
+        for spec in paper_suite() {
+            assert!(
+                spec.expected_footprint_blocks() > 8.0 * 512.0,
+                "{} footprint too small",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_has_largest_footprint() {
+        let suite = paper_suite();
+        let oracle = suite.iter().find(|s| s.name == "OLTP Oracle").unwrap();
+        for spec in &suite {
+            assert!(oracle.expected_footprint_blocks() >= spec.expected_footprint_blocks());
+        }
+    }
+
+    #[test]
+    fn consolidation_suite_regions_are_disjoint() {
+        let mix = consolidation_suite();
+        assert_eq!(mix.len(), 4);
+        for i in 0..mix.len() {
+            for j in (i + 1)..mix.len() {
+                assert!(!mix[i].code_region().overlaps(&mix[j].code_region()));
+                assert!(!mix[i].data_region().overlaps(&mix[j].data_region()));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_is_much_smaller_than_paper_workloads() {
+        assert!(tiny().expected_footprint_blocks() < 4_000.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Request types: the recurring control-flow templates of a server workload.
+//!
+//! Server workloads process large numbers of similar requests. Each *request
+//! type* (e.g. "new-order transaction", "HTTP GET of a static page") is a
+//! fixed call path through the workload's functions; serving a request
+//! executes that path with minor data-dependent variation. Because the path
+//! is fixed, the instruction-block sequence of a request type recurs every
+//! time the type is served — these recurrences are the temporal streams that
+//! stream-based prefetchers record and replay.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One step in a request's call path.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CallStep {
+    /// Index of the called function in the workload's [`CodeLayout`]
+    /// (application functions only).
+    ///
+    /// [`CodeLayout`]: crate::CodeLayout
+    pub function: usize,
+    /// Probability that this call is executed by a given request instance.
+    /// `1.0` means the call is unconditional.
+    pub execute_probability: f64,
+}
+
+impl CallStep {
+    /// Creates an unconditional call step.
+    pub fn always(function: usize) -> Self {
+        CallStep {
+            function,
+            execute_probability: 1.0,
+        }
+    }
+
+    /// Creates a conditional call step executed with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn conditional(function: usize, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "execute probability must be in (0, 1]");
+        CallStep {
+            function,
+            execute_probability: p,
+        }
+    }
+}
+
+/// A request type: a weighted, recurring call path through the code layout.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestType {
+    name: String,
+    steps: Vec<CallStep>,
+    weight: f64,
+}
+
+impl RequestType {
+    /// Creates a request type from an explicit call path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or `weight` is not positive.
+    pub fn new(name: impl Into<String>, steps: Vec<CallStep>, weight: f64) -> Self {
+        assert!(!steps.is_empty(), "request type needs at least one call");
+        assert!(weight > 0.0, "request weight must be positive");
+        RequestType {
+            name: name.into(),
+            steps,
+            weight,
+        }
+    }
+
+    /// Synthesizes a request type as a random call path.
+    ///
+    /// `hot_functions` are shared utility functions (dispatch, logging, memory
+    /// allocation, network I/O) that most request types call frequently; they
+    /// are drawn from the first `hot_functions` of the layout with probability
+    /// `hot_call_fraction` per step, giving the instruction stream the hot/cold
+    /// structure observed in real server software.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        name: impl Into<String>,
+        total_functions: usize,
+        hot_functions: usize,
+        calls: usize,
+        hot_call_fraction: f64,
+        conditional_call_fraction: f64,
+        weight: f64,
+    ) -> Self {
+        assert!(total_functions > 0, "layout has no functions");
+        assert!(calls > 0, "request must make at least one call");
+        let hot = hot_functions.clamp(1, total_functions);
+        let mut steps = Vec::with_capacity(calls);
+        for i in 0..calls {
+            let function = if rng.gen_bool(hot_call_fraction.clamp(0.0, 1.0)) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..total_functions)
+            };
+            // The first call (request entry) is always executed; later calls
+            // may be conditional.
+            let step = if i > 0 && rng.gen_bool(conditional_call_fraction.clamp(0.0, 1.0)) {
+                CallStep::conditional(function, rng.gen_range(0.5..1.0))
+            } else {
+                CallStep::always(function)
+            };
+            steps.push(step);
+        }
+        RequestType::new(name, steps, weight)
+    }
+
+    /// The request type's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The call path.
+    pub fn steps(&self) -> &[CallStep] {
+        &self.steps
+    }
+
+    /// Relative frequency of this request type in the workload mix.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Expected number of calls executed by one request instance.
+    pub fn expected_calls(&self) -> f64 {
+        self.steps.iter().map(|s| s.execute_probability).sum()
+    }
+}
+
+/// Selects a request type index according to the mix weights.
+///
+/// # Panics
+///
+/// Panics if `types` is empty.
+pub fn pick_request<R: Rng + ?Sized>(rng: &mut R, types: &[RequestType]) -> usize {
+    assert!(!types.is_empty(), "workload has no request types");
+    let total: f64 = types.iter().map(|t| t.weight()).sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, t) in types.iter().enumerate() {
+        if draw < t.weight() {
+            return i;
+        }
+        draw -= t.weight();
+    }
+    types.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_request_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let req = RequestType::generate(&mut rng, "q1", 100, 10, 40, 0.3, 0.2, 1.0);
+        assert_eq!(req.steps().len(), 40);
+        for step in req.steps() {
+            assert!(step.function < 100);
+            assert!(step.execute_probability > 0.0 && step.execute_probability <= 1.0);
+        }
+        assert!(req.expected_calls() <= 40.0);
+        assert!(req.expected_calls() > 20.0);
+    }
+
+    #[test]
+    fn first_step_is_unconditional() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for seed in 0..20u64 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let req = RequestType::generate(&mut r, "q", 50, 5, 10, 0.2, 0.9, 1.0);
+            assert_eq!(req.steps()[0].execute_probability, 1.0);
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn pick_request_covers_all_types_over_many_draws() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let types = vec![
+            RequestType::new("a", vec![CallStep::always(0)], 1.0),
+            RequestType::new("b", vec![CallStep::always(1)], 2.0),
+            RequestType::new("c", vec![CallStep::always(2)], 4.0),
+        ];
+        let mut counts = [0usize; 3];
+        for _ in 0..7000 {
+            counts[pick_request(&mut rng, &types)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        // Heavier weights are picked more often.
+        assert!(counts[2] > counts[1]);
+        assert!(counts[1] > counts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one call")]
+    fn empty_request_rejected() {
+        let _ = RequestType::new("empty", vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_weight_rejected() {
+        let _ = RequestType::new("w", vec![CallStep::always(0)], 0.0);
+    }
+}

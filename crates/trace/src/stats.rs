@@ -1,0 +1,187 @@
+//! Trace statistics: footprint, reuse, and sequential-run measurements.
+//!
+//! These statistics characterize the synthetic traces the same way the paper
+//! characterizes its workloads (multi-megabyte instruction working sets,
+//! recurring streams, short sequential runs). They are used by tests to check
+//! that the generator produces server-like streams and by the documentation
+//! harness to report trace properties alongside each experiment.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use shift_types::BlockAddr;
+
+use crate::event::FetchEvent;
+
+/// Aggregate statistics over a fetch stream.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of fetch events observed.
+    pub fetches: u64,
+    /// Number of instructions retired.
+    pub instructions: u64,
+    /// Number of distinct instruction blocks touched.
+    pub unique_blocks: u64,
+    /// Number of fetches whose block is exactly the previous block plus one
+    /// (the accesses a next-line prefetcher can cover).
+    pub sequential_fetches: u64,
+    /// Number of fetches to a block already touched earlier in the stream.
+    pub reused_fetches: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a fetch stream.
+    pub fn from_fetches<I>(fetches: I) -> Self
+    where
+        I: IntoIterator<Item = FetchEvent>,
+    {
+        let mut collector = TraceStatsCollector::new();
+        for f in fetches {
+            collector.observe(&f);
+        }
+        collector.finish()
+    }
+
+    /// Instruction footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_blocks * shift_types::BLOCK_BYTES as u64
+    }
+
+    /// Fraction of fetches that target the block after the previous one.
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.sequential_fetches as f64 / self.fetches as f64
+        }
+    }
+
+    /// Fraction of fetches that revisit a previously-touched block.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.reused_fetches as f64 / self.fetches as f64
+        }
+    }
+
+    /// Average instructions retired per block visit.
+    pub fn instructions_per_fetch(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.fetches as f64
+        }
+    }
+}
+
+/// Incremental collector for [`TraceStats`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceStatsCollector {
+    stats: TraceStats,
+    last_block: Option<BlockAddr>,
+    visit_counts: HashMap<BlockAddr, u64>,
+}
+
+impl TraceStatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fetch event.
+    pub fn observe(&mut self, fetch: &FetchEvent) {
+        self.stats.fetches += 1;
+        self.stats.instructions += fetch.instructions as u64;
+        if let Some(prev) = self.last_block {
+            if fetch.block == prev.next() {
+                self.stats.sequential_fetches += 1;
+            }
+        }
+        let count = self.visit_counts.entry(fetch.block).or_insert(0);
+        if *count > 0 {
+            self.stats.reused_fetches += 1;
+        }
+        *count += 1;
+        self.last_block = Some(fetch.block);
+    }
+
+    /// Finishes collection and returns the statistics.
+    pub fn finish(mut self) -> TraceStats {
+        self.stats.unique_blocks = self.visit_counts.len() as u64;
+        self.stats
+    }
+
+    /// Returns per-block visit counts (consumes the collector).
+    pub fn into_visit_counts(self) -> HashMap<BlockAddr, u64> {
+        self.visit_counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CoreTraceGenerator;
+    use crate::presets;
+    use shift_types::CoreId;
+
+    fn stream(n: usize) -> Vec<FetchEvent> {
+        let mut gen = CoreTraceGenerator::new(&presets::tiny(), CoreId::new(0), 2);
+        (0..n).map(|_| gen.next_fetch()).collect()
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = TraceStats::from_fetches(Vec::new());
+        assert_eq!(stats.fetches, 0);
+        assert_eq!(stats.sequential_fraction(), 0.0);
+        assert_eq!(stats.reuse_fraction(), 0.0);
+        assert_eq!(stats.instructions_per_fetch(), 0.0);
+    }
+
+    #[test]
+    fn hand_built_stream_counts() {
+        let fetches = vec![
+            FetchEvent::new(BlockAddr::new(10), 8),
+            FetchEvent::new(BlockAddr::new(11), 8),
+            FetchEvent::new(BlockAddr::new(20), 8),
+            FetchEvent::new(BlockAddr::new(10), 8),
+            FetchEvent::new(BlockAddr::new(11), 8),
+        ];
+        let stats = TraceStats::from_fetches(fetches);
+        assert_eq!(stats.fetches, 5);
+        assert_eq!(stats.unique_blocks, 3);
+        // 10→11 (twice) are sequential; 11→20 and 20→10 are not.
+        assert_eq!(stats.sequential_fetches, 2);
+        assert_eq!(stats.reused_fetches, 2);
+        assert_eq!(stats.instructions, 40);
+        assert_eq!(stats.footprint_bytes(), 3 * 64);
+    }
+
+    #[test]
+    fn synthetic_trace_has_server_like_structure() {
+        let stats = TraceStats::from_fetches(stream(30_000));
+        // Heavy reuse (temporal streams recur)…
+        assert!(stats.reuse_fraction() > 0.8, "reuse {}", stats.reuse_fraction());
+        // …but only partial sequentiality (frequent discontinuities), which is
+        // why next-line prefetching is not enough.
+        let seq = stats.sequential_fraction();
+        assert!(
+            (0.2..0.8).contains(&seq),
+            "sequential fraction {seq} outside server-like range"
+        );
+        assert!(stats.instructions_per_fetch() >= 6.0);
+    }
+
+    #[test]
+    fn visit_counts_sum_to_fetches() {
+        let mut collector = TraceStatsCollector::new();
+        let fetches = stream(5_000);
+        for f in &fetches {
+            collector.observe(f);
+        }
+        let counts = collector.into_visit_counts();
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, fetches.len() as u64);
+    }
+}

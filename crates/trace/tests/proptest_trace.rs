@@ -1,0 +1,43 @@
+//! Property tests for the synthetic workload generator.
+
+use proptest::prelude::*;
+use shift_trace::{presets, CoreTraceGenerator, TraceEvent};
+use shift_types::CoreId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated event stays within the workload's declared address
+    /// regions, for any core and seed.
+    #[test]
+    fn events_stay_in_declared_regions(core in 0u16..8, seed in 0u64..1_000) {
+        let spec = presets::tiny();
+        let mut generator = CoreTraceGenerator::new(&spec, CoreId::new(core), seed);
+        let code = generator.program().layout().code_region();
+        let os = generator.program().layout().os_region();
+        let data = spec.data_region();
+        for event in generator.by_ref().take(3_000) {
+            match event {
+                TraceEvent::Fetch(f) => {
+                    prop_assert!(code.contains(f.block) || os.contains(f.block));
+                    prop_assert!(f.instructions >= spec.instructions_per_block_min);
+                    prop_assert!(f.instructions <= spec.instructions_per_block_max);
+                }
+                TraceEvent::Data(d) => prop_assert!(data.contains(d.block)),
+            }
+        }
+    }
+
+    /// Generation is a pure function of (spec, core, seed).
+    #[test]
+    fn generation_is_deterministic(core in 0u16..4, seed in 0u64..100) {
+        let spec = presets::tiny();
+        let a: Vec<_> = CoreTraceGenerator::new(&spec, CoreId::new(core), seed)
+            .take(1_000)
+            .collect();
+        let b: Vec<_> = CoreTraceGenerator::new(&spec, CoreId::new(core), seed)
+            .take(1_000)
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! Classification of memory accesses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of memory reference a core performs.
+///
+/// The trace generator produces instruction fetches and data loads/stores;
+/// the cache hierarchy and the LLC traffic accounting distinguish them.
+///
+/// # Examples
+///
+/// ```
+/// use shift_types::AccessKind;
+/// assert!(AccessKind::InstructionFetch.is_instruction());
+/// assert!(!AccessKind::Load.is_instruction());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An instruction-cache fetch.
+    InstructionFetch,
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for instruction fetches.
+    #[inline]
+    pub const fn is_instruction(self) -> bool {
+        matches!(self, AccessKind::InstructionFetch)
+    }
+
+    /// Returns `true` for loads and stores.
+    #[inline]
+    pub const fn is_data(self) -> bool {
+        !self.is_instruction()
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::InstructionFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The architectural *class* of traffic a request belongs to, used by the LLC
+/// and NoC accounting to reproduce the paper's traffic breakdown (Figure 9).
+///
+/// Baseline traffic comprises [`AccessClass::Demand`] requests (instruction
+/// and data). SHIFT adds history-buffer reads ([`AccessClass::HistoryRead`],
+/// "LogRead" in the paper), history-buffer writes ([`AccessClass::HistoryWrite`],
+/// "LogWrite"), prefetches that are discarded before use
+/// ([`AccessClass::Discard`]) and index-pointer updates in the tag array
+/// ([`AccessClass::IndexUpdate`]).
+///
+/// # Examples
+///
+/// ```
+/// use shift_types::AccessClass;
+/// assert!(AccessClass::Demand.is_baseline());
+/// assert!(!AccessClass::HistoryRead.is_baseline());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessClass {
+    /// A demand instruction or data request from a core.
+    Demand,
+    /// A prefetch request that was later referenced by the core (useful).
+    PrefetchUseful,
+    /// A prefetch request whose block was discarded before being referenced.
+    Discard,
+    /// A read of the virtualized history buffer from the LLC ("LogRead").
+    HistoryRead,
+    /// A write of the virtualized history buffer into the LLC ("LogWrite").
+    HistoryWrite,
+    /// An index-pointer update in the LLC tag array.
+    IndexUpdate,
+}
+
+impl AccessClass {
+    /// Returns `true` if this class is part of the *baseline* (no-prefetcher)
+    /// traffic that Figure 9 normalizes against.
+    #[inline]
+    pub const fn is_baseline(self) -> bool {
+        matches!(self, AccessClass::Demand)
+    }
+
+    /// Returns `true` if this class is traffic introduced by a prefetcher.
+    #[inline]
+    pub const fn is_prefetcher_overhead(self) -> bool {
+        !self.is_baseline() && !matches!(self, AccessClass::PrefetchUseful)
+    }
+
+    /// All variants, in a stable reporting order.
+    pub const ALL: [AccessClass; 6] = [
+        AccessClass::Demand,
+        AccessClass::PrefetchUseful,
+        AccessClass::Discard,
+        AccessClass::HistoryRead,
+        AccessClass::HistoryWrite,
+        AccessClass::IndexUpdate,
+    ];
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessClass::Demand => "demand",
+            AccessClass::PrefetchUseful => "prefetch",
+            AccessClass::Discard => "discard",
+            AccessClass::HistoryRead => "log-read",
+            AccessClass::HistoryWrite => "log-write",
+            AccessClass::IndexUpdate => "index-update",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_vs_data() {
+        assert!(AccessKind::InstructionFetch.is_instruction());
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn baseline_classification() {
+        assert!(AccessClass::Demand.is_baseline());
+        for class in [
+            AccessClass::Discard,
+            AccessClass::HistoryRead,
+            AccessClass::HistoryWrite,
+            AccessClass::IndexUpdate,
+        ] {
+            assert!(!class.is_baseline(), "{class} must not be baseline");
+            assert!(class.is_prefetcher_overhead(), "{class} is overhead");
+        }
+        assert!(!AccessClass::PrefetchUseful.is_prefetcher_overhead());
+    }
+
+    #[test]
+    fn all_variants_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for class in AccessClass::ALL {
+            assert!(seen.insert(format!("{class:?}")));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for class in AccessClass::ALL {
+            assert!(!class.to_string().is_empty());
+        }
+        assert_eq!(AccessKind::Load.to_string(), "load");
+    }
+}

@@ -1,0 +1,155 @@
+//! Core and workload identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a core in the simulated CMP.
+///
+/// The paper evaluates a 16-core CMP; this type supports up to `u16::MAX`
+/// cores so that scaling studies beyond 16 cores are possible.
+///
+/// # Examples
+///
+/// ```
+/// use shift_types::CoreId;
+/// let cores: Vec<CoreId> = CoreId::range(4).collect();
+/// assert_eq!(cores.len(), 4);
+/// assert_eq!(cores[3].index(), 3);
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier from a zero-based index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the zero-based index of this core as a `usize`, suitable for
+    /// indexing per-core vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw identifier value.
+    #[inline]
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+
+    /// Returns an iterator over the first `n` core identifiers.
+    pub fn range(n: u16) -> impl Iterator<Item = CoreId> + Clone {
+        (0..n).map(CoreId)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(raw: u16) -> Self {
+        CoreId(raw)
+    }
+}
+
+impl From<CoreId> for u16 {
+    fn from(id: CoreId) -> Self {
+        id.0
+    }
+}
+
+/// Identifier of a workload in a consolidated (multi-workload) configuration.
+///
+/// When several server workloads are consolidated onto one CMP (§5.5 of the
+/// paper), each workload gets its own shared history buffer; `WorkloadId`
+/// selects among them.
+///
+/// # Examples
+///
+/// ```
+/// use shift_types::WorkloadId;
+/// assert_eq!(WorkloadId::new(2).index(), 2);
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WorkloadId(u8);
+
+impl WorkloadId {
+    /// Creates a workload identifier from a zero-based index.
+    #[inline]
+    pub const fn new(index: u8) -> Self {
+        WorkloadId(index)
+    }
+
+    /// Returns the zero-based index as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw identifier value.
+    #[inline]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wl{}", self.0)
+    }
+}
+
+impl From<u8> for WorkloadId {
+    fn from(raw: u8) -> Self {
+        WorkloadId(raw)
+    }
+}
+
+impl From<WorkloadId> for u8 {
+    fn from(id: WorkloadId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_range_is_dense() {
+        let ids: Vec<_> = CoreId::range(16).collect();
+        assert_eq!(ids.len(), 16);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn core_id_ordering_follows_index() {
+        assert!(CoreId::new(3) < CoreId::new(7));
+    }
+
+    #[test]
+    fn display_includes_index() {
+        assert_eq!(CoreId::new(5).to_string(), "core5");
+        assert_eq!(WorkloadId::new(1).to_string(), "wl1");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c: CoreId = 9u16.into();
+        assert_eq!(u16::from(c), 9);
+        let w: WorkloadId = 3u8.into();
+        assert_eq!(u8::from(w), 3);
+    }
+}

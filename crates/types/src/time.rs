@@ -1,0 +1,148 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in, or a duration of, simulated time measured in core clock cycles.
+///
+/// All cores in the modelled CMP run at the same frequency (the paper fixes
+/// 2 GHz for every core type to simplify comparisons), so a single cycle type
+/// is sufficient.
+///
+/// # Examples
+///
+/// ```
+/// use shift_types::Cycle;
+/// let start = Cycle::new(100);
+/// let end = start + Cycle::new(45);
+/// assert_eq!(end.saturating_since(start), Cycle::new(45));
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero, the start of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self - earlier`, saturating at zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two cycle values.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_u64() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(3);
+        assert_eq!(a + b, Cycle::new(13));
+        assert_eq!(a - b, Cycle::new(7));
+        assert_eq!(a + 5u64, Cycle::new(15));
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = Cycle::new(5);
+        let late = Cycle::new(9);
+        assert_eq!(late.saturating_since(early), Cycle::new(4));
+        assert_eq!(early.saturating_since(late), Cycle::ZERO);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [1u64, 2, 3].iter().map(|&c| Cycle::new(c)).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut c = Cycle::ZERO;
+        c += Cycle::new(4);
+        c += 6u64;
+        assert_eq!(c.get(), 10);
+    }
+}

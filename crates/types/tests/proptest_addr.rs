@@ -1,0 +1,34 @@
+//! Property tests for address arithmetic.
+
+use proptest::prelude::*;
+use shift_types::{Addr, BlockAddr, Cycle, BLOCK_BYTES};
+
+proptest! {
+    #[test]
+    fn block_base_is_aligned_and_contains_addr(raw in 0u64..(1 << 40)) {
+        let addr = Addr::new(raw);
+        let base = addr.block().base_addr();
+        prop_assert_eq!(base.get() % BLOCK_BYTES as u64, 0);
+        prop_assert!(base.get() <= raw);
+        prop_assert!(raw - base.get() < BLOCK_BYTES as u64);
+    }
+
+    #[test]
+    fn block_offsets_compose(block in 0u64..(1 << 30), a in 0u64..1_000, b in 0u64..1_000) {
+        let base = BlockAddr::new(block);
+        prop_assert_eq!(base.offset(a).offset(b), base.offset(a + b));
+        prop_assert_eq!(base.offset(a).offset_from(base), Some(a));
+    }
+
+    #[test]
+    fn cycle_saturating_since_never_underflows(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (x, y) = (Cycle::new(a), Cycle::new(b));
+        let d = x.saturating_since(y);
+        prop_assert!(d.get() <= a);
+        if a >= b {
+            prop_assert_eq!(d.get(), a - b);
+        } else {
+            prop_assert_eq!(d.get(), 0);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Compare every prefetcher configuration the paper evaluates (next-line,
+//! PIF_2K, PIF_32K, ZeroLat-SHIFT, SHIFT) on one server workload — a small
+//! scale version of Figures 7 and 8.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout
+//! ```
+
+use shift::sim::experiments::{coverage_breakdown, speedup_comparison};
+use shift::trace::{presets, Scale};
+
+fn main() {
+    let cores = 8;
+    let workloads = vec![presets::oltp_db2().scaled_footprint(0.2)];
+
+    println!("--- coverage breakdown (Figure 7, scaled down) ---");
+    let coverage = coverage_breakdown(&workloads, cores, Scale::Demo, 7);
+    print!("{coverage}");
+
+    println!();
+    println!("--- speedups (Figure 8, scaled down) ---");
+    let speedups = speedup_comparison(&workloads, cores, Scale::Demo, 7);
+    print!("{speedups}");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run a lean-core server CMP with and without SHIFT and report
+//! the instruction-miss coverage and speedup.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shift::sim::{CmpConfig, PrefetcherConfig, SimOptions, Simulation};
+use shift::trace::{presets, Scale};
+
+fn main() {
+    // A scaled-down web-frontend workload keeps the example fast while
+    // retaining the structure of the full Table I workload.
+    let workload = presets::web_frontend().scaled_footprint(0.25);
+    let cores = 8;
+    let options = SimOptions::new(Scale::Demo, 1);
+
+    println!("workload: {} (~{:.1} KB instruction footprint), {cores} lean-OoO cores",
+        workload.name,
+        workload.expected_footprint_blocks() * 64.0 / 1024.0);
+
+    let baseline = Simulation::standalone(
+        CmpConfig::micro13(cores, PrefetcherConfig::None),
+        workload.clone(),
+        options,
+    )
+    .run();
+    println!(
+        "baseline   : throughput {:.2} IPC (aggregate), L1-I MPKI {:.1}",
+        baseline.throughput(),
+        baseline.l1i_mpki()
+    );
+
+    for prefetcher in [PrefetcherConfig::next_line(), PrefetcherConfig::shift_virtualized()] {
+        let run = Simulation::standalone(
+            CmpConfig::micro13(cores, prefetcher),
+            workload.clone(),
+            options,
+        )
+        .run();
+        println!(
+            "{:<11}: throughput {:.2} IPC, miss coverage {:.1}%, overprediction {:.1}%, speedup {:.3}x",
+            run.prefetcher,
+            run.throughput(),
+            run.coverage.coverage() * 100.0,
+            run.coverage.overprediction() * 100.0,
+            run.speedup_over(&baseline)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload consolidation (Figure 10, scaled down): two workloads share the
+//! CMP, each with its own history generator core and its own LLC-embedded
+//! history buffer.
+//!
+//! ```text
+//! cargo run --release --example workload_consolidation
+//! ```
+
+use shift::sim::experiments::consolidation;
+use shift::sim::PrefetcherConfig;
+use shift::trace::{presets, Scale};
+
+fn main() {
+    let workloads = vec![
+        presets::oltp_oracle().scaled_footprint(0.15).with_region_index(0),
+        presets::web_search().scaled_footprint(0.15).with_region_index(1),
+    ];
+    let result = consolidation(
+        &workloads,
+        &[
+            PrefetcherConfig::next_line(),
+            PrefetcherConfig::pif_32k(),
+            PrefetcherConfig::shift_virtualized(),
+        ],
+        8,
+        Scale::Demo,
+        11,
+    );
+    println!("{result}");
+    println!("Each workload keeps its own shared history in the LLC; SHIFT's benefit");
+    println!("is preserved under consolidation, as §5.5 of the paper reports.");
+}

@@ -1,0 +1,101 @@
+//! End-to-end integration tests spanning every crate: trace generation →
+//! caches → NoC → prefetchers → timing → results.
+
+use shift::sim::{CmpConfig, PrefetcherConfig, SimOptions, Simulation};
+use shift::trace::{presets, ConsolidationSpec, Scale};
+use shift::types::AccessClass;
+
+fn run(prefetcher: PrefetcherConfig, seed: u64) -> shift::sim::RunResult {
+    let config = CmpConfig::micro13(4, prefetcher);
+    Simulation::standalone(config, presets::tiny(), SimOptions::new(Scale::Test, seed)).run()
+}
+
+#[test]
+fn prefetcher_ordering_matches_the_paper() {
+    let baseline = run(PrefetcherConfig::None, 5);
+    let next_line = run(PrefetcherConfig::next_line(), 5);
+    let pif32 = run(PrefetcherConfig::pif_32k(), 5);
+    let shift = run(PrefetcherConfig::shift_virtualized(), 5);
+
+    // Coverage ordering: stream prefetchers above next-line, everything above
+    // the baseline (which covers nothing).
+    assert_eq!(baseline.coverage.covered, 0);
+    assert!(pif32.coverage.coverage() > next_line.coverage.coverage() * 0.99);
+    assert!(shift.coverage.coverage() > 0.5);
+
+    // Speedup ordering.
+    assert!(next_line.speedup_over(&baseline) > 1.0);
+    assert!(pif32.speedup_over(&baseline) >= next_line.speedup_over(&baseline) * 0.98);
+    assert!(shift.speedup_over(&baseline) > 1.0);
+}
+
+#[test]
+fn shift_generates_history_traffic_but_pif_does_not() {
+    let pif = run(PrefetcherConfig::pif_32k(), 9);
+    let shift = run(PrefetcherConfig::shift_virtualized(), 9);
+    assert_eq!(pif.llc_traffic.count(AccessClass::HistoryRead), 0);
+    assert_eq!(pif.llc_traffic.count(AccessClass::HistoryWrite), 0);
+    assert!(shift.llc_traffic.count(AccessClass::HistoryRead) > 0);
+    assert!(shift.llc_traffic.count(AccessClass::HistoryWrite) > 0);
+    assert!(shift.llc_traffic.count(AccessClass::IndexUpdate) > 0);
+    // History traffic stays a modest fraction of demand traffic.
+    assert!(shift.llc_overhead_ratio(AccessClass::HistoryRead) < 0.6);
+}
+
+#[test]
+fn zero_latency_shift_is_at_least_as_fast_as_virtualized_shift() {
+    let baseline = run(PrefetcherConfig::None, 13);
+    let virt = run(PrefetcherConfig::shift_virtualized(), 13);
+    let zero = run(PrefetcherConfig::shift_zero_latency(), 13);
+    assert!(zero.speedup_over(&baseline) >= virt.speedup_over(&baseline) * 0.995);
+}
+
+#[test]
+fn simulation_is_deterministic_for_a_fixed_seed() {
+    let a = run(PrefetcherConfig::shift_virtualized(), 21);
+    let b = run(PrefetcherConfig::shift_virtualized(), 21);
+    assert_eq!(a.coverage, b.coverage);
+    assert_eq!(a.total_instructions(), b.total_instructions());
+    assert!((a.throughput() - b.throughput()).abs() < 1e-12);
+    let c = run(PrefetcherConfig::shift_virtualized(), 22);
+    assert_ne!(a.coverage, c.coverage, "different seeds should differ");
+}
+
+#[test]
+fn consolidated_workloads_keep_disjoint_footprints_and_speed_up() {
+    let workloads = vec![
+        presets::tiny().with_region_index(0),
+        presets::tiny().with_region_index(1),
+    ];
+    let spec = ConsolidationSpec::even_split(workloads, 4);
+    let options = SimOptions::new(Scale::Test, 3);
+    let baseline = Simulation::consolidated(
+        CmpConfig::micro13(4, PrefetcherConfig::None),
+        spec.clone(),
+        options,
+    )
+    .run();
+    let shift = Simulation::consolidated(
+        CmpConfig::micro13(4, PrefetcherConfig::shift_virtualized()),
+        spec,
+        options,
+    )
+    .run();
+    assert_eq!(baseline.workloads.len(), 2);
+    assert!(shift.coverage.coverage() > 0.4);
+    assert!(shift.speedup_over(&baseline) > 1.0);
+}
+
+#[test]
+fn per_core_results_are_consistent_with_aggregates() {
+    let run = run(PrefetcherConfig::pif_2k(), 31);
+    let sum_instr: u64 = run.per_core.iter().map(|c| c.instructions).sum();
+    assert_eq!(sum_instr, run.total_instructions());
+    let covered: u64 = run.per_core.iter().map(|c| c.coverage.covered).sum();
+    assert_eq!(covered, run.coverage.covered);
+    for core in &run.per_core {
+        assert!(core.cycles > 0.0);
+        assert!(core.ipc > 0.0);
+        assert!(core.l1i.accesses >= core.l1i.misses);
+    }
+}

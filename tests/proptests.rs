@@ -1,0 +1,104 @@
+//! Property-based tests over the core data structures, spanning crates.
+
+use proptest::prelude::*;
+use shift::cache::{CacheConfig, SetAssocCache};
+use shift::prefetch::{HistoryBuffer, SpatialRegion, SpatialRegionCompactor};
+use shift::types::{Addr, BlockAddr};
+
+proptest! {
+    /// Byte address → block → base address round trips to the block-aligned
+    /// address, and the offset stays within the block.
+    #[test]
+    fn addr_block_round_trip(raw in 0u64..(1 << 40)) {
+        let addr = Addr::new(raw);
+        let block = addr.block();
+        prop_assert_eq!(block.base_addr().get(), raw & !63);
+        prop_assert!(addr.block_offset() < 64);
+        prop_assert_eq!(block.base_addr().block(), block);
+    }
+
+    /// Every block emitted by a compactor-produced record was actually present
+    /// in the observed stream, and the trigger is the first block of its
+    /// region occurrence.
+    #[test]
+    fn compactor_records_only_observed_blocks(
+        raw_blocks in proptest::collection::vec(0u64..5_000, 1..400),
+    ) {
+        let stream: Vec<BlockAddr> = raw_blocks.iter().copied().map(BlockAddr::new).collect();
+        let mut compactor = SpatialRegionCompactor::new(8);
+        let mut records = Vec::new();
+        for &b in &stream {
+            if let Some(r) = compactor.observe(b) {
+                records.push(r);
+            }
+        }
+        records.extend(compactor.flush());
+        let observed: std::collections::HashSet<BlockAddr> = stream.iter().copied().collect();
+        for record in &records {
+            for block in record.blocks() {
+                prop_assert!(observed.contains(&block),
+                    "record encodes block {block} never observed");
+            }
+            prop_assert!(observed.contains(&record.trigger()));
+        }
+    }
+
+    /// The number of accesses encoded by all records is bounded by the stream
+    /// length (compaction never invents accesses).
+    #[test]
+    fn compactor_never_inflates_access_count(
+        raw_blocks in proptest::collection::vec(0u64..2_000, 1..300),
+    ) {
+        let mut compactor = SpatialRegionCompactor::new(8);
+        let mut encoded = 0u64;
+        for &b in &raw_blocks {
+            if let Some(r) = compactor.observe(BlockAddr::new(b)) {
+                encoded += u64::from(r.accessed_blocks());
+            }
+        }
+        if let Some(r) = compactor.flush() {
+            encoded += u64::from(r.accessed_blocks());
+        }
+        prop_assert!(encoded <= raw_blocks.len() as u64);
+    }
+
+    /// A history buffer never reports more records than its capacity and
+    /// reading any window returns at most the requested count.
+    #[test]
+    fn history_buffer_capacity_invariant(
+        capacity in 1usize..200,
+        appends in 0usize..500,
+        read_ptr in 0u32..200,
+        read_len in 0usize..64,
+    ) {
+        let mut history = HistoryBuffer::new(capacity);
+        for i in 0..appends {
+            let slot = history.append(SpatialRegion::new(BlockAddr::new(i as u64 * 8), 8));
+            prop_assert!((slot as usize) < capacity);
+        }
+        prop_assert!(history.len() <= capacity);
+        prop_assert_eq!(history.total_appends(), appends as u64);
+        let window = history.read(read_ptr % capacity as u32, read_len);
+        prop_assert!(window.len() <= read_len.min(capacity));
+    }
+
+    /// A set-associative cache never holds more blocks than its capacity and
+    /// a filled block is immediately visible until evicted.
+    #[test]
+    fn cache_capacity_invariant(
+        raw_blocks in proptest::collection::vec(0u64..10_000, 1..500),
+    ) {
+        let config = CacheConfig::new(4 * 1024, 4, 64, 1);
+        let mut cache: SetAssocCache<u8> = SetAssocCache::new(config);
+        for &b in &raw_blocks {
+            let block = BlockAddr::new(b);
+            if cache.access(block).is_miss() {
+                cache.fill(block, 0);
+            }
+            prop_assert!(cache.probe(block), "a just-filled block must be resident");
+            prop_assert!(cache.resident_blocks() <= config.capacity_blocks());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+    }
+}
