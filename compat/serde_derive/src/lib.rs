@@ -1,0 +1,19 @@
+//! Local stand-in for `serde_derive` so the workspace builds without network
+//! access to a crate registry.
+//!
+//! The codebase uses `#[derive(Serialize, Deserialize)]` purely as metadata —
+//! nothing actually serializes values — so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -45,7 +45,10 @@ fn bench_region_size(c: &mut Criterion) {
         let mut cfg = ShiftConfig::zero_latency_micro13(CoreId::new(0));
         cfg.region_blocks = region_blocks;
         let coverage = replay_coverage(cfg, 20_000);
-        eprintln!("region size {region_blocks}: replay coverage {:.1}%", coverage * 100.0);
+        eprintln!(
+            "region size {region_blocks}: replay coverage {:.1}%",
+            coverage * 100.0
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(region_blocks),
             &region_blocks,
@@ -109,7 +112,10 @@ fn bench_generator_core_choice(c: &mut Criterion) {
             }
             covered as f64 / total as f64
         };
-        eprintln!("generator candidate {recorder}: replay coverage {:.1}%", coverage * 100.0);
+        eprintln!(
+            "generator candidate {recorder}: replay coverage {:.1}%",
+            coverage * 100.0
+        );
         group.bench_with_input(BenchmarkId::from_parameter(recorder), &recorder, |b, _| {
             b.iter(|| replay_coverage(cfg, 5_000))
         });

@@ -2,12 +2,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use shift_cache::{CacheConfig, LlcConfig, NucaLlc, SetAssocCache};
+use shift_core::sab::SabConfig;
+use shift_core::StreamAddressBufferSet;
 use shift_core::{
     HistoryBuffer, IndexTable, InstructionPrefetcher, Pif, PifConfig, Shift, ShiftConfig,
     SpatialRegion, SpatialRegionCompactor,
 };
-use shift_core::sab::SabConfig;
-use shift_core::StreamAddressBufferSet;
 use shift_trace::{presets, CoreTraceGenerator};
 use shift_types::{AccessClass, BlockAddr, CoreId};
 

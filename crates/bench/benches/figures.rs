@@ -24,7 +24,9 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("fig01_elimination", |b| {
-        b.iter(|| probabilistic_elimination(&small_suite(), &[0.0, 0.5, 1.0], CORES, Scale::Test, SEED))
+        b.iter(|| {
+            probabilistic_elimination(&small_suite(), &[0.0, 0.5, 1.0], CORES, Scale::Test, SEED)
+        })
     });
     group.bench_function("fig02_pd", |b| {
         b.iter(|| {

@@ -7,7 +7,12 @@ fn main() {
     let scale = scale_from_env();
     let cores = cores_from_env();
     let workloads = workloads_from_env();
-    banner("Figure 1 (speedup vs. misses eliminated)", scale, cores, &workloads);
+    banner(
+        "Figure 1 (speedup vs. misses eliminated)",
+        scale,
+        cores,
+        &workloads,
+    );
     let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let result = probabilistic_elimination(&workloads, &fractions, cores, scale, HARNESS_SEED);
     println!("{result}");

@@ -8,7 +8,12 @@ fn main() {
     let scale = scale_from_env();
     let cores = cores_from_env();
     let workloads = workloads_from_env();
-    banner("Figure 2 (PIF performance density by core type)", scale, cores, &workloads);
+    banner(
+        "Figure 2 (PIF performance density by core type)",
+        scale,
+        cores,
+        &workloads,
+    );
     let result = performance_density(
         &workloads,
         &[PrefetcherConfig::pif_32k()],

@@ -7,7 +7,12 @@ fn main() {
     let scale = scale_from_env();
     let cores = cores_from_env();
     let workloads = workloads_from_env();
-    banner("Figure 3 (cross-core stream commonality)", scale, cores, &workloads);
+    banner(
+        "Figure 3 (cross-core stream commonality)",
+        scale,
+        cores,
+        &workloads,
+    );
     let result = commonality(&workloads, cores, scale, HARNESS_SEED);
     println!("{result}");
     println!("(paper: >90% on average, up to 96%)");

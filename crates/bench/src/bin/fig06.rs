@@ -7,7 +7,12 @@ fn main() {
     let scale = scale_from_env();
     let cores = cores_from_env();
     let workloads = workloads_from_env();
-    banner("Figure 6 (coverage vs. aggregate history size)", scale, cores, &workloads);
+    banner(
+        "Figure 6 (coverage vs. aggregate history size)",
+        scale,
+        cores,
+        &workloads,
+    );
     let sizes: Vec<Option<usize>> = vec![
         Some(1 << 10),
         Some(2 << 10),

@@ -9,7 +9,12 @@ fn main() {
     let scale = scale_from_env();
     let cores = cores_from_env();
     let workloads = presets::consolidation_suite();
-    banner("Figure 10 (workload consolidation)", scale, cores, &workloads);
+    banner(
+        "Figure 10 (workload consolidation)",
+        scale,
+        cores,
+        &workloads,
+    );
     let result = consolidation(
         &workloads,
         &PrefetcherConfig::figure8_suite(),

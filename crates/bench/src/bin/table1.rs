@@ -7,10 +7,18 @@ fn main() {
     let scale = scale_from_env();
     let cores = cores_from_env();
     let workloads = workloads_from_env();
-    banner("Table I (system and application parameters)", scale, cores, &workloads);
+    banner(
+        "Table I (system and application parameters)",
+        scale,
+        cores,
+        &workloads,
+    );
 
     let cfg = CmpConfig::micro13(cores, PrefetcherConfig::shift_virtualized());
-    println!("Processing nodes : {} x {} @ 2 GHz", cfg.cores, cfg.core_kind);
+    println!(
+        "Processing nodes : {} x {} @ 2 GHz",
+        cfg.cores, cfg.core_kind
+    );
     println!(
         "L1-I cache       : {} KB, {}-way, {} B blocks, {}-cycle load-to-use",
         cfg.l1i.capacity_bytes / 1024,

@@ -24,7 +24,10 @@ fn main() {
     println!("{result}");
     for kind in CoreKind::ALL {
         if let Some(improvement) = result.pd_improvement(kind, "SHIFT", "PIF_32K") {
-            println!("{kind}: SHIFT improves PD over PIF_32K by {:.1}%", (improvement - 1.0) * 100.0);
+            println!(
+                "{kind}: SHIFT improves PD over PIF_32K by {:.1}%",
+                (improvement - 1.0) * 100.0
+            );
         }
     }
     println!("(paper: +2% Fat-OoO, +16% Lean-OoO, +59% Lean-IO)");

@@ -13,10 +13,17 @@
 //! `SHIFT_CORES` (default 16), and the workload subset from `SHIFT_WORKLOADS`
 //! (a comma-separated list of case-insensitive substrings of workload names;
 //! default: the full Table I suite).
+//!
+//! Every experiment driver declares its sweep as a
+//! [`shift_sim::RunMatrix`], so the simulations behind a figure run in
+//! parallel across the host's cores; set `SHIFT_THREADS` to pin the worker
+//! count (e.g. `SHIFT_THREADS=1` for a serial reference run — results are
+//! bit-identical at any thread count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use shift_sim::runner::default_threads;
 use shift_trace::{presets, Scale, WorkloadSpec};
 
 /// Seed used by all harness binaries so results are reproducible.
@@ -84,7 +91,8 @@ pub fn workloads_from_env() -> Vec<WorkloadSpec> {
 pub fn banner(experiment: &str, scale: Scale, cores: u16, workloads: &[WorkloadSpec]) {
     println!("=== SHIFT reproduction harness: {experiment} ===");
     println!(
-        "scale: {scale:?}, cores: {cores}, workloads: {}",
+        "scale: {scale:?}, cores: {cores}, sweep threads: {}, workloads: {}",
+        default_threads(),
         workloads
             .iter()
             .map(|w| w.name.as_str())

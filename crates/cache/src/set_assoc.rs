@@ -366,10 +366,8 @@ mod tests {
 
     #[test]
     fn random_policy_still_bounds_capacity() {
-        let mut c: SetAssocCache<()> = SetAssocCache::with_policy(
-            CacheConfig::new(512, 2, 64, 1),
-            ReplacementPolicy::Random,
-        );
+        let mut c: SetAssocCache<()> =
+            SetAssocCache::with_policy(CacheConfig::new(512, 2, 64, 1), ReplacementPolicy::Random);
         for i in 0..1000 {
             c.fill(BlockAddr::new(i), ());
         }

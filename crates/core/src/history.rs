@@ -40,7 +40,10 @@ impl HistoryBuffer {
     /// Panics if `capacity` is zero or exceeds `u32::MAX`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "history buffer needs at least one entry");
-        assert!(capacity <= u32::MAX as usize, "capacity exceeds pointer width");
+        assert!(
+            capacity <= u32::MAX as usize,
+            "capacity exceeds pointer width"
+        );
         HistoryBuffer {
             entries: vec![None; capacity],
             write_ptr: 0,

@@ -144,7 +144,13 @@ mod tests {
         let mut llc = llc();
         let mut nl = NextLinePrefetcher::new(1, 2);
         let mut out = Vec::new();
-        nl.on_access(CoreId::new(0), BlockAddr::new(10), false, &mut llc, &mut out);
+        nl.on_access(
+            CoreId::new(0),
+            BlockAddr::new(10),
+            false,
+            &mut llc,
+            &mut out,
+        );
         assert!(nl.covers(CoreId::new(0), BlockAddr::new(11)));
         assert!(!nl.covers(CoreId::new(1), BlockAddr::new(11)));
     }

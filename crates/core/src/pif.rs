@@ -69,7 +69,7 @@ impl PifConfig {
 
     /// Human-readable design point name (`PIF_32K`, `PIF_2K`, …).
     pub fn design_name(&self) -> String {
-        if self.history_records % 1024 == 0 {
+        if self.history_records.is_multiple_of(1024) {
             format!("PIF_{}K", self.history_records / 1024)
         } else {
             format!("PIF_{}", self.history_records)
@@ -130,11 +130,7 @@ impl Pif {
     }
 }
 
-fn read_and_advance(
-    history: &HistoryBuffer,
-    ptr: u32,
-    n: usize,
-) -> (Vec<SpatialRegion>, u32) {
+fn read_and_advance(history: &HistoryBuffer, ptr: u32, n: usize) -> (Vec<SpatialRegion>, u32) {
     let records = history.read(ptr, n);
     let next = history.advance_ptr(ptr, records.len() as u32);
     (records, next)
@@ -168,8 +164,7 @@ impl InstructionPrefetcher for Pif {
             ..
         } = state;
         if let Some(ptr) = index.lookup(block) {
-            let candidates =
-                sabs.allocate(ptr, &mut |p, n| read_and_advance(history, p, n));
+            let candidates = sabs.allocate(ptr, &mut |p, n| read_and_advance(history, p, n));
             out.extend(candidates.into_iter().map(PrefetchCandidate::immediate));
         }
     }
@@ -248,7 +243,10 @@ mod tests {
         let blocks: Vec<u64> = out.iter().map(|c| c.block.get()).collect();
         assert!(blocks.contains(&100));
         assert!(blocks.contains(&101));
-        assert!(blocks.contains(&240), "discontinuous target must be predicted: {blocks:?}");
+        assert!(
+            blocks.contains(&240),
+            "discontinuous target must be predicted: {blocks:?}"
+        );
         assert!(pif.covers(core, BlockAddr::new(241)));
     }
 
@@ -267,7 +265,12 @@ mod tests {
     fn cores_have_private_histories() {
         let mut llc = llc();
         let mut pif = Pif::new(PifConfig::pif_32k(), 2);
-        drive_retires(&mut pif, CoreId::new(0), &mut llc, &[1, 2, 3, 50, 51, 1, 2, 3, 50]);
+        drive_retires(
+            &mut pif,
+            CoreId::new(0),
+            &mut llc,
+            &[1, 2, 3, 50, 51, 1, 2, 3, 50],
+        );
         // Core 1 never retired anything, so a miss on core 1 finds no stream.
         let mut out = Vec::new();
         pif.on_access(CoreId::new(1), BlockAddr::new(1), false, &mut llc, &mut out);
@@ -291,7 +294,10 @@ mod tests {
     fn design_names() {
         assert_eq!(PifConfig::pif_32k().design_name(), "PIF_32K");
         assert_eq!(PifConfig::pif_2k().design_name(), "PIF_2K");
-        assert_eq!(PifConfig::with_history_records(4096).design_name(), "PIF_4K");
+        assert_eq!(
+            PifConfig::with_history_records(4096).design_name(),
+            "PIF_4K"
+        );
     }
 
     #[test]

@@ -237,7 +237,11 @@ mod tests {
         let a = BlockAddr::new(50);
         compactor.observe(a);
         compactor.observe(a.offset(1));
-        assert_eq!(compactor.observe(a), None, "trigger revisit stays in region");
+        assert_eq!(
+            compactor.observe(a),
+            None,
+            "trigger revisit stays in region"
+        );
     }
 
     #[test]

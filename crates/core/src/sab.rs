@@ -134,7 +134,10 @@ impl StreamAddressBufferSet {
     /// Panics if the configuration has zero streams, capacity, or lookahead.
     pub fn new(config: SabConfig) -> Self {
         assert!(config.streams > 0, "need at least one stream buffer");
-        assert!(config.capacity_regions > 0, "stream capacity must be positive");
+        assert!(
+            config.capacity_regions > 0,
+            "stream capacity must be positive"
+        );
         assert!(config.lookahead > 0, "lookahead must be positive");
         StreamAddressBufferSet {
             config,
@@ -176,7 +179,11 @@ impl StreamAddressBufferSet {
     /// reading an initial lookahead window through `read_history`. The least
     /// recently used stream is evicted. Returns the prefetch candidate blocks
     /// encoded by the records read.
-    pub fn allocate(&mut self, start_ptr: u32, read_history: &mut HistoryReader<'_>) -> Vec<BlockAddr> {
+    pub fn allocate(
+        &mut self,
+        start_ptr: u32,
+        read_history: &mut HistoryReader<'_>,
+    ) -> Vec<BlockAddr> {
         self.clock += 1;
         self.streams_allocated += 1;
         let now = self.clock;
@@ -202,7 +209,11 @@ impl StreamAddressBufferSet {
     /// stream, the stream advances: enough new records are read to keep the
     /// lookahead window ahead of the match point. Returns the prefetch
     /// candidates encoded by the newly read records.
-    pub fn on_retire(&mut self, block: BlockAddr, read_history: &mut HistoryReader<'_>) -> Vec<BlockAddr> {
+    pub fn on_retire(
+        &mut self,
+        block: BlockAddr,
+        read_history: &mut HistoryReader<'_>,
+    ) -> Vec<BlockAddr> {
         self.clock += 1;
         let now = self.clock;
         let capacity = self.config.capacity_regions;
@@ -318,7 +329,10 @@ mod tests {
         let mut rd = reader(&history);
         let new = sabs.on_retire(BlockAddr::new(1000 + 16), &mut rd);
         assert!(!new.is_empty());
-        assert!(new.contains(&BlockAddr::new(1000 + 3 * 16)) || new.contains(&BlockAddr::new(1000 + 4 * 16)));
+        assert!(
+            new.contains(&BlockAddr::new(1000 + 3 * 16))
+                || new.contains(&BlockAddr::new(1000 + 4 * 16))
+        );
         assert_eq!(sabs.advances(), 1);
     }
 
@@ -348,7 +362,10 @@ mod tests {
             let mut rd = reader(&history);
             sabs.allocate(start, &mut rd);
         }
-        assert!(!sabs.covers(BlockAddr::new(10_000)), "oldest stream evicted");
+        assert!(
+            !sabs.covers(BlockAddr::new(10_000)),
+            "oldest stream evicted"
+        );
         assert!(sabs.covers(BlockAddr::new(10_000 + 20 * 100)));
     }
 

@@ -159,7 +159,10 @@ impl Shift {
             config.generator_core.index() < cores as usize,
             "generator core outside the CMP"
         );
-        assert!(config.records_per_llc_block > 0, "records per block must be positive");
+        assert!(
+            config.records_per_llc_block > 0,
+            "records per block must be positive"
+        );
         Shift {
             compactor: SpatialRegionCompactor::new(config.region_blocks),
             history: HistoryBuffer::new(config.history_records),
@@ -386,8 +389,7 @@ impl InstructionPrefetcher for Shift {
                 per_core_bytes,
                 shared_bytes: 0,
                 llc_data_bytes: self.config.history_llc_blocks() * 64,
-                llc_tag_bytes: (self.config.llc_capacity_blocks as u64
-                    * pointer_bits as u64)
+                llc_tag_bytes: (self.config.llc_capacity_blocks as u64 * pointer_bits as u64)
                     .div_ceil(8),
             },
         }
@@ -437,10 +439,19 @@ mod tests {
         // Core 7 misses on the stream head and should replay the shared
         // history even though it never recorded anything.
         let mut out = Vec::new();
-        shift.on_access(CoreId::new(7), BlockAddr::new(100), false, &mut llc, &mut out);
+        shift.on_access(
+            CoreId::new(7),
+            BlockAddr::new(100),
+            false,
+            &mut llc,
+            &mut out,
+        );
         let blocks: Vec<u64> = out.iter().map(|c| c.block.get()).collect();
         assert!(blocks.contains(&101), "prefetches: {blocks:?}");
-        assert!(blocks.contains(&240), "discontinuity must be predicted: {blocks:?}");
+        assert!(
+            blocks.contains(&240),
+            "discontinuity must be predicted: {blocks:?}"
+        );
         assert!(shift.covers(CoreId::new(7), BlockAddr::new(241)));
     }
 
@@ -465,24 +476,36 @@ mod tests {
         }
         let before = llc.traffic().count(AccessClass::HistoryRead);
         let mut out = Vec::new();
-        shift.on_access(CoreId::new(1), BlockAddr::new(100), false, &mut llc, &mut out);
+        shift.on_access(
+            CoreId::new(1),
+            BlockAddr::new(100),
+            false,
+            &mut llc,
+            &mut out,
+        );
         assert!(!out.is_empty());
         assert!(llc.traffic().count(AccessClass::HistoryRead) > before);
-        assert!(out.iter().all(|c| c.ready_delay > 0), "history read latency must delay replay");
+        assert!(
+            out.iter().all(|c| c.ready_delay > 0),
+            "history read latency must delay replay"
+        );
     }
 
     #[test]
     fn zero_latency_variant_has_no_delay_and_no_llc_traffic() {
         let mut llc = llc16();
-        let mut shift = Shift::new(
-            ShiftConfig::zero_latency_micro13(CoreId::new(0)),
-            2,
-        );
+        let mut shift = Shift::new(ShiftConfig::zero_latency_micro13(CoreId::new(0)), 2);
         for _ in 0..4 {
             drive_retires(&mut shift, CoreId::new(0), &mut llc, &STREAM);
         }
         let mut out = Vec::new();
-        shift.on_access(CoreId::new(1), BlockAddr::new(100), false, &mut llc, &mut out);
+        shift.on_access(
+            CoreId::new(1),
+            BlockAddr::new(100),
+            false,
+            &mut llc,
+            &mut out,
+        );
         assert!(!out.is_empty());
         assert!(out.iter().all(|c| c.ready_delay == 0));
         assert_eq!(llc.traffic().count(AccessClass::HistoryRead), 0);
@@ -559,6 +582,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "generator core outside")]
     fn generator_core_must_be_in_range() {
-        let _ = Shift::new(ShiftConfig::virtualized_micro13(CoreId::new(5), BlockAddr::new(0)), 4);
+        let _ = Shift::new(
+            ShiftConfig::virtualized_micro13(CoreId::new(5), BlockAddr::new(0)),
+            4,
+        );
     }
 }

@@ -44,12 +44,7 @@ impl AreaModel {
     /// Total core area (cores only, excluding the LLC and NoC which are the
     /// same in every configuration being compared) for `cores` cores of
     /// `kind`, plus prefetcher storage.
-    pub fn cmp_core_area_mm2(
-        &self,
-        kind: CoreKind,
-        cores: u16,
-        storage: &StorageCost,
-    ) -> f64 {
+    pub fn cmp_core_area_mm2(&self, kind: CoreKind, cores: u16, storage: &StorageCost) -> f64 {
         kind.params().area_mm2 * cores as f64 + self.prefetcher_mm2(storage, cores)
     }
 }

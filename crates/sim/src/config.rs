@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(PrefetcherConfig::None.label(), "Baseline");
-        assert_eq!(PrefetcherConfig::shift_dedicated().label(), "SHIFT-dedicated");
+        assert_eq!(
+            PrefetcherConfig::shift_dedicated().label(),
+            "SHIFT-dedicated"
+        );
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! The simulation engine behind [`Simulation`](crate::system::Simulation).
+//!
+//! [`Simulation::run`](crate::system::Simulation::run) is a thin facade over
+//! the pieces in this module:
+//!
+//! * [`MemorySystem`] — the shared banked LLC and the mesh interconnect,
+//!   bundled so that an LLC round trip (request hop, bank access, response
+//!   hop) is one call instead of threading `NucaLlc` and `Mesh` through every
+//!   function.
+//! * [`CoreState`] — one core's trace generator, private L1 caches, timing
+//!   accumulator, and coverage accounting, with the fetch/data handling and
+//!   prefetch-issue logic as methods.
+//! * [`Engine`] — the round-robin interleaving of all cores over warm-up and
+//!   measurement phases, plus result assembly.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use shift_cache::{NucaLlc, SetAssocCache};
+use shift_core::{
+    InstructionPrefetcher, NextLinePrefetcher, NullPrefetcher, Pif, PrefetchCandidate, Shift,
+    ShiftConfig,
+};
+use shift_cpu::{CoreTiming, TimingAccumulator};
+use shift_noc::Mesh;
+use shift_trace::workload::WorkloadProgram;
+use shift_trace::{ConsolidationSpec, CoreTraceGenerator, TraceEvent};
+use shift_types::{AccessClass, BlockAddr, CoreId};
+
+use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::results::{CoreResult, CoverageStats, RunResult};
+
+/// Per-L1-I-line bookkeeping used to classify covered misses and discards.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct L1iMeta {
+    /// The line was installed by a prefetch and has not been referenced yet.
+    prefetched_unused: bool,
+    /// Local cycle at which the prefetched data actually arrives.
+    ready_at: f64,
+}
+
+/// The shared memory system: the banked NUCA LLC and the 2D-mesh NoC.
+///
+/// Every LLC access from a core travels the mesh to the home bank and back;
+/// [`MemorySystem::round_trip`] performs the access and both transfers and
+/// returns the total raw latency.
+#[derive(Debug)]
+pub(crate) struct MemorySystem {
+    llc: NucaLlc,
+    mesh: Mesh,
+}
+
+impl MemorySystem {
+    pub(crate) fn new(config: &CmpConfig) -> Self {
+        MemorySystem {
+            llc: NucaLlc::new(config.llc),
+            mesh: Mesh::new(config.mesh),
+        }
+    }
+
+    pub(crate) fn llc_mut(&mut self) -> &mut NucaLlc {
+        &mut self.llc
+    }
+
+    pub(crate) fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    fn tile_of_core(&self, core: CoreId) -> usize {
+        core.index() % self.mesh.config().tiles()
+    }
+
+    /// Performs an LLC access on behalf of `core`, including the mesh round
+    /// trip, and returns the total raw latency (request + bank + response).
+    pub(crate) fn round_trip(&mut self, core: CoreId, block: BlockAddr, class: AccessClass) -> u64 {
+        let outcome = self.llc.access(block, class);
+        let core_tile = self.tile_of_core(core);
+        let bank_tile = outcome.bank % self.mesh.config().tiles();
+        let req = self.mesh.record_transfer(core_tile, bank_tile, 8, class);
+        let resp = self.mesh.record_transfer(bank_tile, core_tile, 64, class);
+        outcome.latency + req + resp
+    }
+
+    /// Worst-case cost of a demand miss: a late prefetch can never cost more
+    /// than re-fetching the block on demand would.
+    fn miss_penalty_cap(&self, l1i_hit_latency: u64) -> f64 {
+        (l1i_hit_latency
+            + self.llc.config().hit_latency
+            + self.llc.config().memory_latency
+            + self
+                .mesh
+                .round_trip_latency(0, self.mesh.config().tiles() - 1)) as f64
+    }
+
+    fn reset_stats(&mut self) {
+        self.llc.reset_stats();
+        self.mesh.reset_stats();
+    }
+}
+
+/// Read-mostly state shared by every core step: the analytical timing model,
+/// the run options, and the miss-elimination lottery RNG.
+pub(crate) struct StepEnv {
+    pub(crate) timing: CoreTiming,
+    pub(crate) options: SimOptions,
+    pub(crate) rng: SmallRng,
+}
+
+/// One simulated core: trace generator, private L1 caches, timing, coverage.
+pub(crate) struct CoreState {
+    id: CoreId,
+    generator: CoreTraceGenerator,
+    l1i: SetAssocCache<L1iMeta>,
+    l1d: SetAssocCache<()>,
+    timing: TimingAccumulator,
+    local_cycle: f64,
+    fetches: u64,
+    coverage: CoverageStats,
+}
+
+impl CoreState {
+    fn new(id: CoreId, generator: CoreTraceGenerator, config: &CmpConfig) -> Self {
+        CoreState {
+            id,
+            generator,
+            l1i: SetAssocCache::new(config.l1i),
+            l1d: SetAssocCache::new(config.l1d),
+            timing: TimingAccumulator::new(),
+            local_cycle: 0.0,
+            fetches: 0,
+            coverage: CoverageStats::default(),
+        }
+    }
+
+    fn reset_measurement(&mut self) {
+        // Prefetches issued during warm-up have long since arrived; clear
+        // their arrival timestamps so they are not charged as late.
+        self.l1i.for_each_meta_mut(|m| m.ready_at = 0.0);
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.timing = TimingAccumulator::new();
+        self.local_cycle = 0.0;
+        self.fetches = 0;
+        self.coverage = CoverageStats::default();
+    }
+
+    /// Advances this core by exactly one instruction-block fetch (plus any
+    /// data references that precede it in the trace).
+    fn step_one_fetch(
+        &mut self,
+        pf: &mut dyn InstructionPrefetcher,
+        memory: &mut MemorySystem,
+        env: &mut StepEnv,
+    ) {
+        loop {
+            match self.generator.next_event() {
+                TraceEvent::Data(d) => self.handle_data(memory, env, d.block),
+                TraceEvent::Fetch(f) => {
+                    self.handle_fetch(pf, memory, env, f.block, f.instructions);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle_data(&mut self, memory: &mut MemorySystem, env: &StepEnv, block: BlockAddr) {
+        if self.l1d.access(block).is_hit() {
+            return;
+        }
+        let raw =
+            self.l1d.config().hit_latency + memory.round_trip(self.id, block, AccessClass::Demand);
+        self.timing.data_stall(raw);
+        self.local_cycle += raw as f64 * env.timing.params().exposed_data_fraction();
+        self.l1d.fill(block, ());
+    }
+
+    fn handle_fetch(
+        &mut self,
+        pf: &mut dyn InstructionPrefetcher,
+        memory: &mut MemorySystem,
+        env: &mut StepEnv,
+        block: BlockAddr,
+        instructions: u8,
+    ) {
+        self.fetches += 1;
+        let hit = self.l1i.access(block).is_hit();
+
+        if hit {
+            // First use of a prefetched line: this was a miss in the baseline
+            // that the prefetcher eliminated. If the prefetch was late, part
+            // of its latency is still exposed.
+            let miss_penalty_cap = memory.miss_penalty_cap(self.l1i.config().hit_latency);
+            if let Some(meta) = self.l1i.meta_mut(block) {
+                if meta.prefetched_unused {
+                    meta.prefetched_unused = false;
+                    // The decoupled front end runs ahead of retirement; only
+                    // the part of the prefetch latency that exceeds that
+                    // run-ahead window is exposed as a stall, and never more
+                    // than a full demand miss would have cost.
+                    let lateness = (meta.ready_at
+                        - self.local_cycle
+                        - env.timing.params().fetch_runahead_cycles as f64)
+                        .clamp(0.0, miss_penalty_cap);
+                    self.coverage.covered += 1;
+                    if lateness > 0.0 {
+                        self.timing.fetch_stall(lateness as u64);
+                        self.local_cycle += lateness * env.timing.params().exposed_fetch_fraction();
+                    }
+                }
+            }
+        } else {
+            // Prediction-only mode (Figure 6): ask whether the prefetcher
+            // would have predicted this miss before its state reacts to it.
+            if env.options.prediction_only && pf.covers(self.id, block) {
+                self.coverage.predicted += 1;
+            }
+            let eliminated = env
+                .options
+                .miss_elimination_probability
+                .map(|p| p > 0.0 && env.rng.gen_bool(p))
+                .unwrap_or(false);
+            if eliminated {
+                self.coverage.covered += 1;
+                self.fill_l1i(block, L1iMeta::default(), memory);
+            } else {
+                self.coverage.uncovered += 1;
+                let raw = self.l1i.config().hit_latency
+                    + memory.round_trip(self.id, block, AccessClass::Demand);
+                self.timing.fetch_stall(raw);
+                self.local_cycle += raw as f64 * env.timing.params().exposed_fetch_fraction();
+                self.fill_l1i(block, L1iMeta::default(), memory);
+            }
+        }
+
+        // Prefetcher hooks: access outcome first, then the retire-order
+        // stream.
+        let mut candidates = Vec::new();
+        pf.on_access(self.id, block, hit, memory.llc_mut(), &mut candidates);
+
+        self.timing.retire_instructions(instructions as u64);
+        self.local_cycle += instructions as f64 * env.timing.params().base_cpi;
+
+        pf.on_retire(self.id, block, memory.llc_mut(), &mut candidates);
+
+        if !env.options.prediction_only {
+            self.issue_prefetches(memory, &candidates);
+        }
+    }
+
+    fn fill_l1i(&mut self, block: BlockAddr, meta: L1iMeta, memory: &mut MemorySystem) {
+        if let Some(evicted) = self.l1i.fill(block, meta) {
+            if evicted.meta.prefetched_unused {
+                // A prefetched block left the cache without ever being used:
+                // an overprediction, and a useless LLC read (a "discard").
+                self.coverage.overpredicted += 1;
+                memory.llc_mut().record_traffic(AccessClass::Discard, 64);
+            }
+        }
+    }
+
+    fn issue_prefetches(&mut self, memory: &mut MemorySystem, candidates: &[PrefetchCandidate]) {
+        for cand in candidates {
+            if self.l1i.probe(cand.block) {
+                continue;
+            }
+            let latency = memory.round_trip(self.id, cand.block, AccessClass::PrefetchUseful);
+            let ready_at = self.local_cycle + (cand.ready_delay + latency) as f64;
+            self.fill_l1i(
+                cand.block,
+                L1iMeta {
+                    prefetched_unused: true,
+                    ready_at,
+                },
+                memory,
+            );
+        }
+    }
+}
+
+/// The assembled simulation engine: all cores, the prefetchers, the shared
+/// memory system, and the per-step environment.
+pub(crate) struct Engine {
+    memory: MemorySystem,
+    cores: Vec<CoreState>,
+    prefetchers: Vec<Box<dyn InstructionPrefetcher>>,
+    pf_of_core: Vec<usize>,
+    env: StepEnv,
+    prefetcher_label: String,
+    workloads: Vec<String>,
+}
+
+impl Engine {
+    /// Builds the full engine for one run: per-core generators and caches,
+    /// the shared memory system, and the configured prefetcher(s).
+    pub(crate) fn new(
+        config: &CmpConfig,
+        options: SimOptions,
+        consolidation: &ConsolidationSpec,
+    ) -> Self {
+        let mut memory = MemorySystem::new(config);
+
+        // Compile one program per workload and build per-core generators.
+        let programs: Vec<Arc<WorkloadProgram>> = consolidation
+            .workloads()
+            .iter()
+            .map(WorkloadProgram::build)
+            .collect();
+        let cores: Vec<CoreState> = consolidation
+            .assignments()
+            .iter()
+            .map(|a| {
+                CoreState::new(
+                    a.core,
+                    CoreTraceGenerator::with_program(
+                        Arc::clone(&programs[a.workload.index()]),
+                        a.core,
+                        options.seed,
+                    ),
+                    config,
+                )
+            })
+            .collect();
+
+        let (prefetchers, pf_of_core) = build_prefetchers(config, consolidation, &mut memory);
+
+        Engine {
+            memory,
+            cores,
+            prefetchers,
+            pf_of_core,
+            env: StepEnv {
+                timing: CoreTiming::new(config.core_kind),
+                options,
+                rng: SmallRng::seed_from_u64(options.seed ^ 0xF1E2_D3C4_B5A6_9788),
+            },
+            prefetcher_label: config.prefetcher.label(),
+            workloads: consolidation
+                .workloads()
+                .iter()
+                .map(|w| w.name.clone())
+                .collect(),
+        }
+    }
+
+    /// Runs warm-up then measurement, and assembles the aggregate results.
+    pub(crate) fn run(mut self) -> RunResult {
+        let warmup = self.env.options.scale.warmup_fetches_per_core();
+        let measured = self.env.options.scale.fetches_per_core();
+
+        for phase_fetches in [warmup, measured] {
+            for _ in 0..phase_fetches {
+                for idx in 0..self.cores.len() {
+                    let pf = self.prefetchers[self.pf_of_core[idx]].as_mut();
+                    self.cores[idx].step_one_fetch(pf, &mut self.memory, &mut self.env);
+                }
+            }
+            if phase_fetches == warmup {
+                self.reset_measurement();
+            }
+        }
+        self.assemble_results()
+    }
+
+    fn reset_measurement(&mut self) {
+        for core in &mut self.cores {
+            core.reset_measurement();
+        }
+        self.memory.reset_stats();
+    }
+
+    fn assemble_results(self) -> RunResult {
+        let Engine {
+            memory,
+            cores,
+            env,
+            prefetcher_label,
+            workloads,
+            ..
+        } = self;
+        let timing = &env.timing;
+
+        let mut coverage = CoverageStats::default();
+        let per_core: Vec<CoreResult> = cores
+            .iter()
+            .map(|c| {
+                coverage.merge(&c.coverage);
+                let cycles = timing.total_cycles(&c.timing);
+                CoreResult {
+                    instructions: c.timing.instructions,
+                    fetches: c.fetches,
+                    cycles,
+                    ipc: timing.ipc(&c.timing),
+                    raw_fetch_stall_cycles: c.timing.raw_fetch_stall_cycles,
+                    raw_data_stall_cycles: c.timing.raw_data_stall_cycles,
+                    l1i: *c.l1i.stats(),
+                    l1d: *c.l1d.stats(),
+                    coverage: c.coverage,
+                }
+            })
+            .collect();
+
+        let MemorySystem { llc, mesh } = memory;
+        let traffic = llc.traffic().clone();
+        let history_block_accesses =
+            traffic.count(AccessClass::HistoryRead) + traffic.count(AccessClass::HistoryWrite);
+        let index_accesses = traffic.count(AccessClass::IndexUpdate);
+        // History and index traffic travels over the mesh between the
+        // requesting tile and the home bank; estimate its flit-hop cost with
+        // the mesh's average hop distance (block transfers are 4 data flits +
+        // 1 header; index updates are a single flit).
+        let avg_hops =
+            mesh.average_round_trip_latency(0) / (2.0 * mesh.config().hop_latency as f64);
+        let overhead_flit_hops =
+            ((history_block_accesses + traffic.count(AccessClass::Discard)) as f64 * 5.0 * avg_hops
+                + index_accesses as f64 * avg_hops) as u64;
+
+        RunResult {
+            prefetcher: prefetcher_label,
+            workloads,
+            per_core,
+            coverage,
+            llc_traffic: traffic,
+            llc: llc.stats(),
+            overhead_flit_hops,
+            history_block_accesses,
+            index_accesses,
+        }
+    }
+}
+
+/// Builds the prefetcher(s): one instance for the whole CMP, except for SHIFT
+/// under consolidation where each workload gets its own shared history and
+/// generator core.
+fn build_prefetchers(
+    config: &CmpConfig,
+    consolidation: &ConsolidationSpec,
+    memory: &mut MemorySystem,
+) -> (Vec<Box<dyn InstructionPrefetcher>>, Vec<usize>) {
+    let cores = config.cores;
+    let n_workloads = consolidation.workloads().len();
+    match &config.prefetcher {
+        PrefetcherConfig::None => (
+            vec![Box::new(NullPrefetcher::new()) as Box<dyn InstructionPrefetcher>],
+            vec![0; cores as usize],
+        ),
+        PrefetcherConfig::NextLine { degree } => (
+            vec![Box::new(NextLinePrefetcher::new(*degree, cores)) as Box<_>],
+            vec![0; cores as usize],
+        ),
+        PrefetcherConfig::Pif(cfg) => (
+            vec![Box::new(Pif::new(*cfg, cores)) as Box<_>],
+            vec![0; cores as usize],
+        ),
+        PrefetcherConfig::Shift {
+            history_records,
+            mode,
+        } => {
+            // One shared history per workload, generated by the first core of
+            // that workload, embedded at a distinct LLC window.
+            let mut prefetchers: Vec<Box<dyn InstructionPrefetcher>> = Vec::new();
+            let mut pf_of_core = vec![0usize; cores as usize];
+            for w in 0..n_workloads {
+                let workload_cores = consolidation.cores_of(shift_types::WorkloadId::new(w as u8));
+                let generator = workload_cores[0];
+                let history_base = BlockAddr::new(0x7000_0000 + (w as u64) * 0x1_0000);
+                let mut cfg = ShiftConfig::virtualized_micro13(generator, history_base);
+                cfg.history_records = *history_records;
+                cfg.index_entries = (*history_records).max(16);
+                cfg.mode = *mode;
+                cfg.noc_round_trip = memory.mesh().average_round_trip_latency(0).round() as u64;
+                cfg.llc_capacity_blocks = config.llc.capacity_blocks();
+                let mut shift = Shift::new(cfg, cores);
+                shift.install(memory.llc_mut());
+                for c in workload_cores {
+                    pf_of_core[c.index()] = prefetchers.len();
+                }
+                prefetchers.push(Box::new(shift));
+            }
+            (prefetchers, pf_of_core)
+        }
+    }
+}

@@ -18,6 +18,7 @@ use shift_trace::{CoreTraceGenerator, Scale, WorkloadSpec};
 use shift_types::{BlockAddr, CoreId};
 
 use crate::experiments::pct;
+use crate::runner::parallel_map;
 
 /// Per-workload commonality result.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -66,20 +67,25 @@ impl fmt::Display for CommonalityResult {
 /// `cores` cores run the workload, and the measurement covers
 /// `scale.fetches_per_core()` accesses per core after an equally long
 /// recording warm-up.
+///
+/// This is an opportunity study over raw trace streams, not `Simulation`
+/// runs, so instead of a [`RunMatrix`](crate::runner::RunMatrix) the
+/// per-workload measurements fan out through the same worker pool via
+/// [`parallel_map`].
 pub fn commonality(
     workloads: &[WorkloadSpec],
     cores: u16,
     scale: Scale,
     seed: u64,
 ) -> CommonalityResult {
-    assert!(cores >= 2, "commonality needs a recorder and at least one replayer");
-    let rows = workloads
-        .iter()
-        .map(|w| CommonalityRow {
-            workload: w.name.clone(),
-            common_fraction: commonality_of_workload(w, cores, scale, seed),
-        })
-        .collect();
+    assert!(
+        cores >= 2,
+        "commonality needs a recorder and at least one replayer"
+    );
+    let rows = parallel_map(workloads, |w| CommonalityRow {
+        workload: w.name.clone(),
+        common_fraction: commonality_of_workload(w, cores, scale, seed),
+    });
     CommonalityResult { rows }
 }
 
@@ -106,9 +112,9 @@ fn commonality_of_workload(workload: &WorkloadSpec, cores: u16, scale: Scale, se
     for phase in 0..2 {
         let steps = if phase == 0 { warmup } else { measured };
         for _ in 0..steps {
-            for core_idx in 0..cores as usize {
+            for (core_idx, generator) in generators.iter_mut().enumerate() {
                 let core = CoreId::new(core_idx as u16);
-                let block: BlockAddr = generators[core_idx].next_fetch().block;
+                let block: BlockAddr = generator.next_fetch().block;
                 if phase == 1 && core_idx != 0 {
                     total += 1;
                     if shift.covers(core, block) {

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use shift_trace::{ConsolidationSpec, Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::system::Simulation;
+use crate::runner::RunMatrix;
 
 /// The Figure 10 result: speedups of each prefetcher configuration over the
 /// no-prefetch baseline for the consolidated mix.
@@ -44,6 +44,10 @@ impl fmt::Display for ConsolidationResult {
 /// Runs the Figure 10 experiment: `workloads` are consolidated evenly onto
 /// `cores` cores and each configuration's throughput is compared to the
 /// no-prefetch baseline.
+///
+/// The baseline and every configuration are declared as one [`RunMatrix`]
+/// (duplicate configurations collapse onto a single run, including a `None`
+/// entry onto the baseline) and executed in parallel.
 pub fn consolidation(
     workloads: &[WorkloadSpec],
     prefetchers: &[PrefetcherConfig],
@@ -55,23 +59,26 @@ pub fn consolidation(
     let spec = ConsolidationSpec::even_split(workloads.to_vec(), cores);
     let options = SimOptions::new(scale, seed);
 
-    let baseline = Simulation::consolidated(
+    let mut matrix = RunMatrix::new();
+    let baseline = matrix.consolidated(
         CmpConfig::micro13(cores, PrefetcherConfig::None),
-        spec.clone(),
+        &spec,
         options,
-    )
-    .run();
+    );
+    let handles: Vec<_> = prefetchers
+        .iter()
+        .map(|&p| matrix.consolidated(CmpConfig::micro13(cores, p), &spec, options))
+        .collect();
+    let outcomes = matrix.execute();
 
     let speedups = prefetchers
         .iter()
-        .map(|p| {
-            let run = Simulation::consolidated(
-                CmpConfig::micro13(cores, *p),
-                spec.clone(),
-                options,
+        .zip(&handles)
+        .map(|(p, &handle)| {
+            (
+                p.label(),
+                outcomes[handle].speedup_over(&outcomes[baseline]),
             )
-            .run();
-            (p.label(), run.speedup_over(&baseline))
         })
         .collect();
 
@@ -107,7 +114,10 @@ mod tests {
         let shift = result.speedup_of("SHIFT").unwrap();
         let nl = result.speedup_of("NextLine").unwrap();
         assert!(shift > 1.0, "SHIFT must speed up the consolidated mix");
-        assert!(shift > nl * 0.98, "SHIFT should be at least on par with next-line");
+        assert!(
+            shift > nl * 0.98,
+            "SHIFT should be at least on par with next-line"
+        );
         assert_eq!(result.workloads.len(), 2);
         assert!(!result.to_string().is_empty());
     }

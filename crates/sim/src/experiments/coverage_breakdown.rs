@@ -7,8 +7,8 @@ use serde::{Deserialize, Serialize};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
-use crate::experiments::run_standalone;
 use crate::results::CoverageStats;
+use crate::runner::RunMatrix;
 
 /// Coverage breakdown of one (workload, prefetcher) pair.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -116,6 +116,9 @@ pub fn coverage_breakdown(
 }
 
 /// Runs the Figure 7 experiment with an arbitrary prefetcher list.
+///
+/// The (workload × prefetcher) grid is declared as one [`RunMatrix`] and
+/// executed in parallel; duplicate grid cells collapse to a single run.
 pub fn coverage_breakdown_with(
     workloads: &[WorkloadSpec],
     prefetchers: &[PrefetcherConfig],
@@ -123,18 +126,29 @@ pub fn coverage_breakdown_with(
     scale: Scale,
     seed: u64,
 ) -> CoverageBreakdownResult {
+    let mut matrix = RunMatrix::new();
+    let grid: Vec<Vec<_>> = workloads
+        .iter()
+        .map(|w| {
+            prefetchers
+                .iter()
+                .map(|&p| matrix.standalone(w, p, cores, scale, seed))
+                .collect()
+        })
+        .collect();
+    let outcomes = matrix.execute();
+
     let rows = workloads
         .iter()
-        .map(|w| CoverageRow {
+        .zip(&grid)
+        .map(|(w, handles)| CoverageRow {
             workload: w.name.clone(),
             cells: prefetchers
                 .iter()
-                .map(|p| {
-                    let run = run_standalone(w, *p, cores, scale, seed);
-                    CoverageCell {
-                        prefetcher: p.label(),
-                        coverage: run.coverage,
-                    }
+                .zip(handles)
+                .map(|(p, &handle)| CoverageCell {
+                    prefetcher: p.label(),
+                    coverage: outcomes[handle].coverage,
                 })
                 .collect(),
         })
@@ -166,8 +180,14 @@ mod tests {
         let pif_small = cells[0].coverage.coverage();
         let pif_large = cells[1].coverage.coverage();
         let shift = cells[2].coverage.coverage();
-        assert!(pif_large > pif_small, "large history must cover more ({pif_large} vs {pif_small})");
-        assert!(shift > pif_small, "SHIFT must beat the small per-core history");
+        assert!(
+            pif_large > pif_small,
+            "large history must cover more ({pif_large} vs {pif_small})"
+        );
+        assert!(
+            shift > pif_small,
+            "SHIFT must beat the small per-core history"
+        );
         assert!(result.average_coverage("PIF_32K") > 0.0);
         assert!(result.average_overprediction("SHIFT") < 1.0);
         assert!(!result.to_string().is_empty());

@@ -13,7 +13,7 @@ use shift_core::{PifConfig, ShiftMode};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::system::Simulation;
+use crate::runner::RunMatrix;
 
 /// Coverage at one aggregate history size.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -58,6 +58,12 @@ impl fmt::Display for HistorySweepResult {
 /// Runs the Figure 6 sweep. `aggregate_sizes` entries of `None` model an
 /// unbounded ("inf") history. Coverage is averaged (miss-weighted) across the
 /// given workloads.
+///
+/// The whole (size × workload × {SHIFT, PIF}) grid is declared as one
+/// [`RunMatrix`] and executed in parallel. Deduplication helps twice here:
+/// `None` aliases the largest bounded size if both are requested, and small
+/// aggregate sizes whose per-core PIF history clamps to the same floor share
+/// one PIF run.
 pub fn coverage_vs_history(
     workloads: &[WorkloadSpec],
     aggregate_sizes: &[Option<usize>],
@@ -67,45 +73,64 @@ pub fn coverage_vs_history(
 ) -> HistorySweepResult {
     assert!(!workloads.is_empty() && !aggregate_sizes.is_empty());
     let unbounded_records = 4 * 1024 * 1024;
-    let mut points = Vec::new();
-    for &aggregate in aggregate_sizes {
-        let aggregate_records = aggregate.unwrap_or(unbounded_records);
-        let per_core_records = (aggregate_records / cores as usize).max(16);
+    let options = SimOptions::new(scale, seed).prediction_only();
 
-        let mut shift_pred = 0u64;
-        let mut shift_misses = 0u64;
-        let mut pif_pred = 0u64;
-        let mut pif_misses = 0u64;
-        for workload in workloads {
-            let shift_cfg = PrefetcherConfig::Shift {
-                history_records: aggregate_records,
-                mode: ShiftMode::Dedicated { zero_latency: true },
-            };
-            let shift_run = Simulation::standalone(
-                CmpConfig::micro13(cores, shift_cfg),
-                workload.clone(),
-                SimOptions::new(scale, seed).prediction_only(),
-            )
-            .run();
-            shift_pred += shift_run.coverage.predicted;
-            shift_misses += shift_run.coverage.baseline_misses();
+    let mut matrix = RunMatrix::new();
+    let grid: Vec<Vec<_>> = aggregate_sizes
+        .iter()
+        .map(|&aggregate| {
+            let aggregate_records = aggregate.unwrap_or(unbounded_records);
+            let per_core_records = (aggregate_records / cores as usize).max(16);
+            workloads
+                .iter()
+                .map(|workload| {
+                    let shift_cfg = PrefetcherConfig::Shift {
+                        history_records: aggregate_records,
+                        mode: ShiftMode::Dedicated { zero_latency: true },
+                    };
+                    let pif_cfg =
+                        PrefetcherConfig::Pif(PifConfig::with_history_records(per_core_records));
+                    (
+                        matrix.standalone_with(
+                            CmpConfig::micro13(cores, shift_cfg),
+                            workload,
+                            options,
+                        ),
+                        matrix.standalone_with(
+                            CmpConfig::micro13(cores, pif_cfg),
+                            workload,
+                            options,
+                        ),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let outcomes = matrix.execute();
 
-            let pif_cfg = PrefetcherConfig::Pif(PifConfig::with_history_records(per_core_records));
-            let pif_run = Simulation::standalone(
-                CmpConfig::micro13(cores, pif_cfg),
-                workload.clone(),
-                SimOptions::new(scale, seed).prediction_only(),
-            )
-            .run();
-            pif_pred += pif_run.coverage.predicted;
-            pif_misses += pif_run.coverage.baseline_misses();
-        }
-        points.push(HistorySweepPoint {
-            aggregate_records: aggregate,
-            shift_coverage: ratio(shift_pred, shift_misses),
-            pif_coverage: ratio(pif_pred, pif_misses),
-        });
-    }
+    let points = aggregate_sizes
+        .iter()
+        .zip(&grid)
+        .map(|(&aggregate, handles)| {
+            let mut shift_pred = 0u64;
+            let mut shift_misses = 0u64;
+            let mut pif_pred = 0u64;
+            let mut pif_misses = 0u64;
+            for &(shift_handle, pif_handle) in handles {
+                let shift_run = &outcomes[shift_handle];
+                shift_pred += shift_run.coverage.predicted;
+                shift_misses += shift_run.coverage.baseline_misses();
+                let pif_run = &outcomes[pif_handle];
+                pif_pred += pif_run.coverage.predicted;
+                pif_misses += pif_run.coverage.baseline_misses();
+            }
+            HistorySweepPoint {
+                aggregate_records: aggregate,
+                shift_coverage: ratio(shift_pred, shift_misses),
+                pif_coverage: ratio(pif_pred, pif_misses),
+            }
+        })
+        .collect();
     HistorySweepResult { points }
 }
 
@@ -125,13 +150,7 @@ mod tests {
     #[test]
     fn coverage_grows_with_history_size_and_shift_beats_pif() {
         let workloads = vec![presets::tiny()];
-        let result = coverage_vs_history(
-            &workloads,
-            &[Some(64), Some(4096)],
-            4,
-            Scale::Test,
-            3,
-        );
+        let result = coverage_vs_history(&workloads, &[Some(64), Some(4096)], 4, Scale::Test, 3);
         assert_eq!(result.points.len(), 2);
         let small = &result.points[0];
         let large = &result.points[1];

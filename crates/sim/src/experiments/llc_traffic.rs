@@ -8,7 +8,7 @@ use shift_trace::{Scale, WorkloadSpec};
 use shift_types::AccessClass;
 
 use crate::config::PrefetcherConfig;
-use crate::experiments::run_standalone;
+use crate::runner::RunMatrix;
 
 /// One workload's LLC traffic overhead.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -51,7 +51,10 @@ impl LlcTrafficResult {
 
 impl fmt::Display for LlcTrafficResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9: LLC traffic increase (% of baseline LLC traffic)")?;
+        writeln!(
+            f,
+            "Figure 9: LLC traffic increase (% of baseline LLC traffic)"
+        )?;
         writeln!(
             f,
             "{:<18}{:>10}{:>10}{:>10}{:>14}",
@@ -81,16 +84,27 @@ impl fmt::Display for LlcTrafficResult {
 }
 
 /// Runs the Figure 9 experiment (virtualized SHIFT on every workload).
+///
+/// The per-workload runs are declared as one [`RunMatrix`] and executed in
+/// parallel.
 pub fn llc_traffic(
     workloads: &[WorkloadSpec],
     cores: u16,
     scale: Scale,
     seed: u64,
 ) -> LlcTrafficResult {
+    let mut matrix = RunMatrix::new();
+    let handles: Vec<_> = workloads
+        .iter()
+        .map(|w| matrix.standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed))
+        .collect();
+    let outcomes = matrix.execute();
+
     let rows = workloads
         .iter()
-        .map(|w| {
-            let run = run_standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed);
+        .zip(&handles)
+        .map(|(w, &handle)| {
+            let run = &outcomes[handle];
             (
                 w.name.clone(),
                 LlcTrafficRow {
@@ -114,7 +128,10 @@ mod tests {
     fn shift_traffic_overhead_is_modest() {
         let result = llc_traffic(&[presets::tiny()], 4, Scale::Test, 17);
         let (_, row) = &result.rows[0];
-        assert!(row.log_read > 0.0, "history reads must appear in the LLC traffic");
+        assert!(
+            row.log_read > 0.0,
+            "history reads must appear in the LLC traffic"
+        );
         assert!(
             row.total_data_overhead() < 0.8,
             "history traffic must remain a modest fraction of baseline traffic (got {})",

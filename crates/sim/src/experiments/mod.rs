@@ -5,6 +5,15 @@
 //! type whose `Display` implementation prints the same rows/series the paper
 //! reports. The benchmark harness (`shift-bench`) wraps each driver in a
 //! binary and a Criterion bench.
+//!
+//! Every driver declares its sweep as a [`RunMatrix`](crate::runner): plan
+//! all runs up front (shared runs — above all the no-prefetch baseline —
+//! deduplicate to a single simulation), execute the whole matrix in parallel
+//! across the host's cores, then derive the figure's rows from the memoized
+//! outcomes. The commonality opportunity study — heavy per-workload work
+//! that is not `Simulation` runs — fans out through
+//! [`runner::parallel_map`](crate::runner::parallel_map) instead, and the
+//! storage table (pure arithmetic) stays inline.
 
 pub mod commonality;
 pub mod consolidation;
@@ -27,26 +36,6 @@ pub use power_overhead::{power_overhead, PowerOverheadResult};
 pub use probabilistic_elimination::{probabilistic_elimination, EliminationResult};
 pub use speedup_comparison::{speedup_comparison, SpeedupComparisonResult};
 pub use storage_table::{storage_table, StorageTableResult};
-
-use shift_trace::{Scale, WorkloadSpec};
-
-use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::results::RunResult;
-use crate::system::Simulation;
-
-/// Runs one standalone-workload simulation with the paper's 16-core CMP
-/// (or `cores` cores) and the given prefetcher.
-pub(crate) fn run_standalone(
-    workload: &WorkloadSpec,
-    prefetcher: PrefetcherConfig,
-    cores: u16,
-    scale: Scale,
-    seed: u64,
-) -> RunResult {
-    let config = CmpConfig::micro13(cores, prefetcher);
-    let options = SimOptions::new(scale, seed);
-    Simulation::standalone(config, workload.clone(), options).run()
-}
 
 /// Formats a fraction as a percentage with one decimal.
 pub(crate) fn pct(x: f64) -> String {

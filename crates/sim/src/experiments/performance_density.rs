@@ -18,7 +18,7 @@ use shift_types::{BlockAddr, CoreId};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
 use crate::results::geometric_mean;
-use crate::system::Simulation;
+use crate::runner::RunMatrix;
 
 /// One (core type, prefetcher) point in the Figure 2 plane.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -112,6 +112,11 @@ fn storage_of(prefetcher: &PrefetcherConfig, cores: u16, llc_blocks: usize) -> S
 
 /// Runs the performance-density study for the given prefetchers over the
 /// three core types.
+///
+/// The full (core type × workload × {baseline ∪ prefetchers}) sweep is
+/// declared as one [`RunMatrix`] and executed in parallel; each core type's
+/// per-workload baseline is simulated exactly once regardless of how many
+/// prefetchers it is compared against.
 pub fn performance_density(
     workloads: &[WorkloadSpec],
     prefetchers: &[PrefetcherConfig],
@@ -121,36 +126,50 @@ pub fn performance_density(
 ) -> PerformanceDensityResult {
     assert!(!workloads.is_empty() && !prefetchers.is_empty());
     let area_model = AreaModel::nm40();
-    let mut points = Vec::new();
-    for kind in CoreKind::ALL {
-        // Baseline runs for this core type, one per workload.
-        let baselines: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                Simulation::standalone(
-                    CmpConfig::micro13(cores, PrefetcherConfig::None).with_core_kind(kind),
-                    w.clone(),
-                    SimOptions::new(scale, seed),
-                )
-                .run()
-            })
-            .collect();
-        let baseline_area =
-            area_model.cmp_core_area_mm2(kind, cores, &StorageCost::none());
+    let options = SimOptions::new(scale, seed);
 
-        for prefetcher in prefetchers {
-            let speedups: Vec<f64> = workloads
+    let mut matrix = RunMatrix::new();
+    let plan: Vec<_> = CoreKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let baselines: Vec<_> = workloads
+                .iter()
+                .map(|w| {
+                    matrix.standalone_with(
+                        CmpConfig::micro13(cores, PrefetcherConfig::None).with_core_kind(kind),
+                        w,
+                        options,
+                    )
+                })
+                .collect();
+            let runs: Vec<Vec<_>> = prefetchers
+                .iter()
+                .map(|&prefetcher| {
+                    workloads
+                        .iter()
+                        .map(|w| {
+                            matrix.standalone_with(
+                                CmpConfig::micro13(cores, prefetcher).with_core_kind(kind),
+                                w,
+                                options,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            (kind, baselines, runs)
+        })
+        .collect();
+    let outcomes = matrix.execute();
+
+    let mut points = Vec::new();
+    for (kind, baselines, runs) in plan {
+        let baseline_area = area_model.cmp_core_area_mm2(kind, cores, &StorageCost::none());
+        for (prefetcher, handles) in prefetchers.iter().zip(runs) {
+            let speedups: Vec<f64> = handles
                 .iter()
                 .zip(&baselines)
-                .map(|(w, baseline)| {
-                    let run = Simulation::standalone(
-                        CmpConfig::micro13(cores, *prefetcher).with_core_kind(kind),
-                        w.clone(),
-                        SimOptions::new(scale, seed),
-                    )
-                    .run();
-                    run.speedup_over(baseline)
-                })
+                .map(|(&run, &baseline)| outcomes[run].speedup_over(&outcomes[baseline]))
                 .collect();
             let llc_blocks = CmpConfig::micro13(cores, *prefetcher).llc.capacity_blocks();
             let storage = storage_of(prefetcher, cores, llc_blocks);
@@ -175,7 +194,10 @@ mod tests {
     fn shift_area_overhead_is_far_smaller_than_pif() {
         let result = performance_density(
             &[presets::tiny()],
-            &[PrefetcherConfig::pif_32k(), PrefetcherConfig::shift_virtualized()],
+            &[
+                PrefetcherConfig::pif_32k(),
+                PrefetcherConfig::shift_virtualized(),
+            ],
             4,
             Scale::Test,
             31,
@@ -192,13 +214,21 @@ mod tests {
             assert!(shift.speedup > 1.0);
         }
         // The leaner the core, the larger PIF's relative area penalty.
-        let pif_fat = result.point(CoreKind::FatOoO, "PIF_32K").unwrap().relative_area;
-        let pif_io = result.point(CoreKind::LeanIO, "PIF_32K").unwrap().relative_area;
+        let pif_fat = result
+            .point(CoreKind::FatOoO, "PIF_32K")
+            .unwrap()
+            .relative_area;
+        let pif_io = result
+            .point(CoreKind::LeanIO, "PIF_32K")
+            .unwrap()
+            .relative_area;
         assert!(pif_io > pif_fat);
         assert!(!result.to_string().is_empty());
-        assert!(result
-            .pd_improvement(CoreKind::LeanIO, "SHIFT", "PIF_32K")
-            .unwrap()
-            > 1.0);
+        assert!(
+            result
+                .pd_improvement(CoreKind::LeanIO, "SHIFT", "PIF_32K")
+                .unwrap()
+                > 1.0
+        );
     }
 }

@@ -7,7 +7,7 @@ use shift_metrics::{PowerBreakdown, PowerModel};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
-use crate::experiments::run_standalone;
+use crate::runner::RunMatrix;
 
 /// One workload's power overhead.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -71,6 +71,9 @@ impl fmt::Display for PowerOverheadResult {
 
 /// Runs the §5.7 power estimate: a virtualized SHIFT run per workload, with
 /// the history/index/NoC activity converted to power by [`PowerModel`].
+///
+/// The per-workload runs are declared as one [`RunMatrix`] and executed in
+/// parallel.
 pub fn power_overhead(
     workloads: &[WorkloadSpec],
     cores: u16,
@@ -78,10 +81,18 @@ pub fn power_overhead(
     seed: u64,
 ) -> PowerOverheadResult {
     let model = PowerModel::nm40();
+    let mut matrix = RunMatrix::new();
+    let handles: Vec<_> = workloads
+        .iter()
+        .map(|w| matrix.standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed))
+        .collect();
+    let outcomes = matrix.execute();
+
     let rows = workloads
         .iter()
-        .map(|w| {
-            let run = run_standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed);
+        .zip(&handles)
+        .map(|(w, &handle)| {
+            let run = &outcomes[handle];
             let cycles = run.mean_cycles().max(1.0) as u64;
             let breakdown = model.overhead(
                 run.history_block_accesses,

@@ -12,7 +12,7 @@ use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
 use crate::results::geometric_mean;
-use crate::system::Simulation;
+use crate::runner::RunMatrix;
 
 /// One workload's speedup series.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -46,7 +46,10 @@ impl EliminationResult {
 
 impl fmt::Display for EliminationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 1: speedup vs. instruction cache misses eliminated")?;
+        writeln!(
+            f,
+            "Figure 1: speedup vs. instruction cache misses eliminated"
+        )?;
         write!(f, "{:<18}", "workload")?;
         if let Some(first) = self.series.first() {
             for (frac, _) in &first.points {
@@ -70,6 +73,10 @@ impl fmt::Display for EliminationResult {
 }
 
 /// Runs the Figure 1 experiment over `fractions` (e.g. `[0.0, 0.1, …, 1.0]`).
+///
+/// The (workload × fraction) sweep is declared as one [`RunMatrix`] and
+/// executed in parallel; each workload's baseline is simulated once and the
+/// `0.0` fraction reuses it directly (speedup 1 by definition).
 pub fn probabilistic_elimination(
     workloads: &[WorkloadSpec],
     fractions: &[f64],
@@ -79,27 +86,48 @@ pub fn probabilistic_elimination(
 ) -> EliminationResult {
     assert!(!workloads.is_empty(), "need at least one workload");
     assert!(!fractions.is_empty(), "need at least one elimination point");
-    let mut series = Vec::new();
-    for workload in workloads {
-        let config = CmpConfig::micro13(cores, PrefetcherConfig::None);
-        let baseline =
-            Simulation::standalone(config, workload.clone(), SimOptions::new(scale, seed)).run();
-        let mut points = Vec::new();
-        for &frac in fractions {
-            let speedup = if frac == 0.0 {
-                1.0
-            } else {
-                let options = SimOptions::new(scale, seed).with_miss_elimination(frac);
-                let run = Simulation::standalone(config, workload.clone(), options).run();
-                run.speedup_over(&baseline)
-            };
-            points.push((frac, speedup));
-        }
-        series.push(EliminationSeries {
+    let config = CmpConfig::micro13(cores, PrefetcherConfig::None);
+
+    let mut matrix = RunMatrix::new();
+    let plan: Vec<_> = workloads
+        .iter()
+        .map(|workload| {
+            let baseline = matrix.standalone_with(config, workload, SimOptions::new(scale, seed));
+            let runs: Vec<_> = fractions
+                .iter()
+                .map(|&frac| {
+                    (frac > 0.0).then(|| {
+                        matrix.standalone_with(
+                            config,
+                            workload,
+                            SimOptions::new(scale, seed).with_miss_elimination(frac),
+                        )
+                    })
+                })
+                .collect();
+            (baseline, runs)
+        })
+        .collect();
+    let outcomes = matrix.execute();
+
+    let series: Vec<EliminationSeries> = workloads
+        .iter()
+        .zip(&plan)
+        .map(|(workload, (baseline, runs))| EliminationSeries {
             workload: workload.name.clone(),
-            points,
-        });
-    }
+            points: fractions
+                .iter()
+                .zip(runs)
+                .map(|(&frac, run)| {
+                    let speedup = match run {
+                        Some(handle) => outcomes[*handle].speedup_over(&outcomes[*baseline]),
+                        None => 1.0,
+                    };
+                    (frac, speedup)
+                })
+                .collect(),
+        })
+        .collect();
     let geomean = fractions
         .iter()
         .enumerate()

@@ -7,8 +7,8 @@ use serde::{Deserialize, Serialize};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
-use crate::experiments::run_standalone;
 use crate::results::geometric_mean;
+use crate::runner::{RunHandle, RunMatrix};
 
 /// One workload's speedups.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -78,6 +78,11 @@ pub fn speedup_comparison(
 }
 
 /// Runs the speedup comparison for an arbitrary configuration list.
+///
+/// The whole sweep is declared as one [`RunMatrix`], so the no-prefetch
+/// baseline of each workload is simulated exactly once per (workload, cores,
+/// scale, seed) — even if [`PrefetcherConfig::None`] also appears in
+/// `prefetchers` — and all runs execute in parallel.
 pub fn speedup_comparison_with(
     workloads: &[WorkloadSpec],
     prefetchers: &[PrefetcherConfig],
@@ -86,21 +91,21 @@ pub fn speedup_comparison_with(
     seed: u64,
 ) -> SpeedupComparisonResult {
     assert!(!workloads.is_empty() && !prefetchers.is_empty());
-    let mut rows = Vec::new();
-    for workload in workloads {
-        let baseline = run_standalone(workload, PrefetcherConfig::None, cores, scale, seed);
-        let speedups = prefetchers
-            .iter()
-            .map(|p| {
-                let run = run_standalone(workload, *p, cores, scale, seed);
-                (p.label(), run.speedup_over(&baseline))
-            })
-            .collect();
-        rows.push(SpeedupRow {
+    let (matrix, plan) = plan(workloads, prefetchers, cores, scale, seed);
+    let outcomes = matrix.execute();
+
+    let rows: Vec<SpeedupRow> = workloads
+        .iter()
+        .zip(&plan)
+        .map(|(workload, (baseline, runs))| SpeedupRow {
             workload: workload.name.clone(),
-            speedups,
-        });
-    }
+            speedups: prefetchers
+                .iter()
+                .zip(runs)
+                .map(|(p, &run)| (p.label(), outcomes[run].speedup_over(&outcomes[*baseline])))
+                .collect(),
+        })
+        .collect();
     let geomean = prefetchers
         .iter()
         .enumerate()
@@ -110,6 +115,30 @@ pub fn speedup_comparison_with(
         })
         .collect();
     SpeedupComparisonResult { rows, geomean }
+}
+
+/// Plans the sweep: per workload, one baseline handle plus one handle per
+/// prefetcher configuration.
+fn plan(
+    workloads: &[WorkloadSpec],
+    prefetchers: &[PrefetcherConfig],
+    cores: u16,
+    scale: Scale,
+    seed: u64,
+) -> (RunMatrix, Vec<(RunHandle, Vec<RunHandle>)>) {
+    let mut matrix = RunMatrix::new();
+    let plan = workloads
+        .iter()
+        .map(|workload| {
+            let baseline = matrix.standalone(workload, PrefetcherConfig::None, cores, scale, seed);
+            let runs = prefetchers
+                .iter()
+                .map(|&p| matrix.standalone(workload, p, cores, scale, seed))
+                .collect();
+            (baseline, runs)
+        })
+        .collect();
+    (matrix, plan)
 }
 
 #[cfg(test)]
@@ -137,5 +166,31 @@ mod tests {
         assert!(pif > nl, "PIF_32K ({pif}) must beat next-line ({nl})");
         assert!(shift > nl, "SHIFT ({shift}) must beat next-line ({nl})");
         assert!(!result.to_string().is_empty());
+    }
+
+    #[test]
+    fn baseline_is_planned_exactly_once_per_workload() {
+        let workloads = vec![
+            presets::tiny().with_region_index(0),
+            presets::tiny().with_region_index(1),
+        ];
+        // The explicit `None` entry must collapse onto the baseline run that
+        // the speedups are normalized against: 2 workloads × (1 baseline + 2
+        // distinct prefetchers), not 2 × 4.
+        let prefetchers = [
+            PrefetcherConfig::None,
+            PrefetcherConfig::next_line(),
+            PrefetcherConfig::shift_virtualized(),
+        ];
+        let (matrix, plan) = super::plan(&workloads, &prefetchers, 4, Scale::Test, 21);
+        assert_eq!(matrix.len(), 2 * 3);
+        for (baseline, runs) in &plan {
+            assert_eq!(runs[0], *baseline, "None entry must reuse the baseline run");
+        }
+
+        // And the derived figure reports a speedup of exactly 1 for `None`.
+        let result = speedup_comparison_with(&workloads, &prefetchers, 4, Scale::Test, 21);
+        let none = result.geomean_of("Baseline").unwrap();
+        assert!((none - 1.0).abs() < 1e-12, "baseline speedup {none}");
     }
 }

@@ -70,6 +70,10 @@ impl fmt::Display for StorageTableResult {
 
 /// Computes the storage table for the paper's designs on a `cores`-core CMP
 /// with an LLC of `llc_capacity_blocks` tags.
+///
+/// Pure arithmetic — no `Simulation` runs, so there is no sweep to declare
+/// as a [`RunMatrix`](crate::runner::RunMatrix): the three rows cost
+/// microseconds and are computed inline.
 pub fn storage_table(cores: u16, llc_capacity_blocks: usize) -> StorageTableResult {
     let area = AreaModel::nm40();
     let mut rows = Vec::new();

@@ -29,15 +29,46 @@
 //! let result = Simulation::standalone(config, workload, options).run();
 //! assert!(result.coverage.covered + result.coverage.uncovered > 0);
 //! ```
+//!
+//! # Sweeps: the run matrix
+//!
+//! Single runs compose into sweeps through [`RunMatrix`], the planner and
+//! parallel executor every experiment driver sits on. Runs are planned by
+//! key (workload, prefetcher, cores, scale, seed, options); identical keys
+//! deduplicate to one simulation — so the shared no-prefetch baseline of a
+//! five-way comparison is simulated once, not five times — and the whole
+//! matrix executes across all available cores with results that are
+//! bit-identical to a serial sweep:
+//!
+//! ```
+//! use shift_sim::{PrefetcherConfig, RunMatrix};
+//! use shift_trace::{presets, Scale};
+//!
+//! let mut matrix = RunMatrix::new();
+//! let workload = presets::tiny();
+//! let baseline = matrix.standalone(&workload, PrefetcherConfig::None, 4, Scale::Test, 42);
+//! let handles: Vec<_> = PrefetcherConfig::figure8_suite()
+//!     .into_iter()
+//!     .map(|p| matrix.standalone(&workload, p, 4, Scale::Test, 42))
+//!     .collect();
+//!
+//! let outcomes = matrix.execute(); // parallel across cores
+//! for handle in handles {
+//!     assert!(outcomes[handle].speedup_over(&outcomes[baseline]) > 0.9);
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod config;
+mod engine;
 pub mod experiments;
 pub mod results;
+pub mod runner;
 pub mod system;
 
 pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
 pub use results::{CoverageStats, RunResult};
+pub use runner::{RunHandle, RunKey, RunMatrix, RunOutcomes};
 pub use system::Simulation;

@@ -167,9 +167,12 @@ impl RunResult {
 /// Geometric mean of a set of positive values (the paper reports geometric
 /// mean speedups).
 ///
+/// Empty input and non-positive entries are rejected eagerly — `ln()` would
+/// otherwise turn them into silently propagating NaN/-inf speedups.
+///
 /// # Panics
 ///
-/// Panics if `values` is empty or contains non-positive entries.
+/// Panics if `values` is empty or contains non-positive (or NaN) entries.
 pub fn geometric_mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geometric mean of empty set");
     assert!(
@@ -229,6 +232,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geometric_mean_rejects_zero() {
         let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geometric_mean_rejects_empty_input() {
+        let _ = geometric_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nan() {
+        let _ = geometric_mean(&[1.0, f64::NAN]);
     }
 
     fn result_with_ipcs(ipcs: &[f64]) -> RunResult {

@@ -1,0 +1,371 @@
+//! The sweep engine: deduplicated run matrices executed across all cores.
+//!
+//! The paper's evaluation is a large matrix of (workload × prefetcher ×
+//! scale × seed) simulations, and several figures share runs — most notably
+//! the no-prefetch baseline, which every speedup is normalized against. This
+//! module gives all experiment drivers one way to declare such a sweep:
+//!
+//! 1. **Plan** — add runs to a [`RunMatrix`]. Each call returns a cheap
+//!    [`RunHandle`]; adding a run whose full configuration (CMP config,
+//!    options, and workload assignment) matches an already-planned run
+//!    returns the *existing* handle, so shared runs — e.g. a baseline used
+//!    by five prefetcher comparisons — are simulated exactly once.
+//! 2. **Execute** — [`RunMatrix::execute`] runs all planned simulations on a
+//!    pool of worker threads (one per available core by default, overridable
+//!    with the `SHIFT_THREADS` environment variable) and returns
+//!    [`RunOutcomes`] indexed by the handles.
+//! 3. **Consume** — look up each run's [`RunResult`] by handle and derive
+//!    the figure's rows.
+//!
+//! Every simulation is fully deterministic in its key (the only randomness
+//! comes from generators seeded by [`SimOptions::seed`]), so the parallel
+//! execution is bit-identical to [`RunMatrix::execute_serial`] — a property
+//! locked in by the `runner` integration tests.
+//!
+//! # Example
+//!
+//! ```
+//! use shift_sim::{PrefetcherConfig, RunMatrix};
+//! use shift_trace::{presets, Scale};
+//!
+//! let mut matrix = RunMatrix::new();
+//! let workload = presets::tiny();
+//! let baseline = matrix.standalone(&workload, PrefetcherConfig::None, 4, Scale::Test, 42);
+//! let shift = matrix.standalone(&workload, PrefetcherConfig::shift_virtualized(), 4, Scale::Test, 42);
+//! // Re-planning an identical run is free: it returns the same handle.
+//! assert_eq!(baseline, matrix.standalone(&workload, PrefetcherConfig::None, 4, Scale::Test, 42));
+//! assert_eq!(matrix.len(), 2);
+//!
+//! let outcomes = matrix.execute();
+//! assert!(outcomes[shift].speedup_over(&outcomes[baseline]) > 1.0);
+//! ```
+
+use std::ops::Index;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use shift_trace::{ConsolidationSpec, Scale, WorkloadSpec};
+
+use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::results::RunResult;
+use crate::system::Simulation;
+
+/// Handle to one planned run in a [`RunMatrix`]; index into the matrix's
+/// [`RunOutcomes`] to get its [`RunResult`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunHandle(usize);
+
+/// The identity of one simulation run: everything that determines its result.
+///
+/// Two runs with equal keys produce bit-identical [`RunResult`]s, so the
+/// planner simulates only one of them. The key covers the full CMP
+/// configuration (including the prefetcher), the simulation options (scale,
+/// seed, prediction-only and miss-elimination modes), and the complete
+/// workload-to-core assignment — equality is plain structural equality over
+/// all of them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunKey {
+    config: CmpConfig,
+    options: SimOptions,
+    consolidation: ConsolidationSpec,
+}
+
+impl RunKey {
+    fn of(sim: &Simulation) -> Self {
+        RunKey {
+            config: *sim.config(),
+            options: *sim.options(),
+            consolidation: sim.consolidation().clone(),
+        }
+    }
+}
+
+/// A deduplicated plan of simulation runs, executed in parallel.
+///
+/// See the [module documentation](self) for the plan / execute / consume
+/// workflow and an example.
+#[derive(Debug, Default)]
+pub struct RunMatrix {
+    plans: Vec<Simulation>,
+    keys: Vec<RunKey>,
+}
+
+impl RunMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        RunMatrix::default()
+    }
+
+    /// Plans a standalone-workload run on the paper's CMP
+    /// ([`CmpConfig::micro13`]) with the given prefetcher.
+    pub fn standalone(
+        &mut self,
+        workload: &WorkloadSpec,
+        prefetcher: PrefetcherConfig,
+        cores: u16,
+        scale: Scale,
+        seed: u64,
+    ) -> RunHandle {
+        self.standalone_with(
+            CmpConfig::micro13(cores, prefetcher),
+            workload,
+            SimOptions::new(scale, seed),
+        )
+    }
+
+    /// Plans a standalone-workload run with an explicit CMP configuration and
+    /// options (core-kind overrides, prediction-only mode, …).
+    pub fn standalone_with(
+        &mut self,
+        config: CmpConfig,
+        workload: &WorkloadSpec,
+        options: SimOptions,
+    ) -> RunHandle {
+        self.plan(Simulation::standalone(config, workload.clone(), options))
+    }
+
+    /// Plans a consolidated run of several workloads sharing the CMP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the consolidation spec's core count differs from the CMP's.
+    pub fn consolidated(
+        &mut self,
+        config: CmpConfig,
+        consolidation: &ConsolidationSpec,
+        options: SimOptions,
+    ) -> RunHandle {
+        self.plan(Simulation::consolidated(
+            config,
+            consolidation.clone(),
+            options,
+        ))
+    }
+
+    /// Plans an arbitrary pre-built simulation.
+    ///
+    /// Deduplication is a linear scan over the planned keys: matrices hold at
+    /// most a few hundred runs, and each key comparison is far cheaper than
+    /// the seconds-to-minutes simulation it saves.
+    pub fn plan(&mut self, sim: Simulation) -> RunHandle {
+        let key = RunKey::of(&sim);
+        if let Some(existing) = self.keys.iter().position(|k| *k == key) {
+            return RunHandle(existing);
+        }
+        let slot = self.plans.len();
+        self.plans.push(sim);
+        self.keys.push(key);
+        RunHandle(slot)
+    }
+
+    /// Number of distinct runs planned (after deduplication).
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` if no runs are planned.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Executes every planned run across the default worker-thread count:
+    /// the `SHIFT_THREADS` environment variable if set, otherwise one thread
+    /// per available hardware core.
+    pub fn execute(&self) -> RunOutcomes {
+        self.execute_with_threads(default_threads())
+    }
+
+    /// Executes every planned run on the calling thread, in plan order.
+    pub fn execute_serial(&self) -> RunOutcomes {
+        self.execute_with_threads(1)
+    }
+
+    /// Executes every planned run on exactly `threads` worker threads.
+    ///
+    /// Results are keyed by plan position, so the outcome is independent of
+    /// which worker runs which simulation: for the same matrix, any thread
+    /// count yields bit-identical [`RunOutcomes`].
+    pub fn execute_with_threads(&self, threads: usize) -> RunOutcomes {
+        RunOutcomes {
+            results: parallel_map_with_threads(&self.plans, threads, Simulation::run),
+        }
+    }
+}
+
+/// Results of a [`RunMatrix`] execution, indexed by [`RunHandle`].
+#[derive(Clone, Debug)]
+pub struct RunOutcomes {
+    results: Vec<RunResult>,
+}
+
+impl RunOutcomes {
+    /// The result of the given planned run.
+    pub fn get(&self, handle: RunHandle) -> &RunResult {
+        &self.results[handle.0]
+    }
+
+    /// Number of executed runs.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `true` if the matrix was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+impl Index<RunHandle> for RunOutcomes {
+    type Output = RunResult;
+
+    fn index(&self, handle: RunHandle) -> &RunResult {
+        self.get(handle)
+    }
+}
+
+/// Default worker-thread count: `SHIFT_THREADS` if set to a positive integer,
+/// otherwise the number of available hardware threads.
+pub fn default_threads() -> usize {
+    if let Ok(value) = std::env::var("SHIFT_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("ignoring invalid SHIFT_THREADS `{value}`");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on the default worker-thread pool, returning the
+/// outputs in item order.
+///
+/// This is the same executor [`RunMatrix`] uses, exposed for sweeps that are
+/// not plain `Simulation::run` calls (the commonality opportunity study, the
+/// storage-table arithmetic).
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_with_threads(items, default_threads(), f)
+}
+
+fn parallel_map_with_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Work-stealing by atomic counter: each worker claims the next unclaimed
+    // item and writes its result into that item's dedicated slot, so the
+    // output order (and therefore determinism) never depends on scheduling.
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let output = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(output);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed item")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_trace::presets;
+
+    #[test]
+    fn identical_plans_deduplicate_to_one_run() {
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let a = matrix.standalone(&w, PrefetcherConfig::None, 4, Scale::Test, 7);
+        let b = matrix.standalone(&w, PrefetcherConfig::None, 4, Scale::Test, 7);
+        assert_eq!(a, b);
+        assert_eq!(matrix.len(), 1);
+
+        // Any differing component of the key is a distinct run.
+        let c = matrix.standalone(&w, PrefetcherConfig::None, 4, Scale::Test, 8);
+        let d = matrix.standalone(&w, PrefetcherConfig::next_line(), 4, Scale::Test, 7);
+        let e = matrix.standalone(&w, PrefetcherConfig::None, 8, Scale::Test, 7);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(a, e);
+        assert_eq!(matrix.len(), 4);
+    }
+
+    #[test]
+    fn options_and_workload_identity_are_part_of_the_key() {
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let config = CmpConfig::micro13(4, PrefetcherConfig::pif_32k());
+        let plain = matrix.standalone_with(config, &w, SimOptions::new(Scale::Test, 3));
+        let predict = matrix.standalone_with(
+            config,
+            &w,
+            SimOptions::new(Scale::Test, 3).prediction_only(),
+        );
+        let scaled = matrix.standalone_with(
+            config,
+            &w.clone().scaled_footprint(0.5),
+            SimOptions::new(Scale::Test, 3),
+        );
+        assert_ne!(plain, predict);
+        assert_ne!(plain, scaled);
+        assert_eq!(matrix.len(), 3);
+    }
+
+    #[test]
+    fn outcomes_are_indexed_by_handle() {
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let baseline = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let nl = matrix.standalone(&w, PrefetcherConfig::next_line(), 2, Scale::Test, 5);
+        let outcomes = matrix.execute_with_threads(2);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[baseline].prefetcher, "Baseline");
+        assert_eq!(outcomes[nl].prefetcher, "NextLine");
+        assert!(outcomes[nl].speedup_over(&outcomes[baseline]) > 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_executes_to_empty_outcomes() {
+        let matrix = RunMatrix::new();
+        assert!(matrix.is_empty());
+        let outcomes = matrix.execute();
+        assert!(outcomes.is_empty());
+        assert_eq!(outcomes.len(), 0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        let singleton = parallel_map(&[42u64], |&x| x + 1);
+        assert_eq!(singleton, vec![43]);
+        let empty: Vec<u64> = parallel_map(&[] as &[u64], |&x| x);
+        assert!(empty.is_empty());
+    }
+}

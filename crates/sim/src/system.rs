@@ -1,4 +1,4 @@
-//! The trace-driven CMP simulator.
+//! The trace-driven CMP simulator facade.
 //!
 //! A [`Simulation`] assembles per-core trace generators, private L1 caches,
 //! the shared banked LLC, the mesh interconnect, the analytical core timing
@@ -7,64 +7,23 @@
 //! fetch (and the data references preceding it) per round. Cache warm-up runs
 //! first; statistics are reset before the measured interval, mirroring the
 //! paper's warmed-checkpoint methodology.
+//!
+//! `Simulation` itself is a thin, cloneable description of one run — the
+//! actual machinery (core stepping, the [`MemorySystem`](crate::engine), the
+//! prefetcher wiring) lives in the [`engine`](crate::engine) module, and
+//! sweeps of many runs are planned and executed in parallel by
+//! [`RunMatrix`](crate::runner::RunMatrix).
 
-use std::sync::Arc;
+use shift_trace::{ConsolidationSpec, WorkloadSpec};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use shift_cache::{NucaLlc, SetAssocCache};
-use shift_core::{
-    InstructionPrefetcher, NextLinePrefetcher, NullPrefetcher, Pif, PrefetchCandidate, Shift,
-    ShiftConfig,
-};
-use shift_cpu::{CoreTiming, TimingAccumulator};
-use shift_noc::Mesh;
-use shift_trace::{
-    ConsolidationSpec, CoreTraceGenerator, TraceEvent, WorkloadSpec,
-};
-use shift_trace::workload::WorkloadProgram;
-use shift_types::{AccessClass, BlockAddr, CoreId};
-
-use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::results::{CoreResult, CoverageStats, RunResult};
-
-/// Per-L1-I-line bookkeeping used to classify covered misses and discards.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-struct L1iMeta {
-    /// The line was installed by a prefetch and has not been referenced yet.
-    prefetched_unused: bool,
-    /// Local cycle at which the prefetched data actually arrives.
-    ready_at: f64,
-}
-
-struct CoreState {
-    id: CoreId,
-    generator: CoreTraceGenerator,
-    l1i: SetAssocCache<L1iMeta>,
-    l1d: SetAssocCache<()>,
-    timing: TimingAccumulator,
-    local_cycle: f64,
-    fetches: u64,
-    coverage: CoverageStats,
-}
-
-impl CoreState {
-    fn reset_measurement(&mut self) {
-        // Prefetches issued during warm-up have long since arrived; clear
-        // their arrival timestamps so they are not charged as late.
-        self.l1i.for_each_meta_mut(|m| m.ready_at = 0.0);
-        self.l1i.reset_stats();
-        self.l1d.reset_stats();
-        self.timing = TimingAccumulator::new();
-        self.local_cycle = 0.0;
-        self.fetches = 0;
-        self.coverage = CoverageStats::default();
-    }
-}
+use crate::config::{CmpConfig, SimOptions};
+use crate::engine::Engine;
+use crate::results::RunResult;
 
 /// A configured simulation, ready to run.
 ///
 /// See the crate-level documentation for an end-to-end example.
+#[derive(Clone)]
 pub struct Simulation {
     config: CmpConfig,
     options: SimOptions,
@@ -119,365 +78,27 @@ impl Simulation {
         &self.config
     }
 
+    /// The run options.
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    /// The workload-to-core assignment.
+    pub fn consolidation(&self) -> &ConsolidationSpec {
+        &self.consolidation
+    }
+
     /// Runs the simulation and returns aggregate results.
+    ///
+    /// Each run is fully deterministic in `(config, workloads, options)`: the
+    /// only randomness is drawn from generators seeded by
+    /// [`SimOptions::seed`], which is what lets [`RunMatrix`] execute runs on
+    /// worker threads and still return bit-identical results to a serial
+    /// sweep.
+    ///
+    /// [`RunMatrix`]: crate::runner::RunMatrix
     pub fn run(&self) -> RunResult {
-        let cores = self.config.cores;
-        let timing = CoreTiming::new(self.config.core_kind);
-        let mut llc = NucaLlc::new(self.config.llc);
-        let mut mesh = Mesh::new(self.config.mesh);
-        let mut rng = SmallRng::seed_from_u64(self.options.seed ^ 0xF1E2_D3C4_B5A6_9788);
-
-        // Compile one program per workload and build per-core generators.
-        let programs: Vec<Arc<WorkloadProgram>> = self
-            .consolidation
-            .workloads()
-            .iter()
-            .map(WorkloadProgram::build)
-            .collect();
-        let assignments = self.consolidation.assignments();
-
-        let mut core_states: Vec<CoreState> = assignments
-            .iter()
-            .map(|a| CoreState {
-                id: a.core,
-                generator: CoreTraceGenerator::with_program(
-                    Arc::clone(&programs[a.workload.index()]),
-                    a.core,
-                    self.options.seed,
-                ),
-                l1i: SetAssocCache::new(self.config.l1i),
-                l1d: SetAssocCache::new(self.config.l1d),
-                timing: TimingAccumulator::new(),
-                local_cycle: 0.0,
-                fetches: 0,
-                coverage: CoverageStats::default(),
-            })
-            .collect();
-
-        // Build the prefetcher(s): one instance for the whole CMP, except for
-        // SHIFT under consolidation where each workload gets its own shared
-        // history and generator core.
-        let (mut prefetchers, pf_of_core) = self.build_prefetchers(&mut llc, &mesh);
-
-        // Warm-up, then measurement.
-        let warmup = self.options.scale.warmup_fetches_per_core();
-        let measured = self.options.scale.fetches_per_core();
-
-        for phase_fetches in [warmup, measured] {
-            for _ in 0..phase_fetches {
-                for idx in 0..cores as usize {
-                    let pf = prefetchers[pf_of_core[idx]].as_mut();
-                    step_one_fetch(
-                        &mut core_states[idx],
-                        pf,
-                        &mut llc,
-                        &mut mesh,
-                        &timing,
-                        &self.options,
-                        &mut rng,
-                    );
-                }
-            }
-            if phase_fetches == warmup {
-                for core in &mut core_states {
-                    core.reset_measurement();
-                }
-                llc.reset_stats();
-                mesh.reset_stats();
-            }
-        }
-
-        drop(prefetchers);
-        self.assemble_results(core_states, llc, mesh, &timing)
-    }
-
-    fn build_prefetchers(
-        &self,
-        llc: &mut NucaLlc,
-        mesh: &Mesh,
-    ) -> (Vec<Box<dyn InstructionPrefetcher>>, Vec<usize>) {
-        let cores = self.config.cores;
-        let n_workloads = self.consolidation.workloads().len();
-        match &self.config.prefetcher {
-            PrefetcherConfig::None => (
-                vec![Box::new(NullPrefetcher::new()) as Box<dyn InstructionPrefetcher>],
-                vec![0; cores as usize],
-            ),
-            PrefetcherConfig::NextLine { degree } => (
-                vec![Box::new(NextLinePrefetcher::new(*degree, cores)) as Box<_>],
-                vec![0; cores as usize],
-            ),
-            PrefetcherConfig::Pif(cfg) => (
-                vec![Box::new(Pif::new(*cfg, cores)) as Box<_>],
-                vec![0; cores as usize],
-            ),
-            PrefetcherConfig::Shift {
-                history_records,
-                mode,
-            } => {
-                // One shared history per workload, generated by the first core
-                // of that workload, embedded at a distinct LLC window.
-                let mut prefetchers: Vec<Box<dyn InstructionPrefetcher>> = Vec::new();
-                let mut pf_of_core = vec![0usize; cores as usize];
-                for w in 0..n_workloads {
-                    let workload_cores = self
-                        .consolidation
-                        .cores_of(shift_types::WorkloadId::new(w as u8));
-                    let generator = workload_cores[0];
-                    let history_base = BlockAddr::new(0x7000_0000 + (w as u64) * 0x1_0000);
-                    let mut cfg = ShiftConfig::virtualized_micro13(generator, history_base);
-                    cfg.history_records = *history_records;
-                    cfg.index_entries = (*history_records).max(16);
-                    cfg.mode = *mode;
-                    cfg.noc_round_trip = mesh.average_round_trip_latency(0).round() as u64;
-                    cfg.llc_capacity_blocks = self.config.llc.capacity_blocks();
-                    let mut shift = Shift::new(cfg, cores);
-                    shift.install(llc);
-                    for c in workload_cores {
-                        pf_of_core[c.index()] = prefetchers.len();
-                    }
-                    prefetchers.push(Box::new(shift));
-                }
-                (prefetchers, pf_of_core)
-            }
-        }
-    }
-
-    fn assemble_results(
-        &self,
-        core_states: Vec<CoreState>,
-        llc: NucaLlc,
-        mesh: Mesh,
-        timing: &CoreTiming,
-    ) -> RunResult {
-        let mut coverage = CoverageStats::default();
-        let per_core: Vec<CoreResult> = core_states
-            .iter()
-            .map(|c| {
-                coverage.merge(&c.coverage);
-                let cycles = timing.total_cycles(&c.timing);
-                CoreResult {
-                    instructions: c.timing.instructions,
-                    fetches: c.fetches,
-                    cycles,
-                    ipc: timing.ipc(&c.timing),
-                    raw_fetch_stall_cycles: c.timing.raw_fetch_stall_cycles,
-                    raw_data_stall_cycles: c.timing.raw_data_stall_cycles,
-                    l1i: *c.l1i.stats(),
-                    l1d: *c.l1d.stats(),
-                    coverage: c.coverage,
-                }
-            })
-            .collect();
-
-        let traffic = llc.traffic().clone();
-        let history_block_accesses = traffic.count(AccessClass::HistoryRead)
-            + traffic.count(AccessClass::HistoryWrite);
-        let index_accesses = traffic.count(AccessClass::IndexUpdate);
-        // History and index traffic travels over the mesh between the
-        // requesting tile and the home bank; estimate its flit-hop cost with
-        // the mesh's average hop distance (block transfers are 4 data flits +
-        // 1 header; index updates are a single flit).
-        let avg_hops = mesh.average_round_trip_latency(0) / (2.0 * mesh.config().hop_latency as f64);
-        let overhead_flit_hops = ((history_block_accesses
-            + traffic.count(AccessClass::Discard)) as f64
-            * 5.0
-            * avg_hops
-            + index_accesses as f64 * avg_hops) as u64;
-
-        RunResult {
-            prefetcher: self.config.prefetcher.label(),
-            workloads: self
-                .consolidation
-                .workloads()
-                .iter()
-                .map(|w| w.name.clone())
-                .collect(),
-            per_core,
-            coverage,
-            llc_traffic: traffic,
-            llc: llc.stats(),
-            overhead_flit_hops,
-            history_block_accesses,
-            index_accesses,
-        }
-    }
-}
-
-/// Advances one core by exactly one instruction-block fetch (plus any data
-/// references that precede it in the trace).
-fn step_one_fetch(
-    core: &mut CoreState,
-    pf: &mut dyn InstructionPrefetcher,
-    llc: &mut NucaLlc,
-    mesh: &mut Mesh,
-    timing: &CoreTiming,
-    options: &SimOptions,
-    rng: &mut SmallRng,
-) {
-    loop {
-        match core.generator.next_event() {
-            TraceEvent::Data(d) => handle_data(core, llc, mesh, timing, d.block),
-            TraceEvent::Fetch(f) => {
-                handle_fetch(core, pf, llc, mesh, timing, options, rng, f.block, f.instructions);
-                return;
-            }
-        }
-    }
-}
-
-fn tile_of_core(core: CoreId, mesh: &Mesh) -> usize {
-    core.index() % mesh.config().tiles()
-}
-
-/// Performs an LLC access on behalf of `core`, including the mesh round trip,
-/// and returns the total raw latency (request + bank + response).
-fn llc_round_trip(
-    core_id: CoreId,
-    block: BlockAddr,
-    class: AccessClass,
-    llc: &mut NucaLlc,
-    mesh: &mut Mesh,
-) -> u64 {
-    let outcome = llc.access(block, class);
-    let core_tile = tile_of_core(core_id, mesh);
-    let bank_tile = outcome.bank % mesh.config().tiles();
-    let req = mesh.record_transfer(core_tile, bank_tile, 8, class);
-    let resp = mesh.record_transfer(bank_tile, core_tile, 64, class);
-    outcome.latency + req + resp
-}
-
-fn handle_data(
-    core: &mut CoreState,
-    llc: &mut NucaLlc,
-    mesh: &mut Mesh,
-    timing: &CoreTiming,
-    block: BlockAddr,
-) {
-    if core.l1d.access(block).is_hit() {
-        return;
-    }
-    let raw = core.l1d.config().hit_latency
-        + llc_round_trip(core.id, block, AccessClass::Demand, llc, mesh);
-    core.timing.data_stall(raw);
-    core.local_cycle += raw as f64 * timing.params().exposed_data_fraction();
-    core.l1d.fill(block, ());
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_fetch(
-    core: &mut CoreState,
-    pf: &mut dyn InstructionPrefetcher,
-    llc: &mut NucaLlc,
-    mesh: &mut Mesh,
-    timing: &CoreTiming,
-    options: &SimOptions,
-    rng: &mut SmallRng,
-    block: BlockAddr,
-    instructions: u8,
-) {
-    core.fetches += 1;
-    let hit = core.l1i.access(block).is_hit();
-
-    if hit {
-        // First use of a prefetched line: this was a miss in the baseline
-        // that the prefetcher eliminated. If the prefetch was late, part of
-        // its latency is still exposed.
-        // Worst-case cost of a demand miss from this core: a late prefetch can
-        // never cost more than re-fetching the block on demand would.
-        let miss_penalty_cap = (core.l1i.config().hit_latency
-            + llc.config().hit_latency
-            + llc.config().memory_latency
-            + mesh.round_trip_latency(0, mesh.config().tiles() - 1))
-            as f64;
-        if let Some(meta) = core.l1i.meta_mut(block) {
-            if meta.prefetched_unused {
-                meta.prefetched_unused = false;
-                // The decoupled front end runs ahead of retirement; only the
-                // part of the prefetch latency that exceeds that run-ahead
-                // window is exposed as a stall, and never more than a full
-                // demand miss would have cost.
-                let lateness = (meta.ready_at
-                    - core.local_cycle
-                    - timing.params().fetch_runahead_cycles as f64)
-                    .clamp(0.0, miss_penalty_cap);
-                core.coverage.covered += 1;
-                if lateness > 0.0 {
-                    core.timing.fetch_stall(lateness as u64);
-                    core.local_cycle += lateness * timing.params().exposed_fetch_fraction();
-                }
-            }
-        }
-    } else {
-        // Prediction-only mode (Figure 6): ask whether the prefetcher would
-        // have predicted this miss before its state reacts to it.
-        if options.prediction_only && pf.covers(core.id, block) {
-            core.coverage.predicted += 1;
-        }
-        let eliminated = options
-            .miss_elimination_probability
-            .map(|p| p > 0.0 && rng.gen_bool(p))
-            .unwrap_or(false);
-        if eliminated {
-            core.coverage.covered += 1;
-            fill_l1i(core, block, L1iMeta::default(), llc);
-        } else {
-            core.coverage.uncovered += 1;
-            let raw = core.l1i.config().hit_latency
-                + llc_round_trip(core.id, block, AccessClass::Demand, llc, mesh);
-            core.timing.fetch_stall(raw);
-            core.local_cycle += raw as f64 * timing.params().exposed_fetch_fraction();
-            fill_l1i(core, block, L1iMeta::default(), llc);
-        }
-    }
-
-    // Prefetcher hooks: access outcome first, then the retire-order stream.
-    let mut candidates = Vec::new();
-    pf.on_access(core.id, block, hit, llc, &mut candidates);
-
-    core.timing.retire_instructions(instructions as u64);
-    core.local_cycle += instructions as f64 * timing.params().base_cpi;
-
-    pf.on_retire(core.id, block, llc, &mut candidates);
-
-    if !options.prediction_only {
-        issue_prefetches(core, llc, mesh, &candidates);
-    }
-}
-
-fn fill_l1i(core: &mut CoreState, block: BlockAddr, meta: L1iMeta, llc: &mut NucaLlc) {
-    if let Some(evicted) = core.l1i.fill(block, meta) {
-        if evicted.meta.prefetched_unused {
-            // A prefetched block left the cache without ever being used: an
-            // overprediction, and a useless LLC read (a "discard").
-            core.coverage.overpredicted += 1;
-            llc.record_traffic(AccessClass::Discard, 64);
-        }
-    }
-}
-
-fn issue_prefetches(
-    core: &mut CoreState,
-    llc: &mut NucaLlc,
-    mesh: &mut Mesh,
-    candidates: &[PrefetchCandidate],
-) {
-    for cand in candidates {
-        if core.l1i.probe(cand.block) {
-            continue;
-        }
-        let latency =
-            llc_round_trip(core.id, cand.block, AccessClass::PrefetchUseful, llc, mesh);
-        let ready_at = core.local_cycle + (cand.ready_delay + latency) as f64;
-        fill_l1i(
-            core,
-            cand.block,
-            L1iMeta {
-                prefetched_unused: true,
-                ready_at,
-            },
-            llc,
-        );
+        Engine::new(&self.config, self.options, &self.consolidation).run()
     }
 }
 
@@ -486,6 +107,7 @@ mod tests {
     use super::*;
     use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
     use shift_trace::{presets, Scale};
+    use shift_types::AccessClass;
 
     fn run(prefetcher: PrefetcherConfig) -> RunResult {
         let config = CmpConfig::micro13(4, prefetcher);
@@ -510,7 +132,10 @@ mod tests {
         let nl = run(PrefetcherConfig::next_line());
         assert!(nl.coverage.covered > 0);
         let coverage = nl.coverage.coverage();
-        assert!(coverage > 0.05 && coverage < 0.9, "next-line coverage {coverage}");
+        assert!(
+            coverage > 0.05 && coverage < 0.9,
+            "next-line coverage {coverage}"
+        );
         assert!(nl.speedup_over(&baseline) > 1.0);
     }
 

@@ -14,7 +14,13 @@ fn run(p: PrefetcherConfig) -> shift_sim::RunResult {
 #[test]
 #[ignore]
 fn diag() {
-    for p in [PrefetcherConfig::None, PrefetcherConfig::next_line(), PrefetcherConfig::pif_32k(), PrefetcherConfig::shift_virtualized(), PrefetcherConfig::shift_zero_latency()] {
+    for p in [
+        PrefetcherConfig::None,
+        PrefetcherConfig::next_line(),
+        PrefetcherConfig::pif_32k(),
+        PrefetcherConfig::shift_virtualized(),
+        PrefetcherConfig::shift_zero_latency(),
+    ] {
         let r = run(p);
         let c0 = &r.per_core[0];
         println!("{:<16} thr={:.3} cov={:.3} ovp={:.3} covered={} uncovered={} l1i_miss={} mpki={:.1} stall={} instr={} demand={} pf={} discard={} hr={}",
@@ -34,7 +40,11 @@ fn diag() {
 #[test]
 #[ignore]
 fn diag_timing() {
-    for p in [PrefetcherConfig::None, PrefetcherConfig::next_line(), PrefetcherConfig::pif_32k()] {
+    for p in [
+        PrefetcherConfig::None,
+        PrefetcherConfig::next_line(),
+        PrefetcherConfig::pif_32k(),
+    ] {
         let r = run(p);
         let c0 = &r.per_core[0];
         // reconstruct stalls: cycles = instr*0.72 + fetch*0.8 + data*0.45

@@ -1,0 +1,77 @@
+//! Integration tests for the sweep engine: parallel execution must be
+//! bit-identical to serial execution, and shared runs must be memoized.
+
+use shift_sim::experiments::speedup_comparison::speedup_comparison_with;
+use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix, SimOptions};
+use shift_trace::{presets, ConsolidationSpec, Scale};
+
+/// Builds the matrix a figure-8-style sweep would: two workloads, a
+/// consolidated mix, and several prefetchers sharing one baseline each.
+fn figure_sized_matrix() -> RunMatrix {
+    let mut matrix = RunMatrix::new();
+    let workloads = [
+        presets::tiny().with_region_index(0),
+        presets::tiny().with_region_index(1),
+    ];
+    for workload in &workloads {
+        for prefetcher in [
+            PrefetcherConfig::None,
+            PrefetcherConfig::next_line(),
+            PrefetcherConfig::pif_2k(),
+            PrefetcherConfig::shift_virtualized(),
+        ] {
+            matrix.standalone(workload, prefetcher, 4, Scale::Test, 21);
+        }
+    }
+    let mix = ConsolidationSpec::even_split(workloads.to_vec(), 4);
+    matrix.consolidated(
+        CmpConfig::micro13(4, PrefetcherConfig::shift_virtualized()),
+        &mix,
+        SimOptions::new(Scale::Test, 21),
+    );
+    matrix
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    let matrix = figure_sized_matrix();
+    assert_eq!(matrix.len(), 9);
+
+    let serial = matrix.execute_serial();
+    let parallel = matrix.execute_with_threads(4);
+    let default = matrix.execute();
+
+    assert_eq!(serial.len(), parallel.len());
+    // RunResult has no Eq (it carries f64 fields), but its Debug form renders
+    // floats in shortest round-trip notation, so equal strings mean
+    // bit-identical results for every counter and cycle count.
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    assert_eq!(format!("{serial:?}"), format!("{default:?}"));
+}
+
+#[test]
+fn repeated_executions_are_deterministic() {
+    let matrix = figure_sized_matrix();
+    let first = matrix.execute();
+    let second = matrix.execute();
+    assert_eq!(format!("{first:?}"), format!("{second:?}"));
+}
+
+#[test]
+fn driver_results_are_identical_across_thread_counts() {
+    let workloads = [presets::tiny()];
+    let prefetchers = [
+        PrefetcherConfig::next_line(),
+        PrefetcherConfig::shift_virtualized(),
+    ];
+    // SHIFT_THREADS only changes the worker pool, never the results; pin the
+    // executor to one thread and to many via the env knob for a full driver.
+    std::env::set_var("SHIFT_THREADS", "1");
+    let serial = speedup_comparison_with(&workloads, &prefetchers, 4, Scale::Test, 33);
+    std::env::set_var("SHIFT_THREADS", "8");
+    let parallel = speedup_comparison_with(&workloads, &prefetchers, 4, Scale::Test, 33);
+    std::env::remove_var("SHIFT_THREADS");
+
+    assert_eq!(format!("{:?}", serial.rows), format!("{:?}", parallel.rows));
+    assert_eq!(serial.geomean, parallel.geomean);
+}

@@ -32,7 +32,7 @@ pub struct CoreAssignment {
 /// assert_eq!(spec.workloads().len(), 4);
 /// assert_eq!(spec.cores_of(shift_types::WorkloadId::new(2)).len(), 4);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ConsolidationSpec {
     workloads: Vec<WorkloadSpec>,
     cores_per_workload: Vec<u16>,

@@ -174,19 +174,16 @@ impl CoreTraceGenerator {
         }
     }
 
-    fn emit_function(
-        &mut self,
-        function: &crate::layout::Function,
-        spec: &WorkloadSpec,
-    ) {
+    fn emit_function(&mut self, function: &crate::layout::Function, spec: &WorkloadSpec) {
         self.scratch_blocks.clear();
         function.execute(&mut self.rng, &mut self.scratch_blocks);
         let blocks = std::mem::take(&mut self.scratch_blocks);
         for &block in &blocks {
             let instructions = self.rng.gen_range(
-                spec.instructions_per_block_min..=spec.instructions_per_block_max.max(
-                    spec.instructions_per_block_min,
-                ),
+                spec.instructions_per_block_min
+                    ..=spec
+                        .instructions_per_block_max
+                        .max(spec.instructions_per_block_min),
             );
             self.pending
                 .push_back(TraceEvent::Fetch(FetchEvent::new(block, instructions)));
@@ -238,11 +235,7 @@ impl Iterator for CoreTraceGenerator {
 /// let gens = per_core_generators(&presets::tiny(), 4, 99);
 /// assert_eq!(gens.len(), 4);
 /// ```
-pub fn per_core_generators(
-    spec: &WorkloadSpec,
-    cores: u16,
-    seed: u64,
-) -> Vec<CoreTraceGenerator> {
+pub fn per_core_generators(spec: &WorkloadSpec, cores: u16, seed: u64) -> Vec<CoreTraceGenerator> {
     let program = WorkloadProgram::build(spec);
     CoreId::range(cores)
         .map(|core| CoreTraceGenerator::with_program(Arc::clone(&program), core, seed))

@@ -166,11 +166,18 @@ impl Function {
     /// not start with fragment `0` (the entry fragment must execute first).
     #[must_use]
     pub fn with_execution_order(mut self, order: Vec<u32>) -> Self {
-        assert_eq!(order.len(), self.fragments.len(), "order must cover all fragments");
+        assert_eq!(
+            order.len(),
+            self.fragments.len(),
+            "order must cover all fragments"
+        );
         let mut seen = vec![false; self.fragments.len()];
         for &i in &order {
             let idx = i as usize;
-            assert!(idx < self.fragments.len(), "order references unknown fragment");
+            assert!(
+                idx < self.fragments.len(),
+                "order references unknown fragment"
+            );
             assert!(!seen[idx], "order repeats a fragment");
             seen[idx] = true;
         }

@@ -170,11 +170,16 @@ pub fn paper_suite() -> Vec<WorkloadSpec> {
 /// The four-workload consolidation mix of §5.5 (OLTP Oracle, web frontend,
 /// media streaming, web search), each re-based to a disjoint address region.
 pub fn consolidation_suite() -> Vec<WorkloadSpec> {
-    [oltp_oracle(), web_frontend(), media_streaming(), web_search()]
-        .into_iter()
-        .enumerate()
-        .map(|(i, spec)| spec.with_region_index(i))
-        .collect()
+    [
+        oltp_oracle(),
+        web_frontend(),
+        media_streaming(),
+        web_search(),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, spec)| spec.with_region_index(i))
+    .collect()
 }
 
 /// A deliberately tiny workload for unit tests: a few dozen functions, short

@@ -162,7 +162,11 @@ mod tests {
     fn synthetic_trace_has_server_like_structure() {
         let stats = TraceStats::from_fetches(stream(30_000));
         // Heavy reuse (temporal streams recur)…
-        assert!(stats.reuse_fraction() > 0.8, "reuse {}", stats.reuse_fraction());
+        assert!(
+            stats.reuse_fraction() > 0.8,
+            "reuse {}",
+            stats.reuse_fraction()
+        );
         // …but only partial sequentiality (frequent discontinuities), which is
         // why next-line prefetching is not enough.
         let seq = stats.sequential_fraction();

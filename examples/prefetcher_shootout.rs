@@ -1,24 +1,62 @@
 //! Compare every prefetcher configuration the paper evaluates (next-line,
 //! PIF_2K, PIF_32K, ZeroLat-SHIFT, SHIFT) on one server workload — a small
-//! scale version of Figures 7 and 8.
+//! scale version of Figures 7 and 8, built on one shared [`RunMatrix`].
+//!
+//! Figure 7 (coverage) and Figure 8 (speedup) look at the *same* runs from
+//! different angles. Declaring both figures against one matrix means each
+//! (workload, prefetcher) simulation — and the shared baseline — executes
+//! exactly once, in parallel, and both figures read the memoized results.
 //!
 //! ```text
 //! cargo run --release --example prefetcher_shootout
 //! ```
 
-use shift::sim::experiments::{coverage_breakdown, speedup_comparison};
+use shift::sim::{PrefetcherConfig, RunMatrix};
 use shift::trace::{presets, Scale};
 
 fn main() {
     let cores = 8;
-    let workloads = vec![presets::oltp_db2().scaled_footprint(0.2)];
+    let workload = presets::oltp_db2().scaled_footprint(0.2);
+    let (scale, seed) = (Scale::Demo, 7);
 
+    let suite = PrefetcherConfig::figure8_suite();
+    let mut matrix = RunMatrix::new();
+    let baseline = matrix.standalone(&workload, PrefetcherConfig::None, cores, scale, seed);
+    let runs: Vec<_> = suite
+        .iter()
+        .map(|&p| {
+            (
+                p.label(),
+                matrix.standalone(&workload, p, cores, scale, seed),
+            )
+        })
+        .collect();
+    println!(
+        "one shared sweep: {} simulations for both figures",
+        matrix.len()
+    );
+    let outcomes = matrix.execute();
+
+    println!();
     println!("--- coverage breakdown (Figure 7, scaled down) ---");
-    let coverage = coverage_breakdown(&workloads, cores, Scale::Demo, 7);
-    print!("{coverage}");
+    for (label, handle) in &runs {
+        let coverage = outcomes[*handle].coverage;
+        println!(
+            "  {:<14} covered {:>5.1}%  uncovered {:>5.1}%  overpredicted {:>5.1}%",
+            label,
+            coverage.coverage() * 100.0,
+            (1.0 - coverage.coverage()) * 100.0,
+            coverage.overprediction() * 100.0
+        );
+    }
 
     println!();
     println!("--- speedups (Figure 8, scaled down) ---");
-    let speedups = speedup_comparison(&workloads, cores, Scale::Demo, 7);
-    print!("{speedups}");
+    for (label, handle) in &runs {
+        println!(
+            "  {:<14}{:>8.3}x",
+            label,
+            outcomes[*handle].speedup_over(&outcomes[baseline])
+        );
+    }
 }

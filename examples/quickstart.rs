@@ -1,11 +1,15 @@
 //! Quickstart: run a lean-core server CMP with and without SHIFT and report
 //! the instruction-miss coverage and speedup.
 //!
+//! The three runs are declared as one [`RunMatrix`] sweep, so they execute
+//! in parallel across the host's cores and the baseline is keyed (and would
+//! be deduplicated) like any other run.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use shift::sim::{CmpConfig, PrefetcherConfig, SimOptions, Simulation};
+use shift::sim::{PrefetcherConfig, RunMatrix};
 use shift::trace::{presets, Scale};
 
 fn main() {
@@ -13,38 +17,42 @@ fn main() {
     // retaining the structure of the full Table I workload.
     let workload = presets::web_frontend().scaled_footprint(0.25);
     let cores = 8;
-    let options = SimOptions::new(Scale::Demo, 1);
+    let (scale, seed) = (Scale::Demo, 1);
 
-    println!("workload: {} (~{:.1} KB instruction footprint), {cores} lean-OoO cores",
-        workload.name,
-        workload.expected_footprint_blocks() * 64.0 / 1024.0);
-
-    let baseline = Simulation::standalone(
-        CmpConfig::micro13(cores, PrefetcherConfig::None),
-        workload.clone(),
-        options,
-    )
-    .run();
     println!(
-        "baseline   : throughput {:.2} IPC (aggregate), L1-I MPKI {:.1}",
-        baseline.throughput(),
-        baseline.l1i_mpki()
+        "workload: {} (~{:.1} KB instruction footprint), {cores} lean-OoO cores",
+        workload.name,
+        workload.expected_footprint_blocks() * 64.0 / 1024.0
     );
 
-    for prefetcher in [PrefetcherConfig::next_line(), PrefetcherConfig::shift_virtualized()] {
-        let run = Simulation::standalone(
-            CmpConfig::micro13(cores, prefetcher),
-            workload.clone(),
-            options,
-        )
-        .run();
+    let mut matrix = RunMatrix::new();
+    let baseline = matrix.standalone(&workload, PrefetcherConfig::None, cores, scale, seed);
+    let contenders: Vec<_> = [
+        PrefetcherConfig::next_line(),
+        PrefetcherConfig::shift_virtualized(),
+    ]
+    .into_iter()
+    .map(|p| matrix.standalone(&workload, p, cores, scale, seed))
+    .collect();
+
+    // One parallel sweep executes all three simulations.
+    let outcomes = matrix.execute();
+
+    let base = &outcomes[baseline];
+    println!(
+        "baseline   : throughput {:.2} IPC (aggregate), L1-I MPKI {:.1}",
+        base.throughput(),
+        base.l1i_mpki()
+    );
+    for handle in contenders {
+        let run = &outcomes[handle];
         println!(
             "{:<11}: throughput {:.2} IPC, miss coverage {:.1}%, overprediction {:.1}%, speedup {:.3}x",
             run.prefetcher,
             run.throughput(),
             run.coverage.coverage() * 100.0,
             run.coverage.overprediction() * 100.0,
-            run.speedup_over(&baseline)
+            run.speedup_over(base)
         );
     }
 }

@@ -35,9 +35,15 @@ fn main() {
             shift.on_retire(CoreId::new(0), BlockAddr::new(blk), &mut llc, &mut out);
         }
     }
-    println!("spatial region records written : {}", shift.records_written());
+    println!(
+        "spatial region records written : {}",
+        shift.records_written()
+    );
     println!("index updates sent to LLC tags : {}", shift.index_updates());
-    println!("history blocks flushed (CBB)   : {}", shift.history_block_writes());
+    println!(
+        "history blocks flushed (CBB)   : {}",
+        shift.history_block_writes()
+    );
     println!("LLC blocks pinned for history  : {}", llc.pinned_blocks());
 
     println!();

@@ -12,8 +12,12 @@ use shift::trace::{presets, Scale};
 
 fn main() {
     let workloads = vec![
-        presets::oltp_oracle().scaled_footprint(0.15).with_region_index(0),
-        presets::web_search().scaled_footprint(0.15).with_region_index(1),
+        presets::oltp_oracle()
+            .scaled_footprint(0.15)
+            .with_region_index(0),
+        presets::web_search()
+            .scaled_footprint(0.15)
+            .with_region_index(1),
     ];
     let result = consolidation(
         &workloads,

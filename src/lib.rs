@@ -16,8 +16,8 @@
 //!   history buffer, stream address buffers, and the next-line / PIF / SHIFT
 //!   prefetchers.
 //! * [`metrics`] — area, power, and performance-density models.
-//! * [`sim`] — the full trace-driven CMP simulator and the per-figure
-//!   experiment drivers.
+//! * [`sim`] — the full trace-driven CMP simulator, the parallel sweep
+//!   engine ([`sim::RunMatrix`]), and the per-figure experiment drivers.
 //!
 //! # Quick start
 //!
@@ -41,6 +41,32 @@
 //! .run();
 //! assert!(shift.coverage.coverage() > 0.5);
 //! assert!(shift.speedup_over(&baseline) > 1.0);
+//! ```
+//!
+//! # Sweeps
+//!
+//! Multi-run studies — every experiment driver, and anything comparing
+//! configurations — declare their runs as a [`sim::RunMatrix`]: duplicate
+//! runs (shared baselines above all) are simulated once, and the whole
+//! matrix executes in parallel across the host's cores with results
+//! bit-identical to a serial sweep:
+//!
+//! ```
+//! use shift::sim::{PrefetcherConfig, RunMatrix};
+//! use shift::trace::{presets, Scale};
+//!
+//! let mut matrix = RunMatrix::new();
+//! let workload = presets::tiny();
+//! let baseline = matrix.standalone(&workload, PrefetcherConfig::None, 4, Scale::Test, 42);
+//! let shift = matrix.standalone(
+//!     &workload,
+//!     PrefetcherConfig::shift_virtualized(),
+//!     4,
+//!     Scale::Test,
+//!     42,
+//! );
+//! let outcomes = matrix.execute();
+//! assert!(outcomes[shift].speedup_over(&outcomes[baseline]) > 1.0);
 //! ```
 
 #![forbid(unsafe_code)]

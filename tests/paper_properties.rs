@@ -54,5 +54,9 @@ fn power_model_keeps_shift_overhead_under_150_mw() {
     let model = PowerModel::nm40();
     let cycles = 50_000_000u64;
     let breakdown = model.overhead(1_200_000, 3_000_000, 20_000_000, cycles);
-    assert!(breakdown.total_mw() < 150.0, "got {} mW", breakdown.total_mw());
+    assert!(
+        breakdown.total_mw() < 150.0,
+        "got {} mW",
+        breakdown.total_mw()
+    );
 }
