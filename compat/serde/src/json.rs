@@ -1,0 +1,165 @@
+//! JSON rendering of [`Value`] trees.
+//!
+//! Output follows `serde_json` conventions: struct maps keep field order,
+//! strings are escaped per RFC 8259, and non-finite floats (which JSON
+//! cannot represent) render as `null`.
+
+use std::fmt::Write as _;
+
+use crate::{Serialize, Value};
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    out
+}
+
+/// Serializes a value as indented (2-space) JSON with a trailing newline,
+/// the format the figure artifacts are written in.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    out.push('\n');
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_compound(out, indent, depth, items.len(), '[', ']', |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Map(entries) => {
+            write_compound(out, indent, depth, entries.len(), '{', '}', |out, i| {
+                let (key, val) = &entries[i];
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            // Keep whole floats recognizably floating-point, as serde_json
+            // does ("1.0", not "1").
+            let _ = write!(out, "{x:.1}");
+        } else if x != 0.0 && (x.abs() >= 1e17 || x.abs() < 1e-5) {
+            // Rust's `{}` never uses scientific notation; avoid hundreds of
+            // digits for extreme magnitudes (still valid JSON numbers).
+            let _ = write!(out, "{x:e}");
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        // JSON has no NaN/Infinity; serde_json's Value also maps them to null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Map(vec![
+            ("name".to_owned(), Value::Str("fig01".to_owned())),
+            (
+                "points".to_owned(),
+                Value::Seq(vec![Value::Float(1.0), Value::Float(1.31)]),
+            ),
+            ("n".to_owned(), Value::UInt(2)),
+            ("ok".to_owned(), Value::Bool(true)),
+            ("missing".to_owned(), Value::Null),
+        ]);
+        assert_eq!(
+            to_string(&v),
+            r#"{"name":"fig01","points":[1.0,1.31],"n":2,"ok":true,"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents_and_ends_with_newline() {
+        let v = Value::Map(vec![("a".to_owned(), Value::Seq(vec![Value::UInt(1)]))]);
+        assert_eq!(to_string_pretty(&v), "{\n  \"a\": [\n    1\n  ]\n}\n");
+        assert_eq!(to_string_pretty(&Value::Seq(vec![])), "[]\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+        assert_eq!(to_string(&1.25f64), "1.25");
+        assert_eq!(to_string(&2.0f64), "2.0");
+        assert_eq!(to_string(&-0.5f64), "-0.5");
+        assert_eq!(to_string(&1e300f64), "1e300");
+    }
+}

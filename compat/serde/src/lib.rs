@@ -1,10 +1,27 @@
 //! Local stand-in for the `serde` facade so the workspace builds without
 //! network access to a crate registry.
 //!
-//! The repository derives `Serialize`/`Deserialize` on its result types as
-//! forward-looking metadata but never serializes anything, so the traits here
-//! are empty markers and the derives (re-exported from the sibling
-//! `serde_derive` shim) expand to nothing. Swapping this shim for the real
-//! `serde` is a one-line change in the workspace manifest.
+//! Unlike the original marker-only shim, this version is *real enough to
+//! emit*: [`Serialize`] converts a value into the [`Value`] tree data model,
+//! the derive macro (re-exported from the sibling `serde_derive` shim)
+//! expands to a field-visitor `to_value` implementation over the type's
+//! fields/variants, and [`json`] renders any [`Value`] as JSON text. That is
+//! the subset the repository needs to write machine-readable figure
+//! artifacts; the full `Serializer`/`Deserializer` driver machinery of the
+//! real `serde` is intentionally out of scope. `Deserialize` remains a
+//! metadata-only marker derive (nothing in the repository reads artifacts
+//! back yet). Swapping this shim for the real `serde` + `serde_json` is a
+//! workspace-manifest change plus replacing `Serialize::to_value` call sites
+//! with `serde_json::to_value`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+mod ser;
+mod value;
+
+pub use ser::Serialize;
+pub use value::Value;

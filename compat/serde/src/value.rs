@@ -1,0 +1,126 @@
+//! The tree data model every [`Serialize`](crate::Serialize) implementation
+//! targets.
+
+use std::fmt;
+
+/// A serialized value: the common denominator between Rust data structures
+/// and the text formats (JSON, CSV) the report pipeline emits.
+///
+/// Maps preserve insertion order (struct field order), so serialized output
+/// is deterministic and diffs cleanly across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent value (`Option::None`, unit).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (all of `u8..=u64`, `usize`).
+    UInt(u64),
+    /// Signed integer (all of `i8..=i64`, `isize`).
+    Int(i64),
+    /// Floating point (`f32`, `f64`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence (`Vec`, slices, tuples, `VecDeque`).
+    Seq(Vec<Value>),
+    /// Ordered key/value map (struct fields, string-keyed maps).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`]; `None` for other variants or
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Indexes into a [`Value::Seq`]; `None` for other variants or
+    /// out-of-range indices.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Seq(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the value (integers widen to `f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view of the value.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        crate::json::to_string(self)
+    }
+
+    /// Renders the value as human-readable, indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        crate::json::to_string_pretty(self)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays the value as compact JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_get_and_seq_at() {
+        let v = Value::Map(vec![
+            ("a".to_owned(), Value::UInt(1)),
+            ("b".to_owned(), Value::Seq(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(|b| b.at(0)), Some(&Value::Bool(true)));
+        assert!(v.get("missing").is_none());
+        assert!(v.at(0).is_none());
+    }
+
+    #[test]
+    fn numeric_views_widen() {
+        assert_eq!(Value::Int(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::UInt(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Int(7).as_u64(), Some(7));
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+    }
+}

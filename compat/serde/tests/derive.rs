@@ -1,0 +1,153 @@
+//! End-to-end tests of the `#[derive(Serialize)]` expansion over every item
+//! shape the workspace uses.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Serialize, Deserialize)]
+struct Named {
+    /// Doc comments must be skipped by the field parser.
+    count: u64,
+    ratio: f64,
+    label: String,
+    pairs: Vec<(f64, f64)>,
+    maybe: Option<usize>,
+}
+
+#[derive(Serialize)]
+struct Newtype(u32);
+
+#[derive(Serialize)]
+struct Pair(u32, String);
+
+#[derive(Serialize)]
+struct Unit;
+
+#[derive(Serialize)]
+struct Generic<M> {
+    meta: M,
+    tag: u64,
+}
+
+#[derive(Serialize)]
+struct Borrowed<'a> {
+    label: &'a str,
+}
+
+#[derive(Serialize)]
+struct Fixed<const N: usize> {
+    vals: [u64; N],
+}
+
+#[derive(Serialize)]
+struct MixedGenerics<'a, T, const N: usize> {
+    name: &'a str,
+    items: [T; N],
+}
+
+#[derive(Serialize)]
+struct Bounded<T: Clone + std::fmt::Debug> {
+    inner: T,
+}
+
+#[derive(Serialize)]
+struct LifetimeBounded<'a, T: Clone + 'a> {
+    inner: &'a T,
+}
+
+#[derive(Serialize)]
+enum Mixed {
+    Plain,
+    Wrapped(u8),
+    Coords(u8, u8),
+    Config {
+        degree: u64,
+        #[serde(rename = "ignored-by-shim")]
+        zero_latency: bool,
+    },
+}
+
+#[test]
+fn named_struct_serializes_fields_in_order() {
+    let v = Named {
+        count: 3,
+        ratio: 1.5,
+        label: "fig".to_owned(),
+        pairs: vec![(0.0, 1.0)],
+        maybe: None,
+    }
+    .to_value();
+    assert_eq!(
+        v.to_json(),
+        r#"{"count":3,"ratio":1.5,"label":"fig","pairs":[[0.0,1.0]],"maybe":null}"#
+    );
+}
+
+#[test]
+fn tuple_and_unit_structs() {
+    assert_eq!(Newtype(7).to_value(), Value::UInt(7));
+    assert_eq!(Pair(7, "x".into()).to_value().to_json(), r#"[7,"x"]"#);
+    assert_eq!(Unit.to_value(), Value::Str("Unit".to_owned()));
+}
+
+#[test]
+fn generic_struct_bounds_its_parameter() {
+    let v = Generic {
+        meta: "m".to_owned(),
+        tag: 9,
+    }
+    .to_value();
+    assert_eq!(v.to_json(), r#"{"meta":"m","tag":9}"#);
+}
+
+#[test]
+fn lifetime_and_const_generics_are_carried_into_the_impl() {
+    let v = Borrowed { label: "b" }.to_value();
+    assert_eq!(v.to_json(), r#"{"label":"b"}"#);
+    let v = Fixed::<2> { vals: [3, 4] }.to_value();
+    assert_eq!(v.to_json(), r#"{"vals":[3,4]}"#);
+    let v = MixedGenerics::<'_, bool, 1> {
+        name: "m",
+        items: [true],
+    }
+    .to_value();
+    assert_eq!(v.to_json(), r#"{"name":"m","items":[true]}"#);
+}
+
+#[test]
+fn declared_bounds_are_re_stated_on_the_impl() {
+    let v = Bounded { inner: 5u8 }.to_value();
+    assert_eq!(v.to_json(), r#"{"inner":5}"#);
+    let x = 6u8;
+    let v = LifetimeBounded { inner: &x }.to_value();
+    assert_eq!(v.to_json(), r#"{"inner":6}"#);
+}
+
+#[test]
+fn enum_variants_are_externally_tagged() {
+    assert_eq!(Mixed::Plain.to_value(), Value::Str("Plain".to_owned()));
+    assert_eq!(Mixed::Wrapped(3).to_value().to_json(), r#"{"Wrapped":3}"#);
+    assert_eq!(
+        Mixed::Coords(1, 2).to_value().to_json(),
+        r#"{"Coords":[1,2]}"#
+    );
+    assert_eq!(
+        Mixed::Config {
+            degree: 2,
+            zero_latency: true
+        }
+        .to_value()
+        .to_json(),
+        r#"{"Config":{"degree":2,"zero_latency":true}}"#
+    );
+}
+
+#[test]
+fn nested_structures_round_trip_through_json_text() {
+    let mut by_name: HashMap<String, Vec<Newtype>> = HashMap::new();
+    by_name.insert("b".to_owned(), vec![Newtype(2)]);
+    by_name.insert("a".to_owned(), vec![Newtype(1)]);
+    // HashMap keys are sorted, so the output is deterministic.
+    assert_eq!(by_name.to_value().to_json(), r#"{"a":[1],"b":[2]}"#);
+}

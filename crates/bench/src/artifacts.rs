@@ -1,0 +1,582 @@
+//! Per-figure artifact builders: each experiment result becomes an
+//! [`Artifact`] — JSON result tree, CSV/markdown table, and the paper's
+//! reference values with pass/warn tolerance checks.
+//!
+//! The builders are shared by the per-figure binaries (`fig01` … `table_pd`)
+//! and the all-in-one `reproduce` driver, so a figure's artifact is identical
+//! no matter which path produced it. Reference tolerances are deliberately
+//! generous: the synthetic Table I workloads reproduce the paper's *trends*,
+//! not its hardware-measured decimals, so a deviation warns in the scoreboard
+//! rather than failing the run.
+
+use std::path::PathBuf;
+
+use shift_cpu::CoreKind;
+use shift_report::{Artifact, Check, Reference, Table};
+use shift_sim::experiments::{
+    CommonalityResult, ConsolidationResult, CoverageBreakdownResult, EliminationResult,
+    HistorySweepResult, LlcTrafficResult, PerformanceDensityResult, PowerOverheadResult,
+    SpeedupComparisonResult, StorageTableResult,
+};
+use shift_sim::{CmpConfig, PrefetcherConfig};
+use shift_trace::WorkloadSpec;
+
+/// Directory the figure artifacts are written to: the `SHIFT_ARTIFACTS`
+/// environment variable if set, otherwise `target/artifacts`.
+pub fn artifacts_dir() -> PathBuf {
+    std::env::var("SHIFT_ARTIFACTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target").join("artifacts"))
+}
+
+/// Writes an artifact's JSON + CSV + markdown under [`artifacts_dir`] and
+/// prints where they went; every figure binary calls this after printing its
+/// rows. A write failure warns instead of panicking so a read-only checkout
+/// still prints the figure.
+pub fn publish(artifact: &Artifact) {
+    let dir = artifacts_dir();
+    match artifact.write_to(&dir) {
+        Ok(_) => println!(
+            "artifact: {}/{}.{{json,csv,md}}",
+            dir.display(),
+            artifact.name()
+        ),
+        Err(e) => eprintln!(
+            "warning: could not write artifact `{}` under {}: {e}",
+            artifact.name(),
+            dir.display()
+        ),
+    }
+}
+
+/// The Figure 1 x-axis: elimination fractions 0.0, 0.1, …, 1.0.
+pub fn figure1_fractions() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// The Figure 6 x-axis: aggregate history sizes 1K … 512K records plus an
+/// unbounded ("inf") point.
+pub fn figure6_sizes() -> Vec<Option<usize>> {
+    let mut sizes: Vec<Option<usize>> = (0..10).map(|i| Some(1 << (10 + i))).collect();
+    sizes.push(None);
+    sizes
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Figure 1: speedup vs. fraction of instruction misses eliminated.
+pub fn fig01_artifact(result: &EliminationResult) -> Artifact {
+    let mut headers = vec!["workload".to_owned()];
+    if let Some(first) = result.series.first() {
+        headers.extend(
+            first
+                .points
+                .iter()
+                .map(|(frac, _)| format!("{:.0}%", frac * 100.0)),
+        );
+    }
+    let mut table = Table::new(headers);
+    for series in &result.series {
+        let mut row = vec![series.workload.clone()];
+        row.extend(series.points.iter().map(|(_, s)| format!("{s:.3}")));
+        table.push_row(row);
+    }
+    let mut geomean_row = vec!["Geo. Mean".to_owned()];
+    geomean_row.extend(result.geomean.iter().map(|(_, s)| format!("{s:.3}")));
+    table.push_row(geomean_row);
+
+    Artifact::new(
+        "fig01",
+        "Figure 1: speedup vs. instruction cache misses eliminated",
+        result,
+        table,
+    )
+    .with_reference(Reference::new(
+        "perfect-I$ geomean speedup",
+        result.perfect_cache_speedup(),
+        Check::near(1.31, 0.25),
+    ))
+}
+
+fn pd_table(result: &PerformanceDensityResult) -> Table {
+    let mut table = Table::new(["core", "prefetcher", "speedup", "rel_area", "pd_ratio"]);
+    for point in &result.points {
+        table.push_row([
+            point.core_kind.to_string(),
+            point.prefetcher.clone(),
+            format!("{:.3}", point.speedup),
+            format!("{:.3}", point.relative_area),
+            format!("{:.3}", point.pd_ratio()),
+        ]);
+    }
+    table
+}
+
+/// Figure 2: PIF in the relative-performance / relative-area plane per core
+/// type.
+pub fn fig02_artifact(result: &PerformanceDensityResult) -> Artifact {
+    let mut artifact = Artifact::new(
+        "fig02",
+        "Figure 2: PIF performance density by core type",
+        result,
+        pd_table(result),
+    );
+    if let Some(point) = result.point(CoreKind::LeanIO, "PIF_32K") {
+        // The paper's motivating claim: against a lean in-order core, PIF's
+        // per-core storage lands in the performance-density *loss* region.
+        artifact = artifact.with_reference(Reference::new(
+            "PIF_32K PD ratio, Lean-IO (loss region)",
+            point.pd_ratio(),
+            Check::at_most(1.0),
+        ));
+    }
+    if let (Some(io), Some(fat)) = (
+        result.point(CoreKind::LeanIO, "PIF_32K"),
+        result.point(CoreKind::FatOoO, "PIF_32K"),
+    ) {
+        artifact = artifact.with_reference(Reference::new(
+            "PIF_32K area penalty, Lean-IO minus Fat-OoO",
+            io.relative_area - fat.relative_area,
+            Check::at_least(0.0),
+        ));
+    }
+    artifact
+}
+
+/// Figure 3: fraction of instruction cache accesses within common temporal
+/// streams.
+pub fn fig03_artifact(result: &CommonalityResult) -> Artifact {
+    let mut table = Table::new(["workload", "common_pct"]);
+    for row in &result.rows {
+        table.push_row([row.workload.clone(), pct(row.common_fraction)]);
+    }
+    table.push_row(["Average".to_owned(), pct(result.mean())]);
+    Artifact::new(
+        "fig03",
+        "Figure 3: instruction cache accesses within common temporal streams",
+        result,
+        table,
+    )
+    .with_reference(Reference::new(
+        "average cross-core commonality",
+        result.mean(),
+        Check::at_least(0.90),
+    ))
+}
+
+/// Figure 6: miss coverage vs. aggregate history size, SHIFT vs. PIF.
+pub fn fig06_artifact(result: &HistorySweepResult) -> Artifact {
+    let mut table = Table::new(["aggregate_records", "shift_pct", "pif_pct"]);
+    for point in &result.points {
+        let label = match point.aggregate_records {
+            Some(n) if n % 1024 == 0 => format!("{}K", n / 1024),
+            Some(n) => n.to_string(),
+            None => "inf".to_owned(),
+        };
+        table.push_row([label, pct(point.shift_coverage), pct(point.pif_coverage)]);
+    }
+    let min_margin = result
+        .points
+        .iter()
+        .map(|p| p.shift_coverage - p.pif_coverage)
+        .fold(f64::INFINITY, f64::min);
+    let growth = match (result.points.first(), result.points.last()) {
+        (Some(first), Some(last)) => last.shift_coverage - first.shift_coverage,
+        _ => 0.0,
+    };
+    Artifact::new(
+        "fig06",
+        "Figure 6: L1-I miss coverage vs. aggregate history size",
+        result,
+        table,
+    )
+    .with_reference(Reference::new(
+        "min SHIFT-over-PIF coverage margin",
+        min_margin,
+        Check::at_least(-0.02),
+    ))
+    .with_reference(Reference::new(
+        "SHIFT coverage growth, smallest to largest history",
+        growth,
+        Check::at_least(0.0),
+    ))
+}
+
+/// Figure 7: misses covered / uncovered / overpredicted per workload.
+pub fn fig07_artifact(result: &CoverageBreakdownResult) -> Artifact {
+    let mut table = Table::new([
+        "workload",
+        "prefetcher",
+        "covered_pct",
+        "uncovered_pct",
+        "overpredicted_pct",
+    ]);
+    for row in &result.rows {
+        for cell in &row.cells {
+            table.push_row([
+                row.workload.clone(),
+                cell.prefetcher.clone(),
+                pct(cell.coverage.coverage()),
+                pct(1.0 - cell.coverage.coverage()),
+                pct(cell.coverage.overprediction()),
+            ]);
+        }
+    }
+    let mut artifact = Artifact::new(
+        "fig07",
+        "Figure 7: L1-I misses covered / uncovered / overpredicted",
+        result,
+        table,
+    );
+    for (label, paper) in [("PIF_2K", 0.53), ("PIF_32K", 0.92), ("SHIFT", 0.81)] {
+        artifact = artifact.with_reference(Reference::new(
+            format!("average coverage, {label}"),
+            result.average_coverage(label),
+            Check::near(paper, 0.30),
+        ));
+    }
+    artifact
+}
+
+/// Figure 8: speedups of the five prefetcher configurations over the
+/// no-prefetch baseline.
+pub fn fig08_artifact(result: &SpeedupComparisonResult) -> Artifact {
+    let mut headers = vec!["workload".to_owned()];
+    headers.extend(result.geomean.iter().map(|(label, _)| label.clone()));
+    let mut table = Table::new(headers);
+    for row in &result.rows {
+        let mut cells = vec![row.workload.clone()];
+        cells.extend(row.speedups.iter().map(|(_, s)| format!("{s:.3}")));
+        table.push_row(cells);
+    }
+    let mut geomean_row = vec!["Geo. Mean".to_owned()];
+    geomean_row.extend(result.geomean.iter().map(|(_, s)| format!("{s:.3}")));
+    table.push_row(geomean_row);
+
+    let mut artifact = Artifact::new(
+        "fig08",
+        "Figure 8: speedup over the no-prefetch baseline",
+        result,
+        table,
+    );
+    for (label, paper) in [
+        ("NextLine", 1.09),
+        ("PIF_2K", 1.10),
+        ("PIF_32K", 1.21),
+        ("ZeroLat-SHIFT", 1.20),
+        ("SHIFT", 1.19),
+    ] {
+        if let Some(actual) = result.geomean_of(label) {
+            artifact = artifact.with_reference(Reference::new(
+                format!("geomean speedup, {label}"),
+                actual,
+                Check::near(paper, 0.15),
+            ));
+        }
+    }
+    artifact
+}
+
+/// Figure 9: extra LLC traffic introduced by SHIFT.
+pub fn fig09_artifact(result: &LlcTrafficResult) -> Artifact {
+    let mut table = Table::new([
+        "workload",
+        "log_read_pct",
+        "log_write_pct",
+        "discard_pct",
+        "index_update_pct",
+    ]);
+    for (workload, row) in &result.rows {
+        table.push_row([
+            workload.clone(),
+            pct(row.log_read),
+            pct(row.log_write),
+            pct(row.discard),
+            pct(row.index_update),
+        ]);
+    }
+    table.push_row([
+        "Average".to_owned(),
+        pct(result.average(|r| r.log_read)),
+        pct(result.average(|r| r.log_write)),
+        pct(result.average(|r| r.discard)),
+        pct(result.average(|r| r.index_update)),
+    ]);
+    Artifact::new(
+        "fig09",
+        "Figure 9: LLC traffic increase over baseline",
+        result,
+        table,
+    )
+    .with_reference(Reference::new(
+        "average history read+write traffic fraction",
+        result.average(|r| r.log_read + r.log_write),
+        Check::near(0.06, 1.5),
+    ))
+    .with_reference(Reference::new(
+        "average discarded-prefetch traffic fraction",
+        result.average(|r| r.discard),
+        Check::near(0.07, 1.5),
+    ))
+    .with_reference(Reference::new(
+        "average data-array traffic overhead (modest)",
+        result.average(|r| r.total_data_overhead()),
+        Check::at_most(0.40),
+    ))
+}
+
+/// Figure 10: speedup under workload consolidation.
+pub fn fig10_artifact(result: &ConsolidationResult) -> Artifact {
+    let mut table = Table::new(["prefetcher", "speedup"]);
+    for (label, speedup) in &result.speedups {
+        table.push_row([label.clone(), format!("{speedup:.3}")]);
+    }
+    let mut artifact = Artifact::new(
+        "fig10",
+        format!(
+            "Figure 10: speedup under consolidation ({})",
+            result.workloads.join(" + ")
+        ),
+        result,
+        table,
+    );
+    for (label, paper) in [("SHIFT", 1.22), ("ZeroLat-SHIFT", 1.25)] {
+        if let Some(actual) = result.speedup_of(label) {
+            artifact = artifact.with_reference(Reference::new(
+                format!("consolidated speedup, {label}"),
+                actual,
+                Check::near(paper, 0.15),
+            ));
+        }
+    }
+    artifact
+}
+
+/// Table I: system and application parameters actually used by the runs.
+pub fn table1_artifact(cores: u16, workloads: &[WorkloadSpec]) -> Artifact {
+    let cfg = CmpConfig::micro13(cores, PrefetcherConfig::shift_virtualized());
+    let mut table = Table::new(["parameter", "value"]);
+    table.push_row([
+        "Processing nodes".to_owned(),
+        format!("{} x {} @ 2 GHz", cfg.cores, cfg.core_kind),
+    ]);
+    table.push_row([
+        "L1-I cache".to_owned(),
+        format!(
+            "{} KB, {}-way, {} B blocks, {}-cycle load-to-use",
+            cfg.l1i.capacity_bytes / 1024,
+            cfg.l1i.ways,
+            cfg.l1i.block_bytes,
+            cfg.l1i.hit_latency
+        ),
+    ]);
+    table.push_row([
+        "L1-D cache".to_owned(),
+        format!(
+            "{} KB, {}-way, {} B blocks, {}-cycle load-to-use",
+            cfg.l1d.capacity_bytes / 1024,
+            cfg.l1d.ways,
+            cfg.l1d.block_bytes,
+            cfg.l1d.hit_latency
+        ),
+    ]);
+    table.push_row([
+        "L2 NUCA LLC".to_owned(),
+        format!(
+            "{} MB total, {}-way, {} banks, {}-cycle bank hit",
+            cfg.llc.total_bytes / (1024 * 1024),
+            cfg.llc.ways,
+            cfg.llc.banks,
+            cfg.llc.hit_latency
+        ),
+    ]);
+    table.push_row([
+        "Main memory".to_owned(),
+        format!("{} cycles", cfg.llc.memory_latency),
+    ]);
+    table.push_row([
+        "Interconnect".to_owned(),
+        format!(
+            "{}x{} 2D mesh, {} cycles/hop",
+            cfg.mesh.cols, cfg.mesh.rows, cfg.mesh.hop_latency
+        ),
+    ]);
+    for workload in workloads {
+        table.push_row([
+            format!("Workload: {}", workload.name),
+            format!(
+                "~{:.1} KB instruction footprint, {} request types, {} calls/request",
+                workload.expected_footprint_blocks() * 64.0 / 1024.0,
+                workload.request_types,
+                workload.calls_per_request
+            ),
+        ]);
+    }
+    Artifact::new(
+        "table1",
+        "Table I: system and application parameters",
+        &cfg,
+        table,
+    )
+}
+
+/// §5.6: performance density of SHIFT vs. PIF per core type.
+pub fn table_pd_artifact(result: &PerformanceDensityResult) -> Artifact {
+    let mut artifact = Artifact::new(
+        "table_pd",
+        "§5.6: performance density by core type",
+        result,
+        pd_table(result),
+    );
+    for (kind, paper) in [
+        (CoreKind::FatOoO, 1.02),
+        (CoreKind::LeanOoO, 1.16),
+        (CoreKind::LeanIO, 1.59),
+    ] {
+        if let Some(improvement) = result.pd_improvement(kind, "SHIFT", "PIF_32K") {
+            artifact = artifact.with_reference(Reference::new(
+                format!("SHIFT/PIF_32K PD improvement, {kind}"),
+                improvement,
+                Check::near(paper, 0.25),
+            ));
+        }
+    }
+    artifact
+}
+
+/// §5.7: power overhead of SHIFT's history and index activity.
+pub fn table_power_artifact(result: &PowerOverheadResult) -> Artifact {
+    let mut table = Table::new([
+        "workload",
+        "llc_data_mw",
+        "llc_tag_mw",
+        "noc_mw",
+        "total_mw",
+    ]);
+    for (workload, row) in &result.rows {
+        table.push_row([
+            workload.clone(),
+            format!("{:.2}", row.breakdown.llc_data_mw),
+            format!("{:.2}", row.breakdown.llc_tag_mw),
+            format!("{:.2}", row.breakdown.noc_mw),
+            format!("{:.2}", row.breakdown.total_mw()),
+        ]);
+    }
+    Artifact::new("table_power", "§5.7: SHIFT power overhead", result, table).with_reference(
+        Reference::new(
+            "worst-case total overhead (mW)",
+            result.max_total_mw(),
+            Check::at_most(150.0),
+        ),
+    )
+}
+
+/// §5.1: storage cost of each prefetcher design.
+pub fn table_storage_artifact(result: &StorageTableResult) -> Artifact {
+    let mut table = Table::new([
+        "design",
+        "per_core_kib",
+        "llc_data_kib",
+        "llc_tag_kib",
+        "added_kib",
+        "area_mm2",
+    ]);
+    for row in &result.rows {
+        table.push_row([
+            row.design.clone(),
+            format!("{:.1}", row.storage.per_core_bytes as f64 / 1024.0),
+            format!("{:.1}", row.storage.llc_data_bytes as f64 / 1024.0),
+            format!("{:.1}", row.storage.llc_tag_bytes as f64 / 1024.0),
+            format!("{:.1}", row.added_sram_kib),
+            format!("{:.2}", row.added_area_mm2),
+        ]);
+    }
+    let mut artifact = Artifact::new(
+        "table_storage",
+        format!("§5.1: storage cost for a {}-core CMP", result.cores),
+        result,
+        table,
+    );
+    if let Some(ratio) = result.sram_ratio("PIF_32K", "SHIFT") {
+        artifact = artifact.with_reference(Reference::new(
+            "PIF_32K / SHIFT added-SRAM ratio",
+            ratio,
+            Check::near(14.0, 0.30),
+        ));
+    }
+    if let Some(pif32) = result.row("PIF_32K") {
+        artifact = artifact.with_reference(Reference::new(
+            "PIF_32K per-core storage (KiB)",
+            pif32.storage.per_core_bytes as f64 / 1024.0,
+            Check::near(213.0, 0.05),
+        ));
+    }
+    artifact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_sim::experiments;
+    use shift_trace::{presets, Scale};
+
+    #[test]
+    fn figure1_axes_match_the_paper() {
+        let fractions = figure1_fractions();
+        assert_eq!(fractions.len(), 11);
+        assert_eq!(fractions[0], 0.0);
+        assert_eq!(fractions[10], 1.0);
+        let sizes = figure6_sizes();
+        assert_eq!(sizes.len(), 11);
+        assert_eq!(sizes[0], Some(1024));
+        assert_eq!(sizes[9], Some(512 * 1024));
+        assert_eq!(sizes[10], None);
+    }
+
+    #[test]
+    fn storage_artifact_references_pass_at_paper_parameters() {
+        let result = experiments::storage_table(16, 8 * 1024 * 1024 / 64);
+        let artifact = table_storage_artifact(&result);
+        assert_eq!(artifact.name(), "table_storage");
+        assert_eq!(artifact.references().len(), 2);
+        for reference in artifact.references() {
+            assert_eq!(
+                reference.verdict(),
+                shift_report::Verdict::Pass,
+                "{} should reproduce exactly (pure arithmetic)",
+                reference.metric
+            );
+        }
+        assert!(artifact.table().rows().len() == 3);
+    }
+
+    #[test]
+    fn fig10_artifact_carries_reference_block() {
+        let workloads = vec![
+            presets::tiny().with_region_index(0),
+            presets::tiny().with_region_index(1),
+        ];
+        let result = experiments::consolidation(
+            &workloads,
+            &[shift_sim::PrefetcherConfig::shift_virtualized()],
+            4,
+            Scale::Test,
+            23,
+        );
+        let artifact = fig10_artifact(&result);
+        assert_eq!(artifact.references().len(), 1);
+        let json = artifact.to_json();
+        assert!(json.contains("\"reference\""));
+        assert!(json.contains("consolidated speedup, SHIFT"));
+    }
+
+    #[test]
+    fn table1_artifact_lists_system_and_workload_rows() {
+        let artifact = table1_artifact(16, &presets::paper_suite());
+        // 6 system parameter rows + 7 workload rows.
+        assert_eq!(artifact.table().rows().len(), 13);
+        assert!(artifact.references().is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! Figure 1: speedup as a function of instruction cache misses eliminated.
 
+use shift_bench::artifacts::{fig01_artifact, figure1_fractions, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::probabilistic_elimination;
 
@@ -13,11 +14,12 @@ fn main() {
         cores,
         &workloads,
     );
-    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let result = probabilistic_elimination(&workloads, &fractions, cores, scale, HARNESS_SEED);
+    let result =
+        probabilistic_elimination(&workloads, &figure1_fractions(), cores, scale, HARNESS_SEED);
     println!("{result}");
     println!(
         "perfect-I$ geometric-mean speedup: {:.3} (paper: ~1.31)",
         result.perfect_cache_speedup()
     );
+    publish(&fig01_artifact(&result));
 }

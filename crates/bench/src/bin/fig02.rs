@@ -1,5 +1,6 @@
 //! Figure 2: PIF performance vs. area for the three core types.
 
+use shift_bench::artifacts::{fig02_artifact, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::performance_density;
 use shift_sim::PrefetcherConfig;
@@ -23,4 +24,5 @@ fn main() {
     );
     println!("{result}");
     println!("(PD > 1 lies in the paper's shaded gain region; < 1 is the loss region)");
+    publish(&fig02_artifact(&result));
 }

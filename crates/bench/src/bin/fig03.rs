@@ -1,5 +1,6 @@
 //! Figure 3: instruction cache accesses within common temporal streams.
 
+use shift_bench::artifacts::{fig03_artifact, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::commonality;
 
@@ -16,4 +17,5 @@ fn main() {
     let result = commonality(&workloads, cores, scale, HARNESS_SEED);
     println!("{result}");
     println!("(paper: >90% on average, up to 96%)");
+    publish(&fig03_artifact(&result));
 }

@@ -1,5 +1,6 @@
 //! Figure 6: miss coverage vs. aggregate history size, SHIFT vs. PIF.
 
+use shift_bench::artifacts::{fig06_artifact, figure6_sizes, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::coverage_vs_history;
 
@@ -13,20 +14,8 @@ fn main() {
         cores,
         &workloads,
     );
-    let sizes: Vec<Option<usize>> = vec![
-        Some(1 << 10),
-        Some(2 << 10),
-        Some(4 << 10),
-        Some(8 << 10),
-        Some(16 << 10),
-        Some(32 << 10),
-        Some(64 << 10),
-        Some(128 << 10),
-        Some(256 << 10),
-        Some(512 << 10),
-        None,
-    ];
-    let result = coverage_vs_history(&workloads, &sizes, cores, scale, HARNESS_SEED);
+    let result = coverage_vs_history(&workloads, &figure6_sizes(), cores, scale, HARNESS_SEED);
     println!("{result}");
     println!("(paper: SHIFT above PIF at every aggregate size; both rise monotonically)");
+    publish(&fig06_artifact(&result));
 }

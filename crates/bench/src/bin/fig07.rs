@@ -1,5 +1,6 @@
 //! Figure 7: misses covered / uncovered / overpredicted per workload.
 
+use shift_bench::artifacts::{fig07_artifact, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::coverage_breakdown;
 
@@ -16,4 +17,5 @@ fn main() {
         result.average_coverage("PIF_32K") * 100.0,
         result.average_coverage("SHIFT") * 100.0
     );
+    publish(&fig07_artifact(&result));
 }

@@ -1,5 +1,6 @@
 //! Figure 8: speedup comparison (NextLine, PIF_2K, PIF_32K, ZeroLat-SHIFT, SHIFT).
 
+use shift_bench::artifacts::{fig08_artifact, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::speedup_comparison;
 
@@ -11,4 +12,5 @@ fn main() {
     let result = speedup_comparison(&workloads, cores, scale, HARNESS_SEED);
     println!("{result}");
     println!("(paper geomeans: NextLine 1.09, PIF_2K ~1.10, PIF_32K 1.21, ZeroLat-SHIFT 1.20, SHIFT 1.19)");
+    publish(&fig08_artifact(&result));
 }

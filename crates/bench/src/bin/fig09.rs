@@ -1,5 +1,6 @@
 //! Figure 9: LLC traffic overhead of SHIFT.
 
+use shift_bench::artifacts::{fig09_artifact, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::llc_traffic;
 
@@ -11,4 +12,5 @@ fn main() {
     let result = llc_traffic(&workloads, cores, scale, HARNESS_SEED);
     println!("{result}");
     println!("(paper: history reads+writes ~6%, discards ~7%, index updates ~2.5% of baseline)");
+    publish(&fig09_artifact(&result));
 }

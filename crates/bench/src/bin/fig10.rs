@@ -1,5 +1,6 @@
 //! Figure 10: speedup under workload consolidation.
 
+use shift_bench::artifacts::{fig10_artifact, publish};
 use shift_bench::{banner, cores_from_env, scale_from_env, HARNESS_SEED};
 use shift_sim::experiments::consolidation;
 use shift_sim::PrefetcherConfig;
@@ -24,4 +25,5 @@ fn main() {
     );
     println!("{result}");
     println!("(paper: SHIFT ~1.22, ZeroLat-SHIFT ~1.25, SHIFT ≈ 95% of PIF_32K's benefit)");
+    publish(&fig10_artifact(&result));
 }

@@ -1,0 +1,47 @@
+//! Reproduces every figure and table of the paper in one run.
+//!
+//! All experiments are planned into a single deduplicated `RunMatrix` (shared
+//! baselines simulate once for the whole paper), executed in parallel, and
+//! fanned out to per-figure artifacts under `target/artifacts/` (override
+//! with `SHIFT_ARTIFACTS`), ending with the paper-reference scoreboard.
+
+use shift_bench::artifacts::artifacts_dir;
+use shift_bench::reproduce::{PaperPlan, ReproduceSettings};
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner(
+        "reproduce (all figures and tables)",
+        scale,
+        cores,
+        &workloads,
+    );
+
+    let plan = PaperPlan::plan(ReproduceSettings::from_env());
+    println!(
+        "planned {} distinct simulations for the whole paper ({} avoided by cross-figure dedup)",
+        plan.run_count(),
+        plan.saved_by_dedup()
+    );
+    println!();
+
+    let report = plan.execute();
+    let dir = artifacts_dir();
+    let paths = report
+        .write_to(&dir)
+        .unwrap_or_else(|e| panic!("failed to write artifacts under {}: {e}", dir.display()));
+    println!(
+        "wrote {} artifact files ({} figures/tables x json+csv+md) under {}",
+        paths.len(),
+        report.artifacts().len(),
+        dir.display()
+    );
+    for artifact in report.artifacts() {
+        println!("  {:<13} {}", artifact.name(), artifact.title());
+    }
+    println!();
+    println!("{}", report.scoreboard());
+}

@@ -1,5 +1,6 @@
 //! Table I: system and application parameters.
 
+use shift_bench::artifacts::{publish, table1_artifact};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
 use shift_sim::{CmpConfig, PrefetcherConfig};
 
@@ -61,4 +62,5 @@ fn main() {
             w.calls_per_request
         );
     }
+    publish(&table1_artifact(cores, &workloads));
 }

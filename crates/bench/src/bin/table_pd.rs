@@ -1,5 +1,6 @@
 //! §5.6: performance density of SHIFT vs. PIF_32K and PIF_2K per core type.
 
+use shift_bench::artifacts::{publish, table_pd_artifact};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_cpu::CoreKind;
 use shift_sim::experiments::performance_density;
@@ -31,4 +32,5 @@ fn main() {
         }
     }
     println!("(paper: +2% Fat-OoO, +16% Lean-OoO, +59% Lean-IO)");
+    publish(&table_pd_artifact(&result));
 }

@@ -1,5 +1,6 @@
 //! §5.7: power overhead of SHIFT's history and index activity.
 
+use shift_bench::artifacts::{publish, table_power_artifact};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 use shift_sim::experiments::power_overhead;
 
@@ -11,4 +12,5 @@ fn main() {
     let result = power_overhead(&workloads, cores, scale, HARNESS_SEED);
     println!("{result}");
     println!("(paper: < 150 mW total for a 16-core CMP)");
+    publish(&table_power_artifact(&result));
 }

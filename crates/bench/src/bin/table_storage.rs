@@ -1,5 +1,6 @@
 //! §5.1: storage cost table (PIF_2K, PIF_32K, SHIFT).
 
+use shift_bench::artifacts::{publish, table_storage_artifact};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
 use shift_sim::experiments::storage_table;
 
@@ -13,4 +14,5 @@ fn main() {
     if let Some(ratio) = result.sram_ratio("PIF_32K", "SHIFT") {
         println!("PIF_32K / SHIFT added-SRAM ratio: {ratio:.1}x (paper: ~14x)");
     }
+    publish(&table_storage_artifact(&result));
 }

@@ -19,9 +19,20 @@
 //! parallel across the host's cores; set `SHIFT_THREADS` to pin the worker
 //! count (e.g. `SHIFT_THREADS=1` for a serial reference run — results are
 //! bit-identical at any thread count).
+//!
+//! Beyond printing, every binary publishes its figure as a machine-readable
+//! artifact (JSON + CSV + markdown with a paper-reference block) under
+//! `target/artifacts/` (override with `SHIFT_ARTIFACTS`) via the builders in
+//! [`artifacts`]. The `reproduce` binary regenerates the *whole* paper in
+//! one go: [`reproduce::PaperPlan`] merges all experiments into a single
+//! deduplicated [`shift_sim::RunMatrix`], so runs shared between figures —
+//! baselines above all — simulate exactly once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod reproduce;
 
 use shift_sim::runner::default_threads;
 use shift_trace::{presets, Scale, WorkloadSpec};

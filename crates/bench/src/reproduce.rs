@@ -1,0 +1,433 @@
+//! The all-in-one reproduction driver: every figure and table of the paper
+//! planned into **one** [`RunMatrix`], executed once, and fanned back out to
+//! per-figure artifacts plus a reference scoreboard.
+//!
+//! Planning the whole evaluation into a single matrix is what makes the
+//! reproduction cheap: runs shared between figures deduplicate by key, so
+//! the no-prefetch baselines (used by Figures 1, 2, 8 and §5.6), the
+//! PIF/SHIFT runs shared by Figures 7, 8, 9 and §5.7, and the PIF_32K column
+//! shared by Figure 2 and §5.6 all simulate exactly once for the whole
+//! paper instead of once per figure. [`PaperPlan::saved_by_dedup`] reports
+//! how many simulations the sharing avoided.
+//!
+//! The Figure 3 commonality study is not made of [`Simulation`] runs (it
+//! measures raw trace streams), so it fans out through the same worker pool
+//! separately, and the §5.1 storage table and Table I are pure arithmetic.
+//!
+//! [`Simulation`]: shift_sim::Simulation
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use shift_report::{scoreboard, Artifact};
+use shift_sim::experiments::{
+    commonality, storage_table, ConsolidationPlan, CoverageBreakdownPlan, EliminationPlan,
+    HistorySweepPlan, LlcTrafficPlan, PerformanceDensityPlan, PowerOverheadPlan,
+    SpeedupComparisonPlan,
+};
+use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix};
+use shift_trace::{presets, Scale, WorkloadSpec};
+
+use crate::artifacts::{
+    fig01_artifact, fig02_artifact, fig03_artifact, fig06_artifact, fig07_artifact, fig08_artifact,
+    fig09_artifact, fig10_artifact, figure1_fractions, figure6_sizes, table1_artifact,
+    table_pd_artifact, table_power_artifact, table_storage_artifact,
+};
+use crate::{cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+
+/// Everything that parameterizes a whole-paper reproduction run.
+#[derive(Clone, Debug)]
+pub struct ReproduceSettings {
+    /// Simulated core count (16 in the paper).
+    pub cores: u16,
+    /// Trace length per core.
+    pub scale: Scale,
+    /// Seed for all runs.
+    pub seed: u64,
+    /// The standalone workload suite (Figures 1–9, §5.6, §5.7).
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl ReproduceSettings {
+    /// Settings from the harness environment variables (`SHIFT_SCALE`,
+    /// `SHIFT_CORES`, `SHIFT_WORKLOADS`) with the fixed harness seed.
+    pub fn from_env() -> Self {
+        ReproduceSettings {
+            cores: cores_from_env(),
+            scale: scale_from_env(),
+            seed: HARNESS_SEED,
+            workloads: workloads_from_env(),
+        }
+    }
+
+    /// Explicit settings (used by tests at reduced scale).
+    pub fn new(cores: u16, scale: Scale, seed: u64, workloads: Vec<WorkloadSpec>) -> Self {
+        assert!(cores >= 2, "the commonality study needs at least 2 cores");
+        assert!(!workloads.is_empty(), "need at least one workload");
+        ReproduceSettings {
+            cores,
+            scale,
+            seed,
+            workloads,
+        }
+    }
+}
+
+/// The planned whole-paper evaluation: one deduplicated [`RunMatrix`] plus
+/// each figure's handles into it.
+#[derive(Debug)]
+pub struct PaperPlan {
+    settings: ReproduceSettings,
+    matrix: RunMatrix,
+    naive_runs: usize,
+    fig01: EliminationPlan,
+    fig02: PerformanceDensityPlan,
+    fig06: HistorySweepPlan,
+    fig07: CoverageBreakdownPlan,
+    fig08: SpeedupComparisonPlan,
+    fig09: LlcTrafficPlan,
+    fig10: ConsolidationPlan,
+    table_pd: PerformanceDensityPlan,
+    table_power: PowerOverheadPlan,
+}
+
+impl PaperPlan {
+    /// Plans all ten experiments into one matrix.
+    pub fn plan(settings: ReproduceSettings) -> Self {
+        assert!(
+            settings.cores >= 2,
+            "the commonality study needs at least 2 cores"
+        );
+        let ReproduceSettings {
+            cores,
+            scale,
+            seed,
+            ref workloads,
+        } = settings;
+        let mut matrix = RunMatrix::new();
+        let mut naive_runs = 0usize;
+
+        let fig01 = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            EliminationPlan::plan(m, workloads, &figure1_fractions(), cores, scale, seed)
+        });
+        let fig02 = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            PerformanceDensityPlan::plan(
+                m,
+                workloads,
+                &[PrefetcherConfig::pif_32k()],
+                cores,
+                scale,
+                seed,
+            )
+        });
+        let fig06 = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            HistorySweepPlan::plan(m, workloads, &figure6_sizes(), cores, scale, seed)
+        });
+
+        // The PIF_2K / PIF_32K / SHIFT trio is shared verbatim by Figure 7
+        // and the §5.6 performance-density table, so its runs collapse in
+        // the merged matrix.
+        let pif_vs_shift = [
+            PrefetcherConfig::pif_2k(),
+            PrefetcherConfig::pif_32k(),
+            PrefetcherConfig::shift_virtualized(),
+        ];
+        let fig07 = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            CoverageBreakdownPlan::plan(m, workloads, &pif_vs_shift, cores, scale, seed)
+        });
+        let fig08 = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            SpeedupComparisonPlan::plan(
+                m,
+                workloads,
+                &PrefetcherConfig::figure8_suite(),
+                cores,
+                scale,
+                seed,
+            )
+        });
+        let fig09 = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            LlcTrafficPlan::plan(m, workloads, cores, scale, seed)
+        });
+
+        let consolidation_mix = Self::consolidation_mix(&settings);
+        let fig10 = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            ConsolidationPlan::plan(
+                m,
+                &consolidation_mix,
+                &PrefetcherConfig::figure8_suite(),
+                cores,
+                scale,
+                seed,
+            )
+        });
+
+        let table_pd = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            PerformanceDensityPlan::plan(m, workloads, &pif_vs_shift, cores, scale, seed)
+        });
+        let table_power = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            PowerOverheadPlan::plan(m, workloads, cores, scale, seed)
+        });
+
+        PaperPlan {
+            settings,
+            matrix,
+            naive_runs,
+            fig01,
+            fig02,
+            fig06,
+            fig07,
+            fig08,
+            fig09,
+            fig10,
+            table_pd,
+            table_power,
+        }
+    }
+
+    /// The consolidation mix: the paper's four-workload §5.5 suite when the
+    /// core count divides by four, otherwise the largest prefix of the suite
+    /// that divides the core count evenly (keeps reduced-scale and odd
+    /// core-count runs valid — `ConsolidationSpec::even_split` requires it).
+    fn consolidation_mix(settings: &ReproduceSettings) -> Vec<WorkloadSpec> {
+        let suite = presets::consolidation_suite();
+        let cores = settings.cores as usize;
+        let mut n = suite.len().min(cores);
+        while n > 1 && !cores.is_multiple_of(n) {
+            n -= 1;
+        }
+        suite.into_iter().take(n).collect()
+    }
+
+    /// Plans one figure twice from the same closure: once into a scratch
+    /// matrix (whose size accumulates into `naive_runs`, the without-sharing
+    /// total) and once into the merged matrix. Using a single closure for
+    /// both keeps the dedup accounting incapable of drifting from the real
+    /// plan.
+    fn plan_both<P>(
+        matrix: &mut RunMatrix,
+        naive_runs: &mut usize,
+        plan: impl Fn(&mut RunMatrix) -> P,
+    ) -> P {
+        let mut scratch = RunMatrix::new();
+        let _ = plan(&mut scratch);
+        *naive_runs += scratch.len();
+        plan(matrix)
+    }
+
+    /// Number of distinct simulations the whole paper needs (after
+    /// cross-figure deduplication).
+    pub fn run_count(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Number of simulations avoided by cross-figure sharing: the sum of
+    /// each figure's standalone matrix size minus the merged matrix size.
+    pub fn saved_by_dedup(&self) -> usize {
+        self.naive_runs - self.matrix.len()
+    }
+
+    /// The merged matrix (exposed for tests asserting the key count).
+    pub fn matrix(&self) -> &RunMatrix {
+        &self.matrix
+    }
+
+    /// Executes the matrix (plus the commonality study) and derives every
+    /// artifact.
+    pub fn execute(self) -> PaperReport {
+        let outcomes = self.matrix.execute();
+        let settings = &self.settings;
+        let fig03_result = commonality(
+            &settings.workloads,
+            settings.cores,
+            settings.scale,
+            settings.seed,
+        );
+        let storage_result = storage_table(
+            settings.cores,
+            CmpConfig::micro13(settings.cores, PrefetcherConfig::None)
+                .llc
+                .capacity_blocks(),
+        );
+
+        let artifacts = vec![
+            fig01_artifact(&self.fig01.collect(&outcomes)),
+            fig02_artifact(&self.fig02.collect(&outcomes)),
+            fig03_artifact(&fig03_result),
+            fig06_artifact(&self.fig06.collect(&outcomes)),
+            fig07_artifact(&self.fig07.collect(&outcomes)),
+            fig08_artifact(&self.fig08.collect(&outcomes)),
+            fig09_artifact(&self.fig09.collect(&outcomes)),
+            fig10_artifact(&self.fig10.collect(&outcomes)),
+            table1_artifact(settings.cores, &settings.workloads),
+            table_pd_artifact(&self.table_pd.collect(&outcomes)),
+            table_power_artifact(&self.table_power.collect(&outcomes)),
+            table_storage_artifact(&storage_result),
+        ];
+        PaperReport { artifacts }
+    }
+}
+
+/// Every artifact of the reproduced paper, ready to write and score.
+#[derive(Debug)]
+pub struct PaperReport {
+    artifacts: Vec<Artifact>,
+}
+
+impl PaperReport {
+    /// All artifacts, in paper order.
+    pub fn artifacts(&self) -> &[Artifact] {
+        &self.artifacts
+    }
+
+    /// Finds an artifact by name (e.g. `"fig08"`).
+    pub fn artifact(&self, name: &str) -> Option<&Artifact> {
+        self.artifacts.iter().find(|a| a.name() == name)
+    }
+
+    /// Writes every artifact's JSON + CSV + markdown under `dir` and returns
+    /// the written paths.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        let mut paths = Vec::new();
+        for artifact in &self.artifacts {
+            paths.extend(artifact.write_to(dir)?);
+        }
+        Ok(paths)
+    }
+
+    /// The final reference scoreboard (markdown, terminal-friendly).
+    pub fn scoreboard(&self) -> String {
+        scoreboard(&self.artifacts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_settings() -> ReproduceSettings {
+        ReproduceSettings::new(
+            4,
+            Scale::Test,
+            7,
+            vec![
+                presets::tiny().with_region_index(0),
+                presets::tiny().with_region_index(1),
+            ],
+        )
+    }
+
+    #[test]
+    fn shared_runs_simulate_once_across_figures() {
+        let plan = PaperPlan::plan(tiny_settings());
+        // Cross-figure sharing must collapse a substantial number of runs:
+        // the baselines shared by Figures 1/2/8/§5.6, the SHIFT runs shared
+        // by Figures 7/8/9/§5.7, and the PIF columns shared by Figures 2/7/8
+        // and §5.6.
+        assert!(
+            plan.saved_by_dedup() > 0,
+            "the merged matrix must be smaller than the per-figure sum"
+        );
+        assert_eq!(plan.run_count(), plan.matrix().keys().len());
+
+        // The strongest form of the claim, on exact key counts: adding the
+        // Figure 9 and §5.7 plans (SHIFT per workload — all shared with
+        // Figure 8) to a matrix that already holds Figure 8 adds no keys.
+        let settings = tiny_settings();
+        let mut matrix = RunMatrix::new();
+        let _ = SpeedupComparisonPlan::plan(
+            &mut matrix,
+            &settings.workloads,
+            &PrefetcherConfig::figure8_suite(),
+            settings.cores,
+            settings.scale,
+            settings.seed,
+        );
+        let after_fig08 = matrix.len();
+        let _ = LlcTrafficPlan::plan(
+            &mut matrix,
+            &settings.workloads,
+            settings.cores,
+            settings.scale,
+            settings.seed,
+        );
+        let _ = PowerOverheadPlan::plan(
+            &mut matrix,
+            &settings.workloads,
+            settings.cores,
+            settings.scale,
+            settings.seed,
+        );
+        assert_eq!(
+            matrix.len(),
+            after_fig08,
+            "fig09/§5.7 SHIFT runs must dedup onto fig08's SHIFT column"
+        );
+
+        // Likewise the Figure 1 baselines dedup onto Figure 8's baselines.
+        let _ = EliminationPlan::plan(
+            &mut matrix,
+            &settings.workloads,
+            &figure1_fractions(),
+            settings.cores,
+            settings.scale,
+            settings.seed,
+        );
+        let nonzero_fractions = figure1_fractions().iter().filter(|&&f| f > 0.0).count();
+        assert_eq!(
+            matrix.len(),
+            after_fig08 + settings.workloads.len() * nonzero_fractions,
+            "fig01 must only add its elimination runs; its baselines are fig08's"
+        );
+    }
+
+    #[test]
+    fn consolidation_mix_divides_any_core_count() {
+        // Regression: core counts that are not multiples of the 4-workload
+        // suite (6, 10, 14, …) must shrink the mix to a divisor instead of
+        // panicking in `ConsolidationSpec::even_split`.
+        for cores in [2u16, 3, 4, 5, 6, 7, 8, 10, 14, 16] {
+            let settings = ReproduceSettings::new(cores, Scale::Test, 1, vec![presets::tiny()]);
+            let mix = PaperPlan::consolidation_mix(&settings);
+            assert!(!mix.is_empty(), "{cores} cores: empty mix");
+            assert!(
+                (cores as usize).is_multiple_of(mix.len()),
+                "{cores} cores: mix of {} workloads does not divide evenly",
+                mix.len()
+            );
+        }
+        let six = ReproduceSettings::new(6, Scale::Test, 1, vec![presets::tiny()]);
+        assert_eq!(PaperPlan::consolidation_mix(&six).len(), 3);
+        let sixteen = ReproduceSettings::new(16, Scale::Test, 1, vec![presets::tiny()]);
+        assert_eq!(PaperPlan::consolidation_mix(&sixteen).len(), 4);
+    }
+
+    #[test]
+    fn report_covers_all_figures_and_tables() {
+        let plan = PaperPlan::plan(tiny_settings());
+        let report = plan.execute();
+        let names: Vec<&str> = report.artifacts().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fig01",
+                "fig02",
+                "fig03",
+                "fig06",
+                "fig07",
+                "fig08",
+                "fig09",
+                "fig10",
+                "table1",
+                "table_pd",
+                "table_power",
+                "table_storage",
+            ]
+        );
+        let board = report.scoreboard();
+        assert!(board.contains("Reference scoreboard"));
+        assert!(board.contains("reference checks"));
+        assert!(report.artifact("fig08").is_some());
+        assert!(report.artifact("fig99").is_none());
+    }
+}

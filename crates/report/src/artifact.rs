@@ -1,0 +1,178 @@
+//! The artifact bundle: one figure/table's result in every emitted format.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{json, Serialize, Value};
+
+use crate::{Reference, Table};
+
+/// One reproduced figure/table, ready to be written to disk as
+/// `<name>.json`, `<name>.csv`, and `<name>.md`.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    name: String,
+    title: String,
+    data: Value,
+    table: Table,
+    references: Vec<Reference>,
+}
+
+impl Artifact {
+    /// Bundles a figure's serialized result `data` with its tabular view.
+    ///
+    /// `name` becomes the artifact's file stem (e.g. `fig08`); `title` is the
+    /// human-readable heading (e.g. `"Figure 8: speedup comparison"`).
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        data: &(impl Serialize + ?Sized),
+        table: Table,
+    ) -> Self {
+        Artifact {
+            name: name.into(),
+            title: title.into(),
+            data: data.to_value(),
+            table,
+            references: Vec::new(),
+        }
+    }
+
+    /// Attaches a paper-reference check to the artifact's `reference` block.
+    #[must_use]
+    pub fn with_reference(mut self, reference: Reference) -> Self {
+        self.references.push(reference);
+        self
+    }
+
+    /// The artifact's file stem.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The artifact's human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The serialized result tree.
+    pub fn data(&self) -> &Value {
+        &self.data
+    }
+
+    /// The tabular view.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The attached paper-reference checks.
+    pub fn references(&self) -> &[Reference] {
+        &self.references
+    }
+
+    /// The JSON document written to `<name>.json`: name, title, reference
+    /// block, and the full result tree.
+    pub fn to_json(&self) -> String {
+        let doc = Value::Map(vec![
+            ("name".to_owned(), self.name.to_value()),
+            ("title".to_owned(), self.title.to_value()),
+            ("reference".to_owned(), self.references.to_value()),
+            ("data".to_owned(), self.data.clone()),
+        ]);
+        json::to_string_pretty(&doc)
+    }
+
+    /// The markdown document written to `<name>.md`: title, table, and the
+    /// reference checks.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("# {}\n\n", self.title);
+        out.push_str(&self.table.to_markdown());
+        if !self.references.is_empty() {
+            out.push_str("\n## Paper reference\n\n");
+            for reference in &self.references {
+                out.push_str(&format!("- {}\n", reference.summary_line()));
+            }
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.{json,csv,md}`, creating `dir` if needed, and
+    /// returns the three paths.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let paths = vec![
+            dir.join(format!("{}.json", self.name)),
+            dir.join(format!("{}.csv", self.name)),
+            dir.join(format!("{}.md", self.name)),
+        ];
+        fs::write(&paths[0], self.to_json())?;
+        fs::write(&paths[1], self.table.to_csv())?;
+        fs::write(&paths[2], self.to_markdown())?;
+        Ok(paths)
+    }
+}
+
+/// Writes any serializable value as pretty JSON to `path`, creating parent
+/// directories as needed. The one-stop call for examples and ad-hoc tooling.
+pub fn write_json(path: impl AsRef<Path>, value: &(impl Serialize + ?Sized)) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, json::to_string_pretty(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        let mut table = Table::new(["workload", "speedup"]);
+        table.push_row(["oltp", "1.19"]);
+        Artifact::new(
+            "fig08",
+            "Figure 8: speedup comparison",
+            &vec![1.19f64],
+            table,
+        )
+        .with_reference(Reference::new(
+            "geomean speedup, SHIFT",
+            1.19,
+            crate::Check::near(1.19, 0.15),
+        ))
+    }
+
+    #[test]
+    fn json_document_carries_reference_block_and_data() {
+        let json = sample().to_json();
+        assert!(json.contains("\"name\": \"fig08\""));
+        assert!(json.contains("\"reference\": ["));
+        assert!(json.contains("\"verdict\": \"PASS\""));
+        assert!(json.contains("\"data\": ["));
+    }
+
+    #[test]
+    fn markdown_document_has_title_table_and_references() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("# Figure 8"));
+        assert!(md.contains("| workload"));
+        assert!(md.contains("[PASS] geomean speedup, SHIFT"));
+    }
+
+    #[test]
+    fn writes_three_files() {
+        let dir = std::env::temp_dir().join("shift-report-test-artifact");
+        let _ = fs::remove_dir_all(&dir);
+        let paths = sample().write_to(&dir).expect("write artifacts");
+        assert_eq!(paths.len(), 3);
+        for path in &paths {
+            let content = fs::read_to_string(path).expect("artifact file readable");
+            assert!(!content.is_empty());
+        }
+        write_json(dir.join("extra.json"), &42u8).expect("write_json");
+        assert_eq!(fs::read_to_string(dir.join("extra.json")).unwrap(), "42\n");
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

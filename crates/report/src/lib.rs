@@ -1,0 +1,86 @@
+//! Machine-readable reproduction artifacts.
+//!
+//! Every figure and table of the paper's evaluation is published as an
+//! [`Artifact`]: a named bundle of
+//!
+//! * the experiment's full result tree (everything its summary type
+//!   serializes via `serde`), written as **JSON** for downstream tooling,
+//! * a flat [`Table`] of the figure's rows, written as **CSV** for
+//!   spreadsheets and plotting scripts, and
+//! * a human-readable **markdown** rendering of the same table,
+//!
+//! plus a `reference` block of [`Reference`] checks that compare headline
+//! metrics against the values the paper reports, each with a pass/warn
+//! tolerance verdict. [`scoreboard`] renders the checks of a whole artifact
+//! set as the final console summary the `reproduce` driver prints.
+//!
+//! The crate deliberately depends only on the `serde` shim, so every layer of
+//! the workspace (simulator, harness, examples) can emit artifacts without
+//! dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod artifact;
+mod reference;
+mod table;
+
+pub use artifact::{write_json, Artifact};
+pub use reference::{Check, Reference, Verdict};
+pub use table::Table;
+
+use std::fmt::Write as _;
+
+/// Renders the reference scoreboard for a set of artifacts as markdown
+/// (which also reads cleanly on a terminal).
+///
+/// One line per [`Reference`] check, grouped by artifact, followed by a
+/// summary count. Artifacts without references are listed as informational.
+pub fn scoreboard(artifacts: &[Artifact]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Reference scoreboard");
+    let _ = writeln!(out);
+    let mut pass = 0usize;
+    let mut warn = 0usize;
+    for artifact in artifacts {
+        if artifact.references().is_empty() {
+            let _ = writeln!(out, "{:<10} (no reference values)", artifact.name());
+            continue;
+        }
+        for reference in artifact.references() {
+            match reference.verdict() {
+                Verdict::Pass => pass += 1,
+                Verdict::Warn => warn += 1,
+            }
+            let _ = writeln!(out, "{:<10} {}", artifact.name(), reference.summary_line());
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{pass} pass, {warn} warn of {} reference checks",
+        pass + warn
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoreboard_counts_verdicts() {
+        let with_ref = Artifact::new("fig01", "Figure 1", &1.31f64, Table::new(["x"]))
+            .with_reference(Reference::new(
+                "perfect-I$ speedup",
+                1.31,
+                Check::near(1.31, 0.10),
+            ))
+            .with_reference(Reference::new("way off", 9.0, Check::near(1.0, 0.10)));
+        let without_ref = Artifact::new("table1", "Table I", &0u8, Table::new(["k", "v"]));
+        let board = scoreboard(&[with_ref, without_ref]);
+        assert!(board.contains("1 pass, 1 warn of 2 reference checks"));
+        assert!(board.contains("(no reference values)"));
+        assert!(board.contains("fig01"));
+    }
+}

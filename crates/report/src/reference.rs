@@ -1,0 +1,195 @@
+//! Paper-reference checks: does a reproduced metric land near the value the
+//! paper reports?
+
+use serde::{Serialize, Value};
+
+/// How a reproduced value is compared against the paper's reference.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Check {
+    /// Pass when within `tolerance` (relative) of `expected`.
+    Near {
+        /// The value the paper reports.
+        expected: f64,
+        /// Allowed relative deviation (e.g. `0.15` = ±15 %).
+        tolerance: f64,
+    },
+    /// Pass when the actual value does not exceed `limit` (used for "< 150 mW"
+    /// style claims).
+    AtMost {
+        /// Upper bound the paper claims.
+        limit: f64,
+    },
+    /// Pass when the actual value reaches at least `limit` (used for "> 90 %"
+    /// style claims).
+    AtLeast {
+        /// Lower bound the paper claims.
+        limit: f64,
+    },
+}
+
+impl Check {
+    /// A [`Check::Near`] comparison.
+    pub fn near(expected: f64, tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        Check::Near {
+            expected,
+            tolerance,
+        }
+    }
+
+    /// An [`Check::AtMost`] comparison.
+    pub fn at_most(limit: f64) -> Self {
+        Check::AtMost { limit }
+    }
+
+    /// An [`Check::AtLeast`] comparison.
+    pub fn at_least(limit: f64) -> Self {
+        Check::AtLeast { limit }
+    }
+
+    /// The paper value this check is anchored to (for display).
+    pub fn paper_value(&self) -> f64 {
+        match self {
+            Check::Near { expected, .. } => *expected,
+            Check::AtMost { limit } | Check::AtLeast { limit } => *limit,
+        }
+    }
+
+    fn verdict(&self, actual: f64) -> Verdict {
+        let ok = match self {
+            Check::Near {
+                expected,
+                tolerance,
+            } => {
+                let denom = expected.abs().max(f64::MIN_POSITIVE);
+                actual.is_finite() && ((actual - expected).abs() / denom) <= *tolerance
+            }
+            Check::AtMost { limit } => actual.is_finite() && actual <= *limit,
+            Check::AtLeast { limit } => actual.is_finite() && actual >= *limit,
+        };
+        if ok {
+            Verdict::Pass
+        } else {
+            Verdict::Warn
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Check::Near {
+                expected,
+                tolerance,
+            } => format!("≈ {expected} (±{:.0}%)", tolerance * 100.0),
+            Check::AtMost { limit } => format!("≤ {limit}"),
+            Check::AtLeast { limit } => format!("≥ {limit}"),
+        }
+    }
+}
+
+/// Outcome of a reference check.
+///
+/// The synthetic workloads cannot (and are not expected to) hit the paper's
+/// hardware-measured numbers exactly, so a deviation is a **warning** in the
+/// scoreboard, never a hard failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance of the paper's value.
+    Pass,
+    /// Outside tolerance — worth a look, not a failure.
+    Warn,
+}
+
+impl Verdict {
+    /// Scoreboard tag (`PASS` / `warn`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "PASS",
+            Verdict::Warn => "warn",
+        }
+    }
+}
+
+/// One reproduced metric compared against the paper.
+#[derive(Clone, Debug)]
+pub struct Reference {
+    /// What is being checked (e.g. `"geomean speedup, SHIFT"`).
+    pub metric: String,
+    /// The reproduced value.
+    pub actual: f64,
+    /// The comparison against the paper's value.
+    pub check: Check,
+}
+
+impl Reference {
+    /// A reference check for `metric` with the reproduced `actual` value.
+    pub fn new(metric: impl Into<String>, actual: f64, check: Check) -> Self {
+        Reference {
+            metric: metric.into(),
+            actual,
+            check,
+        }
+    }
+
+    /// The pass/warn outcome.
+    pub fn verdict(&self) -> Verdict {
+        self.check.verdict(self.actual)
+    }
+
+    /// One scoreboard line: verdict, metric, actual vs. paper.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "[{}] {}: {:.3} (paper: {})",
+            self.verdict().tag(),
+            self.metric,
+            self.actual,
+            self.check.describe()
+        )
+    }
+}
+
+impl Serialize for Reference {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("metric".to_owned(), self.metric.to_value()),
+            ("actual".to_owned(), self.actual.to_value()),
+            ("paper".to_owned(), self.check.paper_value().to_value()),
+            (
+                "check".to_owned(),
+                Value::Str(self.check.describe().replace('≈', "~").replace('±', "+/-")),
+            ),
+            (
+                "verdict".to_owned(),
+                Value::Str(self.verdict().tag().to_owned()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_check_uses_relative_tolerance() {
+        assert_eq!(Check::near(1.31, 0.10).verdict(1.25), Verdict::Pass);
+        assert_eq!(Check::near(1.31, 0.10).verdict(1.50), Verdict::Warn);
+        assert_eq!(Check::near(1.31, 0.10).verdict(f64::NAN), Verdict::Warn);
+    }
+
+    #[test]
+    fn bound_checks() {
+        assert_eq!(Check::at_most(150.0).verdict(80.0), Verdict::Pass);
+        assert_eq!(Check::at_most(150.0).verdict(151.0), Verdict::Warn);
+        assert_eq!(Check::at_least(0.9).verdict(0.95), Verdict::Pass);
+        assert_eq!(Check::at_least(0.9).verdict(0.7), Verdict::Warn);
+    }
+
+    #[test]
+    fn summary_line_and_serialization_name_the_verdict() {
+        let r = Reference::new("perfect-I$ speedup", 1.28, Check::near(1.31, 0.10));
+        assert!(r.summary_line().contains("[PASS] perfect-I$ speedup"));
+        let v = r.to_value();
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("PASS"));
+        assert_eq!(v.get("paper").and_then(Value::as_f64), Some(1.31));
+    }
+}

@@ -1,0 +1,172 @@
+//! Flat tables rendered as CSV and markdown.
+
+use serde::{Serialize, Value};
+
+/// A flat table of strings: the tabular view of a figure's rows.
+///
+/// The table owns its formatting: numeric cells should be pre-formatted by
+/// the caller (the artifact builders format to the same precision the paper
+/// reports).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers and no rows yet.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count — a malformed
+    /// table is a bug in the artifact builder, not a runtime condition.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "table row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as RFC 4180 CSV (comma-separated, quoted where needed, CRLF-free).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.headers));
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].chars().count())
+                    .chain([h.chars().count(), 3])
+                    .max()
+                    .unwrap_or(3)
+            })
+            .collect();
+        let mut out = String::new();
+        out.push_str(&md_line(&self.headers, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&md_line(&dashes, &widths));
+        for row in &self.rows {
+            out.push_str(&md_line(row, &widths));
+        }
+        out
+    }
+}
+
+impl Serialize for Table {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("headers".to_owned(), self.headers.to_value()),
+            ("rows".to_owned(), self.rows.to_value()),
+        ])
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells
+        .iter()
+        .map(|cell| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", escaped.join(","))
+}
+
+fn md_line(cells: &[String], widths: &[usize]) -> String {
+    let padded: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(cell, w)| format!("{cell:<w$}"))
+        .collect();
+    format!("| {} |\n", padded.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["workload", "speedup"]);
+        t.push_row(["web,frontend", "1.19"]);
+        t.push_row(["oltp \"small\"", "1.21"]);
+        t
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let csv = sample().to_csv();
+        assert_eq!(
+            csv,
+            "workload,speedup\n\"web,frontend\",1.19\n\"oltp \"\"small\"\"\",1.21\n"
+        );
+    }
+
+    #[test]
+    fn markdown_pads_columns() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| workload"));
+        assert!(lines[1].contains("---"));
+        // All lines align to the same rendered width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn serializes_headers_and_rows() {
+        let json = sample().to_value().to_json();
+        assert!(json.starts_with(r#"{"headers":["workload","speedup"],"rows":"#));
+    }
+}

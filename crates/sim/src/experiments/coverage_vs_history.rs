@@ -13,7 +13,7 @@ use shift_core::{PifConfig, ShiftMode};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::runner::RunMatrix;
+use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
 
 /// Coverage at one aggregate history size.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -71,67 +71,99 @@ pub fn coverage_vs_history(
     scale: Scale,
     seed: u64,
 ) -> HistorySweepResult {
-    assert!(!workloads.is_empty() && !aggregate_sizes.is_empty());
-    let unbounded_records = 4 * 1024 * 1024;
-    let options = SimOptions::new(scale, seed).prediction_only();
-
     let mut matrix = RunMatrix::new();
-    let grid: Vec<Vec<_>> = aggregate_sizes
-        .iter()
-        .map(|&aggregate| {
-            let aggregate_records = aggregate.unwrap_or(unbounded_records);
-            let per_core_records = (aggregate_records / cores as usize).max(16);
-            workloads
-                .iter()
-                .map(|workload| {
-                    let shift_cfg = PrefetcherConfig::Shift {
-                        history_records: aggregate_records,
-                        mode: ShiftMode::Dedicated { zero_latency: true },
-                    };
-                    let pif_cfg =
-                        PrefetcherConfig::Pif(PifConfig::with_history_records(per_core_records));
-                    (
-                        matrix.standalone_with(
-                            CmpConfig::micro13(cores, shift_cfg),
-                            workload,
-                            options,
-                        ),
-                        matrix.standalone_with(
-                            CmpConfig::micro13(cores, pif_cfg),
-                            workload,
-                            options,
-                        ),
-                    )
-                })
-                .collect()
-        })
-        .collect();
-    let outcomes = matrix.execute();
+    let plan = HistorySweepPlan::plan(&mut matrix, workloads, aggregate_sizes, cores, scale, seed);
+    plan.collect(&matrix.execute())
+}
 
-    let points = aggregate_sizes
-        .iter()
-        .zip(&grid)
-        .map(|(&aggregate, handles)| {
-            let mut shift_pred = 0u64;
-            let mut shift_misses = 0u64;
-            let mut pif_pred = 0u64;
-            let mut pif_misses = 0u64;
-            for &(shift_handle, pif_handle) in handles {
-                let shift_run = &outcomes[shift_handle];
-                shift_pred += shift_run.coverage.predicted;
-                shift_misses += shift_run.coverage.baseline_misses();
-                let pif_run = &outcomes[pif_handle];
-                pif_pred += pif_run.coverage.predicted;
-                pif_misses += pif_run.coverage.baseline_misses();
-            }
-            HistorySweepPoint {
-                aggregate_records: aggregate,
-                shift_coverage: ratio(shift_pred, shift_misses),
-                pif_coverage: ratio(pif_pred, pif_misses),
-            }
-        })
-        .collect();
-    HistorySweepResult { points }
+/// The planned Figure 6 sweep: per aggregate size and workload, one SHIFT
+/// and one PIF prediction-only run.
+#[derive(Clone, Debug)]
+pub struct HistorySweepPlan {
+    aggregate_sizes: Vec<Option<usize>>,
+    grid: Vec<Vec<(RunHandle, RunHandle)>>,
+}
+
+impl HistorySweepPlan {
+    /// Plans the (size × workload × {SHIFT, PIF}) grid into `matrix`.
+    pub fn plan(
+        matrix: &mut RunMatrix,
+        workloads: &[WorkloadSpec],
+        aggregate_sizes: &[Option<usize>],
+        cores: u16,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        assert!(!workloads.is_empty() && !aggregate_sizes.is_empty());
+        let unbounded_records = 4 * 1024 * 1024;
+        let options = SimOptions::new(scale, seed).prediction_only();
+
+        let grid = aggregate_sizes
+            .iter()
+            .map(|&aggregate| {
+                let aggregate_records = aggregate.unwrap_or(unbounded_records);
+                let per_core_records = (aggregate_records / cores as usize).max(16);
+                workloads
+                    .iter()
+                    .map(|workload| {
+                        let shift_cfg = PrefetcherConfig::Shift {
+                            history_records: aggregate_records,
+                            mode: ShiftMode::Dedicated { zero_latency: true },
+                        };
+                        let pif_cfg = PrefetcherConfig::Pif(PifConfig::with_history_records(
+                            per_core_records,
+                        ));
+                        (
+                            matrix.standalone_with(
+                                CmpConfig::micro13(cores, shift_cfg),
+                                workload,
+                                options,
+                            ),
+                            matrix.standalone_with(
+                                CmpConfig::micro13(cores, pif_cfg),
+                                workload,
+                                options,
+                            ),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        HistorySweepPlan {
+            aggregate_sizes: aggregate_sizes.to_vec(),
+            grid,
+        }
+    }
+
+    /// Derives the Figure 6 result (miss-weighted coverage averages) from the
+    /// executed matrix.
+    pub fn collect(&self, outcomes: &RunOutcomes) -> HistorySweepResult {
+        let points = self
+            .aggregate_sizes
+            .iter()
+            .zip(&self.grid)
+            .map(|(&aggregate, handles)| {
+                let mut shift_pred = 0u64;
+                let mut shift_misses = 0u64;
+                let mut pif_pred = 0u64;
+                let mut pif_misses = 0u64;
+                for &(shift_handle, pif_handle) in handles {
+                    let shift_run = &outcomes[shift_handle];
+                    shift_pred += shift_run.coverage.predicted;
+                    shift_misses += shift_run.coverage.baseline_misses();
+                    let pif_run = &outcomes[pif_handle];
+                    pif_pred += pif_run.coverage.predicted;
+                    pif_misses += pif_run.coverage.baseline_misses();
+                }
+                HistorySweepPoint {
+                    aggregate_records: aggregate,
+                    shift_coverage: ratio(shift_pred, shift_misses),
+                    pif_coverage: ratio(pif_pred, pif_misses),
+                }
+            })
+            .collect();
+        HistorySweepResult { points }
+    }
 }
 
 fn ratio(n: u64, d: u64) -> f64 {

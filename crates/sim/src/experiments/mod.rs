@@ -6,12 +6,23 @@
 //! reports. The benchmark harness (`shift-bench`) wraps each driver in a
 //! binary and a Criterion bench.
 //!
-//! Every driver declares its sweep as a [`RunMatrix`](crate::runner): plan
-//! all runs up front (shared runs — above all the no-prefetch baseline —
-//! deduplicate to a single simulation), execute the whole matrix in parallel
-//! across the host's cores, then derive the figure's rows from the memoized
-//! outcomes. The commonality opportunity study — heavy per-workload work
-//! that is not `Simulation` runs — fans out through
+//! Every simulation-backed driver is split into two phases around one
+//! [`RunMatrix`](crate::runner::RunMatrix):
+//!
+//! * **plan** — the driver's `*Plan::plan(&mut matrix, …)` declares every
+//!   run the figure needs and keeps the returned handles. Because planning
+//!   goes through the matrix's key-deduplication, runs shared *within* a
+//!   figure (the no-prefetch baseline above all) and *across* figures (when
+//!   several plans share one matrix, as the `reproduce` driver does)
+//!   simulate exactly once.
+//! * **collect** — after `matrix.execute()`, `plan.collect(&outcomes)`
+//!   resolves the handles and derives the figure's serializable summary
+//!   type.
+//!
+//! The plain `fn figure(…) -> Result` entry points wrap both phases around a
+//! private matrix for callers that reproduce a single figure. The
+//! commonality opportunity study — heavy per-workload work that is not
+//! `Simulation` runs — fans out through
 //! [`runner::parallel_map`](crate::runner::parallel_map) instead, and the
 //! storage table (pure arithmetic) stays inline.
 
@@ -27,14 +38,20 @@ pub mod speedup_comparison;
 pub mod storage_table;
 
 pub use commonality::{commonality, CommonalityResult};
-pub use consolidation::{consolidation, ConsolidationResult};
-pub use coverage_breakdown::{coverage_breakdown, CoverageBreakdownResult};
-pub use coverage_vs_history::{coverage_vs_history, HistorySweepResult};
-pub use llc_traffic::{llc_traffic, LlcTrafficResult};
-pub use performance_density::{performance_density, PerformanceDensityResult};
-pub use power_overhead::{power_overhead, PowerOverheadResult};
-pub use probabilistic_elimination::{probabilistic_elimination, EliminationResult};
-pub use speedup_comparison::{speedup_comparison, SpeedupComparisonResult};
+pub use consolidation::{consolidation, ConsolidationPlan, ConsolidationResult};
+pub use coverage_breakdown::{coverage_breakdown, CoverageBreakdownPlan, CoverageBreakdownResult};
+pub use coverage_vs_history::{coverage_vs_history, HistorySweepPlan, HistorySweepResult};
+pub use llc_traffic::{llc_traffic, LlcTrafficPlan, LlcTrafficResult};
+pub use performance_density::{
+    performance_density, PerformanceDensityPlan, PerformanceDensityResult,
+};
+pub use power_overhead::{power_overhead, PowerOverheadPlan, PowerOverheadResult};
+pub use probabilistic_elimination::{
+    probabilistic_elimination, EliminationPlan, EliminationResult,
+};
+pub use speedup_comparison::{
+    speedup_comparison, speedup_comparison_with, SpeedupComparisonPlan, SpeedupComparisonResult,
+};
 pub use storage_table::{storage_table, StorageTableResult};
 
 /// Formats a fraction as a percentage with one decimal.

@@ -18,7 +18,7 @@ use shift_types::{BlockAddr, CoreId};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
 use crate::results::geometric_mean;
-use crate::runner::RunMatrix;
+use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
 
 /// One (core type, prefetcher) point in the Figure 2 plane.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -124,65 +124,100 @@ pub fn performance_density(
     scale: Scale,
     seed: u64,
 ) -> PerformanceDensityResult {
-    assert!(!workloads.is_empty() && !prefetchers.is_empty());
-    let area_model = AreaModel::nm40();
-    let options = SimOptions::new(scale, seed);
-
     let mut matrix = RunMatrix::new();
-    let plan: Vec<_> = CoreKind::ALL
-        .into_iter()
-        .map(|kind| {
-            let baselines: Vec<_> = workloads
-                .iter()
-                .map(|w| {
-                    matrix.standalone_with(
-                        CmpConfig::micro13(cores, PrefetcherConfig::None).with_core_kind(kind),
-                        w,
-                        options,
-                    )
-                })
-                .collect();
-            let runs: Vec<Vec<_>> = prefetchers
-                .iter()
-                .map(|&prefetcher| {
-                    workloads
-                        .iter()
-                        .map(|w| {
-                            matrix.standalone_with(
-                                CmpConfig::micro13(cores, prefetcher).with_core_kind(kind),
-                                w,
-                                options,
-                            )
-                        })
-                        .collect()
-                })
-                .collect();
-            (kind, baselines, runs)
-        })
-        .collect();
-    let outcomes = matrix.execute();
+    let plan =
+        PerformanceDensityPlan::plan(&mut matrix, workloads, prefetchers, cores, scale, seed);
+    plan.collect(&matrix.execute())
+}
 
-    let mut points = Vec::new();
-    for (kind, baselines, runs) in plan {
-        let baseline_area = area_model.cmp_core_area_mm2(kind, cores, &StorageCost::none());
-        for (prefetcher, handles) in prefetchers.iter().zip(runs) {
-            let speedups: Vec<f64> = handles
-                .iter()
-                .zip(&baselines)
-                .map(|(&run, &baseline)| outcomes[run].speedup_over(&outcomes[baseline]))
-                .collect();
-            let llc_blocks = CmpConfig::micro13(cores, *prefetcher).llc.capacity_blocks();
-            let storage = storage_of(prefetcher, cores, llc_blocks);
-            let area = area_model.cmp_core_area_mm2(kind, cores, &storage);
-            points.push(PdPoint {
-                core_kind: kind,
-                prefetcher: prefetcher.label(),
-                speedup: geometric_mean(&speedups),
-                relative_area: area / baseline_area,
-            });
+/// The planned Figure 2 / §5.6 sweep: per core type, the per-workload
+/// baselines plus one run per (prefetcher, workload) pair.
+#[derive(Clone, Debug)]
+pub struct PerformanceDensityPlan {
+    prefetchers: Vec<PrefetcherConfig>,
+    cores: u16,
+    grid: Vec<(CoreKind, Vec<RunHandle>, Vec<Vec<RunHandle>>)>,
+}
+
+impl PerformanceDensityPlan {
+    /// Plans the (core type × workload × {baseline ∪ prefetchers}) sweep into
+    /// `matrix`; each core type's per-workload baseline is planned once no
+    /// matter how many prefetchers it is compared against.
+    pub fn plan(
+        matrix: &mut RunMatrix,
+        workloads: &[WorkloadSpec],
+        prefetchers: &[PrefetcherConfig],
+        cores: u16,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        assert!(!workloads.is_empty() && !prefetchers.is_empty());
+        let options = SimOptions::new(scale, seed);
+        let grid = CoreKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let baselines: Vec<_> = workloads
+                    .iter()
+                    .map(|w| {
+                        matrix.standalone_with(
+                            CmpConfig::micro13(cores, PrefetcherConfig::None).with_core_kind(kind),
+                            w,
+                            options,
+                        )
+                    })
+                    .collect();
+                let runs: Vec<Vec<_>> = prefetchers
+                    .iter()
+                    .map(|&prefetcher| {
+                        workloads
+                            .iter()
+                            .map(|w| {
+                                matrix.standalone_with(
+                                    CmpConfig::micro13(cores, prefetcher).with_core_kind(kind),
+                                    w,
+                                    options,
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                (kind, baselines, runs)
+            })
+            .collect();
+        PerformanceDensityPlan {
+            prefetchers: prefetchers.to_vec(),
+            cores,
+            grid,
         }
     }
-    PerformanceDensityResult { points }
+
+    /// Derives the Figure 2 / §5.6 result (speedups from the executed matrix,
+    /// areas from the [`AreaModel`]).
+    pub fn collect(&self, outcomes: &RunOutcomes) -> PerformanceDensityResult {
+        let area_model = AreaModel::nm40();
+        let cores = self.cores;
+        let mut points = Vec::new();
+        for (kind, baselines, runs) in &self.grid {
+            let baseline_area = area_model.cmp_core_area_mm2(*kind, cores, &StorageCost::none());
+            for (prefetcher, handles) in self.prefetchers.iter().zip(runs) {
+                let speedups: Vec<f64> = handles
+                    .iter()
+                    .zip(baselines)
+                    .map(|(&run, &baseline)| outcomes[run].speedup_over(&outcomes[baseline]))
+                    .collect();
+                let llc_blocks = CmpConfig::micro13(cores, *prefetcher).llc.capacity_blocks();
+                let storage = storage_of(prefetcher, cores, llc_blocks);
+                let area = area_model.cmp_core_area_mm2(*kind, cores, &storage);
+                points.push(PdPoint {
+                    core_kind: *kind,
+                    prefetcher: prefetcher.label(),
+                    speedup: geometric_mean(&speedups),
+                    relative_area: area / baseline_area,
+                });
+            }
+        }
+        PerformanceDensityResult { points }
+    }
 }
 
 #[cfg(test)]

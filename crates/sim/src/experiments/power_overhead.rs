@@ -1,4 +1,10 @@
 //! §5.7: power overhead of SHIFT's history and index activity.
+//!
+//! The paper's claim: the extra LLC data-array accesses (history log),
+//! tag-array accesses (index updates), and NoC flit-hops together cost under
+//! ≈150 mW on the 16-core CMP — negligible against tens of watts of cores.
+//! Each [`PowerRow`] holds the per-workload [`PowerBreakdown`] (LLC data,
+//! LLC tag, NoC, all in milliwatts) produced by [`PowerModel::nm40`].
 
 use std::fmt;
 
@@ -7,7 +13,7 @@ use shift_metrics::{PowerBreakdown, PowerModel};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
-use crate::runner::RunMatrix;
+use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
 
 /// One workload's power overhead.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -80,30 +86,63 @@ pub fn power_overhead(
     scale: Scale,
     seed: u64,
 ) -> PowerOverheadResult {
-    let model = PowerModel::nm40();
     let mut matrix = RunMatrix::new();
-    let handles: Vec<_> = workloads
-        .iter()
-        .map(|w| matrix.standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed))
-        .collect();
-    let outcomes = matrix.execute();
+    let plan = PowerOverheadPlan::plan(&mut matrix, workloads, cores, scale, seed);
+    plan.collect(&matrix.execute())
+}
 
-    let rows = workloads
-        .iter()
-        .zip(&handles)
-        .map(|(w, &handle)| {
-            let run = &outcomes[handle];
-            let cycles = run.mean_cycles().max(1.0) as u64;
-            let breakdown = model.overhead(
-                run.history_block_accesses,
-                run.index_accesses,
-                run.overhead_flit_hops,
-                cycles,
-            );
-            (w.name.clone(), PowerRow { breakdown })
-        })
-        .collect();
-    PowerOverheadResult { rows }
+/// The planned §5.7 sweep: one virtualized-SHIFT run per workload (the same
+/// runs Figures 8 and 9 use, so planning into a shared matrix costs nothing
+/// extra).
+#[derive(Clone, Debug)]
+pub struct PowerOverheadPlan {
+    workloads: Vec<String>,
+    handles: Vec<RunHandle>,
+}
+
+impl PowerOverheadPlan {
+    /// Plans the per-workload virtualized-SHIFT runs into `matrix`.
+    pub fn plan(
+        matrix: &mut RunMatrix,
+        workloads: &[WorkloadSpec],
+        cores: u16,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        let handles = workloads
+            .iter()
+            .map(|w| {
+                matrix.standalone(w, PrefetcherConfig::shift_virtualized(), cores, scale, seed)
+            })
+            .collect();
+        PowerOverheadPlan {
+            workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+            handles,
+        }
+    }
+
+    /// Converts the executed runs' history/index/NoC activity to power via
+    /// [`PowerModel::nm40`].
+    pub fn collect(&self, outcomes: &RunOutcomes) -> PowerOverheadResult {
+        let model = PowerModel::nm40();
+        let rows = self
+            .workloads
+            .iter()
+            .zip(&self.handles)
+            .map(|(workload, &handle)| {
+                let run = &outcomes[handle];
+                let cycles = run.mean_cycles().max(1.0) as u64;
+                let breakdown = model.overhead(
+                    run.history_block_accesses,
+                    run.index_accesses,
+                    run.overhead_flit_hops,
+                    cycles,
+                );
+                (workload.clone(), PowerRow { breakdown })
+            })
+            .collect();
+        PowerOverheadResult { rows }
+    }
 }
 
 #[cfg(test)]

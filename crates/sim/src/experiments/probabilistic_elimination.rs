@@ -12,7 +12,7 @@ use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
 use crate::results::geometric_mean;
-use crate::runner::RunMatrix;
+use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
 
 /// One workload's speedup series.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -72,6 +72,97 @@ impl fmt::Display for EliminationResult {
     }
 }
 
+/// The planned (but not yet executed) Figure 1 sweep: the handles of every
+/// run the figure needs, resolvable against any [`RunOutcomes`] produced by
+/// the matrix the plan was declared into.
+#[derive(Clone, Debug)]
+pub struct EliminationPlan {
+    workloads: Vec<String>,
+    fractions: Vec<f64>,
+    /// Per workload: the no-prefetch baseline handle plus one handle per
+    /// nonzero fraction (`None` for the 0.0 point, which reuses the baseline).
+    rows: Vec<(RunHandle, Vec<Option<RunHandle>>)>,
+}
+
+impl EliminationPlan {
+    /// Plans the (workload × fraction) sweep into `matrix`.
+    ///
+    /// Each workload's baseline is planned once; the `0.0` fraction reuses it
+    /// directly (speedup 1 by definition). Planning into a shared matrix lets
+    /// other figures deduplicate against the same baselines.
+    pub fn plan(
+        matrix: &mut RunMatrix,
+        workloads: &[WorkloadSpec],
+        fractions: &[f64],
+        cores: u16,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        assert!(!workloads.is_empty(), "need at least one workload");
+        assert!(!fractions.is_empty(), "need at least one elimination point");
+        let config = CmpConfig::micro13(cores, PrefetcherConfig::None);
+        let rows = workloads
+            .iter()
+            .map(|workload| {
+                let baseline =
+                    matrix.standalone_with(config, workload, SimOptions::new(scale, seed));
+                let runs: Vec<_> = fractions
+                    .iter()
+                    .map(|&frac| {
+                        (frac > 0.0).then(|| {
+                            matrix.standalone_with(
+                                config,
+                                workload,
+                                SimOptions::new(scale, seed).with_miss_elimination(frac),
+                            )
+                        })
+                    })
+                    .collect();
+                (baseline, runs)
+            })
+            .collect();
+        EliminationPlan {
+            workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+            fractions: fractions.to_vec(),
+            rows,
+        }
+    }
+
+    /// Derives the Figure 1 result from the executed matrix.
+    pub fn collect(&self, outcomes: &RunOutcomes) -> EliminationResult {
+        let series: Vec<EliminationSeries> = self
+            .workloads
+            .iter()
+            .zip(&self.rows)
+            .map(|(workload, (baseline, runs))| EliminationSeries {
+                workload: workload.clone(),
+                points: self
+                    .fractions
+                    .iter()
+                    .zip(runs)
+                    .map(|(&frac, run)| {
+                        let speedup = match run {
+                            Some(handle) => outcomes[*handle].speedup_over(&outcomes[*baseline]),
+                            None => 1.0,
+                        };
+                        (frac, speedup)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let geomean = self
+            .fractions
+            .iter()
+            .enumerate()
+            .map(|(i, &frac)| {
+                let speedups: Vec<f64> = series.iter().map(|s| s.points[i].1).collect();
+                (frac, geometric_mean(&speedups))
+            })
+            .collect();
+        EliminationResult { series, geomean }
+    }
+}
+
 /// Runs the Figure 1 experiment over `fractions` (e.g. `[0.0, 0.1, …, 1.0]`).
 ///
 /// The (workload × fraction) sweep is declared as one [`RunMatrix`] and
@@ -84,59 +175,9 @@ pub fn probabilistic_elimination(
     scale: Scale,
     seed: u64,
 ) -> EliminationResult {
-    assert!(!workloads.is_empty(), "need at least one workload");
-    assert!(!fractions.is_empty(), "need at least one elimination point");
-    let config = CmpConfig::micro13(cores, PrefetcherConfig::None);
-
     let mut matrix = RunMatrix::new();
-    let plan: Vec<_> = workloads
-        .iter()
-        .map(|workload| {
-            let baseline = matrix.standalone_with(config, workload, SimOptions::new(scale, seed));
-            let runs: Vec<_> = fractions
-                .iter()
-                .map(|&frac| {
-                    (frac > 0.0).then(|| {
-                        matrix.standalone_with(
-                            config,
-                            workload,
-                            SimOptions::new(scale, seed).with_miss_elimination(frac),
-                        )
-                    })
-                })
-                .collect();
-            (baseline, runs)
-        })
-        .collect();
-    let outcomes = matrix.execute();
-
-    let series: Vec<EliminationSeries> = workloads
-        .iter()
-        .zip(&plan)
-        .map(|(workload, (baseline, runs))| EliminationSeries {
-            workload: workload.name.clone(),
-            points: fractions
-                .iter()
-                .zip(runs)
-                .map(|(&frac, run)| {
-                    let speedup = match run {
-                        Some(handle) => outcomes[*handle].speedup_over(&outcomes[*baseline]),
-                        None => 1.0,
-                    };
-                    (frac, speedup)
-                })
-                .collect(),
-        })
-        .collect();
-    let geomean = fractions
-        .iter()
-        .enumerate()
-        .map(|(i, &frac)| {
-            let speedups: Vec<f64> = series.iter().map(|s| s.points[i].1).collect();
-            (frac, geometric_mean(&speedups))
-        })
-        .collect();
-    EliminationResult { series, geomean }
+    let plan = EliminationPlan::plan(&mut matrix, workloads, fractions, cores, scale, seed);
+    plan.collect(&matrix.execute())
 }
 
 #[cfg(test)]

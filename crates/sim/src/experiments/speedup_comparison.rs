@@ -1,5 +1,12 @@
 //! Figure 8: speedup of NextLine, PIF_2K, PIF_32K, ZeroLat-SHIFT, and SHIFT
 //! over the no-prefetching baseline, per workload.
+//!
+//! The paper's claim: SHIFT delivers a 1.19 geometric-mean speedup —
+//! matching the idealized ZeroLat-SHIFT (1.20) and retaining most of
+//! PIF_32K's benefit (1.21) — while NextLine reaches only 1.09 and the
+//! equal-storage PIF_2K ≈1.10. Each [`SpeedupRow`] holds one workload's
+//! `(label, speedup)` pairs in configuration order; the `geomean` column is
+//! the figure's summary bar.
 
 use std::fmt;
 
@@ -8,7 +15,7 @@ use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
 use crate::results::geometric_mean;
-use crate::runner::{RunHandle, RunMatrix};
+use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
 
 /// One workload's speedups.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -90,55 +97,93 @@ pub fn speedup_comparison_with(
     scale: Scale,
     seed: u64,
 ) -> SpeedupComparisonResult {
-    assert!(!workloads.is_empty() && !prefetchers.is_empty());
-    let (matrix, plan) = plan(workloads, prefetchers, cores, scale, seed);
-    let outcomes = matrix.execute();
-
-    let rows: Vec<SpeedupRow> = workloads
-        .iter()
-        .zip(&plan)
-        .map(|(workload, (baseline, runs))| SpeedupRow {
-            workload: workload.name.clone(),
-            speedups: prefetchers
-                .iter()
-                .zip(runs)
-                .map(|(p, &run)| (p.label(), outcomes[run].speedup_over(&outcomes[*baseline])))
-                .collect(),
-        })
-        .collect();
-    let geomean = prefetchers
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let values: Vec<f64> = rows.iter().map(|r| r.speedups[i].1).collect();
-            (p.label(), geometric_mean(&values))
-        })
-        .collect();
-    SpeedupComparisonResult { rows, geomean }
+    let mut matrix = RunMatrix::new();
+    let plan = SpeedupComparisonPlan::plan(&mut matrix, workloads, prefetchers, cores, scale, seed);
+    plan.collect(&matrix.execute())
 }
 
-/// Plans the sweep: per workload, one baseline handle plus one handle per
-/// prefetcher configuration.
-fn plan(
-    workloads: &[WorkloadSpec],
-    prefetchers: &[PrefetcherConfig],
-    cores: u16,
-    scale: Scale,
-    seed: u64,
-) -> (RunMatrix, Vec<(RunHandle, Vec<RunHandle>)>) {
-    let mut matrix = RunMatrix::new();
-    let plan = workloads
-        .iter()
-        .map(|workload| {
-            let baseline = matrix.standalone(workload, PrefetcherConfig::None, cores, scale, seed);
-            let runs = prefetchers
-                .iter()
-                .map(|&p| matrix.standalone(workload, p, cores, scale, seed))
-                .collect();
-            (baseline, runs)
-        })
-        .collect();
-    (matrix, plan)
+/// The planned Figure 8 sweep: per workload, one baseline handle plus one
+/// handle per prefetcher configuration.
+#[derive(Clone, Debug)]
+pub struct SpeedupComparisonPlan {
+    workloads: Vec<String>,
+    labels: Vec<String>,
+    rows: Vec<(RunHandle, Vec<RunHandle>)>,
+}
+
+impl SpeedupComparisonPlan {
+    /// Plans the (workload × {baseline ∪ prefetchers}) sweep into `matrix`.
+    ///
+    /// The no-prefetch baseline each speedup is normalized against is planned
+    /// by key, so it is simulated exactly once per (workload, cores, scale,
+    /// seed) — even if [`PrefetcherConfig::None`] also appears in
+    /// `prefetchers`, and even if other figures plan the same baseline into
+    /// the same matrix.
+    pub fn plan(
+        matrix: &mut RunMatrix,
+        workloads: &[WorkloadSpec],
+        prefetchers: &[PrefetcherConfig],
+        cores: u16,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        assert!(!workloads.is_empty() && !prefetchers.is_empty());
+        let rows = workloads
+            .iter()
+            .map(|workload| {
+                let baseline =
+                    matrix.standalone(workload, PrefetcherConfig::None, cores, scale, seed);
+                let runs = prefetchers
+                    .iter()
+                    .map(|&p| matrix.standalone(workload, p, cores, scale, seed))
+                    .collect();
+                (baseline, runs)
+            })
+            .collect();
+        SpeedupComparisonPlan {
+            workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+            labels: prefetchers.iter().map(PrefetcherConfig::label).collect(),
+            rows,
+        }
+    }
+
+    /// Per-workload `(baseline, prefetcher runs)` handles, in plan order.
+    pub fn rows(&self) -> &[(RunHandle, Vec<RunHandle>)] {
+        &self.rows
+    }
+
+    /// Derives the Figure 8 result from the executed matrix.
+    pub fn collect(&self, outcomes: &RunOutcomes) -> SpeedupComparisonResult {
+        let rows: Vec<SpeedupRow> = self
+            .workloads
+            .iter()
+            .zip(&self.rows)
+            .map(|(workload, (baseline, runs))| SpeedupRow {
+                workload: workload.clone(),
+                speedups: self
+                    .labels
+                    .iter()
+                    .zip(runs)
+                    .map(|(label, &run)| {
+                        (
+                            label.clone(),
+                            outcomes[run].speedup_over(&outcomes[*baseline]),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let geomean = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                let values: Vec<f64> = rows.iter().map(|r| r.speedups[i].1).collect();
+                (label.clone(), geometric_mean(&values))
+            })
+            .collect();
+        SpeedupComparisonResult { rows, geomean }
+    }
 }
 
 #[cfg(test)]
@@ -182,9 +227,11 @@ mod tests {
             PrefetcherConfig::next_line(),
             PrefetcherConfig::shift_virtualized(),
         ];
-        let (matrix, plan) = super::plan(&workloads, &prefetchers, 4, Scale::Test, 21);
+        let mut matrix = RunMatrix::new();
+        let plan =
+            SpeedupComparisonPlan::plan(&mut matrix, &workloads, &prefetchers, 4, Scale::Test, 21);
         assert_eq!(matrix.len(), 2 * 3);
-        for (baseline, runs) in &plan {
+        for (baseline, runs) in plan.rows() {
             assert_eq!(runs[0], *baseline, "None entry must reuse the baseline run");
         }
 

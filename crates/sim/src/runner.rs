@@ -41,19 +41,35 @@
 //! ```
 
 use std::ops::Index;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use serde::{Deserialize, Serialize};
 use shift_trace::{ConsolidationSpec, Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
 use crate::results::RunResult;
 use crate::system::Simulation;
 
+/// Process-wide matrix id source, so a handle can prove which matrix planned
+/// it (see [`RunHandle`]).
+static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(0);
+
 /// Handle to one planned run in a [`RunMatrix`]; index into the matrix's
 /// [`RunOutcomes`] to get its [`RunResult`].
+///
+/// # Invariant
+///
+/// A handle is only valid against [`RunOutcomes`] executed from the *same*
+/// matrix that planned it. Handles carry the id of their planning matrix, so
+/// resolving one against a different matrix's outcomes panics with a
+/// diagnostic (or returns `None` from [`RunOutcomes::try_get`]) instead of
+/// silently reading another plan's result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct RunHandle(usize);
+pub struct RunHandle {
+    matrix: u64,
+    slot: usize,
+}
 
 /// The identity of one simulation run: everything that determines its result.
 ///
@@ -62,8 +78,9 @@ pub struct RunHandle(usize);
 /// configuration (including the prefetcher), the simulation options (scale,
 /// seed, prediction-only and miss-elimination modes), and the complete
 /// workload-to-core assignment — equality is plain structural equality over
-/// all of them.
-#[derive(Clone, Debug, PartialEq)]
+/// all of them. Keys serialize (the `reproduce` driver records the planned
+/// matrix alongside its artifacts).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunKey {
     config: CmpConfig,
     options: SimOptions,
@@ -83,17 +100,63 @@ impl RunKey {
 /// A deduplicated plan of simulation runs, executed in parallel.
 ///
 /// See the [module documentation](self) for the plan / execute / consume
-/// workflow and an example.
-#[derive(Debug, Default)]
+/// workflow. The full pipeline — plan a sweep, execute it once, write the
+/// derived figure as a machine-readable artifact — looks like this:
+///
+/// ```
+/// use shift_report::{Artifact, Check, Reference, Table};
+/// use shift_sim::{PrefetcherConfig, RunMatrix};
+/// use shift_trace::{presets, Scale};
+///
+/// // Plan: identical keys deduplicate, so the baseline is simulated once
+/// // no matter how many comparisons reference it.
+/// let mut matrix = RunMatrix::new();
+/// let workload = presets::tiny();
+/// let baseline = matrix.standalone(&workload, PrefetcherConfig::None, 2, Scale::Test, 7);
+/// let shift = matrix.standalone(
+///     &workload,
+///     PrefetcherConfig::shift_virtualized(),
+///     2,
+///     Scale::Test,
+///     7,
+/// );
+///
+/// // Execute: one parallel sweep over all planned runs.
+/// let outcomes = matrix.execute();
+/// let speedup = outcomes[shift].speedup_over(&outcomes[baseline]);
+///
+/// // Artifact-write: JSON (full result tree), CSV, and markdown, plus a
+/// // reference check against the paper's value.
+/// let mut table = Table::new(["workload", "speedup"]);
+/// table.push_row([workload.name.as_str(), &format!("{speedup:.3}")]);
+/// let artifact = Artifact::new("quick", "SHIFT speedup", &outcomes[shift], table)
+///     .with_reference(Reference::new("speedup", speedup, Check::at_least(1.0)));
+/// let dir = std::env::temp_dir().join("shift-runner-doctest");
+/// let paths = artifact.write_to(&dir).unwrap();
+/// assert_eq!(paths.len(), 3);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
 pub struct RunMatrix {
+    id: u64,
     plans: Vec<Simulation>,
     keys: Vec<RunKey>,
+}
+
+impl Default for RunMatrix {
+    fn default() -> Self {
+        RunMatrix::new()
+    }
 }
 
 impl RunMatrix {
     /// An empty matrix.
     pub fn new() -> Self {
-        RunMatrix::default()
+        RunMatrix {
+            id: NEXT_MATRIX_ID.fetch_add(1, Ordering::Relaxed),
+            plans: Vec::new(),
+            keys: Vec::new(),
+        }
     }
 
     /// Plans a standalone-workload run on the paper's CMP
@@ -150,12 +213,23 @@ impl RunMatrix {
     pub fn plan(&mut self, sim: Simulation) -> RunHandle {
         let key = RunKey::of(&sim);
         if let Some(existing) = self.keys.iter().position(|k| *k == key) {
-            return RunHandle(existing);
+            return RunHandle {
+                matrix: self.id,
+                slot: existing,
+            };
         }
         let slot = self.plans.len();
         self.plans.push(sim);
         self.keys.push(key);
-        RunHandle(slot)
+        RunHandle {
+            matrix: self.id,
+            slot,
+        }
+    }
+
+    /// The deduplicated keys of every planned run, in plan order.
+    pub fn keys(&self) -> &[RunKey] {
+        &self.keys
     }
 
     /// Number of distinct runs planned (after deduplication).
@@ -187,6 +261,7 @@ impl RunMatrix {
     /// count yields bit-identical [`RunOutcomes`].
     pub fn execute_with_threads(&self, threads: usize) -> RunOutcomes {
         RunOutcomes {
+            matrix: self.id,
             results: parallel_map_with_threads(&self.plans, threads, Simulation::run),
         }
     }
@@ -195,13 +270,45 @@ impl RunMatrix {
 /// Results of a [`RunMatrix`] execution, indexed by [`RunHandle`].
 #[derive(Clone, Debug)]
 pub struct RunOutcomes {
+    matrix: u64,
     results: Vec<RunResult>,
 }
 
 impl RunOutcomes {
     /// The result of the given planned run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if `handle` was planned by a *different*
+    /// [`RunMatrix`] (see the invariant on [`RunHandle`]), or if it was
+    /// planned after this matrix executed. Use [`RunOutcomes::try_get`] for a
+    /// checked lookup.
     pub fn get(&self, handle: RunHandle) -> &RunResult {
-        &self.results[handle.0]
+        assert_eq!(
+            handle.matrix, self.matrix,
+            "RunHandle was planned by RunMatrix #{} but these outcomes were executed \
+             from RunMatrix #{}; handles are only valid against outcomes of the \
+             matrix that planned them",
+            handle.matrix, self.matrix,
+        );
+        self.results.get(handle.slot).unwrap_or_else(|| {
+            panic!(
+                "RunHandle #{} was planned after RunMatrix #{} executed \
+                 (outcomes hold {} runs); re-execute the matrix after planning",
+                handle.slot,
+                self.matrix,
+                self.results.len(),
+            )
+        })
+    }
+
+    /// Checked lookup: `None` if `handle` belongs to a different matrix or
+    /// was planned after this matrix executed.
+    pub fn try_get(&self, handle: RunHandle) -> Option<&RunResult> {
+        if handle.matrix != self.matrix {
+            return None;
+        }
+        self.results.get(handle.slot)
     }
 
     /// Number of executed runs.
@@ -347,6 +454,55 @@ mod tests {
         assert_eq!(outcomes[baseline].prefetcher, "Baseline");
         assert_eq!(outcomes[nl].prefetcher, "NextLine");
         assert!(outcomes[nl].speedup_over(&outcomes[baseline]) > 1.0);
+    }
+
+    #[test]
+    fn handle_from_another_matrix_is_rejected() {
+        let w = presets::tiny();
+        let mut a = RunMatrix::new();
+        let mut b = RunMatrix::new();
+        let handle_a = a.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let handle_b = b.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        // Same plan, but the handles are not interchangeable across matrices.
+        assert_ne!(handle_a, handle_b);
+        let outcomes_b = b.execute_serial();
+        assert!(outcomes_b.try_get(handle_b).is_some());
+        assert!(outcomes_b.try_get(handle_a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix that planned them")]
+    fn get_with_foreign_handle_panics_with_diagnostic() {
+        let w = presets::tiny();
+        let mut a = RunMatrix::new();
+        let mut b = RunMatrix::new();
+        let handle_a = a.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let _ = b.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let outcomes_b = b.execute_serial();
+        let _ = outcomes_b.get(handle_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "planned after")]
+    fn get_with_late_planned_handle_panics_with_diagnostic() {
+        let w = presets::tiny();
+        let mut matrix = RunMatrix::new();
+        let _ = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let outcomes = matrix.execute_serial();
+        let late = matrix.standalone(&w, PrefetcherConfig::next_line(), 2, Scale::Test, 5);
+        assert!(outcomes.try_get(late).is_none());
+        let _ = outcomes.get(late);
+    }
+
+    #[test]
+    fn keys_serialize_for_the_reproduce_manifest() {
+        let w = presets::tiny();
+        let mut matrix = RunMatrix::new();
+        let _ = matrix.standalone(&w, PrefetcherConfig::shift_virtualized(), 2, Scale::Test, 5);
+        assert_eq!(matrix.keys().len(), 1);
+        let json = serde::json::to_string(&matrix.keys()[0]);
+        assert!(json.contains("\"config\""), "got {json}");
+        assert!(json.contains("\"Shift\""), "got {json}");
     }
 
     #[test]

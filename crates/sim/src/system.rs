@@ -9,8 +9,8 @@
 //! paper's warmed-checkpoint methodology.
 //!
 //! `Simulation` itself is a thin, cloneable description of one run — the
-//! actual machinery (core stepping, the [`MemorySystem`](crate::engine), the
-//! prefetcher wiring) lives in the [`engine`](crate::engine) module, and
+//! actual machinery (core stepping, the `MemorySystem`, the prefetcher
+//! wiring) lives in the private `engine` module, and
 //! sweeps of many runs are planned and executed in parallel by
 //! [`RunMatrix`](crate::runner::RunMatrix).
 

@@ -3,12 +3,15 @@
 //!
 //! The three runs are declared as one [`RunMatrix`] sweep, so they execute
 //! in parallel across the host's cores and the baseline is keyed (and would
-//! be deduplicated) like any other run.
+//! be deduplicated) like any other run. The SHIFT run's full result tree is
+//! also written as `target/artifacts/quickstart.json` through the report
+//! pipeline, the same path every figure artifact takes.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use shift::report::write_json;
 use shift::sim::{PrefetcherConfig, RunMatrix};
 use shift::trace::{presets, Scale};
 
@@ -44,7 +47,7 @@ fn main() {
         base.throughput(),
         base.l1i_mpki()
     );
-    for handle in contenders {
+    for &handle in &contenders {
         let run = &outcomes[handle];
         println!(
             "{:<11}: throughput {:.2} IPC, miss coverage {:.1}%, overprediction {:.1}%, speedup {:.3}x",
@@ -54,5 +57,16 @@ fn main() {
             run.coverage.overprediction() * 100.0,
             run.speedup_over(base)
         );
+    }
+
+    // Publish the SHIFT run as a machine-readable artifact: the serde-derived
+    // result tree renders straight to JSON.
+    let path = std::path::Path::new("target")
+        .join("artifacts")
+        .join("quickstart.json");
+    let shift_run = &outcomes[*contenders.last().expect("planned two contenders")];
+    match write_json(&path, shift_run) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }

@@ -16,6 +16,8 @@
 //!   history buffer, stream address buffers, and the next-line / PIF / SHIFT
 //!   prefetchers.
 //! * [`metrics`] — area, power, and performance-density models.
+//! * [`report`] — machine-readable artifacts: tables, paper-reference
+//!   checks, and JSON/CSV/markdown writers.
 //! * [`sim`] — the full trace-driven CMP simulator, the parallel sweep
 //!   engine ([`sim::RunMatrix`]), and the per-figure experiment drivers.
 //!
@@ -77,6 +79,7 @@ pub use shift_core as prefetch;
 pub use shift_cpu as cpu;
 pub use shift_metrics as metrics;
 pub use shift_noc as noc;
+pub use shift_report as report;
 pub use shift_sim as sim;
 pub use shift_trace as trace;
 pub use shift_types as types;
