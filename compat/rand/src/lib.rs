@@ -36,20 +36,31 @@ pub trait SampleRange<T> {
 macro_rules! impl_int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            #[inline]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as u128).wrapping_sub(self.start as u128);
-                let draw = (rng.next_u64() as u128) % span;
-                (self.start as u128 + draw) as $t
+                // An exclusive span always fits in u64, so the reduction can
+                // use the hardware 64-bit modulo; the value is bit-identical
+                // to the former 128-bit computation, which lowered to the
+                // (slow, library-call) `__umodti3` on the trace hot path.
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                let draw = rng.next_u64() % span;
+                ((self.start as u128).wrapping_add(draw as u128)) as $t
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample empty range");
                 let span = (end as u128).wrapping_sub(start as u128) + 1;
-                let draw = (rng.next_u64() as u128) % span;
-                (start as u128 + draw) as $t
+                // The only span that does not fit in u64 is the full 2^64
+                // range, where the modulo is the identity.
+                let draw = match u64::try_from(span) {
+                    Ok(span64) => rng.next_u64() % span64,
+                    Err(_) => rng.next_u64(),
+                };
+                ((start as u128).wrapping_add(draw as u128)) as $t
             }
         }
     )*};
@@ -131,6 +142,7 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])

@@ -79,15 +79,18 @@ fn bench_compactor_and_sab(c: &mut Criterion) {
         }
         b.iter(|| {
             let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
-            let mut read = |p: u32, n: usize| {
-                let recs = history.read(p, n);
-                let next = history.advance_ptr(p, recs.len() as u32);
-                (recs, next)
+            let mut read = |p: u32, n: usize, buf: &mut Vec<_>| {
+                history.read_into(p, n, buf);
+                history.advance_ptr(p, buf.len() as u32)
             };
+            let mut out = Vec::new();
             let mut total = 0usize;
-            total += sabs.allocate(0, &mut read).len();
+            sabs.allocate(0, &mut read, &mut out);
+            total += out.len();
             for i in 0..1_000u64 {
-                total += sabs.on_retire(BlockAddr::new(i * 16), &mut read).len();
+                out.clear();
+                sabs.on_retire(BlockAddr::new(i * 16), &mut read, &mut out);
+                total += out.len();
             }
             black_box(total)
         });

@@ -58,6 +58,10 @@ pub struct NucaLlc {
     banks: Vec<SetAssocCache<LlcMeta>>,
     traffic: TrafficStats,
     pinned_ranges: Vec<(BlockAddr, u64)>,
+    /// `log2(banks)` when the bank count is a power of two: bank selection
+    /// and bank-local address derivation then use mask/shift instead of the
+    /// modulo and division on the per-access path.
+    bank_bits: Option<u32>,
 }
 
 impl NucaLlc {
@@ -67,10 +71,13 @@ impl NucaLlc {
             .map(|_| SetAssocCache::new(config.bank_config()))
             .collect();
         NucaLlc {
-            config,
             banks,
             traffic: TrafficStats::new(),
             pinned_ranges: Vec::new(),
+            bank_bits: (config.banks as u64)
+                .is_power_of_two()
+                .then(|| (config.banks as u64).trailing_zeros()),
+            config,
         }
     }
 
@@ -80,14 +87,22 @@ impl NucaLlc {
     }
 
     /// The bank a block maps to (block-interleaved).
+    #[inline]
     pub fn bank_of(&self, block: BlockAddr) -> usize {
-        (block.get() % self.config.banks as u64) as usize
+        match self.bank_bits {
+            Some(bits) => (block.get() & ((1u64 << bits) - 1)) as usize,
+            None => (block.get() % self.config.banks as u64) as usize,
+        }
     }
 
     /// The address used to index within a bank: the bank-selection bits are
     /// stripped so consecutive blocks of one bank spread over all of its sets.
+    #[inline]
     fn bank_local(&self, block: BlockAddr) -> BlockAddr {
-        BlockAddr::new(block.get() / self.config.banks as u64)
+        match self.bank_bits {
+            Some(bits) => BlockAddr::new(block.get() >> bits),
+            None => BlockAddr::new(block.get() / self.config.banks as u64),
+        }
     }
 
     /// Per-class traffic statistics.
@@ -129,6 +144,7 @@ impl NucaLlc {
     /// The returned latency covers the bank lookup plus, on a miss, the
     /// memory round trip. NoC latency between the requesting core and the
     /// bank is accounted separately by the interconnect model.
+    #[inline]
     pub fn access(&mut self, block: BlockAddr, class: AccessClass) -> LlcAccessOutcome {
         self.traffic.record(class, self.config.block_bytes as u64);
         let bank_idx = self.bank_of(block);
@@ -209,6 +225,7 @@ impl NucaLlc {
     }
 
     /// Returns `true` if `block` belongs to a reserved history region.
+    #[inline]
     pub fn is_pinned(&self, block: BlockAddr) -> bool {
         self.pinned_ranges
             .iter()

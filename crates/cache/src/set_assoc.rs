@@ -71,6 +71,12 @@ pub struct SetAssocCache<M> {
     config: CacheConfig,
     policy: ReplacementPolicy,
     sets: Vec<Vec<Line<M>>>,
+    /// Number of sets, cached so the per-access index computation performs no
+    /// division over the configuration.
+    set_count: u64,
+    /// `set_count - 1` when the set count is a power of two: set selection is
+    /// then a single AND instead of a modulo.
+    index_mask: Option<u64>,
     clock: u64,
     stats: CacheStats,
     victim_rng: VictimRng,
@@ -84,11 +90,14 @@ impl<M> SetAssocCache<M> {
 
     /// Creates an empty cache with the given replacement policy.
     pub fn with_policy(config: CacheConfig, policy: ReplacementPolicy) -> Self {
+        let set_count = config.sets() as u64;
         let sets = (0..config.sets()).map(|_| Vec::new()).collect();
         SetAssocCache {
             config,
             policy,
             sets,
+            set_count,
+            index_mask: set_count.is_power_of_two().then(|| set_count - 1),
             clock: 0,
             stats: CacheStats::default(),
             victim_rng: VictimRng::default(),
@@ -115,12 +124,17 @@ impl<M> SetAssocCache<M> {
         self.sets.iter().map(|s| s.len()).sum()
     }
 
+    #[inline]
     fn set_index(&self, block: BlockAddr) -> usize {
-        (block.get() % self.config.sets() as u64) as usize
+        match self.index_mask {
+            Some(mask) => (block.get() & mask) as usize,
+            None => (block.get() % self.set_count) as usize,
+        }
     }
 
     /// Returns `true` if `block` is resident, without updating recency or
     /// statistics.
+    #[inline]
     pub fn probe(&self, block: BlockAddr) -> bool {
         let set = &self.sets[self.set_index(block)];
         set.iter().any(|l| l.block == block)
@@ -129,6 +143,7 @@ impl<M> SetAssocCache<M> {
     /// Looks up `block`, updating recency and statistics. Does **not** fill on
     /// a miss; the caller decides whether and when to call
     /// [`fill`](Self::fill).
+    #[inline]
     pub fn access(&mut self, block: BlockAddr) -> AccessResult {
         self.clock += 1;
         self.stats.accesses += 1;
@@ -142,6 +157,29 @@ impl<M> SetAssocCache<M> {
         } else {
             self.stats.misses += 1;
             AccessResult::Miss
+        }
+    }
+
+    /// Looks up `block` exactly like [`access`](Self::access) (same recency
+    /// and statistics updates) and additionally hands back mutable access to
+    /// the line's metadata on a hit — one set scan where an
+    /// `access`-then-[`meta_mut`](Self::meta_mut) sequence would perform two.
+    /// The instruction-fetch hot path classifies prefetched lines with it on
+    /// every L1-I hit.
+    #[inline]
+    pub fn access_meta(&mut self, block: BlockAddr) -> (AccessResult, Option<&mut M>) {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let clock = self.clock;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
+            line.last_use = clock;
+            self.stats.hits += 1;
+            (AccessResult::Hit, Some(&mut line.meta))
+        } else {
+            self.stats.misses += 1;
+            (AccessResult::Miss, None)
         }
     }
 
@@ -186,21 +224,28 @@ impl<M> SetAssocCache<M> {
         let evicted = if self.sets[idx].len() < ways {
             None
         } else {
+            // Victim selection scans the (at most `ways`-long) set directly
+            // instead of collecting candidate indices into a heap-allocated
+            // vector; fills are on the miss path of every cache level, so
+            // this must stay allocation-free.
             let victim = {
                 let set = &self.sets[idx];
-                let candidates: Vec<usize> = (0..set.len()).filter(|&i| !set[i].pinned).collect();
+                let unpinned = set.iter().filter(|l| !l.pinned).count();
                 assert!(
-                    !candidates.is_empty(),
+                    unpinned > 0,
                     "all ways of set {idx} are pinned; cannot fill {block}"
                 );
                 match policy {
-                    ReplacementPolicy::Lru => candidates
-                        .iter()
-                        .copied()
+                    ReplacementPolicy::Lru => (0..set.len())
+                        .filter(|&i| !set[i].pinned)
                         .min_by_key(|&i| set[i].last_use)
                         .expect("candidates non-empty"),
                     ReplacementPolicy::Random => {
-                        candidates[self.victim_rng.next_below(candidates.len())]
+                        let k = self.victim_rng.next_below(unpinned);
+                        (0..set.len())
+                            .filter(|&i| !set[i].pinned)
+                            .nth(k)
+                            .expect("k-th unpinned way exists")
                     }
                 }
             };
@@ -222,12 +267,14 @@ impl<M> SetAssocCache<M> {
     }
 
     /// Returns a reference to the metadata of `block`, if resident.
+    #[inline]
     pub fn meta(&self, block: BlockAddr) -> Option<&M> {
         let set = &self.sets[self.set_index(block)];
         set.iter().find(|l| l.block == block).map(|l| &l.meta)
     }
 
     /// Returns a mutable reference to the metadata of `block`, if resident.
+    #[inline]
     pub fn meta_mut(&mut self, block: BlockAddr) -> Option<&mut M> {
         let idx = self.set_index(block);
         self.sets[idx]

@@ -30,6 +30,10 @@ pub struct HistoryBuffer {
     entries: Vec<Option<SpatialRegion>>,
     write_ptr: u32,
     total_appends: u64,
+    /// `capacity - 1` when the capacity is a power of two (it is for every
+    /// paper design point), so pointer wrapping on the replay hot path is an
+    /// AND instead of a modulo.
+    wrap_mask: Option<u32>,
 }
 
 impl HistoryBuffer {
@@ -48,6 +52,17 @@ impl HistoryBuffer {
             entries: vec![None; capacity],
             write_ptr: 0,
             total_appends: 0,
+            wrap_mask: (capacity as u32)
+                .is_power_of_two()
+                .then(|| capacity as u32 - 1),
+        }
+    }
+
+    #[inline]
+    fn wrap(&self, ptr: u32) -> u32 {
+        match self.wrap_mask {
+            Some(mask) => ptr & mask,
+            None => ptr % self.entries.len() as u32,
         }
     }
 
@@ -82,10 +97,11 @@ impl HistoryBuffer {
 
     /// Appends a record, returning the pointer (slot index) where it was
     /// stored. The write pointer then advances, wrapping at the capacity.
+    #[inline]
     pub fn append(&mut self, record: SpatialRegion) -> u32 {
         let slot = self.write_ptr;
         self.entries[slot as usize] = Some(record);
-        self.write_ptr = (self.write_ptr + 1) % self.entries.len() as u32;
+        self.write_ptr = self.wrap(self.write_ptr + 1);
         self.total_appends += 1;
         slot
     }
@@ -100,21 +116,30 @@ impl HistoryBuffer {
     /// Reading never passes the write pointer more than once around, so the
     /// window length is also bounded by the buffer length.
     pub fn read(&self, ptr: u32, count: usize) -> Vec<SpatialRegion> {
-        let cap = self.entries.len() as u32;
+        let mut out = Vec::with_capacity(count.min(self.len()));
+        self.read_into(ptr, count, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`read`](Self::read): appends the window's
+    /// records to `out` instead of returning a fresh vector. This is the call
+    /// the replay hot path uses — the stream address buffers hand it a reused
+    /// scratch buffer, so steady-state replay performs no heap allocation.
+    #[inline]
+    pub fn read_into(&self, ptr: u32, count: usize, out: &mut Vec<SpatialRegion>) {
         let count = count.min(self.len());
-        let mut out = Vec::with_capacity(count);
         for i in 0..count as u32 {
-            let slot = (ptr + i) % cap;
+            let slot = self.wrap(ptr + i);
             if let Some(rec) = self.entries[slot as usize] {
                 out.push(rec);
             }
         }
-        out
     }
 
     /// Advances a pointer by `n` slots, wrapping at the capacity.
+    #[inline]
     pub fn advance_ptr(&self, ptr: u32, n: u32) -> u32 {
-        (ptr + n) % self.entries.len() as u32
+        self.wrap(ptr + n)
     }
 }
 
@@ -167,6 +192,19 @@ mod tests {
         assert!(h.read(3, 4).is_empty());
         assert_eq!(h.get(3), None);
         assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn read_into_appends_without_clearing() {
+        let mut h = HistoryBuffer::new(4);
+        for i in 0..4 {
+            h.append(rec(i));
+        }
+        let mut out = vec![rec(99)];
+        h.read_into(2, 3, &mut out);
+        let triggers: Vec<u64> = out.iter().map(|r| r.trigger().get()).collect();
+        assert_eq!(triggers, vec![99, 2, 3, 0]);
+        assert_eq!(h.read(2, 3), &out[1..], "read is read_into on a fresh vec");
     }
 
     #[test]

@@ -88,6 +88,7 @@ impl IndexTable {
 
     /// Inserts or updates the pointer for `trigger`, evicting the
     /// least-recently-used entry if the table is full.
+    #[inline]
     pub fn update(&mut self, trigger: BlockAddr, ptr: u32) {
         self.clock += 1;
         let stamp = self.clock;
@@ -110,6 +111,7 @@ impl IndexTable {
 
     /// Looks up the most recent history pointer for `trigger`, refreshing its
     /// recency on a hit.
+    #[inline]
     pub fn lookup(&mut self, trigger: BlockAddr) -> Option<u32> {
         self.lookups += 1;
         self.clock += 1;

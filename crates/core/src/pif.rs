@@ -83,6 +83,8 @@ struct PifCore {
     history: HistoryBuffer,
     index: IndexTable,
     sabs: StreamAddressBufferSet,
+    /// Reused candidate-block buffer for SAB replay (cleared per call).
+    scratch_blocks: Vec<BlockAddr>,
 }
 
 impl PifCore {
@@ -92,6 +94,7 @@ impl PifCore {
             history: HistoryBuffer::new(config.history_records),
             index: IndexTable::new(config.index_entries),
             sabs: StreamAddressBufferSet::new(config.sab),
+            scratch_blocks: Vec::new(),
         }
     }
 }
@@ -130,10 +133,14 @@ impl Pif {
     }
 }
 
-fn read_and_advance(history: &HistoryBuffer, ptr: u32, n: usize) -> (Vec<SpatialRegion>, u32) {
-    let records = history.read(ptr, n);
-    let next = history.advance_ptr(ptr, records.len() as u32);
-    (records, next)
+fn read_and_advance(
+    history: &HistoryBuffer,
+    ptr: u32,
+    n: usize,
+    buf: &mut Vec<SpatialRegion>,
+) -> u32 {
+    history.read_into(ptr, n, buf);
+    history.advance_ptr(ptr, buf.len() as u32)
 }
 
 impl InstructionPrefetcher for Pif {
@@ -161,11 +168,21 @@ impl InstructionPrefetcher for Pif {
             history,
             index,
             sabs,
+            scratch_blocks,
             ..
         } = state;
         if let Some(ptr) = index.lookup(block) {
-            let candidates = sabs.allocate(ptr, &mut |p, n| read_and_advance(history, p, n));
-            out.extend(candidates.into_iter().map(PrefetchCandidate::immediate));
+            scratch_blocks.clear();
+            sabs.allocate(
+                ptr,
+                &mut |p, n, buf| read_and_advance(history, p, n, buf),
+                scratch_blocks,
+            );
+            out.extend(
+                scratch_blocks
+                    .iter()
+                    .map(|&b| PrefetchCandidate::immediate(b)),
+            );
         }
     }
 
@@ -182,11 +199,21 @@ impl InstructionPrefetcher for Pif {
             history,
             index,
             sabs,
+            scratch_blocks,
         } = state;
 
         // Replay: advance any stream this retirement falls into.
-        let candidates = sabs.on_retire(block, &mut |p, n| read_and_advance(history, p, n));
-        out.extend(candidates.into_iter().map(PrefetchCandidate::immediate));
+        scratch_blocks.clear();
+        sabs.on_retire(
+            block,
+            &mut |p, n, buf| read_and_advance(history, p, n, buf),
+            scratch_blocks,
+        );
+        out.extend(
+            scratch_blocks
+                .iter()
+                .map(|&b| PrefetchCandidate::immediate(b)),
+        );
 
         // Record: fold the retire stream into spatial region records.
         if let Some(record) = compactor.observe(block) {

@@ -51,6 +51,13 @@ pub struct StreamAddressBuffer {
     next_ptr: u32,
     last_use: u64,
     valid: bool,
+    /// Coarse presence filter over the buffered regions' accessed blocks
+    /// (bit `b & 63` set for every buffered block `b`). Bits are only added
+    /// on push and cleared on reset, so the filter is a *superset* of the
+    /// buffered blocks: a filter miss proves the block is absent and skips
+    /// the region scan, while a stale bit merely costs the scan the code
+    /// always performed — match results are unchanged either way.
+    filter: u64,
 }
 
 impl StreamAddressBuffer {
@@ -71,8 +78,17 @@ impl StreamAddressBuffer {
 
     /// Returns the index of the buffered region whose *recorded accesses*
     /// include `block`, if any.
+    #[inline]
     fn match_index(&self, block: BlockAddr) -> Option<usize> {
+        if self.filter & Self::filter_bit(block) == 0 {
+            return None;
+        }
         self.regions.iter().position(|r| r.contains_access(block))
+    }
+
+    #[inline]
+    fn filter_bit(block: BlockAddr) -> u64 {
+        1u64 << (block.get() & 63)
     }
 
     fn reset(&mut self, next_ptr: u32, now: u64) {
@@ -80,20 +96,26 @@ impl StreamAddressBuffer {
         self.next_ptr = next_ptr;
         self.last_use = now;
         self.valid = true;
+        self.filter = 0;
     }
 
     fn push_record(&mut self, record: SpatialRegion, capacity: usize) {
         if self.regions.len() >= capacity {
             self.regions.pop_front();
         }
+        for block in record.blocks() {
+            self.filter |= Self::filter_bit(block);
+        }
         self.regions.push_back(record);
     }
 }
 
-/// The number of records to read and the pointer to read them from, produced
-/// when a stream needs refilling; the caller performs the read (possibly via
-/// the LLC) and hands the records back.
-pub type HistoryReader<'a> = dyn FnMut(u32, usize) -> (Vec<SpatialRegion>, u32) + 'a;
+/// Callback that reads up to `count` history records starting at `ptr` into
+/// the provided scratch buffer (already cleared by the caller) and returns the
+/// advanced pointer. The caller performs the read (possibly via the LLC);
+/// filling a reused buffer instead of returning a fresh `Vec` keeps
+/// steady-state replay free of heap allocation.
+pub type HistoryReader<'a> = dyn FnMut(u32, usize, &mut Vec<SpatialRegion>) -> u32 + 'a;
 
 /// A set of stream address buffers for one core.
 ///
@@ -109,11 +131,15 @@ pub type HistoryReader<'a> = dyn FnMut(u32, usize) -> (Vec<SpatialRegion>, u32) 
 /// history.append(SpatialRegion::new(BlockAddr::new(200), 8));
 ///
 /// let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
-/// let candidates = sabs.allocate(ptr, &mut |p, n| {
-///     let recs = history.read(p, n);
-///     let next = history.advance_ptr(p, recs.len() as u32);
-///     (recs, next)
-/// });
+/// let mut candidates = Vec::new();
+/// sabs.allocate(
+///     ptr,
+///     &mut |p, n, buf| {
+///         history.read_into(p, n, buf);
+///         history.advance_ptr(p, buf.len() as u32)
+///     },
+///     &mut candidates,
+/// );
 /// assert!(candidates.contains(&BlockAddr::new(100)));
 /// assert!(sabs.covers(BlockAddr::new(200)));
 /// ```
@@ -124,6 +150,8 @@ pub struct StreamAddressBufferSet {
     clock: u64,
     streams_allocated: u64,
     advances: u64,
+    /// Reused window for records handed back by the [`HistoryReader`].
+    scratch_records: Vec<SpatialRegion>,
 }
 
 impl StreamAddressBufferSet {
@@ -147,6 +175,7 @@ impl StreamAddressBufferSet {
             clock: 0,
             streams_allocated: 0,
             advances: 0,
+            scratch_records: Vec::new(),
         }
     }
 
@@ -168,6 +197,7 @@ impl StreamAddressBufferSet {
     /// Returns `true` if `block` is among the recorded accesses of any
     /// buffered region — i.e. the prefetcher "predicts" this block. Used both
     /// by replay and by the paper's prediction-only study (Figure 6).
+    #[inline]
     pub fn covers(&self, block: BlockAddr) -> bool {
         self.streams
             .iter()
@@ -177,13 +207,14 @@ impl StreamAddressBufferSet {
 
     /// Allocates a new stream starting at history pointer `start_ptr`,
     /// reading an initial lookahead window through `read_history`. The least
-    /// recently used stream is evicted. Returns the prefetch candidate blocks
-    /// encoded by the records read.
+    /// recently used stream is evicted. The prefetch candidate blocks encoded
+    /// by the records read are appended to `out`.
     pub fn allocate(
         &mut self,
         start_ptr: u32,
         read_history: &mut HistoryReader<'_>,
-    ) -> Vec<BlockAddr> {
+        out: &mut Vec<BlockAddr>,
+    ) {
         self.clock += 1;
         self.streams_allocated += 1;
         let now = self.clock;
@@ -194,26 +225,28 @@ impl StreamAddressBufferSet {
             .min_by_key(|(_, s)| if s.valid { s.last_use } else { 0 })
             .map(|(i, _)| i)
             .expect("at least one stream");
-        let (records, next_ptr) = read_history(start_ptr, self.config.lookahead);
+        let mut records = std::mem::take(&mut self.scratch_records);
+        records.clear();
+        let next_ptr = read_history(start_ptr, self.config.lookahead, &mut records);
         let stream = &mut self.streams[victim];
         stream.reset(next_ptr, now);
-        let mut candidates = Vec::new();
-        for record in records {
-            candidates.extend(record.blocks());
+        for &record in &records {
+            out.extend(record.blocks());
             stream.push_record(record, self.config.capacity_regions);
         }
-        candidates
+        self.scratch_records = records;
     }
 
     /// Observes a retired block. If it falls within a buffered region of some
     /// stream, the stream advances: enough new records are read to keep the
-    /// lookahead window ahead of the match point. Returns the prefetch
-    /// candidates encoded by the newly read records.
+    /// lookahead window ahead of the match point. The prefetch candidates
+    /// encoded by the newly read records are appended to `out`.
     pub fn on_retire(
         &mut self,
         block: BlockAddr,
         read_history: &mut HistoryReader<'_>,
-    ) -> Vec<BlockAddr> {
+        out: &mut Vec<BlockAddr>,
+    ) {
         self.clock += 1;
         let now = self.clock;
         let capacity = self.config.capacity_regions;
@@ -227,7 +260,7 @@ impl StreamAddressBufferSet {
             .find_map(|(i, s)| s.match_index(block).map(|pos| (i, pos)));
 
         let Some((stream_idx, pos)) = matched else {
-            return Vec::new();
+            return;
         };
         self.advances += 1;
         let stream = &mut self.streams[stream_idx];
@@ -237,16 +270,18 @@ impl StreamAddressBufferSet {
         let ahead = stream.regions.len().saturating_sub(pos + 1);
         let needed = lookahead.saturating_sub(ahead);
         if needed == 0 {
-            return Vec::new();
+            return;
         }
-        let (records, next_ptr) = read_history(stream.next_ptr, needed);
+        let mut records = std::mem::take(&mut self.scratch_records);
+        records.clear();
+        let next_ptr = read_history(stream.next_ptr, needed, &mut records);
+        let stream = &mut self.streams[stream_idx];
         stream.next_ptr = next_ptr;
-        let mut candidates = Vec::new();
-        for record in records {
-            candidates.extend(record.blocks());
+        for &record in &records {
+            out.extend(record.blocks());
             stream.push_record(record, capacity);
         }
-        candidates
+        self.scratch_records = records;
     }
 
     /// Invalidates all streams (e.g. on a context switch in sensitivity
@@ -280,11 +315,12 @@ mod tests {
         h
     }
 
-    fn reader(history: &HistoryBuffer) -> impl FnMut(u32, usize) -> (Vec<SpatialRegion>, u32) + '_ {
-        move |ptr, n| {
-            let recs = history.read(ptr, n);
-            let next = history.advance_ptr(ptr, recs.len() as u32);
-            (recs, next)
+    fn reader(
+        history: &HistoryBuffer,
+    ) -> impl FnMut(u32, usize, &mut Vec<SpatialRegion>) -> u32 + '_ {
+        move |ptr, n, buf| {
+            history.read_into(ptr, n, buf);
+            history.advance_ptr(ptr, buf.len() as u32)
         }
     }
 
@@ -302,7 +338,8 @@ mod tests {
         let history = history_with(&records);
         let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
         let mut rd = reader(&history);
-        let candidates = sabs.allocate(0, &mut rd);
+        let mut candidates = Vec::new();
+        sabs.allocate(0, &mut rd, &mut candidates);
         // Lookahead of 5 records: triggers 100..500 plus recorded extras.
         assert!(candidates.contains(&BlockAddr::new(100)));
         assert!(candidates.contains(&BlockAddr::new(102)));
@@ -323,11 +360,12 @@ mod tests {
             lookahead: 3,
         });
         let mut rd = reader(&history);
-        sabs.allocate(0, &mut rd);
+        sabs.allocate(0, &mut rd, &mut Vec::new());
         // Retiring a block of the second record keeps the window 3 ahead,
         // pulling in new records and producing their blocks as candidates.
         let mut rd = reader(&history);
-        let new = sabs.on_retire(BlockAddr::new(1000 + 16), &mut rd);
+        let mut new = Vec::new();
+        sabs.on_retire(BlockAddr::new(1000 + 16), &mut rd, &mut new);
         assert!(!new.is_empty());
         assert!(
             new.contains(&BlockAddr::new(1000 + 3 * 16))
@@ -342,9 +380,11 @@ mod tests {
         let history = history_with(&records);
         let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
         let mut rd = reader(&history);
-        sabs.allocate(0, &mut rd);
+        sabs.allocate(0, &mut rd, &mut Vec::new());
         let mut rd = reader(&history);
-        assert!(sabs.on_retire(BlockAddr::new(999), &mut rd).is_empty());
+        let mut out = Vec::new();
+        sabs.on_retire(BlockAddr::new(999), &mut rd, &mut out);
+        assert!(out.is_empty());
         assert_eq!(sabs.advances(), 0);
     }
 
@@ -360,7 +400,7 @@ mod tests {
         // Allocate three streams; the first should be gone afterwards.
         for start in [0u32, 10, 20] {
             let mut rd = reader(&history);
-            sabs.allocate(start, &mut rd);
+            sabs.allocate(start, &mut rd, &mut Vec::new());
         }
         assert!(
             !sabs.covers(BlockAddr::new(10_000)),
@@ -379,11 +419,11 @@ mod tests {
             lookahead: 4,
         });
         let mut rd = reader(&history);
-        sabs.allocate(0, &mut rd);
+        sabs.allocate(0, &mut rd, &mut Vec::new());
         // Walk the stream for a while; the buffer must keep at most 4 regions.
         for i in 0..30u64 {
             let mut rd = reader(&history);
-            sabs.on_retire(BlockAddr::new(5_000 + i * 50), &mut rd);
+            sabs.on_retire(BlockAddr::new(5_000 + i * 50), &mut rd, &mut Vec::new());
         }
         let buffered: usize = sabs.streams.iter().map(|s| s.regions.len()).sum();
         assert!(buffered <= 4, "buffered {buffered} regions, capacity 4");
@@ -395,7 +435,7 @@ mod tests {
         let history = history_with(&records);
         let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
         let mut rd = reader(&history);
-        sabs.allocate(0, &mut rd);
+        sabs.allocate(0, &mut rd, &mut Vec::new());
         assert!(sabs.covers(BlockAddr::new(1)));
         sabs.clear();
         assert!(!sabs.covers(BlockAddr::new(1)));

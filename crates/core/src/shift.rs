@@ -145,6 +145,8 @@ pub struct Shift {
     history_block_reads: u64,
     history_block_writes: u64,
     index_updates: u64,
+    /// Reused candidate-block buffer for SAB replay (cleared per call).
+    scratch_blocks: Vec<BlockAddr>,
 }
 
 impl Shift {
@@ -176,6 +178,7 @@ impl Shift {
             history_block_reads: 0,
             history_block_writes: 0,
             index_updates: 0,
+            scratch_blocks: Vec::new(),
             config,
         }
     }
@@ -318,16 +321,17 @@ impl InstructionPrefetcher for Shift {
         let lookahead = self.config.sab.lookahead;
         let delay = self.read_history_blocks(llc, ptr, lookahead);
         let history = &self.history;
-        let candidates = self.sabs[core.index()].allocate(ptr, &mut |p, n| {
-            let records = history.read(p, n);
-            let next = history.advance_ptr(p, records.len() as u32);
-            (records, next)
-        });
-        out.extend(
-            candidates
-                .into_iter()
-                .map(|b| PrefetchCandidate::delayed(b, delay)),
+        let blocks = &mut self.scratch_blocks;
+        blocks.clear();
+        self.sabs[core.index()].allocate(
+            ptr,
+            &mut |p, n, buf| {
+                history.read_into(p, n, buf);
+                history.advance_ptr(p, buf.len() as u32)
+            },
+            blocks,
         );
+        out.extend(blocks.iter().map(|&b| PrefetchCandidate::delayed(b, delay)));
     }
 
     fn on_retire(
@@ -343,21 +347,26 @@ impl InstructionPrefetcher for Shift {
         // would be read so the virtualized LLC traffic can be charged.
         let lookahead = self.config.sab.lookahead;
         let history = &self.history;
+        let blocks = &mut self.scratch_blocks;
+        blocks.clear();
         let mut read_span: Option<(u32, usize)> = None;
-        let candidates = self.sabs[core.index()].on_retire(block, &mut |p, n| {
-            let records = history.read(p, n);
-            let next = history.advance_ptr(p, records.len() as u32);
-            read_span = Some((p, records.len()));
-            (records, next)
-        });
+        self.sabs[core.index()].on_retire(
+            block,
+            &mut |p, n, buf| {
+                history.read_into(p, n, buf);
+                read_span = Some((p, buf.len()));
+                history.advance_ptr(p, buf.len() as u32)
+            },
+            blocks,
+        );
         let delay = match read_span {
             Some((ptr, count)) => self.read_history_blocks(llc, ptr, count.min(lookahead)),
             None => 0,
         };
         out.extend(
-            candidates
-                .into_iter()
-                .map(|b| PrefetchCandidate::delayed(b, delay)),
+            self.scratch_blocks
+                .iter()
+                .map(|&b| PrefetchCandidate::delayed(b, delay)),
         );
 
         // Record: only the history generator core writes the shared history.

@@ -33,12 +33,11 @@ proptest! {
 
         let mut sabs = StreamAddressBufferSet::new(SabConfig::micro13());
         if let Some(ptr) = index.lookup(BlockAddr::new(raw_blocks[0])) {
-            let mut read = |p: u32, n: usize| {
-                let recs = history.read(p, n);
-                let next = history.advance_ptr(p, recs.len() as u32);
-                (recs, next)
+            let mut read = |p: u32, n: usize, buf: &mut Vec<_>| {
+                history.read_into(p, n, buf);
+                history.advance_ptr(p, buf.len() as u32)
             };
-            sabs.allocate(ptr, &mut read);
+            sabs.allocate(ptr, &mut read, &mut Vec::new());
         }
         let block = BlockAddr::new(probe);
         if sabs.covers(block) {

@@ -58,10 +58,7 @@ pub struct NocTrafficStats {
 
 impl NocTrafficStats {
     fn slot(class: AccessClass) -> usize {
-        AccessClass::ALL
-            .iter()
-            .position(|&c| c == class)
-            .expect("class present in ALL")
+        class.index()
     }
 
     /// Flits injected for `class`.
@@ -80,6 +77,7 @@ impl NocTrafficStats {
         self.flit_hops.iter().sum()
     }
 
+    #[inline]
     fn record(&mut self, class: AccessClass, flits: u64, hops: u64) {
         let i = Self::slot(class);
         self.flits[i] += flits;
@@ -96,6 +94,9 @@ impl NocTrafficStats {
 pub struct Mesh {
     config: MeshConfig,
     traffic: NocTrafficStats,
+    /// Tile → (column, row), tabulated at construction so the per-transfer
+    /// hop computation performs no division.
+    coords: Vec<(u16, u16)>,
 }
 
 impl Mesh {
@@ -103,9 +104,13 @@ impl Mesh {
     pub fn new(config: MeshConfig) -> Self {
         assert!(config.cols > 0 && config.rows > 0, "mesh must have tiles");
         assert!(config.flit_bytes > 0, "flit size must be positive");
+        let coords = (0..config.tiles())
+            .map(|t| ((t % config.cols) as u16, (t / config.cols) as u16))
+            .collect();
         Mesh {
             config,
             traffic: NocTrafficStats::default(),
+            coords,
         }
     }
 
@@ -124,12 +129,14 @@ impl Mesh {
         self.traffic = NocTrafficStats::default();
     }
 
-    fn coords(&self, tile: usize) -> (usize, usize) {
+    #[inline]
+    fn coords(&self, tile: usize) -> (u16, u16) {
         assert!(tile < self.config.tiles(), "tile {tile} outside mesh");
-        (tile % self.config.cols, tile / self.config.cols)
+        self.coords[tile]
     }
 
     /// Manhattan hop count between two tiles.
+    #[inline]
     pub fn hops(&self, from: usize, to: usize) -> u64 {
         let (fx, fy) = self.coords(from);
         let (tx, ty) = self.coords(to);
@@ -156,6 +163,7 @@ impl Mesh {
 
     /// Records a transfer of `bytes` payload bytes from tile `from` to tile
     /// `to` for traffic/energy accounting, returning its one-way latency.
+    #[inline]
     pub fn record_transfer(
         &mut self,
         from: usize,

@@ -3,15 +3,17 @@
 //! [`Simulation::run`](crate::system::Simulation::run) is a thin facade over
 //! the pieces in this module:
 //!
-//! * [`MemorySystem`] — the shared banked LLC and the mesh interconnect,
-//!   bundled so that an LLC round trip (request hop, bank access, response
-//!   hop) is one call instead of threading `NucaLlc` and `Mesh` through every
-//!   function.
-//! * [`CoreState`] — one core's trace generator, private L1 caches, timing
-//!   accumulator, and coverage accounting, with the fetch/data handling and
-//!   prefetch-issue logic as methods.
+//! * `MemorySystem` (private) — the shared banked LLC and the mesh
+//!   interconnect, bundled so that an LLC round trip (request hop, bank
+//!   access, response hop) is one call instead of threading `NucaLlc` and
+//!   `Mesh` through every function.
+//! * `CoreState` (private) — one core's trace generator, private L1 caches,
+//!   timing accumulator, and coverage accounting, with the fetch/data
+//!   handling and prefetch-issue logic as methods.
 //! * [`Engine`] — the round-robin interleaving of all cores over warm-up and
-//!   measurement phases, plus result assembly.
+//!   measurement phases, plus result assembly. Public so harnesses can drive
+//!   stepping in batches ([`Engine::step_rounds`]) and measure steady-state
+//!   throughput.
 
 use std::sync::Arc;
 
@@ -49,13 +51,29 @@ pub(crate) struct L1iMeta {
 pub(crate) struct MemorySystem {
     llc: NucaLlc,
     mesh: Mesh,
+    /// Mesh tile count, hoisted off the per-access path.
+    tiles: usize,
+    /// Worst-case demand-miss cost for the CMP's L1-I, precomputed because it
+    /// caps every late-prefetch charge (one per covered miss).
+    miss_penalty_cap: f64,
 }
 
 impl MemorySystem {
     pub(crate) fn new(config: &CmpConfig) -> Self {
+        let llc = NucaLlc::new(config.llc);
+        let mesh = Mesh::new(config.mesh);
+        let tiles = mesh.config().tiles();
+        // Worst-case cost of a demand miss: a late prefetch can never cost
+        // more than re-fetching the block on demand would.
+        let miss_penalty_cap = (config.l1i.hit_latency
+            + llc.config().hit_latency
+            + llc.config().memory_latency
+            + mesh.round_trip_latency(0, tiles - 1)) as f64;
         MemorySystem {
-            llc: NucaLlc::new(config.llc),
-            mesh: Mesh::new(config.mesh),
+            llc,
+            mesh,
+            tiles,
+            miss_penalty_cap,
         }
     }
 
@@ -67,30 +85,26 @@ impl MemorySystem {
         &self.mesh
     }
 
+    #[inline]
     fn tile_of_core(&self, core: CoreId) -> usize {
-        core.index() % self.mesh.config().tiles()
+        core.index() % self.tiles
     }
 
     /// Performs an LLC access on behalf of `core`, including the mesh round
     /// trip, and returns the total raw latency (request + bank + response).
+    #[inline]
     pub(crate) fn round_trip(&mut self, core: CoreId, block: BlockAddr, class: AccessClass) -> u64 {
         let outcome = self.llc.access(block, class);
         let core_tile = self.tile_of_core(core);
-        let bank_tile = outcome.bank % self.mesh.config().tiles();
+        let bank_tile = outcome.bank % self.tiles;
         let req = self.mesh.record_transfer(core_tile, bank_tile, 8, class);
         let resp = self.mesh.record_transfer(bank_tile, core_tile, 64, class);
         outcome.latency + req + resp
     }
 
-    /// Worst-case cost of a demand miss: a late prefetch can never cost more
-    /// than re-fetching the block on demand would.
-    fn miss_penalty_cap(&self, l1i_hit_latency: u64) -> f64 {
-        (l1i_hit_latency
-            + self.llc.config().hit_latency
-            + self.llc.config().memory_latency
-            + self
-                .mesh
-                .round_trip_latency(0, self.mesh.config().tiles() - 1)) as f64
+    #[inline]
+    fn miss_penalty_cap(&self) -> f64 {
+        self.miss_penalty_cap
     }
 
     fn reset_stats(&mut self) {
@@ -100,11 +114,14 @@ impl MemorySystem {
 }
 
 /// Read-mostly state shared by every core step: the analytical timing model,
-/// the run options, and the miss-elimination lottery RNG.
+/// the run options, the miss-elimination lottery RNG, and the reusable
+/// prefetch-candidate scratch buffer (so the per-fetch prefetcher hooks never
+/// allocate in steady state).
 pub(crate) struct StepEnv {
     pub(crate) timing: CoreTiming,
     pub(crate) options: SimOptions,
     pub(crate) rng: SmallRng,
+    pub(crate) candidates: Vec<PrefetchCandidate>,
 }
 
 /// One simulated core: trace generator, private L1 caches, timing, coverage.
@@ -147,6 +164,7 @@ impl CoreState {
 
     /// Advances this core by exactly one instruction-block fetch (plus any
     /// data references that precede it in the trace).
+    #[inline]
     fn step_one_fetch(
         &mut self,
         pf: &mut dyn InstructionPrefetcher,
@@ -164,6 +182,7 @@ impl CoreState {
         }
     }
 
+    #[inline]
     fn handle_data(&mut self, memory: &mut MemorySystem, env: &StepEnv, block: BlockAddr) {
         if self.l1d.access(block).is_hit() {
             return;
@@ -184,14 +203,15 @@ impl CoreState {
         instructions: u8,
     ) {
         self.fetches += 1;
-        let hit = self.l1i.access(block).is_hit();
+        let (access, meta) = self.l1i.access_meta(block);
+        let hit = access.is_hit();
 
         if hit {
             // First use of a prefetched line: this was a miss in the baseline
             // that the prefetcher eliminated. If the prefetch was late, part
             // of its latency is still exposed.
-            let miss_penalty_cap = memory.miss_penalty_cap(self.l1i.config().hit_latency);
-            if let Some(meta) = self.l1i.meta_mut(block) {
+            let miss_penalty_cap = memory.miss_penalty_cap();
+            if let Some(meta) = meta {
                 if meta.prefetched_unused {
                     meta.prefetched_unused = false;
                     // The decoupled front end runs ahead of retirement; only
@@ -234,20 +254,22 @@ impl CoreState {
         }
 
         // Prefetcher hooks: access outcome first, then the retire-order
-        // stream.
-        let mut candidates = Vec::new();
-        pf.on_access(self.id, block, hit, memory.llc_mut(), &mut candidates);
+        // stream. The candidate list lives in the step environment so the
+        // per-fetch hooks append into a reused buffer instead of allocating.
+        env.candidates.clear();
+        pf.on_access(self.id, block, hit, memory.llc_mut(), &mut env.candidates);
 
         self.timing.retire_instructions(instructions as u64);
         self.local_cycle += instructions as f64 * env.timing.params().base_cpi;
 
-        pf.on_retire(self.id, block, memory.llc_mut(), &mut candidates);
+        pf.on_retire(self.id, block, memory.llc_mut(), &mut env.candidates);
 
         if !env.options.prediction_only {
-            self.issue_prefetches(memory, &candidates);
+            self.issue_prefetches(memory, &env.candidates);
         }
     }
 
+    #[inline]
     fn fill_l1i(&mut self, block: BlockAddr, meta: L1iMeta, memory: &mut MemorySystem) {
         if let Some(evicted) = self.l1i.fill(block, meta) {
             if evicted.meta.prefetched_unused {
@@ -280,7 +302,17 @@ impl CoreState {
 
 /// The assembled simulation engine: all cores, the prefetchers, the shared
 /// memory system, and the per-step environment.
-pub(crate) struct Engine {
+///
+/// Most callers go through [`Simulation::run`](crate::system::Simulation),
+/// which drives a complete warm-up + measurement schedule. The engine is also
+/// usable directly for *batched stepping*: [`Engine::step_rounds`] advances
+/// every core by a block of fetches in one call, which is what the perf
+/// harness uses to measure steady-state simulated-fetches/sec without paying
+/// result-assembly costs per sample, and what `Simulation::run` itself is
+/// built on. Any partition of the same total rounds into batches yields
+/// bit-identical results — stepping is deterministic and carries no
+/// per-batch state.
+pub struct Engine {
     memory: MemorySystem,
     cores: Vec<CoreState>,
     prefetchers: Vec<Box<dyn InstructionPrefetcher>>,
@@ -290,14 +322,20 @@ pub(crate) struct Engine {
     workloads: Vec<String>,
 }
 
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cores", &self.cores.len())
+            .field("prefetcher", &self.prefetcher_label)
+            .field("workloads", &self.workloads)
+            .finish()
+    }
+}
+
 impl Engine {
     /// Builds the full engine for one run: per-core generators and caches,
     /// the shared memory system, and the configured prefetcher(s).
-    pub(crate) fn new(
-        config: &CmpConfig,
-        options: SimOptions,
-        consolidation: &ConsolidationSpec,
-    ) -> Self {
+    pub fn new(config: &CmpConfig, options: SimOptions, consolidation: &ConsolidationSpec) -> Self {
         let mut memory = MemorySystem::new(config);
 
         // Compile one program per workload and build per-core generators.
@@ -333,6 +371,7 @@ impl Engine {
                 timing: CoreTiming::new(config.core_kind),
                 options,
                 rng: SmallRng::seed_from_u64(options.seed ^ 0xF1E2_D3C4_B5A6_9788),
+                candidates: Vec::new(),
             },
             prefetcher_label: config.prefetcher.label(),
             workloads: consolidation
@@ -343,30 +382,59 @@ impl Engine {
         }
     }
 
-    /// Runs warm-up then measurement, and assembles the aggregate results.
-    pub(crate) fn run(mut self) -> RunResult {
-        let warmup = self.env.options.scale.warmup_fetches_per_core();
-        let measured = self.env.options.scale.fetches_per_core();
-
-        for phase_fetches in [warmup, measured] {
-            for _ in 0..phase_fetches {
-                for idx in 0..self.cores.len() {
-                    let pf = self.prefetchers[self.pf_of_core[idx]].as_mut();
-                    self.cores[idx].step_one_fetch(pf, &mut self.memory, &mut self.env);
-                }
-            }
-            if phase_fetches == warmup {
-                self.reset_measurement();
-            }
-        }
-        self.assemble_results()
+    /// Number of simulated cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
     }
 
-    fn reset_measurement(&mut self) {
+    /// Warm-up rounds (fetches per core) the run's scale prescribes.
+    pub fn warmup_rounds(&self) -> usize {
+        self.env.options.scale.warmup_fetches_per_core()
+    }
+
+    /// Measured rounds (fetches per core) the run's scale prescribes.
+    pub fn measured_rounds(&self) -> usize {
+        self.env.options.scale.fetches_per_core()
+    }
+
+    /// Advances every core by `rounds` instruction-block fetches in the
+    /// round-robin interleaving, as one batched call.
+    ///
+    /// This is the batched stepping entry point: one dispatch amortizes over
+    /// `rounds × cores` fetches, and splitting the same total across several
+    /// calls is bit-identical to a single call (locked by the `runner`
+    /// integration tests).
+    pub fn step_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            for idx in 0..self.cores.len() {
+                let pf = self.prefetchers[self.pf_of_core[idx]].as_mut();
+                self.cores[idx].step_one_fetch(pf, &mut self.memory, &mut self.env);
+            }
+        }
+    }
+
+    /// Ends warm-up: clears all statistics so the measured interval starts
+    /// from a warmed but unaccounted state (the paper's warmed-checkpoint
+    /// methodology).
+    pub fn begin_measurement(&mut self) {
         for core in &mut self.cores {
             core.reset_measurement();
         }
         self.memory.reset_stats();
+    }
+
+    /// Assembles the aggregate results of the fetches stepped since
+    /// [`begin_measurement`](Self::begin_measurement), consuming the engine.
+    pub fn finish(self) -> RunResult {
+        self.assemble_results()
+    }
+
+    /// Runs warm-up then measurement, and assembles the aggregate results.
+    pub fn run(mut self) -> RunResult {
+        self.step_rounds(self.warmup_rounds());
+        self.begin_measurement();
+        self.step_rounds(self.measured_rounds());
+        self.finish()
     }
 
     fn assemble_results(self) -> RunResult {
@@ -400,7 +468,7 @@ impl Engine {
             })
             .collect();
 
-        let MemorySystem { llc, mesh } = memory;
+        let MemorySystem { llc, mesh, .. } = memory;
         let traffic = llc.traffic().clone();
         let history_block_accesses =
             traffic.count(AccessClass::HistoryRead) + traffic.count(AccessClass::HistoryWrite);

@@ -62,13 +62,14 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod config;
-mod engine;
+pub mod engine;
 pub mod experiments;
 pub mod results;
 pub mod runner;
 pub mod system;
 
 pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
+pub use engine::Engine;
 pub use results::{CoverageStats, RunResult};
 pub use runner::{RunHandle, RunKey, RunMatrix, RunOutcomes};
 pub use system::Simulation;

@@ -88,6 +88,13 @@ impl Simulation {
         &self.consolidation
     }
 
+    /// Assembles the simulation [`Engine`] without running it, for callers
+    /// that drive stepping themselves (e.g. the perf harness, which measures
+    /// steady-state throughput over [`Engine::step_rounds`] batches).
+    pub fn engine(&self) -> Engine {
+        Engine::new(&self.config, self.options, &self.consolidation)
+    }
+
     /// Runs the simulation and returns aggregate results.
     ///
     /// Each run is fully deterministic in `(config, workloads, options)`: the
@@ -98,7 +105,7 @@ impl Simulation {
     ///
     /// [`RunMatrix`]: crate::runner::RunMatrix
     pub fn run(&self) -> RunResult {
-        Engine::new(&self.config, self.options, &self.consolidation).run()
+        self.engine().run()
     }
 }
 

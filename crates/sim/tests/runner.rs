@@ -2,7 +2,7 @@
 //! bit-identical to serial execution, and shared runs must be memoized.
 
 use shift_sim::experiments::speedup_comparison::speedup_comparison_with;
-use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix, SimOptions};
+use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix, SimOptions, Simulation};
 use shift_trace::{presets, ConsolidationSpec, Scale};
 
 /// Builds the matrix a figure-8-style sweep would: two workloads, a
@@ -55,6 +55,74 @@ fn repeated_executions_are_deterministic() {
     let first = matrix.execute();
     let second = matrix.execute();
     assert_eq!(format!("{first:?}"), format!("{second:?}"));
+}
+
+#[test]
+fn batched_stepping_is_bit_identical_to_run() {
+    // The batched entry point must be a pure partitioning of the same
+    // schedule: stepping warm-up and measurement in uneven chunks yields the
+    // exact result `Simulation::run` assembles in one go, for both SHIFT and
+    // PIF engines.
+    for prefetcher in [
+        PrefetcherConfig::shift_virtualized(),
+        PrefetcherConfig::pif_32k(),
+    ] {
+        let config = CmpConfig::micro13(4, prefetcher);
+        let options = SimOptions::new(Scale::Test, 55);
+        let sim = Simulation::standalone(config, presets::tiny(), options);
+
+        let whole = sim.run();
+
+        let mut engine = sim.engine();
+        let mut remaining = engine.warmup_rounds();
+        while remaining > 0 {
+            let chunk = remaining.min(777);
+            engine.step_rounds(chunk);
+            remaining -= chunk;
+        }
+        engine.begin_measurement();
+        let mut remaining = engine.measured_rounds();
+        while remaining > 0 {
+            let chunk = remaining.min(1_024);
+            engine.step_rounds(chunk);
+            remaining -= chunk;
+        }
+        let chunked = engine.finish();
+
+        assert_eq!(format!("{whole:?}"), format!("{chunked:?}"));
+    }
+}
+
+#[test]
+fn batched_stepping_matches_matrix_outcomes_across_thread_counts() {
+    // `SHIFT_THREADS=1` vs `=4` determinism, extended to the batched path: a
+    // hand-stepped engine must reproduce the matrix-executed result at any
+    // worker count.
+    let workload = presets::tiny();
+    let mut matrix = RunMatrix::new();
+    let handle = matrix.standalone(
+        &workload,
+        PrefetcherConfig::shift_virtualized(),
+        4,
+        Scale::Test,
+        21,
+    );
+
+    let serial = matrix.execute_with_threads(1);
+    let parallel = matrix.execute_with_threads(4);
+
+    let config = CmpConfig::micro13(4, PrefetcherConfig::shift_virtualized());
+    let sim = Simulation::standalone(config, workload, SimOptions::new(Scale::Test, 21));
+    let mut engine = sim.engine();
+    engine.step_rounds(engine.warmup_rounds());
+    engine.begin_measurement();
+    let half = engine.measured_rounds() / 2;
+    engine.step_rounds(half);
+    engine.step_rounds(engine.measured_rounds() - half);
+    let stepped = engine.finish();
+
+    assert_eq!(format!("{:?}", serial[handle]), format!("{stepped:?}"));
+    assert_eq!(format!("{:?}", parallel[handle]), format!("{stepped:?}"));
 }
 
 #[test]

@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use shift_types::{AccessKind, BlockAddr, CoreId};
 
 use crate::event::{DataEvent, FetchEvent, TraceEvent};
-use crate::request::pick_request;
+use crate::request::pick_request_with_total;
 use crate::workload::{WorkloadProgram, WorkloadSpec};
 
 /// Generates the retire-order instruction and data reference stream of one
@@ -103,6 +103,7 @@ impl CoreTraceGenerator {
 
     /// Produces the next event, generating a new request when the current one
     /// is exhausted. Never returns `None`; the trace is conceptually infinite.
+    #[inline]
     pub fn next_event(&mut self) -> TraceEvent {
         loop {
             if let Some(event) = self.pending.pop_front() {
@@ -148,7 +149,7 @@ impl CoreTraceGenerator {
         let program = Arc::clone(&self.program);
         let spec = program.spec();
         let types = program.request_types();
-        let idx = pick_request(&mut self.rng, types);
+        let idx = pick_request_with_total(&mut self.rng, types, program.total_request_weight());
         let request = &types[idx];
         self.requests_generated += 1;
 

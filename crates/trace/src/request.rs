@@ -138,8 +138,24 @@ impl RequestType {
 ///
 /// Panics if `types` is empty.
 pub fn pick_request<R: Rng + ?Sized>(rng: &mut R, types: &[RequestType]) -> usize {
-    assert!(!types.is_empty(), "workload has no request types");
     let total: f64 = types.iter().map(|t| t.weight()).sum();
+    pick_request_with_total(rng, types, total)
+}
+
+/// [`pick_request`] with the weight sum precomputed (the trace generator
+/// caches it on the compiled program so the per-request hot path skips the
+/// summation).
+///
+/// # Panics
+///
+/// Panics if `types` is empty.
+#[inline]
+pub fn pick_request_with_total<R: Rng + ?Sized>(
+    rng: &mut R,
+    types: &[RequestType],
+    total: f64,
+) -> usize {
+    assert!(!types.is_empty(), "workload has no request types");
     let mut draw = rng.gen_range(0.0..total);
     for (i, t) in types.iter().enumerate() {
         if draw < t.weight() {

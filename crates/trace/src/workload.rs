@@ -161,6 +161,9 @@ pub struct WorkloadProgram {
     spec: WorkloadSpec,
     layout: CodeLayout,
     request_types: Vec<RequestType>,
+    /// Sum of all request-type weights, precomputed so every request draw on
+    /// the trace-generation hot path skips the per-call summation.
+    total_request_weight: f64,
 }
 
 impl WorkloadProgram {
@@ -184,11 +187,21 @@ impl WorkloadProgram {
                 weight,
             ));
         }
+        // Summed in declaration order — the identical order `pick_request`
+        // used to sum in, so the RNG draw bounds (and therefore every seeded
+        // trace) are bit-identical.
+        let total_request_weight = request_types.iter().map(|t| t.weight()).sum();
         Arc::new(WorkloadProgram {
             spec: spec.clone(),
             layout,
             request_types,
+            total_request_weight,
         })
+    }
+
+    /// Sum of all request-type weights (the denominator of the request mix).
+    pub fn total_request_weight(&self) -> f64 {
+        self.total_request_weight
     }
 
     /// The specification this program was compiled from.

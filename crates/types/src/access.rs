@@ -107,6 +107,23 @@ impl AccessClass {
         AccessClass::HistoryWrite,
         AccessClass::IndexUpdate,
     ];
+
+    /// This class's position in [`AccessClass::ALL`].
+    ///
+    /// Traffic accounting indexes per-class counter arrays with it on every
+    /// LLC access and NoC transfer, so it must be a constant-time lookup, not
+    /// a search over `ALL`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            AccessClass::Demand => 0,
+            AccessClass::PrefetchUseful => 1,
+            AccessClass::Discard => 2,
+            AccessClass::HistoryRead => 3,
+            AccessClass::HistoryWrite => 4,
+            AccessClass::IndexUpdate => 5,
+        }
+    }
 }
 
 impl fmt::Display for AccessClass {
@@ -126,6 +143,13 @@ impl fmt::Display for AccessClass {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, class) in AccessClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i, "index() out of sync with ALL for {class}");
+        }
+    }
 
     #[test]
     fn instruction_vs_data() {
