@@ -1,0 +1,403 @@
+//! The [`Deserialize`] trait and its implementations for standard types.
+//!
+//! Deserialization is the inverse of [`Serialize`](crate::Serialize): a
+//! [`Value`] tree (usually produced by [`json::parse`](crate::json::parse))
+//! is converted back into a Rust value with [`Deserialize::from_value`].
+//! The derive macro expands to a field-reader over the same data model the
+//! `Serialize` derive writes — named structs from insertion-ordered maps,
+//! newtype structs transparently, enums from externally tagged values — so
+//! every derived type round-trips: `T::from_value(&t.to_value()) == t`.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::Value;
+
+/// Why a [`Deserialize::from_value`] (or JSON parse) call failed.
+///
+/// Carries a human-readable message naming the type and shape mismatch; the
+/// reproduce pipeline surfaces it verbatim when an outcome file is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// A shape mismatch: deserializing `ty` found `value` where `expected`
+    /// was required.
+    pub fn unexpected(ty: &str, expected: &str, value: &Value) -> Self {
+        let got = match value {
+            Value::Null => "null".to_owned(),
+            Value::Bool(_) => "a boolean".to_owned(),
+            Value::UInt(n) => format!("integer {n}"),
+            Value::Int(n) => format!("integer {n}"),
+            Value::Float(x) => format!("number {x}"),
+            Value::Str(s) => format!("string {s:?}"),
+            Value::Seq(items) => format!("a sequence of {} items", items.len()),
+            Value::Map(entries) => format!("a map of {} entries", entries.len()),
+        };
+        Error::custom(format!("{ty}: expected {expected}, got {got}"))
+    }
+
+    /// An unknown externally-tagged enum variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error::custom(format!("{ty}: unknown variant `{variant}`"))
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion of a [`Value`] tree back into a Rust value.
+///
+/// Derivable with `#[derive(Deserialize)]`: the derive expands to the exact
+/// inverse of the `Serialize` derive, so derived types round-trip through
+/// [`crate::json`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match `Self`
+    /// (wrong variant kind, missing field, out-of-range number, …).
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Reads one named-struct field: the derive calls this per field.
+///
+/// # Errors
+///
+/// Errors if `value` is not a map or lacks `name`.
+pub fn field<T: Deserialize>(value: &Value, ty: &str, name: &str) -> Result<T, Error> {
+    match value {
+        Value::Map(_) => {
+            let field = value
+                .get(name)
+                .ok_or_else(|| Error::custom(format!("{ty}: missing field `{name}`")))?;
+            T::from_value(field).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+        }
+        other => Err(Error::unexpected(ty, "a map", other)),
+    }
+}
+
+/// Views `value` as a sequence of exactly `arity` items: the derive calls
+/// this for tuple structs and tuple variants.
+///
+/// # Errors
+///
+/// Errors on non-sequences and length mismatches.
+pub fn elements<'v>(value: &'v Value, ty: &str, arity: usize) -> Result<&'v [Value], Error> {
+    match value {
+        Value::Seq(items) if items.len() == arity => Ok(items),
+        other => Err(Error::unexpected(
+            ty,
+            &format!("a sequence of {arity} items"),
+            other,
+        )),
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::UInt(n) => Some(*n),
+                    Value::Int(n) => u64::try_from(*n).ok(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::unexpected(stringify!($t), "an unsigned integer", value))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Int(n) => Some(*n),
+                    Value::UInt(n) => i64::try_from(*n).ok(),
+                    _ => None,
+                };
+                n.and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::unexpected(stringify!($t), "a signed integer", value))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            // JSON has no NaN/Infinity: the serializer writes them as null,
+            // so null reads back as NaN (the only non-finite survivor).
+            Value::Null => Ok(f64::NAN),
+            other => other
+                .as_f64()
+                .ok_or_else(|| Error::unexpected("f64", "a number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("bool", "a boolean", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::unexpected("char", "a one-character string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("String", "a string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::unexpected("()", "null", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Rc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Arc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::unexpected("Vec", "a sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::from_value(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("[T; {N}]: expected {N} items, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+; $arity:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = elements(value, "tuple", $arity)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0; 1)
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4; 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5; 6)
+}
+
+/// Reads map entries from either serialized form: a JSON object (string
+/// keys — each key deserialized from a [`Value::Str`]) or a sequence of
+/// `[key, value]` pairs (non-string keys).
+fn map_pairs<K: Deserialize, V: Deserialize>(
+    value: &Value,
+    ty: &str,
+) -> Result<Vec<(K, V)>, Error> {
+    match value {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::from_value(&Value::Str(k.clone()))?,
+                    V::from_value(v).map_err(|e| Error::custom(format!("{ty}[{k:?}]: {e}")))?,
+                ))
+            })
+            .collect(),
+        Value::Seq(items) => items
+            .iter()
+            .map(|item| {
+                let pair = elements(item, ty, 2)?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        other => Err(Error::unexpected(ty, "a map or sequence of pairs", other)),
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_pairs(value, "HashMap")?.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_pairs(value, "BTreeMap")?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Serialize;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(value: T) {
+        let back = T::from_value(&value.to_value()).expect("round trip");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(42u8);
+        round_trip(u64::MAX);
+        round_trip(-42i16);
+        round_trip(i64::MIN);
+        round_trip(1.5f64);
+        round_trip(true);
+        round_trip('x');
+        round_trip("hello".to_owned());
+        round_trip(());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(VecDeque::from(vec![1u32, 2]));
+        round_trip([7u64; 4]);
+        round_trip(Some(5u8));
+        round_trip(None::<u8>);
+        round_trip((1u8, "a".to_owned(), 2.5f64));
+        round_trip(Box::new(9u8));
+        let mut hm = HashMap::new();
+        hm.insert("k".to_owned(), 3u64);
+        round_trip(hm);
+        let mut bt = BTreeMap::new();
+        bt.insert(7u64, "v".to_owned());
+        round_trip(bt);
+    }
+
+    #[test]
+    fn widening_between_int_variants() {
+        assert_eq!(u64::from_value(&Value::Int(7)), Ok(7));
+        assert_eq!(i64::from_value(&Value::UInt(7)), Ok(7));
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(f64::from_value(&Value::UInt(3)), Ok(3.0));
+    }
+
+    #[test]
+    fn non_finite_floats_come_back_as_nan() {
+        let nan = f64::from_value(&f64::NAN.to_value()).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn shape_mismatches_name_the_type() {
+        let err = bool::from_value(&Value::UInt(1)).unwrap_err();
+        assert!(err.to_string().contains("bool"), "{err}");
+        let err = field::<u8>(&Value::Map(vec![]), "Foo", "bar").unwrap_err();
+        assert!(err.to_string().contains("missing field `bar`"), "{err}");
+        let err = field::<u8>(&Value::Null, "Foo", "bar").unwrap_err();
+        assert!(err.to_string().contains("expected a map"), "{err}");
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let v = vec![1u8, 2].to_value();
+        assert!(<[u8; 3]>::from_value(&v).is_err());
+        assert!(<(u8, u8, u8)>::from_value(&v).is_err());
+    }
+}

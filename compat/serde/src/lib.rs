@@ -2,26 +2,30 @@
 //! network access to a crate registry.
 //!
 //! Unlike the original marker-only shim, this version is *real enough to
-//! emit*: [`Serialize`] converts a value into the [`Value`] tree data model,
-//! the derive macro (re-exported from the sibling `serde_derive` shim)
-//! expands to a field-visitor `to_value` implementation over the type's
-//! fields/variants, and [`json`] renders any [`Value`] as JSON text. That is
-//! the subset the repository needs to write machine-readable figure
-//! artifacts; the full `Serializer`/`Deserializer` driver machinery of the
-//! real `serde` is intentionally out of scope. `Deserialize` remains a
-//! metadata-only marker derive (nothing in the repository reads artifacts
-//! back yet). Swapping this shim for the real `serde` + `serde_json` is a
-//! workspace-manifest change plus replacing `Serialize::to_value` call sites
-//! with `serde_json::to_value`.
+//! round-trip*: [`Serialize`] converts a value into the [`Value`] tree data
+//! model, [`Deserialize`] converts a [`Value`] tree back, the derive macros
+//! (re-exported from the sibling `serde_derive` shim) expand to field-visitor
+//! `to_value` / `from_value` implementations over the type's
+//! fields/variants, and [`json`] renders any [`Value`] as JSON text and
+//! parses JSON text back ([`json::parse`] / [`json::from_str`]). That is the
+//! subset the repository needs to write machine-readable figure artifacts
+//! and to read sharded sweep outcomes back for merging; the full
+//! `Serializer`/`Deserializer` driver machinery of the real `serde` is
+//! intentionally out of scope. Swapping this shim for the real `serde` +
+//! `serde_json` is a workspace-manifest change plus replacing
+//! `Serialize::to_value` / `Deserialize::from_value` call sites with
+//! `serde_json::to_value` / `serde_json::from_value`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
+pub mod de;
 pub mod json;
 mod ser;
 mod value;
 
+pub use de::Deserialize;
 pub use ser::Serialize;
 pub use value::Value;

@@ -5,14 +5,13 @@
 //! the shim `serde::Serialize` trait: structs serialize as insertion-ordered
 //! maps of their fields, newtype/tuple structs as their contents, and enums
 //! as externally tagged values — matching `serde_json`'s default data model.
-//! The parser is hand-rolled over `proc_macro::TokenStream` (no `syn`), which
-//! is sufficient for the plain structs and enums this workspace derives on:
-//! named/tuple/unit structs, optional simple type parameters, and enums with
-//! unit, tuple, and struct variants.
-//!
-//! `#[derive(Deserialize)]` remains a no-op marker: nothing in the workspace
-//! deserializes yet, and keeping the derive legal preserves source
-//! compatibility with the real `serde` for the day the shim is swapped out.
+//! `#[derive(Deserialize)]` expands to the exact inverse (a `from_value`
+//! implementation of the shim `serde::Deserialize` trait), so derived types
+//! round-trip through `serde::json`. The parser is hand-rolled over
+//! `proc_macro::TokenStream` (no `syn`), which is sufficient for the plain
+//! structs and enums this workspace derives on: named/tuple/unit structs,
+//! optional simple type parameters, and enums with unit, tuple, and struct
+//! variants.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -29,10 +28,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("generated Serialize impl must parse")
 }
 
-/// No-op replacement for `serde_derive::Deserialize`.
+/// Expands to an implementation of the shim `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item.shape {
+        Shape::NamedStruct(ref fields) => de_named_struct_impl(&item, fields),
+        Shape::TupleStruct(arity) => de_tuple_struct_impl(&item, arity),
+        Shape::UnitStruct => de_unit_struct_impl(&item),
+        Shape::Enum(ref variants) => de_enum_impl(&item, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
 }
 
 struct Item {
@@ -72,8 +78,9 @@ enum VariantKind {
     Struct(Vec<String>),
 }
 
-/// `impl<M: ::serde::Serialize> ::serde::Serialize for X<M>` header pieces.
-fn impl_header(item: &Item) -> (String, String) {
+/// `impl<M: ::serde::Serialize> ::serde::Serialize for X<M>` header pieces
+/// (`bound` is `"Serialize"` or `"Deserialize"`).
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
     if item.generics.is_empty() {
         return (String::new(), item.name.clone());
     }
@@ -83,10 +90,10 @@ fn impl_header(item: &Item) -> (String, String) {
         .map(|g| match g {
             GenericParam::Lifetime(l) => l.clone(),
             GenericParam::Type { name, bounds } if bounds.is_empty() => {
-                format!("{name}: ::serde::Serialize")
+                format!("{name}: ::serde::{bound}")
             }
             GenericParam::Type { name, bounds } => {
-                format!("{name}: {bounds} + ::serde::Serialize")
+                format!("{name}: {bounds} + ::serde::{bound}")
             }
             GenericParam::Const { name, ty } => format!("const {name}: {ty}"),
         })
@@ -115,7 +122,7 @@ fn named_struct_impl(item: &Item, fields: &[String]) -> String {
             )
         })
         .collect();
-    let (params, ty) = impl_header(item);
+    let (params, ty) = impl_header(item, "Serialize");
     format!(
         "impl{params} ::serde::Serialize for {ty} {{\n\
              fn to_value(&self) -> ::serde::Value {{\n\
@@ -128,7 +135,7 @@ fn named_struct_impl(item: &Item, fields: &[String]) -> String {
 }
 
 fn tuple_struct_impl(item: &Item, arity: usize) -> String {
-    let (params, ty) = impl_header(item);
+    let (params, ty) = impl_header(item, "Serialize");
     let body = if arity == 1 {
         // Newtype structs serialize transparently as their contents.
         "::serde::Serialize::to_value(&self.0)".to_string()
@@ -146,7 +153,7 @@ fn tuple_struct_impl(item: &Item, arity: usize) -> String {
 }
 
 fn unit_struct_impl(item: &Item) -> String {
-    let (params, ty) = impl_header(item);
+    let (params, ty) = impl_header(item, "Serialize");
     let name = &item.name;
     format!(
         "impl{params} ::serde::Serialize for {ty} {{\n\
@@ -200,11 +207,146 @@ fn enum_impl(item: &Item, variants: &[Variant]) -> String {
             }
         })
         .collect();
-    let (params, ty) = impl_header(item);
+    let (params, ty) = impl_header(item, "Serialize");
     format!(
         "impl{params} ::serde::Serialize for {ty} {{\n\
              fn to_value(&self) -> ::serde::Value {{\n\
                  match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_named_struct_impl(item: &Item, fields: &[String]) -> String {
+    let name = &item.name;
+    let reads: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field(value, \"{name}\", \"{f}\")?"))
+        .collect();
+    let (params, ty) = impl_header(item, "Deserialize");
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 Ok({name} {{ {reads} }})\n\
+             }}\n\
+         }}",
+        reads = reads.join(", ")
+    )
+}
+
+fn de_tuple_struct_impl(item: &Item, arity: usize) -> String {
+    let name = &item.name;
+    let (params, ty) = impl_header(item, "Deserialize");
+    let body = if arity == 1 {
+        // Newtype structs deserialize transparently from their contents.
+        format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+    } else {
+        let reads: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+            .collect();
+        format!(
+            "let items = ::serde::de::elements(value, \"{name}\", {arity})?;\n\
+             Ok({name}({reads}))",
+            reads = reads.join(", ")
+        )
+    };
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_unit_struct_impl(item: &Item) -> String {
+    let name = &item.name;
+    let (params, ty) = impl_header(item, "Deserialize");
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::Str(s) if s == \"{name}\" => Ok({name}),\n\
+                     other => Err(::serde::de::Error::unexpected(\"{name}\", \"the unit struct name\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_enum_impl(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    // Unit variants arrive as a bare string, payload-carrying variants as an
+    // externally tagged single-entry map — the exact forms `enum_impl` emits.
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => return Ok({name}::{vname}),\n",
+                vname = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(arity) if *arity == 1 => Some(format!(
+                    "\"{vname}\" => return Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(payload)?)),\n"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let reads: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let items = ::serde::de::elements(payload, \"{name}::{vname}\", {arity})?;\n\
+                             return Ok({name}::{vname}({reads}));\n\
+                         }}\n",
+                        reads = reads.join(", ")
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let reads: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::de::field(payload, \"{name}::{vname}\", \"{f}\")?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => return Ok({name}::{vname} {{ {reads} }}),\n",
+                        reads = reads.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    let (params, ty) = impl_header(item, "Deserialize");
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 #[allow(unused_variables)]\n\
+                 match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => return Err(::serde::de::Error::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => return Err(::serde::de::Error::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                     _ => {{}}\n\
+                 }}\n\
+                 Err(::serde::de::Error::unexpected(\"{name}\", \"an externally tagged enum value\", value))\n\
              }}\n\
          }}"
     )

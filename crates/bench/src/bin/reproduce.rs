@@ -1,15 +1,115 @@
-//! Reproduces every figure and table of the paper in one run.
+//! Reproduces every figure and table of the paper — in one process, or as
+//! one stage of a sharded multi-machine sweep.
 //!
-//! All experiments are planned into a single deduplicated `RunMatrix` (shared
-//! baselines simulate once for the whole paper), executed in parallel, and
-//! fanned out to per-figure artifacts under `target/artifacts/` (override
-//! with `SHIFT_ARTIFACTS`), ending with the paper-reference scoreboard.
+//! All experiments are planned into a single deduplicated `RunMatrix`
+//! (shared baselines simulate once for the whole paper). What happens next
+//! depends on the mode:
+//!
+//! * **Default** — execute in-process and write per-figure artifacts under
+//!   `target/artifacts/` (override with `SHIFT_ARTIFACTS`), ending with the
+//!   paper-reference scoreboard.
+//! * **`--shard K/N --outcomes DIR`** — execute only shard `K` of `N`
+//!   (a deterministic slice of the matrix), persisting each completed run as
+//!   a keyed JSON outcome file under `DIR`. Already-present outcomes are
+//!   skipped, so a killed shard resumes where it stopped. No artifacts are
+//!   written; ship `DIR` to the merge host instead.
+//! * **`--merge DIR...`** — load outcome files from one or more shard
+//!   directories, verify they cover this exact sweep, and derive all
+//!   artifacts + scoreboard. Byte-identical to the default mode's output.
+//! * **`--outcomes DIR`** alone — execute the full sweep (shard `1/1`) with
+//!   durable outcomes in `DIR`, then merge from it: a crash-resumable
+//!   single-host run.
+//!
+//! All modes read the sweep settings from `SHIFT_SCALE` / `SHIFT_CORES` /
+//! `SHIFT_WORKLOADS`; shard and merge hosts must agree on them (the outcome
+//! files carry the planned matrix's fingerprint, so a mismatch is rejected
+//! rather than silently merged). See `docs/SWEEP.md` for the full guide.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
 
 use shift_bench::artifacts::artifacts_dir;
 use shift_bench::reproduce::{PaperPlan, ReproduceSettings};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
+use shift_sim::shard::execute_shard;
+use shift_sim::{RunStore, ShardSpec};
 
-fn main() {
+/// What the command line asked for.
+enum Mode {
+    /// Print usage and exit successfully.
+    Help,
+    /// In-process plan → execute → collect.
+    Local,
+    /// Execute one shard into an outcome directory.
+    Shard(ShardSpec, PathBuf),
+    /// Execute everything into an outcome directory, then merge from it.
+    LocalDurable(PathBuf),
+    /// Merge outcome directories and collect.
+    Merge(Vec<PathBuf>),
+}
+
+const USAGE: &str = "\
+usage: reproduce [--shard K/N --outcomes DIR | --outcomes DIR | --merge DIR...]
+  (no flags)                   plan, execute in-process, write artifacts + scoreboard
+  --shard K/N --outcomes DIR   execute shard K of N into DIR (resumable)
+  --outcomes DIR               full durable run: execute 1/1 into DIR, then merge
+  --merge DIR...               merge shard outcome dirs, write artifacts + scoreboard
+";
+
+fn parse_args() -> Result<Mode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shard: Option<ShardSpec> = None;
+    let mut outcomes: Option<PathBuf> = None;
+    let mut merge: Vec<PathBuf> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--shard" => {
+                let spec = iter.next().ok_or("--shard needs a K/N argument")?;
+                shard = Some(ShardSpec::parse(spec)?);
+            }
+            "--outcomes" => {
+                let dir = iter.next().ok_or("--outcomes needs a directory")?;
+                outcomes = Some(PathBuf::from(dir));
+            }
+            "--merge" => {
+                while let Some(dir) = iter.peek() {
+                    if dir.starts_with("--") {
+                        break;
+                    }
+                    merge.push(PathBuf::from(iter.next().expect("peeked")));
+                }
+                if merge.is_empty() {
+                    return Err("--merge needs at least one directory".into());
+                }
+            }
+            "--help" | "-h" => return Ok(Mode::Help),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    match (shard, outcomes, merge.is_empty()) {
+        (None, None, true) => Ok(Mode::Local),
+        (Some(spec), Some(dir), true) => Ok(Mode::Shard(spec, dir)),
+        (None, Some(dir), true) => Ok(Mode::LocalDurable(dir)),
+        (None, None, false) => Ok(Mode::Merge(merge)),
+        (Some(_), None, _) => Err("--shard requires --outcomes DIR".into()),
+        _ => Err("--merge cannot be combined with --shard/--outcomes".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let mode = match parse_args() {
+        Ok(Mode::Help) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(mode) => mode,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let scale = scale_from_env();
     let cores = cores_from_env();
     let workloads = workloads_from_env();
@@ -22,13 +122,66 @@ fn main() {
 
     let plan = PaperPlan::plan(ReproduceSettings::from_env());
     println!(
-        "planned {} distinct simulations for the whole paper ({} avoided by cross-figure dedup)",
+        "planned {} distinct simulations for the whole paper ({} avoided by cross-figure \
+         dedup); matrix fingerprint {}",
         plan.run_count(),
-        plan.saved_by_dedup()
+        plan.saved_by_dedup(),
+        plan.matrix().fingerprint(),
     );
     println!();
 
-    let report = plan.execute();
+    match mode {
+        Mode::Help => unreachable!("handled before planning"),
+        Mode::Local => collect_and_report(plan, None),
+        Mode::Shard(spec, dir) => {
+            let report = execute_shard(plan.matrix(), spec, &dir)
+                .unwrap_or_else(|e| panic!("shard {spec} failed: {e}"));
+            println!(
+                "shard {spec}: {} of {} runs executed, {} resumed, under {}",
+                report.executed,
+                report.planned,
+                report.resumed,
+                dir.display()
+            );
+            println!(
+                "merge with: reproduce --merge {} <other shard dirs...>",
+                dir.display()
+            );
+        }
+        Mode::LocalDurable(dir) => {
+            let report = execute_shard(plan.matrix(), ShardSpec::full(), &dir)
+                .unwrap_or_else(|e| panic!("durable execution failed: {e}"));
+            println!(
+                "durable run: {} executed, {} resumed, under {}",
+                report.executed,
+                report.resumed,
+                dir.display()
+            );
+            collect_and_report(plan, Some(vec![dir]));
+        }
+        Mode::Merge(dirs) => collect_and_report(plan, Some(dirs)),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Executes (or merges) the planned matrix and writes every artifact plus
+/// the scoreboard.
+fn collect_and_report(plan: PaperPlan, merge_dirs: Option<Vec<PathBuf>>) {
+    let report = match merge_dirs {
+        None => plan.execute(),
+        Some(dirs) => {
+            let outcomes = RunStore::new(dirs.iter().cloned())
+                .load(plan.matrix())
+                .unwrap_or_else(|e| panic!("merge failed: {e}"));
+            println!(
+                "merged {} run outcomes from {} director{}",
+                outcomes.len(),
+                dirs.len(),
+                if dirs.len() == 1 { "y" } else { "ies" }
+            );
+            plan.collect(&outcomes)
+        }
+    };
     let dir = artifacts_dir();
     let paths = report
         .write_to(&dir)

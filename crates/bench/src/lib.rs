@@ -34,7 +34,7 @@
 pub mod artifacts;
 pub mod reproduce;
 
-use shift_sim::runner::default_threads;
+use shift_sim::matrix::default_threads;
 use shift_trace::{presets, Scale, WorkloadSpec};
 
 /// Seed used by all harness binaries so results are reproducible.

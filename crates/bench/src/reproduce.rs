@@ -14,6 +14,15 @@
 //! measures raw trace streams), so it fans out through the same worker pool
 //! separately, and the §5.1 storage table and Table I are pure arithmetic.
 //!
+//! The plan and the artifact derivation are deliberately split
+//! ([`PaperPlan::plan`] / [`PaperPlan::collect`]): between them the planned
+//! matrix can execute in-process ([`PaperPlan::execute`]), or as `K/N`
+//! shards on many machines with the outcome directories merged back through
+//! a [`shift_sim::RunStore`] — the `reproduce` binary's `--shard` /
+//! `--outcomes` / `--merge` flags drive exactly that, and the merged
+//! scoreboard is byte-identical to the single-process one (locked by the
+//! `sharded_reproduce` integration test).
+//!
 //! [`Simulation`]: shift_sim::Simulation
 
 use std::io;
@@ -231,10 +240,27 @@ impl PaperPlan {
         &self.matrix
     }
 
-    /// Executes the matrix (plus the commonality study) and derives every
-    /// artifact.
+    /// Executes the matrix (plus the commonality study) in-process and
+    /// derives every artifact: the trivial single-host path through the
+    /// plan / execute / merge pipeline.
     pub fn execute(self) -> PaperReport {
         let outcomes = self.matrix.execute();
+        self.collect(&outcomes)
+    }
+
+    /// Derives every artifact from already-executed outcomes — in-process
+    /// ones or a [`RunStore`](shift_sim::RunStore) merge of shard
+    /// directories; the collect phases cannot tell the difference.
+    ///
+    /// The commonality study (Figure 3) measures raw trace streams rather
+    /// than simulations, and the §5.1/Table I entries are pure arithmetic,
+    /// so all three recompute locally on whichever host merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` were executed from a different matrix than this
+    /// plan's (the [`RunHandle`](shift_sim::RunHandle) invariant).
+    pub fn collect(self, outcomes: &shift_sim::RunOutcomes) -> PaperReport {
         let settings = &self.settings;
         let fig03_result = commonality(
             &settings.workloads,
@@ -250,17 +276,17 @@ impl PaperPlan {
         );
 
         let artifacts = vec![
-            fig01_artifact(&self.fig01.collect(&outcomes)),
-            fig02_artifact(&self.fig02.collect(&outcomes)),
+            fig01_artifact(&self.fig01.collect(outcomes)),
+            fig02_artifact(&self.fig02.collect(outcomes)),
             fig03_artifact(&fig03_result),
-            fig06_artifact(&self.fig06.collect(&outcomes)),
-            fig07_artifact(&self.fig07.collect(&outcomes)),
-            fig08_artifact(&self.fig08.collect(&outcomes)),
-            fig09_artifact(&self.fig09.collect(&outcomes)),
-            fig10_artifact(&self.fig10.collect(&outcomes)),
+            fig06_artifact(&self.fig06.collect(outcomes)),
+            fig07_artifact(&self.fig07.collect(outcomes)),
+            fig08_artifact(&self.fig08.collect(outcomes)),
+            fig09_artifact(&self.fig09.collect(outcomes)),
+            fig10_artifact(&self.fig10.collect(outcomes)),
             table1_artifact(settings.cores, &settings.workloads),
-            table_pd_artifact(&self.table_pd.collect(&outcomes)),
-            table_power_artifact(&self.table_power.collect(&outcomes)),
+            table_pd_artifact(&self.table_pd.collect(outcomes)),
+            table_power_artifact(&self.table_power.collect(outcomes)),
             table_storage_artifact(&storage_result),
         ];
         PaperReport { artifacts }

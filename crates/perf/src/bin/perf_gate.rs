@@ -1,0 +1,47 @@
+//! CI perf regression gate: `perf_gate <snapshot BENCH.json> <fresh BENCH.json>`.
+//!
+//! Exits non-zero when the fresh `shift_fetches_per_sec` drops more than the
+//! tolerance (default 20%; override with `SHIFT_PERF_TOLERANCE`, a fraction)
+//! below the committed snapshot. Run after `perf --quick` in the perf-smoke
+//! job; attach the `skip-perf-gate` label to a PR to skip the job on runners
+//! known to be noisy.
+
+use std::process::ExitCode;
+
+use shift_perf::gate;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [snapshot_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: perf_gate <snapshot BENCH.json> <fresh BENCH.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let verdict = read(snapshot_path)
+        .and_then(|snapshot| Ok((snapshot, read(fresh_path)?)))
+        .and_then(|(snapshot, fresh)| {
+            gate::evaluate(&snapshot, &fresh, gate::tolerance_from_env())
+        });
+    match verdict {
+        Ok(report) => {
+            println!("{report}");
+            if report.pass {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "perf gate failed: shift_fetches_per_sec regressed more than {:.0}% \
+                     vs {snapshot_path}; if this is runner noise, re-run or label the PR \
+                     `skip-perf-gate`",
+                    report.tolerance * 100.0
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("perf gate error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

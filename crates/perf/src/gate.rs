@@ -1,0 +1,182 @@
+//! The perf regression gate: compares a freshly measured `BENCH.json`
+//! against a committed snapshot and fails CI when the headline throughput
+//! drops beyond a tolerance.
+//!
+//! The gated metric is `data.shift_fetches_per_sec` — end-to-end simulated
+//! fetches per second with virtualized SHIFT, the number every optimization
+//! PR moves. The tolerance default (20%) is deliberately loose: shared CI
+//! runners are noisy, and the gate's job is to catch real regressions
+//! (2× slowdowns from an accidental allocation in the hot loop), not to
+//! flake on scheduler jitter. Override with the `SHIFT_PERF_TOLERANCE`
+//! environment variable (a fraction, e.g. `0.1`), and skip the CI job
+//! entirely with the `skip-perf-gate` PR label when a runner is known-bad.
+
+use std::fmt;
+
+use serde::json;
+
+/// Default allowed drop: 20% below the snapshot.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// The verdict of one gate evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateReport {
+    /// Snapshot (committed) fetches/sec.
+    pub snapshot: f64,
+    /// Freshly measured fetches/sec.
+    pub fresh: f64,
+    /// Allowed fractional drop.
+    pub tolerance: f64,
+    /// `fresh / snapshot`.
+    pub ratio: f64,
+    /// `true` if the fresh number is within tolerance.
+    pub pass: bool,
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shift_fetches_per_sec: fresh {:.0} vs snapshot {:.0} ({:+.1}%), tolerance -{:.0}% => {}",
+            self.fresh,
+            self.snapshot,
+            (self.ratio - 1.0) * 100.0,
+            self.tolerance * 100.0,
+            if self.pass { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Extracts `data.shift_fetches_per_sec` from a `BENCH.json` artifact
+/// document.
+///
+/// # Errors
+///
+/// Returns a message naming what is missing when the document is not a
+/// BENCH artifact (bad JSON, no `data` tree, missing or non-positive
+/// metric).
+pub fn shift_fetches_per_sec(bench_json: &str) -> Result<f64, String> {
+    let doc = json::parse(bench_json).map_err(|e| format!("BENCH.json does not parse: {e}"))?;
+    let value = doc
+        .get("data")
+        .ok_or("BENCH.json has no `data` tree (not an artifact document?)")?
+        .get("shift_fetches_per_sec")
+        .ok_or("BENCH.json data has no `shift_fetches_per_sec`")?
+        .as_f64()
+        .ok_or("`shift_fetches_per_sec` is not a number")?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(format!("`shift_fetches_per_sec` is non-positive ({value})"))
+    }
+}
+
+/// Evaluates the gate: does `fresh_json`'s headline throughput stay within
+/// `tolerance` of `snapshot_json`'s?
+///
+/// # Errors
+///
+/// Propagates extraction failures from either document and rejects
+/// nonsensical tolerances (outside `[0, 1)`).
+pub fn evaluate(
+    snapshot_json: &str,
+    fresh_json: &str,
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!(
+            "tolerance must be a fraction in [0, 1), got {tolerance}"
+        ));
+    }
+    let snapshot = shift_fetches_per_sec(snapshot_json).map_err(|e| format!("snapshot: {e}"))?;
+    let fresh = shift_fetches_per_sec(fresh_json).map_err(|e| format!("fresh: {e}"))?;
+    let ratio = fresh / snapshot;
+    Ok(GateReport {
+        snapshot,
+        fresh,
+        tolerance,
+        ratio,
+        pass: ratio >= 1.0 - tolerance,
+    })
+}
+
+/// Reads the tolerance from `SHIFT_PERF_TOLERANCE`, defaulting to
+/// [`DEFAULT_TOLERANCE`]; invalid values fall back to the default with a
+/// warning on stderr.
+pub fn tolerance_from_env() -> f64 {
+    match std::env::var("SHIFT_PERF_TOLERANCE") {
+        Err(_) => DEFAULT_TOLERANCE,
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!(
+                    "ignoring invalid SHIFT_PERF_TOLERANCE `{raw}` (want a fraction in [0, 1)); \
+                     using {DEFAULT_TOLERANCE}"
+                );
+                DEFAULT_TOLERANCE
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(fetches_per_sec: f64) -> String {
+        format!(
+            "{{\"name\": \"BENCH\", \"data\": {{\"schema\": 1, \
+             \"shift_fetches_per_sec\": {fetches_per_sec}, \"components\": []}}}}"
+        )
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let report = evaluate(&bench_doc(1_000_000.0), &bench_doc(850_000.0), 0.20).unwrap();
+        assert!(report.pass);
+        assert!((report.ratio - 0.85).abs() < 1e-12);
+        assert!(report.to_string().contains("PASS"));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let report = evaluate(&bench_doc(1_000_000.0), &bench_doc(750_000.0), 0.20).unwrap();
+        assert!(!report.pass);
+        assert!(report.to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let report = evaluate(&bench_doc(1_000_000.0), &bench_doc(3_000_000.0), 0.0).unwrap();
+        assert!(report.pass);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // Exactly at the limit passes: ratio == 1 - tolerance.
+        let report = evaluate(&bench_doc(1_000_000.0), &bench_doc(800_000.0), 0.20).unwrap();
+        assert!(report.pass, "{report}");
+    }
+
+    #[test]
+    fn malformed_documents_are_named() {
+        assert!(evaluate("nope", &bench_doc(1.0), 0.2)
+            .unwrap_err()
+            .contains("snapshot"));
+        assert!(evaluate(&bench_doc(1.0), "{}", 0.2)
+            .unwrap_err()
+            .contains("fresh"));
+        assert!(shift_fetches_per_sec("{\"data\": {}}").is_err());
+        assert!(shift_fetches_per_sec(&bench_doc(0.0)).is_err());
+        assert!(evaluate(&bench_doc(1.0), &bench_doc(1.0), 1.5).is_err());
+    }
+
+    #[test]
+    fn committed_snapshot_parses() {
+        // The gate must always be able to read the snapshot this repository
+        // ships; if the BENCH schema changes, this test fails before CI does.
+        let snapshot = include_str!("../../../docs/bench/BENCH_PR3.json");
+        let fetches = shift_fetches_per_sec(snapshot).expect("snapshot readable");
+        assert!(fetches > 100_000.0, "implausible snapshot: {fetches}");
+    }
+}

@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use criterion::{BenchReport, Criterion, Throughput};
 use serde::Serialize;
 use shift_cache::{LlcConfig, NucaLlc};
@@ -32,7 +34,7 @@ use shift_core::{
     HistoryBuffer, InstructionPrefetcher, Pif, PifConfig, Shift, ShiftConfig, SpatialRegion,
 };
 use shift_report::{Artifact, Table};
-use shift_sim::runner::default_threads;
+use shift_sim::matrix::default_threads;
 use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix, SimOptions};
 use shift_trace::{presets, CoreTraceGenerator, Scale, WorkloadSpec};
 use shift_types::{AccessClass, BlockAddr, CoreId};

@@ -18,7 +18,7 @@ use shift_trace::{CoreTraceGenerator, Scale, WorkloadSpec};
 use shift_types::{BlockAddr, CoreId};
 
 use crate::experiments::pct;
-use crate::runner::parallel_map;
+use crate::matrix::parallel_map;
 
 /// Per-workload commonality result.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -69,7 +69,7 @@ impl fmt::Display for CommonalityResult {
 /// recording warm-up.
 ///
 /// This is an opportunity study over raw trace streams, not `Simulation`
-/// runs, so instead of a [`RunMatrix`](crate::runner::RunMatrix) the
+/// runs, so instead of a [`RunMatrix`](crate::matrix::RunMatrix) the
 /// per-workload measurements fan out through the same worker pool via
 /// [`parallel_map`].
 pub fn commonality(

@@ -15,7 +15,8 @@ use serde::{Deserialize, Serialize};
 use shift_trace::{ConsolidationSpec, Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::matrix::{RunHandle, RunMatrix};
+use crate::store::RunOutcomes;
 
 /// The Figure 10 result: speedups of each prefetcher configuration over the
 /// no-prefetch baseline for the consolidated mix.

@@ -14,8 +14,9 @@ use serde::{Deserialize, Serialize};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
+use crate::matrix::{RunHandle, RunMatrix};
 use crate::results::CoverageStats;
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::store::RunOutcomes;
 
 /// Coverage breakdown of one (workload, prefetcher) pair.
 #[derive(Clone, Debug, Serialize, Deserialize)]

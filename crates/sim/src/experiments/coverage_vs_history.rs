@@ -13,7 +13,8 @@ use shift_core::{PifConfig, ShiftMode};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::matrix::{RunHandle, RunMatrix};
+use crate::store::RunOutcomes;
 
 /// Coverage at one aggregate history size.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]

@@ -14,7 +14,8 @@ use shift_trace::{Scale, WorkloadSpec};
 use shift_types::AccessClass;
 
 use crate::config::PrefetcherConfig;
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::matrix::{RunHandle, RunMatrix};
+use crate::store::RunOutcomes;
 
 /// One workload's LLC traffic overhead.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]

@@ -7,7 +7,7 @@
 //! binary and a Criterion bench.
 //!
 //! Every simulation-backed driver is split into two phases around one
-//! [`RunMatrix`](crate::runner::RunMatrix):
+//! [`RunMatrix`](crate::matrix::RunMatrix):
 //!
 //! * **plan** — the driver's `*Plan::plan(&mut matrix, …)` declares every
 //!   run the figure needs and keeps the returned handles. Because planning
@@ -23,7 +23,7 @@
 //! private matrix for callers that reproduce a single figure. The
 //! commonality opportunity study — heavy per-workload work that is not
 //! `Simulation` runs — fans out through
-//! [`runner::parallel_map`](crate::runner::parallel_map) instead, and the
+//! [`matrix::parallel_map`](crate::matrix::parallel_map) instead, and the
 //! storage table (pure arithmetic) stays inline.
 
 pub mod commonality;

@@ -17,8 +17,9 @@ use shift_trace::{Scale, WorkloadSpec};
 use shift_types::{BlockAddr, CoreId};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::matrix::{RunHandle, RunMatrix};
 use crate::results::geometric_mean;
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::store::RunOutcomes;
 
 /// One (core type, prefetcher) point in the Figure 2 plane.
 #[derive(Clone, Debug, Serialize, Deserialize)]

@@ -13,7 +13,8 @@ use shift_metrics::{PowerBreakdown, PowerModel};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::matrix::{RunHandle, RunMatrix};
+use crate::store::RunOutcomes;
 
 /// One workload's power overhead.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]

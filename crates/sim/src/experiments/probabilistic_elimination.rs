@@ -11,8 +11,9 @@ use serde::{Deserialize, Serialize};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::matrix::{RunHandle, RunMatrix};
 use crate::results::geometric_mean;
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::store::RunOutcomes;
 
 /// One workload's speedup series.
 #[derive(Clone, Debug, Serialize, Deserialize)]

@@ -14,8 +14,9 @@ use serde::{Deserialize, Serialize};
 use shift_trace::{Scale, WorkloadSpec};
 
 use crate::config::PrefetcherConfig;
+use crate::matrix::{RunHandle, RunMatrix};
 use crate::results::geometric_mean;
-use crate::runner::{RunHandle, RunMatrix, RunOutcomes};
+use crate::store::RunOutcomes;
 
 /// One workload's speedups.
 #[derive(Clone, Debug, Serialize, Deserialize)]

@@ -72,7 +72,7 @@ impl fmt::Display for StorageTableResult {
 /// with an LLC of `llc_capacity_blocks` tags.
 ///
 /// Pure arithmetic — no `Simulation` runs, so there is no sweep to declare
-/// as a [`RunMatrix`](crate::runner::RunMatrix): the three rows cost
+/// as a [`RunMatrix`](crate::matrix::RunMatrix): the three rows cost
 /// microseconds and are computed inline.
 pub fn storage_table(cores: u16, llc_capacity_blocks: usize) -> StorageTableResult {
     let area = AreaModel::nm40();

@@ -57,6 +57,12 @@
 //!     assert!(outcomes[handle].speedup_over(&outcomes[baseline]) > 0.9);
 //! }
 //! ```
+//!
+//! Sweeps that exceed one host split into a three-stage pipeline over the
+//! same matrix: **plan** ([`matrix`]), **execute** a deterministic slice
+//! with durable per-run outcomes ([`shard`]), and **merge** the outcome
+//! directories back into bit-identical [`RunOutcomes`] ([`store`]). See
+//! `docs/SWEEP.md` in the repository for the operational guide.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -64,12 +70,16 @@
 pub mod config;
 pub mod engine;
 pub mod experiments;
+pub mod matrix;
 pub mod results;
-pub mod runner;
+pub mod shard;
+pub mod store;
 pub mod system;
 
 pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
 pub use engine::Engine;
+pub use matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
 pub use results::{CoverageStats, RunResult};
-pub use runner::{RunHandle, RunKey, RunMatrix, RunOutcomes};
+pub use shard::{ShardReport, ShardSpec};
+pub use store::{RunOutcomes, RunStore, StoreError};
 pub use system::Simulation;

@@ -1,4 +1,5 @@
-//! The sweep engine: deduplicated run matrices executed across all cores.
+//! The **plan** stage of the sweep pipeline: deduplicated run matrices with
+//! content-addressed keys and a canonical ordering.
 //!
 //! The paper's evaluation is a large matrix of (workload × prefetcher ×
 //! scale × seed) simulations, and several figures share runs — most notably
@@ -13,14 +14,34 @@
 //! 2. **Execute** — [`RunMatrix::execute`] runs all planned simulations on a
 //!    pool of worker threads (one per available core by default, overridable
 //!    with the `SHIFT_THREADS` environment variable) and returns
-//!    [`RunOutcomes`] indexed by the handles.
-//! 3. **Consume** — look up each run's [`RunResult`] by handle and derive
-//!    the figure's rows.
+//!    [`RunOutcomes`] indexed by the handles. For sweeps too large for one
+//!    host, [`shard::execute_shard`](crate::shard::execute_shard) executes a
+//!    deterministic *slice* of the matrix instead, persisting each completed
+//!    run as a keyed outcome file.
+//! 3. **Merge / consume** — look up each run's [`RunResult`](crate::results::RunResult) by handle and
+//!    derive the figure's rows. Outcomes can come from in-process execution
+//!    or from a [`RunStore`](crate::store::RunStore) merge of one or more
+//!    shard directories — the two are bit-identical.
 //!
 //! Every simulation is fully deterministic in its key (the only randomness
 //! comes from generators seeded by [`SimOptions::seed`]), so the parallel
 //! execution is bit-identical to [`RunMatrix::execute_serial`] — a property
-//! locked in by the `runner` integration tests.
+//! locked in by the `runner` and `shard` integration tests.
+//!
+//! # Identity across process boundaries
+//!
+//! In-process, a [`RunHandle`] is pinned to its planning matrix by a
+//! process-local id. Across processes (a shard executing on another
+//! machine), identity is *content-addressed* instead: every [`RunKey`] has a
+//! [`RunKeyId`] — a hash of its canonical JSON form — and the whole matrix
+//! has a [`MatrixFingerprint`] over its sorted key ids. Two processes that
+//! plan the same sweep compute the same ids, which is what lets outcome
+//! files written by one host be merged and verified by another.
+//!
+//! Wherever runs are *enumerated* — shard slices, outcome stores, manifest
+//! listings — the canonical ordering ([`RunMatrix::canonical_order`], sorted
+//! by key) is used rather than plan order, so slices are stable even when
+//! drivers plan figures in a different sequence.
 //!
 //! # Example
 //!
@@ -40,15 +61,17 @@
 //! assert!(outcomes[shift].speedup_over(&outcomes[baseline]) > 1.0);
 //! ```
 
-use std::ops::Index;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use serde::{Deserialize, Serialize};
+use serde::de::Error as DeError;
+use serde::{json, Deserialize, Serialize, Value};
 use shift_trace::{ConsolidationSpec, Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
-use crate::results::RunResult;
+use crate::store::RunOutcomes;
 use crate::system::Simulation;
 
 /// Process-wide matrix id source, so a handle can prove which matrix planned
@@ -56,7 +79,7 @@ use crate::system::Simulation;
 static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Handle to one planned run in a [`RunMatrix`]; index into the matrix's
-/// [`RunOutcomes`] to get its [`RunResult`].
+/// [`RunOutcomes`] to get its [`RunResult`](crate::results::RunResult).
 ///
 /// # Invariant
 ///
@@ -67,19 +90,21 @@ static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(0);
 /// silently reading another plan's result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RunHandle {
-    matrix: u64,
-    slot: usize,
+    pub(crate) matrix: u64,
+    pub(crate) slot: usize,
 }
 
 /// The identity of one simulation run: everything that determines its result.
 ///
-/// Two runs with equal keys produce bit-identical [`RunResult`]s, so the
-/// planner simulates only one of them. The key covers the full CMP
-/// configuration (including the prefetcher), the simulation options (scale,
-/// seed, prediction-only and miss-elimination modes), and the complete
-/// workload-to-core assignment — equality is plain structural equality over
-/// all of them. Keys serialize (the `reproduce` driver records the planned
-/// matrix alongside its artifacts).
+/// Two runs with equal keys produce bit-identical
+/// [`RunResult`](crate::results::RunResult)s, so the planner simulates only
+/// one of them. The key covers the full CMP configuration (including the
+/// prefetcher), the simulation options (scale, seed, prediction-only and
+/// miss-elimination modes), and the complete workload-to-core assignment —
+/// equality is plain structural equality over all of them. Keys serialize
+/// and deserialize (shard outcome files embed the key of the run they
+/// record), and [`RunKey::id`] gives the content-addressed identity used
+/// across process boundaries.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunKey {
     config: CmpConfig,
@@ -95,13 +120,111 @@ impl RunKey {
             consolidation: sim.consolidation().clone(),
         }
     }
+
+    /// The key's canonical serialized form: compact JSON of all fields.
+    ///
+    /// Equal keys render identically (struct field order is fixed, floats
+    /// use shortest round-trip formatting), so this string *is* the key's
+    /// cross-process identity; [`RunKey::id`] is its hash.
+    pub fn canonical_json(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// The key's content-addressed id: a 64-bit FNV-1a hash of
+    /// [`RunKey::canonical_json`].
+    pub fn id(&self) -> RunKeyId {
+        RunKeyId(fnv1a(self.canonical_json().as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free, and stable across platforms — all
+/// this needs to be. Collisions are guarded against downstream: the outcome
+/// store compares the full embedded key JSON, not just the id.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+macro_rules! hex_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:016x}", self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:016x})"), self.0)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = String;
+
+            fn from_str(s: &str) -> Result<Self, String> {
+                if s.len() != 16 {
+                    return Err(format!(
+                        concat!(stringify!($name), " must be 16 hex digits, got `{}`"),
+                        s
+                    ));
+                }
+                u64::from_str_radix(s, 16)
+                    .map($name)
+                    .map_err(|e| format!(concat!("bad ", stringify!($name), " `{}`: {}"), s, e))
+            }
+        }
+
+        impl Serialize for $name {
+            fn to_value(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+
+        impl Deserialize for $name {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Str(s) => s.parse().map_err(DeError::custom),
+                    other => Err(DeError::unexpected(
+                        stringify!($name),
+                        "a 16-hex-digit string",
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+hex_id! {
+    /// Content-addressed identity of one [`RunKey`]: the hash of its
+    /// canonical JSON, rendered as 16 hex digits. Two processes planning the
+    /// same run compute the same id, which names the run's outcome file.
+    RunKeyId
+}
+
+hex_id! {
+    /// Content-addressed identity of a whole planned [`RunMatrix`]: a hash
+    /// over its sorted [`RunKeyId`]s. Outcome files record the fingerprint of
+    /// the matrix they were executed for, so a merge rejects outcomes from a
+    /// different sweep (different scale, workload set, core count, …).
+    MatrixFingerprint
 }
 
 /// A deduplicated plan of simulation runs, executed in parallel.
 ///
-/// See the [module documentation](self) for the plan / execute / consume
-/// workflow. The full pipeline — plan a sweep, execute it once, write the
-/// derived figure as a machine-readable artifact — looks like this:
+/// See the [module documentation](self) for the plan / execute / merge
+/// workflow. The full single-process pipeline — plan a sweep, execute it
+/// once, write the derived figure as a machine-readable artifact — looks
+/// like this:
 ///
 /// ```
 /// use shift_report::{Artifact, Check, Reference, Table};
@@ -141,6 +264,7 @@ pub struct RunMatrix {
     id: u64,
     plans: Vec<Simulation>,
     keys: Vec<RunKey>,
+    key_ids: Vec<RunKeyId>,
 }
 
 impl Default for RunMatrix {
@@ -156,6 +280,7 @@ impl RunMatrix {
             id: NEXT_MATRIX_ID.fetch_add(1, Ordering::Relaxed),
             plans: Vec::new(),
             keys: Vec::new(),
+            key_ids: Vec::new(),
         }
     }
 
@@ -219,6 +344,7 @@ impl RunMatrix {
             };
         }
         let slot = self.plans.len();
+        self.key_ids.push(key.id());
         self.plans.push(sim);
         self.keys.push(key);
         RunHandle {
@@ -227,9 +353,51 @@ impl RunMatrix {
         }
     }
 
-    /// The deduplicated keys of every planned run, in plan order.
+    /// The deduplicated keys of every planned run, in plan order. Use
+    /// [`RunMatrix::canonical_order`] when enumeration order must be stable
+    /// across planning-order changes.
     pub fn keys(&self) -> &[RunKey] {
         &self.keys
+    }
+
+    /// The content-addressed id of every planned run, in plan order
+    /// (parallel to [`RunMatrix::keys`]).
+    pub fn key_ids(&self) -> &[RunKeyId] {
+        &self.key_ids
+    }
+
+    /// Plan-order slot indices in *canonical order*: sorted by the key's
+    /// canonical JSON. This is the enumeration order every cross-process
+    /// consumer uses — shard slices, outcome stores, manifests — so slices
+    /// stay stable no matter which figure planned a shared run first.
+    pub fn canonical_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.keys.len()).collect();
+        order.sort_by_cached_key(|&slot| self.keys[slot].canonical_json());
+        order
+    }
+
+    /// The fingerprint identifying this *plan* (not this process): a hash
+    /// over the sorted key ids. Matrices planned independently from the same
+    /// settings agree on it; any difference in run set changes it.
+    pub fn fingerprint(&self) -> MatrixFingerprint {
+        let mut sorted = self.key_ids.clone();
+        sorted.sort_unstable();
+        let mut text = String::with_capacity(17 * sorted.len());
+        for id in &sorted {
+            text.push_str(&id.to_string());
+            text.push('\n');
+        }
+        MatrixFingerprint(fnv1a(text.as_bytes()))
+    }
+
+    /// The process-local matrix id handles are branded with.
+    pub(crate) fn local_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The planned simulation in `slot` (plan order).
+    pub(crate) fn simulation(&self, slot: usize) -> &Simulation {
+        &self.plans[slot]
     }
 
     /// Number of distinct runs planned (after deduplication).
@@ -260,73 +428,10 @@ impl RunMatrix {
     /// which worker runs which simulation: for the same matrix, any thread
     /// count yields bit-identical [`RunOutcomes`].
     pub fn execute_with_threads(&self, threads: usize) -> RunOutcomes {
-        RunOutcomes {
-            matrix: self.id,
-            results: parallel_map_with_threads(&self.plans, threads, Simulation::run),
-        }
-    }
-}
-
-/// Results of a [`RunMatrix`] execution, indexed by [`RunHandle`].
-#[derive(Clone, Debug)]
-pub struct RunOutcomes {
-    matrix: u64,
-    results: Vec<RunResult>,
-}
-
-impl RunOutcomes {
-    /// The result of the given planned run.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a diagnostic if `handle` was planned by a *different*
-    /// [`RunMatrix`] (see the invariant on [`RunHandle`]), or if it was
-    /// planned after this matrix executed. Use [`RunOutcomes::try_get`] for a
-    /// checked lookup.
-    pub fn get(&self, handle: RunHandle) -> &RunResult {
-        assert_eq!(
-            handle.matrix, self.matrix,
-            "RunHandle was planned by RunMatrix #{} but these outcomes were executed \
-             from RunMatrix #{}; handles are only valid against outcomes of the \
-             matrix that planned them",
-            handle.matrix, self.matrix,
-        );
-        self.results.get(handle.slot).unwrap_or_else(|| {
-            panic!(
-                "RunHandle #{} was planned after RunMatrix #{} executed \
-                 (outcomes hold {} runs); re-execute the matrix after planning",
-                handle.slot,
-                self.matrix,
-                self.results.len(),
-            )
-        })
-    }
-
-    /// Checked lookup: `None` if `handle` belongs to a different matrix or
-    /// was planned after this matrix executed.
-    pub fn try_get(&self, handle: RunHandle) -> Option<&RunResult> {
-        if handle.matrix != self.matrix {
-            return None;
-        }
-        self.results.get(handle.slot)
-    }
-
-    /// Number of executed runs.
-    pub fn len(&self) -> usize {
-        self.results.len()
-    }
-
-    /// `true` if the matrix was empty.
-    pub fn is_empty(&self) -> bool {
-        self.results.is_empty()
-    }
-}
-
-impl Index<RunHandle> for RunOutcomes {
-    type Output = RunResult;
-
-    fn index(&self, handle: RunHandle) -> &RunResult {
-        self.get(handle)
+        RunOutcomes::from_results(
+            self.id,
+            parallel_map_with_threads(&self.plans, threads, Simulation::run),
+        )
     }
 }
 
@@ -349,7 +454,7 @@ pub fn default_threads() -> usize {
 ///
 /// This is the same executor [`RunMatrix`] uses, exposed for sweeps that are
 /// not plain `Simulation::run` calls (the commonality opportunity study, the
-/// storage-table arithmetic).
+/// storage-table arithmetic, shard execution with its per-run persistence).
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -359,7 +464,7 @@ where
     parallel_map_with_threads(items, default_threads(), f)
 }
 
-fn parallel_map_with_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+pub(crate) fn parallel_map_with_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -444,54 +549,72 @@ mod tests {
     }
 
     #[test]
-    fn outcomes_are_indexed_by_handle() {
-        let mut matrix = RunMatrix::new();
-        let w = presets::tiny();
-        let baseline = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let nl = matrix.standalone(&w, PrefetcherConfig::next_line(), 2, Scale::Test, 5);
-        let outcomes = matrix.execute_with_threads(2);
-        assert_eq!(outcomes.len(), 2);
-        assert_eq!(outcomes[baseline].prefetcher, "Baseline");
-        assert_eq!(outcomes[nl].prefetcher, "NextLine");
-        assert!(outcomes[nl].speedup_over(&outcomes[baseline]) > 1.0);
-    }
-
-    #[test]
-    fn handle_from_another_matrix_is_rejected() {
+    fn key_ids_are_content_addressed() {
         let w = presets::tiny();
         let mut a = RunMatrix::new();
         let mut b = RunMatrix::new();
-        let handle_a = a.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let handle_b = b.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        // Same plan, but the handles are not interchangeable across matrices.
-        assert_ne!(handle_a, handle_b);
-        let outcomes_b = b.execute_serial();
-        assert!(outcomes_b.try_get(handle_b).is_some());
-        assert!(outcomes_b.try_get(handle_a).is_none());
+        // Plan the same two runs in opposite orders from separate matrices.
+        a.standalone(&w, PrefetcherConfig::None, 4, Scale::Test, 7);
+        a.standalone(&w, PrefetcherConfig::next_line(), 4, Scale::Test, 7);
+        b.standalone(&w, PrefetcherConfig::next_line(), 4, Scale::Test, 7);
+        b.standalone(&w, PrefetcherConfig::None, 4, Scale::Test, 7);
+
+        // Content-addressing: ids match per key even across processes (here,
+        // matrices), and the fingerprint is plan-order independent.
+        assert_eq!(a.key_ids()[0], b.key_ids()[1]);
+        assert_eq!(a.key_ids()[1], b.key_ids()[0]);
+        assert_ne!(a.key_ids()[0], a.key_ids()[1]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Different sweeps get different fingerprints.
+        let mut c = RunMatrix::new();
+        c.standalone(&w, PrefetcherConfig::None, 4, Scale::Test, 7);
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]
-    #[should_panic(expected = "matrix that planned them")]
-    fn get_with_foreign_handle_panics_with_diagnostic() {
+    fn canonical_order_is_planning_order_independent() {
         let w = presets::tiny();
         let mut a = RunMatrix::new();
         let mut b = RunMatrix::new();
-        let handle_a = a.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let _ = b.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let outcomes_b = b.execute_serial();
-        let _ = outcomes_b.get(handle_a);
+        let prefetchers = [
+            PrefetcherConfig::None,
+            PrefetcherConfig::next_line(),
+            PrefetcherConfig::pif_2k(),
+        ];
+        for p in prefetchers {
+            a.standalone(&w, p, 4, Scale::Test, 7);
+        }
+        for p in prefetchers.iter().rev() {
+            b.standalone(&w, *p, 4, Scale::Test, 7);
+        }
+        let canonical_a: Vec<RunKeyId> = a
+            .canonical_order()
+            .into_iter()
+            .map(|slot| a.key_ids()[slot])
+            .collect();
+        let canonical_b: Vec<RunKeyId> = b
+            .canonical_order()
+            .into_iter()
+            .map(|slot| b.key_ids()[slot])
+            .collect();
+        assert_eq!(canonical_a, canonical_b);
     }
 
     #[test]
-    #[should_panic(expected = "planned after")]
-    fn get_with_late_planned_handle_panics_with_diagnostic() {
+    fn hex_ids_round_trip_through_strings_and_serde() {
         let w = presets::tiny();
         let mut matrix = RunMatrix::new();
-        let _ = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let outcomes = matrix.execute_serial();
-        let late = matrix.standalone(&w, PrefetcherConfig::next_line(), 2, Scale::Test, 5);
-        assert!(outcomes.try_get(late).is_none());
-        let _ = outcomes.get(late);
+        matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 1);
+        let id = matrix.key_ids()[0];
+        assert_eq!(id.to_string().len(), 16);
+        assert_eq!(id.to_string().parse::<RunKeyId>(), Ok(id));
+        assert_eq!(RunKeyId::from_value(&id.to_value()), Ok(id));
+        assert!("xyz".parse::<RunKeyId>().is_err());
+        assert!("0123".parse::<RunKeyId>().is_err());
+
+        let fp = matrix.fingerprint();
+        assert_eq!(fp.to_string().parse::<MatrixFingerprint>(), Ok(fp));
     }
 
     #[test]
@@ -503,6 +626,17 @@ mod tests {
         let json = serde::json::to_string(&matrix.keys()[0]);
         assert!(json.contains("\"config\""), "got {json}");
         assert!(json.contains("\"Shift\""), "got {json}");
+    }
+
+    #[test]
+    fn keys_round_trip_through_json() {
+        let w = presets::tiny();
+        let mut matrix = RunMatrix::new();
+        let _ = matrix.standalone(&w, PrefetcherConfig::shift_virtualized(), 2, Scale::Test, 5);
+        let key = &matrix.keys()[0];
+        let back: RunKey = json::from_str(&key.canonical_json()).expect("round trip");
+        assert_eq!(&back, key);
+        assert_eq!(back.id(), key.id());
     }
 
     #[test]

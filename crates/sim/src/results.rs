@@ -92,7 +92,11 @@ pub struct CoreResult {
 }
 
 /// Aggregate result of one simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Results serialize and deserialize losslessly (floats round-trip through
+/// shortest formatting), which is what lets sharded sweeps persist each
+/// run's outcome as JSON and merge bit-identically — see `shift_sim::store`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Prefetcher label (e.g. `"SHIFT"`).
     pub prefetcher: String,
@@ -281,5 +285,20 @@ mod tests {
         assert!((better.speedup_over(&base) - 1.2).abs() < 1e-12);
         assert!(base.mean_cycles() > 0.0);
         assert_eq!(base.total_instructions(), 2000);
+    }
+
+    #[test]
+    fn results_round_trip_through_json_bit_identically() {
+        // The shard store persists results as JSON; every field — including
+        // the awkward f64s like 1000/0.7 — must come back bit-identical.
+        let original = result_with_ipcs(&[0.7, 1.0 / 3.0, 2.0]);
+        let json = serde::json::to_string(&original);
+        let back: RunResult = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(back, original);
+        for (a, b) in back.per_core.iter().zip(&original.per_core) {
+            assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+            assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+        }
+        assert_eq!(serde::json::to_string(&back), json);
     }
 }

@@ -1,0 +1,333 @@
+//! The **execute** stage of the sweep pipeline: running a deterministic
+//! slice of a [`RunMatrix`] with durable, resumable per-run outcomes.
+//!
+//! A [`ShardSpec`] `k/N` selects every run whose rank in the matrix's
+//! canonical ordering is congruent to `k − 1` modulo `N` — a partition, so
+//! the `N` shards of a matrix are disjoint and cover it exactly, and every
+//! process that plans the same sweep computes the same slices.
+//! [`execute_shard`] simulates the slice on the local worker pool and writes
+//! each completed run as a keyed outcome file (see [`crate::store`] for the
+//! schema) the moment it finishes.
+//!
+//! Execution is *resumable*: a run whose valid outcome file already exists
+//! is skipped, so re-running a shard after a crash (or preemption, or a CI
+//! retry) only simulates what is still missing and converges to the same
+//! bit-identical directory contents. Outcome files are written atomically
+//! (temp file + rename), so a kill mid-write never corrupts the store.
+//!
+//! The trivial `1/1` shard ([`ShardSpec::full`]) makes single-process
+//! execution just a special case of the same protocol.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+
+use crate::matrix::{default_threads, parallel_map_with_threads, RunMatrix};
+use crate::store::{outcome_file_name, read_outcome, write_outcome};
+
+/// Which slice of a sweep this process executes: shard `index` of `total`
+/// (1-based, so the CLI spelling `--shard 2/4` reads naturally).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    index: usize,
+    total: usize,
+}
+
+impl ShardSpec {
+    /// Shard `index` of `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= index <= total`.
+    pub fn new(index: usize, total: usize) -> Self {
+        assert!(total >= 1, "shard total must be at least 1");
+        assert!(
+            (1..=total).contains(&index),
+            "shard index must be in 1..={total}, got {index}"
+        );
+        ShardSpec { index, total }
+    }
+
+    /// The whole matrix as one shard (`1/1`): single-process execution.
+    pub fn full() -> Self {
+        ShardSpec { index: 1, total: 1 }
+    }
+
+    /// Parses the CLI spelling `K/N` (e.g. `2/4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for anything but `K/N` with
+    /// `1 <= K <= N`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (index, total) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec must be K/N (e.g. 2/4), got `{text}`"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index in `{text}`"))?;
+        let total: usize = total
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard total in `{text}`"))?;
+        if total == 0 || !(1..=total).contains(&index) {
+            return Err(format!(
+                "shard index must be in 1..={total}, got {index} (from `{text}`)"
+            ));
+        }
+        Ok(ShardSpec { index, total })
+    }
+
+    /// This shard's 1-based index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards the sweep is split into.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `true` if this is the whole-matrix shard `1/1`.
+    pub fn is_full(&self) -> bool {
+        self.total == 1
+    }
+
+    /// `true` if the run at canonical `rank` belongs to this shard.
+    ///
+    /// Round-robin over canonical ranks balances the slice sizes to within
+    /// one run and keeps any locality in the canonical ordering (e.g. all
+    /// scales of one workload) spread across shards.
+    pub fn selects(&self, rank: usize) -> bool {
+        rank % self.total == self.index - 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        ShardSpec::parse(s)
+    }
+}
+
+/// What [`execute_shard`] did: how much of the slice ran versus resumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The executed shard.
+    pub spec: ShardSpec,
+    /// Runs in this shard's slice of the matrix.
+    pub planned: usize,
+    /// Runs simulated by this invocation.
+    pub executed: usize,
+    /// Runs skipped because a valid outcome file already existed (resume
+    /// after a crash or a previous partial invocation).
+    pub resumed: usize,
+}
+
+/// Executes this shard's slice of `matrix` into `dir` on the default worker
+/// pool, skipping runs whose outcomes are already present.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir` or writing outcome files.
+pub fn execute_shard(matrix: &RunMatrix, spec: ShardSpec, dir: &Path) -> io::Result<ShardReport> {
+    execute_shard_with_threads(matrix, spec, dir, default_threads())
+}
+
+/// [`execute_shard`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir` or writing outcome files.
+pub fn execute_shard_with_threads(
+    matrix: &RunMatrix,
+    spec: ShardSpec,
+    dir: &Path,
+    threads: usize,
+) -> io::Result<ShardReport> {
+    std::fs::create_dir_all(dir)?;
+    let fingerprint = matrix.fingerprint();
+    let slots: Vec<usize> = matrix
+        .canonical_order()
+        .into_iter()
+        .enumerate()
+        .filter(|&(rank, _)| spec.selects(rank))
+        .map(|(_, slot)| slot)
+        .collect();
+
+    // Each worker claims a run, resumes it from disk if a valid outcome is
+    // already there, simulates and persists it otherwise. Results land in
+    // slot order regardless of scheduling (see `parallel_map`), so the
+    // report is deterministic too.
+    let ran: Vec<Result<bool, String>> = parallel_map_with_threads(&slots, threads, |&slot| {
+        let key = &matrix.keys()[slot];
+        let path = dir.join(outcome_file_name(matrix.key_ids()[slot]));
+        if path.exists() {
+            if let Ok(record) = read_outcome(&path) {
+                if record.matrix == fingerprint && record.key_json == key.canonical_json() {
+                    return Ok(false);
+                }
+            }
+            // Unreadable, foreign, or stale: re-execute and overwrite.
+        }
+        let result = matrix.simulation(slot).run();
+        write_outcome(dir, fingerprint, key, &result).map_err(|e| {
+            format!(
+                "failed to write outcome {} under {}: {e}",
+                matrix.key_ids()[slot],
+                dir.display()
+            )
+        })?;
+        Ok(true)
+    });
+
+    let mut executed = 0usize;
+    let mut resumed = 0usize;
+    for entry in ran {
+        match entry {
+            Ok(true) => executed += 1,
+            Ok(false) => resumed += 1,
+            Err(message) => return Err(io::Error::other(message)),
+        }
+    }
+    Ok(ShardReport {
+        spec,
+        planned: slots.len(),
+        executed,
+        resumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetcherConfig;
+    use crate::store::RunStore;
+    use shift_trace::{presets, Scale};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("shift-shard-test-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_matrix() -> RunMatrix {
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        for seed in [3u64, 4] {
+            for p in [PrefetcherConfig::None, PrefetcherConfig::next_line()] {
+                matrix.standalone(&w, p, 2, Scale::Test, seed);
+            }
+        }
+        matrix
+    }
+
+    #[test]
+    fn spec_parsing_and_selection() {
+        assert_eq!(ShardSpec::parse("2/4"), Ok(ShardSpec::new(2, 4)));
+        assert_eq!("1/1".parse::<ShardSpec>(), Ok(ShardSpec::full()));
+        assert!(ShardSpec::parse("0/4").is_err());
+        assert!(ShardSpec::parse("5/4").is_err());
+        assert!(ShardSpec::parse("2").is_err());
+        assert!(ShardSpec::parse("a/b").is_err());
+        assert_eq!(ShardSpec::new(2, 4).to_string(), "2/4");
+
+        // The N shards partition any rank range.
+        for total in 1..=5usize {
+            for rank in 0..23usize {
+                let owners = (1..=total)
+                    .filter(|&i| ShardSpec::new(i, total).selects(rank))
+                    .count();
+                assert_eq!(owners, 1, "rank {rank} of {total} shards");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index must be in")]
+    fn zero_index_rejected() {
+        let _ = ShardSpec::new(0, 4);
+    }
+
+    #[test]
+    fn full_shard_covers_the_matrix_and_resumes() {
+        let dir = temp_dir("full");
+        let matrix = small_matrix();
+        let report = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 2).unwrap();
+        assert_eq!(report.planned, matrix.len());
+        assert_eq!(report.executed, matrix.len());
+        assert_eq!(report.resumed, 0);
+
+        // Second invocation: everything resumes, nothing re-runs, and the
+        // directory contents are untouched.
+        let before: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| {
+                let p = e.unwrap().path();
+                (p.clone(), fs::read_to_string(p).unwrap())
+            })
+            .collect();
+        let again = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 2).unwrap();
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.resumed, matrix.len());
+        for (path, content) in before {
+            assert_eq!(fs::read_to_string(path).unwrap(), content);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_shard_resumes_only_missing_runs() {
+        let dir = temp_dir("resume");
+        let matrix = small_matrix();
+        execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+
+        // Simulate a crash that lost two outcomes (plus a half-written temp
+        // file the atomic rename protocol would have left behind).
+        let mut outcome_files: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        outcome_files.sort();
+        fs::remove_file(&outcome_files[0]).unwrap();
+        fs::remove_file(&outcome_files[2]).unwrap();
+        fs::write(dir.join(".tmp-dead.json"), "{\"schema\":").unwrap();
+
+        let report = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 2).unwrap();
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.resumed, matrix.len() - 2);
+
+        // The converged directory still merges to a complete, valid sweep.
+        let outcomes = RunStore::new([&dir]).load(&matrix).expect("merge");
+        assert_eq!(outcomes.len(), matrix.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_outcome_is_re_executed() {
+        let dir = temp_dir("corrupt");
+        let matrix = small_matrix();
+        execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+        let victim = dir.join(outcome_file_name(matrix.key_ids()[0]));
+        fs::write(&victim, "not json at all").unwrap();
+
+        let report = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+        assert_eq!(report.executed, 1, "only the corrupt outcome re-runs");
+        assert!(
+            read_outcome(&victim).is_ok(),
+            "overwritten with a valid file"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

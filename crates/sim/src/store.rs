@@ -1,0 +1,532 @@
+//! The **merge** stage of the sweep pipeline: durable per-run outcomes and
+//! the store that loads them back into [`RunOutcomes`].
+//!
+//! A shard ([`crate::shard`]) persists every completed run as one JSON
+//! *outcome file* named by the run's content-addressed [`RunKeyId`]. The
+//! file is self-describing:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "matrix": "<16-hex MatrixFingerprint of the planned sweep>",
+//!   "key_id": "<16-hex RunKeyId>",
+//!   "key": { ...the full RunKey... },
+//!   "result": { ...the RunResult... }
+//! }
+//! ```
+//!
+//! [`RunStore::load`] scans one or more shard directories, verifies every
+//! file against the locally planned matrix — same fingerprint, known key id,
+//! byte-identical embedded key, exactly one file per planned run — and
+//! assembles the results into the same [`RunOutcomes`] an in-process
+//! [`RunMatrix::execute`](crate::RunMatrix::execute) would have produced.
+//! Foreign sweeps, duplicate keys, and missing runs are rejected with
+//! typed [`StoreError`]s rather than silently merged.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::ops::Index;
+use std::path::{Path, PathBuf};
+
+use serde::{json, Deserialize, Serialize, Value};
+
+use crate::matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
+use crate::results::RunResult;
+
+/// Version tag of the outcome-file layout; bump when fields change meaning.
+pub const OUTCOME_SCHEMA: u32 = 1;
+
+/// Results of a [`RunMatrix`] execution, indexed by
+/// [`RunHandle`].
+///
+/// Outcomes are deliberately decoupled from *how* the runs executed: a
+/// single-process [`RunMatrix::execute`](crate::RunMatrix::execute), a
+/// resumed multi-machine shard sweep merged by [`RunStore::load`], or any
+/// mix — all produce bit-identical `RunOutcomes` for the same plan.
+#[derive(Clone, Debug)]
+pub struct RunOutcomes {
+    matrix: u64,
+    results: Vec<RunResult>,
+}
+
+impl RunOutcomes {
+    /// Outcomes for the matrix with process-local id `matrix`, one result per
+    /// plan slot in plan order.
+    pub(crate) fn from_results(matrix: u64, results: Vec<RunResult>) -> Self {
+        RunOutcomes { matrix, results }
+    }
+
+    /// The result of the given planned run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if `handle` was planned by a *different*
+    /// [`RunMatrix`] (see the invariant on [`RunHandle`]),
+    /// or if it was planned after this matrix executed. Use
+    /// [`RunOutcomes::try_get`] for a checked lookup.
+    pub fn get(&self, handle: RunHandle) -> &RunResult {
+        assert_eq!(
+            handle.matrix, self.matrix,
+            "RunHandle was planned by RunMatrix #{} but these outcomes were executed \
+             from RunMatrix #{}; handles are only valid against outcomes of the \
+             matrix that planned them",
+            handle.matrix, self.matrix,
+        );
+        self.results.get(handle.slot).unwrap_or_else(|| {
+            panic!(
+                "RunHandle #{} was planned after RunMatrix #{} executed \
+                 (outcomes hold {} runs); re-execute the matrix after planning",
+                handle.slot,
+                self.matrix,
+                self.results.len(),
+            )
+        })
+    }
+
+    /// Checked lookup: `None` if `handle` belongs to a different matrix or
+    /// was planned after this matrix executed.
+    pub fn try_get(&self, handle: RunHandle) -> Option<&RunResult> {
+        if handle.matrix != self.matrix {
+            return None;
+        }
+        self.results.get(handle.slot)
+    }
+
+    /// Number of executed runs.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `true` if the matrix was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+impl Index<RunHandle> for RunOutcomes {
+    type Output = RunResult;
+
+    fn index(&self, handle: RunHandle) -> &RunResult {
+        self.get(handle)
+    }
+}
+
+/// Why loading or merging outcome files failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error reading a directory or file.
+    Io(io::Error),
+    /// A file that should be an outcome file did not parse or failed an
+    /// integrity check (bad schema, key hash mismatch, …).
+    Malformed {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An outcome file was executed for a different sweep than the one
+    /// being merged (mismatched [`MatrixFingerprint`]).
+    ForeignMatrix {
+        /// The offending file.
+        path: PathBuf,
+        /// Fingerprint of the locally planned matrix.
+        expected: MatrixFingerprint,
+        /// Fingerprint recorded in the file.
+        found: MatrixFingerprint,
+    },
+    /// An outcome file carries the right fingerprint but a key the local
+    /// plan does not contain (corruption, or a hand-edited file).
+    UnknownKey {
+        /// The offending file.
+        path: PathBuf,
+        /// The unplanned key id.
+        key_id: RunKeyId,
+    },
+    /// Two loaded files claim the same run (overlapping shard directories,
+    /// or the same directory merged twice).
+    DuplicateKey {
+        /// The run claimed twice.
+        key_id: RunKeyId,
+        /// The file loaded first.
+        first: PathBuf,
+        /// The file that collided with it.
+        second: PathBuf,
+    },
+    /// After loading every directory, some planned runs had no outcome —
+    /// a shard is missing or did not finish.
+    MissingRuns {
+        /// Canonically ordered ids of the runs without outcomes.
+        missing: Vec<RunKeyId>,
+        /// Total planned runs.
+        planned: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "outcome store I/O error: {e}"),
+            StoreError::Malformed { path, reason } => {
+                write!(f, "malformed outcome file {}: {reason}", path.display())
+            }
+            StoreError::ForeignMatrix {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "outcome file {} belongs to a different sweep: planned matrix {expected}, \
+                 file records {found} (check SHIFT_SCALE/SHIFT_CORES/SHIFT_WORKLOADS match \
+                 the sharding run)",
+                path.display()
+            ),
+            StoreError::UnknownKey { path, key_id } => write!(
+                f,
+                "outcome file {} records run {key_id}, which the planned matrix does not \
+                 contain",
+                path.display()
+            ),
+            StoreError::DuplicateKey {
+                key_id,
+                first,
+                second,
+            } => write!(
+                f,
+                "run {key_id} has two outcome files: {} and {} (same shard directory merged \
+                 twice, or overlapping shards)",
+                first.display(),
+                second.display()
+            ),
+            StoreError::MissingRuns { missing, planned } => {
+                write!(
+                    f,
+                    "merge is missing {} of {planned} planned runs (a shard did not run or \
+                     did not finish); first missing: {}",
+                    missing.len(),
+                    missing
+                        .first()
+                        .map_or_else(|| "-".to_owned(), ToString::to_string)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One parsed outcome file.
+#[derive(Clone, Debug)]
+pub struct OutcomeRecord {
+    /// Fingerprint of the sweep the run was executed for.
+    pub matrix: MatrixFingerprint,
+    /// Content-addressed id of the run.
+    pub key_id: RunKeyId,
+    /// The embedded key's canonical JSON (compared byte-for-byte against the
+    /// planned key, so a 64-bit id collision cannot smuggle in a wrong run).
+    pub key_json: String,
+    /// The run's result.
+    pub result: RunResult,
+}
+
+/// File name of the outcome for `key_id` inside a shard directory.
+pub fn outcome_file_name(key_id: RunKeyId) -> String {
+    format!("run-{key_id}.json")
+}
+
+/// Writes one run's outcome under `dir`, atomically (write to a temp file,
+/// then rename), so a killed shard never leaves a half-written outcome that
+/// a resume or merge would trip over.
+pub(crate) fn write_outcome(
+    dir: &Path,
+    fingerprint: MatrixFingerprint,
+    key: &RunKey,
+    result: &RunResult,
+) -> io::Result<()> {
+    let key_id = key.id();
+    let doc = Value::Map(vec![
+        ("schema".to_owned(), OUTCOME_SCHEMA.to_value()),
+        ("matrix".to_owned(), fingerprint.to_value()),
+        ("key_id".to_owned(), key_id.to_value()),
+        ("key".to_owned(), key.to_value()),
+        ("result".to_owned(), result.to_value()),
+    ]);
+    let final_path = dir.join(outcome_file_name(key_id));
+    let tmp_path = dir.join(format!(".tmp-{key_id}.json"));
+    fs::write(&tmp_path, json::to_string_pretty(&doc))?;
+    fs::rename(&tmp_path, &final_path)
+}
+
+/// Parses and integrity-checks one outcome file.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the file is unreadable, [`StoreError::Malformed`]
+/// if it does not parse, has the wrong schema, or its embedded key does not
+/// hash to its recorded `key_id`.
+pub fn read_outcome(path: &Path) -> Result<OutcomeRecord, StoreError> {
+    let malformed = |reason: String| StoreError::Malformed {
+        path: path.to_path_buf(),
+        reason,
+    };
+    let text = fs::read_to_string(path)?;
+    let doc = json::parse(&text).map_err(|e| malformed(e.to_string()))?;
+    let read_field = |name: &str| {
+        doc.get(name)
+            .ok_or_else(|| malformed(format!("missing `{name}` field")))
+    };
+
+    let schema = u32::from_value(read_field("schema")?)
+        .map_err(|e| malformed(format!("bad `schema`: {e}")))?;
+    if schema != OUTCOME_SCHEMA {
+        return Err(malformed(format!(
+            "outcome schema {schema} is not the supported {OUTCOME_SCHEMA}"
+        )));
+    }
+    let matrix = MatrixFingerprint::from_value(read_field("matrix")?)
+        .map_err(|e| malformed(format!("bad `matrix`: {e}")))?;
+    let key_id = RunKeyId::from_value(read_field("key_id")?)
+        .map_err(|e| malformed(format!("bad `key_id`: {e}")))?;
+    let key_value = read_field("key")?;
+    let key: RunKey =
+        RunKey::from_value(key_value).map_err(|e| malformed(format!("bad `key`: {e}")))?;
+    if key.id() != key_id {
+        return Err(malformed(format!(
+            "embedded key hashes to {}, file claims {key_id}",
+            key.id()
+        )));
+    }
+    let result = RunResult::from_value(read_field("result")?)
+        .map_err(|e| malformed(format!("bad `result`: {e}")))?;
+    Ok(OutcomeRecord {
+        matrix,
+        key_id,
+        key_json: key.canonical_json(),
+        result,
+    })
+}
+
+/// A set of shard directories holding outcome files for one sweep.
+///
+/// The store is the bridge from durable shard state back to in-memory
+/// [`RunOutcomes`]: re-plan the same matrix locally, point the store at the
+/// directories the shards filled, and [`RunStore::load`] hands every
+/// [`RunHandle`] its result as if the whole sweep had run in this process.
+#[derive(Clone, Debug)]
+pub struct RunStore {
+    dirs: Vec<PathBuf>,
+}
+
+impl RunStore {
+    /// A store over the given shard directories (order does not matter).
+    pub fn new(dirs: impl IntoIterator<Item = impl Into<PathBuf>>) -> Self {
+        RunStore {
+            dirs: dirs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The directories this store reads.
+    pub fn dirs(&self) -> &[PathBuf] {
+        &self.dirs
+    }
+
+    /// Loads and merges every outcome file into outcomes for `matrix`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects files from a different sweep ([`StoreError::ForeignMatrix`]),
+    /// unplanned or integrity-failing files ([`StoreError::UnknownKey`],
+    /// [`StoreError::Malformed`]), more than one file per run
+    /// ([`StoreError::DuplicateKey`]), and incomplete coverage
+    /// ([`StoreError::MissingRuns`]).
+    pub fn load(&self, matrix: &RunMatrix) -> Result<RunOutcomes, StoreError> {
+        let fingerprint = matrix.fingerprint();
+        let slot_of = |key_id: RunKeyId| -> Option<usize> {
+            matrix.key_ids().iter().position(|&id| id == key_id)
+        };
+        let mut results: Vec<Option<(RunResult, PathBuf)>> = vec![None; matrix.len()];
+
+        for dir in &self.dirs {
+            for path in outcome_paths(dir)? {
+                let record = read_outcome(&path)?;
+                if record.matrix != fingerprint {
+                    return Err(StoreError::ForeignMatrix {
+                        path,
+                        expected: fingerprint,
+                        found: record.matrix,
+                    });
+                }
+                let slot = slot_of(record.key_id).ok_or_else(|| StoreError::UnknownKey {
+                    path: path.clone(),
+                    key_id: record.key_id,
+                })?;
+                if record.key_json != matrix.keys()[slot].canonical_json() {
+                    return Err(StoreError::Malformed {
+                        path,
+                        reason: format!(
+                            "embedded key collides with planned run {} but differs from it",
+                            record.key_id
+                        ),
+                    });
+                }
+                if let Some((_, first)) = &results[slot] {
+                    return Err(StoreError::DuplicateKey {
+                        key_id: record.key_id,
+                        first: first.clone(),
+                        second: path,
+                    });
+                }
+                results[slot] = Some((record.result, path));
+            }
+        }
+
+        let missing: Vec<RunKeyId> = matrix
+            .canonical_order()
+            .into_iter()
+            .filter(|&slot| results[slot].is_none())
+            .map(|slot| matrix.key_ids()[slot])
+            .collect();
+        if !missing.is_empty() {
+            return Err(StoreError::MissingRuns {
+                missing,
+                planned: matrix.len(),
+            });
+        }
+        Ok(RunOutcomes::from_results(
+            matrix.local_id(),
+            results
+                .into_iter()
+                .map(|entry| entry.expect("missing runs checked above").0)
+                .collect(),
+        ))
+    }
+}
+
+/// The outcome files under `dir`, sorted by name for deterministic error
+/// reporting. Non-outcome files (temp files, manifests, stray editors) are
+/// ignored.
+fn outcome_paths(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let mut paths = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("run-") && name.ends_with(".json") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetcherConfig;
+    use shift_trace::{presets, Scale};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("shift-store-test-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn outcome_files_round_trip() {
+        let dir = temp_dir("round-trip");
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let outcomes = matrix.execute_serial();
+
+        write_outcome(
+            &dir,
+            matrix.fingerprint(),
+            &matrix.keys()[0],
+            &outcomes[handle],
+        )
+        .expect("write outcome");
+        let path = dir.join(outcome_file_name(matrix.key_ids()[0]));
+        let record = read_outcome(&path).expect("read outcome");
+        assert_eq!(record.matrix, matrix.fingerprint());
+        assert_eq!(record.key_id, matrix.key_ids()[0]);
+        assert_eq!(record.result, outcomes[handle]);
+
+        let merged = RunStore::new([&dir]).load(&matrix).expect("merge");
+        assert_eq!(merged[handle], outcomes[handle]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_with_reasons() {
+        let dir = temp_dir("corrupt");
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let outcomes = matrix.execute_serial();
+        write_outcome(
+            &dir,
+            matrix.fingerprint(),
+            &matrix.keys()[0],
+            &outcomes[handle],
+        )
+        .unwrap();
+        let path = dir.join(outcome_file_name(matrix.key_ids()[0]));
+
+        // Truncated JSON.
+        let original = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &original[..original.len() / 2]).unwrap();
+        assert!(matches!(
+            read_outcome(&path),
+            Err(StoreError::Malformed { .. })
+        ));
+
+        // key_id that does not match the embedded key.
+        let tampered = original.replace(
+            &format!("\"key_id\": \"{}\"", matrix.key_ids()[0]),
+            "\"key_id\": \"0000000000000000\"",
+        );
+        assert_ne!(tampered, original);
+        fs::write(&path, tampered).unwrap();
+        let err = read_outcome(&path).unwrap_err();
+        assert!(err.to_string().contains("hashes to"), "{err}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_and_stray_files_are_ignored() {
+        let dir = temp_dir("stray");
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let outcomes = matrix.execute_serial();
+        write_outcome(
+            &dir,
+            matrix.fingerprint(),
+            &matrix.keys()[0],
+            &outcomes[handle],
+        )
+        .unwrap();
+        // A crashed writer's temp file and unrelated clutter must not break
+        // the merge.
+        fs::write(dir.join(".tmp-dead.json"), "{").unwrap();
+        fs::write(dir.join("notes.txt"), "scratch").unwrap();
+        let merged = RunStore::new([&dir]).load(&matrix).expect("merge");
+        assert_eq!(merged.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -12,7 +12,7 @@
 //! actual machinery (core stepping, the `MemorySystem`, the prefetcher
 //! wiring) lives in the private `engine` module, and
 //! sweeps of many runs are planned and executed in parallel by
-//! [`RunMatrix`](crate::runner::RunMatrix).
+//! [`RunMatrix`](crate::matrix::RunMatrix).
 
 use shift_trace::{ConsolidationSpec, WorkloadSpec};
 
@@ -103,7 +103,7 @@ impl Simulation {
     /// worker threads and still return bit-identical results to a serial
     /// sweep.
     ///
-    /// [`RunMatrix`]: crate::runner::RunMatrix
+    /// [`RunMatrix`]: crate::matrix::RunMatrix
     pub fn run(&self) -> RunResult {
         self.engine().run()
     }

@@ -65,6 +65,13 @@ impl CoreTraceGenerator {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(seed)
             .wrapping_add((core.index() as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        // Pre-size both per-request buffers to their worst-case burst so the
+        // `next_event` hot path never grows an allocation mid-trace: the
+        // pending queue holds at most one full request's events
+        // (`generate_request` drains it to empty before refilling), and the
+        // scratch holds at most one function execution's blocks.
+        let max_burst = program.max_burst_events();
+        let max_function_blocks = program.max_function_blocks();
         CoreTraceGenerator {
             program,
             core,
@@ -73,8 +80,8 @@ impl CoreTraceGenerator {
             // core diverges the same way in every run.
             core_bias: spec_seed ^ ((core.index() as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)),
             rng: SmallRng::seed_from_u64(mixed),
-            pending: VecDeque::new(),
-            scratch_blocks: Vec::new(),
+            pending: VecDeque::with_capacity(max_burst),
+            scratch_blocks: Vec::with_capacity(max_function_blocks),
             requests_generated: 0,
             fetches_generated: 0,
             data_ref_carry: 0.0,
@@ -321,6 +328,35 @@ mod tests {
             (ratio - spec.data_refs_per_instruction).abs() < 0.03,
             "data ref ratio {ratio} too far from {}",
             spec.data_refs_per_instruction
+        );
+    }
+
+    #[test]
+    fn bursty_requests_never_grow_the_pending_queue() {
+        // The pending queue is pre-sized to the worst-case request burst
+        // (`WorkloadProgram::max_burst_events`), so generating any number of
+        // requests must never reallocate it — that was the last allocation
+        // site on the trace hot path.
+        let spec = presets::tiny();
+        let mut gen = CoreTraceGenerator::new(&spec, CoreId::new(0), 13);
+        let pending_capacity = gen.pending.capacity();
+        let scratch_capacity = gen.scratch_blocks.capacity();
+        assert!(pending_capacity >= gen.program().max_burst_events());
+        let mut max_pending = 0usize;
+        while gen.requests_generated() < 500 {
+            let _ = gen.next_event();
+            max_pending = max_pending.max(gen.pending.len());
+        }
+        assert!(max_pending > 0, "bursts must actually fill the queue");
+        assert_eq!(
+            gen.pending.capacity(),
+            pending_capacity,
+            "pending queue reallocated (burst exceeded the pre-sized bound)"
+        );
+        assert_eq!(
+            gen.scratch_blocks.capacity(),
+            scratch_capacity,
+            "scratch block buffer reallocated"
         );
     }
 

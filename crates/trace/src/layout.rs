@@ -210,6 +210,13 @@ impl Function {
             .sum()
     }
 
+    /// Upper bound on the blocks one execution can emit: every fragment
+    /// taken (no skips). Used to pre-size trace-generation buffers so the
+    /// hot path never reallocates.
+    pub fn max_blocks_per_execution(&self) -> u32 {
+        self.fragments.iter().map(|f| f.len).sum()
+    }
+
     /// The fixed fragment execution order.
     pub fn execution_order(&self) -> &[u32] {
         &self.execution_order

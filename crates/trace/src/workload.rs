@@ -218,6 +218,55 @@ impl WorkloadProgram {
     pub fn request_types(&self) -> &[RequestType] {
         &self.request_types
     }
+
+    /// Upper bound on the blocks any single function execution (application
+    /// or OS handler) can emit. The per-core generator pre-sizes its block
+    /// scratch buffer to this.
+    pub fn max_function_blocks(&self) -> usize {
+        self.layout
+            .functions()
+            .iter()
+            .chain(self.layout.os_functions())
+            .map(|f| f.max_blocks_per_execution() as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Upper bound on the trace events one request can emit: the deepest
+    /// call path, every step also invoking the largest OS handler, every
+    /// fragment taken, every block at the maximum instruction count and
+    /// data-reference rate. The per-core generator pre-sizes its pending
+    /// queue to this, so bursts never reallocate on the hot path.
+    pub fn max_burst_events(&self) -> usize {
+        let max_app_blocks = self
+            .layout
+            .functions()
+            .iter()
+            .map(|f| f.max_blocks_per_execution())
+            .max()
+            .unwrap_or(0) as usize;
+        let max_os_blocks = self
+            .layout
+            .os_functions()
+            .iter()
+            .map(|f| f.max_blocks_per_execution())
+            .max()
+            .unwrap_or(0) as usize;
+        let max_steps = self
+            .request_types
+            .iter()
+            .map(|t| t.steps().len())
+            .max()
+            .unwrap_or(0);
+        // Per block: one fetch event plus the data references it can spawn
+        // (expected count rounded up, plus one for the fractional carry).
+        let max_data_refs_per_block = (self.spec.instructions_per_block_max as f64
+            * self.spec.data_refs_per_instruction)
+            .ceil() as usize
+            + 1;
+        let events_per_block = 1 + max_data_refs_per_block;
+        max_steps * (max_app_blocks + max_os_blocks) * events_per_block
+    }
 }
 
 #[cfg(test)]
