@@ -1,5 +1,6 @@
-//! Reproduces every figure and table of the paper — in one process, or as
-//! one stage of a sharded multi-machine sweep.
+//! Reproduces every figure and table of the paper — in one process, as one
+//! stage of a sharded multi-machine sweep, or as one worker of an elastic
+//! work queue — optionally reusing outcomes cached by earlier runs.
 //!
 //! All experiments are planned into a single deduplicated `RunMatrix`
 //! (shared baselines simulate once for the whole paper). What happens next
@@ -13,26 +14,43 @@
 //!   a keyed JSON outcome file under `DIR`. Already-present outcomes are
 //!   skipped, so a killed shard resumes where it stopped. No artifacts are
 //!   written; ship `DIR` to the merge host instead.
-//! * **`--merge DIR...`** — load outcome files from one or more shard
+//! * **`--queue --outcomes DIR`** — run one *work-queue worker*: claim the
+//!   next unowned run via an atomic lock file in `DIR` (which must be shared
+//!   by all workers — NFS mount, shared volume, one multi-process host),
+//!   simulate it, repeat until the whole matrix has outcomes. Heterogeneous
+//!   hosts drain one queue at their own pace; a killed worker's claims go
+//!   stale after `SHIFT_QUEUE_TTL` seconds (default 3600) and are reclaimed.
+//!   The worker only returns success once the sweep is complete.
+//! * **`--merge DIR...`** — load outcome files from one or more shard/queue
 //!   directories, verify they cover this exact sweep, and derive all
 //!   artifacts + scoreboard. Byte-identical to the default mode's output.
 //! * **`--outcomes DIR`** alone — execute the full sweep (shard `1/1`) with
 //!   durable outcomes in `DIR`, then merge from it: a crash-resumable
 //!   single-host run.
 //!
+//! **`--reuse OLD_DIR...`** composes with all execution modes (not with
+//! `--merge`): outcomes in the old directories whose keys still exist in
+//! the current plan — even if they were executed for a *different* sweep —
+//! are reused instead of re-simulated, so only the delta of the new plan
+//! executes. With `--outcomes DIR`, reusable outcomes are first *seeded*
+//! into `DIR` under the current plan's fingerprint; without it, the delta
+//! executes in memory.
+//!
 //! All modes read the sweep settings from `SHIFT_SCALE` / `SHIFT_CORES` /
-//! `SHIFT_WORKLOADS`; shard and merge hosts must agree on them (the outcome
-//! files carry the planned matrix's fingerprint, so a mismatch is rejected
-//! rather than silently merged). See `docs/SWEEP.md` for the full guide.
+//! `SHIFT_WORKLOADS`; shard, queue, and merge hosts must agree on them (the
+//! outcome files carry the planned matrix's fingerprint, so a mismatch is
+//! rejected rather than silently merged). See `docs/SWEEP.md` for the
+//! pipeline guide and `docs/OPERATIONS.md` for the operator runbook.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use shift_bench::artifacts::artifacts_dir;
-use shift_bench::reproduce::{PaperPlan, ReproduceSettings};
+use shift_bench::reproduce::{PaperPlan, PaperReport, ReproduceSettings};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
-use shift_sim::shard::execute_shard;
-use shift_sim::{RunStore, ShardSpec};
+use shift_sim::shard::{execute_delta, execute_queue, execute_shard, seed_shard_outcomes};
+use shift_sim::store::seed_outcomes;
+use shift_sim::{PartialLoad, QueueConfig, RunStore, ShardSpec};
 
 /// What the command line asked for.
 enum Mode {
@@ -42,6 +60,8 @@ enum Mode {
     Local,
     /// Execute one shard into an outcome directory.
     Shard(ShardSpec, PathBuf),
+    /// Run one work-queue worker against a shared outcome directory.
+    Queue(PathBuf),
     /// Execute everything into an outcome directory, then merge from it.
     LocalDurable(PathBuf),
     /// Merge outcome directories and collect.
@@ -49,18 +69,26 @@ enum Mode {
 }
 
 const USAGE: &str = "\
-usage: reproduce [--shard K/N --outcomes DIR | --outcomes DIR | --merge DIR...]
+usage: reproduce [--shard K/N --outcomes DIR | --queue --outcomes DIR |
+                  --outcomes DIR | --merge DIR...] [--reuse OLD_DIR...]
   (no flags)                   plan, execute in-process, write artifacts + scoreboard
   --shard K/N --outcomes DIR   execute shard K of N into DIR (resumable)
+  --queue --outcomes DIR       one elastic queue worker over shared DIR; returns
+                               once the whole sweep has outcomes (SHIFT_QUEUE_TTL
+                               seconds until a dead worker's claims are reclaimed)
   --outcomes DIR               full durable run: execute 1/1 into DIR, then merge
   --merge DIR...               merge shard outcome dirs, write artifacts + scoreboard
+  --reuse OLD_DIR...           reuse cached outcomes whose keys are still planned
+                               (any mode but --merge); only the delta executes
 ";
 
-fn parse_args() -> Result<Mode, String> {
+fn parse_args() -> Result<(Mode, Vec<PathBuf>), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut shard: Option<ShardSpec> = None;
+    let mut queue = false;
     let mut outcomes: Option<PathBuf> = None;
     let mut merge: Vec<PathBuf> = Vec::new();
+    let mut reuse: Vec<PathBuf> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -68,42 +96,59 @@ fn parse_args() -> Result<Mode, String> {
                 let spec = iter.next().ok_or("--shard needs a K/N argument")?;
                 shard = Some(ShardSpec::parse(spec)?);
             }
+            "--queue" => queue = true,
             "--outcomes" => {
                 let dir = iter.next().ok_or("--outcomes needs a directory")?;
                 outcomes = Some(PathBuf::from(dir));
             }
-            "--merge" => {
+            "--merge" | "--reuse" => {
+                let list = if arg == "--merge" {
+                    &mut merge
+                } else {
+                    &mut reuse
+                };
                 while let Some(dir) = iter.peek() {
                     if dir.starts_with("--") {
                         break;
                     }
-                    merge.push(PathBuf::from(iter.next().expect("peeked")));
+                    list.push(PathBuf::from(iter.next().expect("peeked")));
                 }
-                if merge.is_empty() {
-                    return Err("--merge needs at least one directory".into());
+                if list.is_empty() {
+                    return Err(format!("{arg} needs at least one directory"));
                 }
             }
-            "--help" | "-h" => return Ok(Mode::Help),
+            "--help" | "-h" => return Ok((Mode::Help, Vec::new())),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
-    match (shard, outcomes, merge.is_empty()) {
-        (None, None, true) => Ok(Mode::Local),
-        (Some(spec), Some(dir), true) => Ok(Mode::Shard(spec, dir)),
-        (None, Some(dir), true) => Ok(Mode::LocalDurable(dir)),
-        (None, None, false) => Ok(Mode::Merge(merge)),
-        (Some(_), None, _) => Err("--shard requires --outcomes DIR".into()),
-        _ => Err("--merge cannot be combined with --shard/--outcomes".into()),
+    if !merge.is_empty() && !reuse.is_empty() {
+        return Err(
+            "--reuse cannot be combined with --merge (a merge never executes; \
+                    point --reuse at an execution mode instead)"
+                .into(),
+        );
     }
+    let mode = match (shard, queue, outcomes, merge.is_empty()) {
+        (None, false, None, true) => Mode::Local,
+        (Some(spec), false, Some(dir), true) => Mode::Shard(spec, dir),
+        (None, true, Some(dir), true) => Mode::Queue(dir),
+        (None, false, Some(dir), true) => Mode::LocalDurable(dir),
+        (None, false, None, false) => Mode::Merge(merge),
+        (Some(_), true, _, _) => return Err("--shard and --queue are mutually exclusive".into()),
+        (_, true, None, _) => return Err("--queue requires --outcomes DIR".into()),
+        (Some(_), _, None, _) => return Err("--shard requires --outcomes DIR".into()),
+        _ => return Err("--merge cannot be combined with --shard/--queue/--outcomes".into()),
+    };
+    Ok((mode, reuse))
 }
 
 fn main() -> ExitCode {
-    let mode = match parse_args() {
-        Ok(Mode::Help) => {
+    let (mode, reuse) = match parse_args() {
+        Ok((Mode::Help, _)) => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Ok(mode) => mode,
+        Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
@@ -130,10 +175,63 @@ fn main() -> ExitCode {
     );
     println!();
 
+    // Probe the reuse cache up front; every mode below composes with it.
+    let partial: Option<PartialLoad> = (!reuse.is_empty()).then(|| {
+        let partial = RunStore::new(reuse.iter().cloned())
+            .load_partial(plan.matrix())
+            .unwrap_or_else(|e| panic!("probing --reuse directories failed: {e}"));
+        println!(
+            "reuse: {} of {} planned runs answered by cached outcomes ({} scanned, \
+             {} foreign keys skipped, {} malformed files ignored)",
+            partial.reused,
+            plan.run_count(),
+            partial.scanned,
+            partial.skipped_foreign,
+            partial.skipped_malformed.len(),
+        );
+        for path in &partial.skipped_malformed {
+            eprintln!(
+                "warning: ignored malformed cached outcome {}",
+                path.display()
+            );
+        }
+        partial
+    });
+    // Durable modes persist the reused outcomes under the *current* plan's
+    // fingerprint first, so shard resume / queue claims / the strict merge
+    // see them as already-completed runs. A K/N shard seeds only the slice
+    // it owns: the N shard directories must stay disjoint or their merge
+    // would trip the duplicate check.
+    let seed = |dir: &PathBuf, spec: ShardSpec| {
+        if let Some(partial) = &partial {
+            let written = if spec.is_full() {
+                seed_outcomes(plan.matrix(), partial, dir)
+            } else {
+                seed_shard_outcomes(plan.matrix(), partial, dir, spec)
+            }
+            .unwrap_or_else(|e| panic!("seeding {} from --reuse failed: {e}", dir.display()));
+            println!("seeded {written} reused outcomes into {}", dir.display());
+        }
+    };
+
     match mode {
         Mode::Help => unreachable!("handled before planning"),
-        Mode::Local => collect_and_report(plan, None),
+        Mode::Local => {
+            let report = match partial {
+                None => plan.execute(),
+                Some(partial) => {
+                    let delta = execute_delta(plan.matrix(), partial);
+                    println!(
+                        "incremental run: {} reused, {} executed",
+                        delta.reused, delta.executed
+                    );
+                    plan.collect(&delta.outcomes)
+                }
+            };
+            write_report(&report);
+        }
         Mode::Shard(spec, dir) => {
+            seed(&dir, spec);
             let report = execute_shard(plan.matrix(), spec, &dir)
                 .unwrap_or_else(|e| panic!("shard {spec} failed: {e}"));
             println!(
@@ -148,7 +246,26 @@ fn main() -> ExitCode {
                 dir.display()
             );
         }
+        Mode::Queue(dir) => {
+            seed(&dir, ShardSpec::full());
+            let config = QueueConfig::from_env();
+            println!(
+                "queue worker {} draining {} (claim TTL {}s)",
+                config.worker,
+                dir.display(),
+                config.lock_ttl.as_secs()
+            );
+            let report = execute_queue(plan.matrix(), &dir, &config)
+                .unwrap_or_else(|e| panic!("queue worker failed: {e}"));
+            println!(
+                "queue drained: this worker executed {} of {} runs ({} stale claims \
+                 reclaimed, {} passes); sweep complete",
+                report.executed, report.planned, report.reclaimed, report.passes
+            );
+            println!("merge with: reproduce --merge {}", dir.display());
+        }
         Mode::LocalDurable(dir) => {
+            seed(&dir, ShardSpec::full());
             let report = execute_shard(plan.matrix(), ShardSpec::full(), &dir)
                 .unwrap_or_else(|e| panic!("durable execution failed: {e}"));
             println!(
@@ -157,31 +274,31 @@ fn main() -> ExitCode {
                 report.resumed,
                 dir.display()
             );
-            collect_and_report(plan, Some(vec![dir]));
+            merge_and_report(plan, vec![dir]);
         }
-        Mode::Merge(dirs) => collect_and_report(plan, Some(dirs)),
+        Mode::Merge(dirs) => merge_and_report(plan, dirs),
     }
     ExitCode::SUCCESS
 }
 
-/// Executes (or merges) the planned matrix and writes every artifact plus
-/// the scoreboard.
-fn collect_and_report(plan: PaperPlan, merge_dirs: Option<Vec<PathBuf>>) {
-    let report = match merge_dirs {
-        None => plan.execute(),
-        Some(dirs) => {
-            let outcomes = RunStore::new(dirs.iter().cloned())
-                .load(plan.matrix())
-                .unwrap_or_else(|e| panic!("merge failed: {e}"));
-            println!(
-                "merged {} run outcomes from {} director{}",
-                outcomes.len(),
-                dirs.len(),
-                if dirs.len() == 1 { "y" } else { "ies" }
-            );
-            plan.collect(&outcomes)
-        }
-    };
+/// Merges the planned matrix's outcomes from `dirs` and writes every
+/// artifact plus the scoreboard.
+fn merge_and_report(plan: PaperPlan, dirs: Vec<PathBuf>) {
+    let outcomes = RunStore::new(dirs.iter().cloned())
+        .load(plan.matrix())
+        .unwrap_or_else(|e| panic!("merge failed: {e}"));
+    println!(
+        "merged {} run outcomes from {} director{}",
+        outcomes.len(),
+        dirs.len(),
+        if dirs.len() == 1 { "y" } else { "ies" }
+    );
+    let report = plan.collect(&outcomes);
+    write_report(&report);
+}
+
+/// Writes every artifact of `report` plus the scoreboard.
+fn write_report(report: &PaperReport) {
     let dir = artifacts_dir();
     let paths = report
         .write_to(&dir)

@@ -26,7 +26,12 @@
 //! [`artifacts`]. The `reproduce` binary regenerates the *whole* paper in
 //! one go: [`reproduce::PaperPlan`] merges all experiments into a single
 //! deduplicated [`shift_sim::RunMatrix`], so runs shared between figures —
-//! baselines above all — simulate exactly once.
+//! baselines above all — simulate exactly once. Sweeps that outgrow one
+//! process use its `--shard K/N`, `--queue` (elastic work-queue workers
+//! over a shared outcome directory; `SHIFT_QUEUE_TTL` seconds until a dead
+//! worker's claims are reclaimed, default 3600), `--reuse OLD_DIR`
+//! (incremental re-execution of only a changed plan's delta), and
+//! `--merge` modes — see `docs/SWEEP.md` and `docs/OPERATIONS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,12 +16,15 @@
 //!
 //! The plan and the artifact derivation are deliberately split
 //! ([`PaperPlan::plan`] / [`PaperPlan::collect`]): between them the planned
-//! matrix can execute in-process ([`PaperPlan::execute`]), or as `K/N`
-//! shards on many machines with the outcome directories merged back through
-//! a [`shift_sim::RunStore`] — the `reproduce` binary's `--shard` /
-//! `--outcomes` / `--merge` flags drive exactly that, and the merged
-//! scoreboard is byte-identical to the single-process one (locked by the
-//! `sharded_reproduce` integration test).
+//! matrix can execute in-process ([`PaperPlan::execute`]), as `K/N` shards
+//! on many machines, as an elastic work-queue drain by any number of
+//! heterogeneous hosts sharing one outcome directory, or incrementally on
+//! top of a cache of an earlier sweep's outcomes — with the directories
+//! merged back through a [`shift_sim::RunStore`]. The `reproduce` binary's
+//! `--shard` / `--queue` / `--outcomes` / `--reuse` / `--merge` flags drive
+//! exactly that, and the merged scoreboard is byte-identical to the
+//! single-process one (locked by the `sharded_reproduce` and
+//! `queue_reproduce` integration tests).
 //!
 //! [`Simulation`]: shift_sim::Simulation
 

@@ -59,10 +59,15 @@
 //! ```
 //!
 //! Sweeps that exceed one host split into a three-stage pipeline over the
-//! same matrix: **plan** ([`matrix`]), **execute** a deterministic slice
-//! with durable per-run outcomes ([`shard`]), and **merge** the outcome
-//! directories back into bit-identical [`RunOutcomes`] ([`store`]). See
-//! `docs/SWEEP.md` in the repository for the operational guide.
+//! same matrix: **plan** ([`matrix`]), **execute** either a deterministic
+//! `K/N` slice or an elastic work-queue claim of the next unowned run, with
+//! durable per-run outcomes either way ([`shard`]), and **merge** the
+//! outcome directories back into bit-identical [`RunOutcomes`] ([`store`]).
+//! Outcome directories double as a cross-sweep simulation cache:
+//! [`RunStore::load_partial`] reuses any outcome whose key still exists in a
+//! changed plan and [`shard::execute_delta`] runs only the rest. See
+//! `docs/SWEEP.md` and `docs/OPERATIONS.md` in the repository for the
+//! operational guides.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -80,6 +85,6 @@ pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
 pub use engine::Engine;
 pub use matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
 pub use results::{CoverageStats, RunResult};
-pub use shard::{ShardReport, ShardSpec};
-pub use store::{RunOutcomes, RunStore, StoreError};
+pub use shard::{DeltaReport, QueueConfig, QueueReport, ShardReport, ShardSpec};
+pub use store::{PartialLoad, RunOutcomes, RunStore, StoreError};
 pub use system::Simulation;

@@ -17,11 +17,18 @@
 //!    [`RunOutcomes`] indexed by the handles. For sweeps too large for one
 //!    host, [`shard::execute_shard`](crate::shard::execute_shard) executes a
 //!    deterministic *slice* of the matrix instead, persisting each completed
-//!    run as a keyed outcome file.
+//!    run as a keyed outcome file — or
+//!    [`shard::execute_queue`](crate::shard::execute_queue) lets any number
+//!    of heterogeneous workers *elastically* claim runs one at a time from a
+//!    shared outcome directory.
 //! 3. **Merge / consume** — look up each run's [`RunResult`](crate::results::RunResult) by handle and
-//!    derive the figure's rows. Outcomes can come from in-process execution
-//!    or from a [`RunStore`](crate::store::RunStore) merge of one or more
-//!    shard directories — the two are bit-identical.
+//!    derive the figure's rows. Outcomes can come from in-process execution,
+//!    from a [`RunStore`](crate::store::RunStore) merge of one or more
+//!    shard/queue directories (all bit-identical), or partially from a
+//!    *cache* of an earlier sweep
+//!    ([`RunStore::load_partial`](crate::store::RunStore::load_partial) +
+//!    [`shard::execute_delta`](crate::shard::execute_delta)) when the plan
+//!    has changed since the outcomes were executed.
 //!
 //! Every simulation is fully deterministic in its key (the only randomness
 //! comes from generators seeded by [`SimOptions::seed`]), so the parallel

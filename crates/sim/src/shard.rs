@@ -17,14 +17,41 @@
 //!
 //! The trivial `1/1` shard ([`ShardSpec::full`]) makes single-process
 //! execution just a special case of the same protocol.
+//!
+//! # Elastic execution: the work queue
+//!
+//! Static `K/N` slices assume the `N` hosts are equal; when they are not,
+//! the sweep drains at the pace of the slowest shard. [`execute_queue`] is
+//! the elastic alternative: every worker sees the *whole* matrix and claims
+//! the next unowned run through an atomic lock file in the shared outcome
+//! directory, so fast hosts simply claim more runs and the queue drains at
+//! the aggregate pace. The claim protocol and its invariants are documented
+//! on [`execute_queue`]; the directory layout (outcome files, lock files) is
+//! owned by [`crate::store`].
+//!
+//! # Incremental execution: the delta
+//!
+//! [`execute_delta`] closes the loop on outcome reuse: probe an old
+//! directory with [`RunStore::load_partial`](crate::store::RunStore::load_partial),
+//! then execute only the planned runs the cache missed. Combined with
+//! [`seed_outcomes`](crate::store::seed_outcomes) this turns any outcome
+//! directory into a cross-sweep simulation cache.
 
 use std::fmt;
 use std::io;
+use std::io::Write as _;
 use std::path::Path;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use crate::matrix::{default_threads, parallel_map_with_threads, RunMatrix};
-use crate::store::{outcome_file_name, read_outcome, write_outcome};
+use crate::matrix::{default_threads, parallel_map_with_threads, MatrixFingerprint, RunMatrix};
+use crate::results::RunResult;
+use crate::store::{
+    lock_file_name, outcome_file_name, outcome_is_valid, read_lock, write_outcome, LockRecord,
+    PartialLoad, RunOutcomes,
+};
 
 /// Which slice of a sweep this process executes: shard `index` of `total`
 /// (1-based, so the CLI spelling `--shard 2/4` reads naturally).
@@ -171,14 +198,10 @@ pub fn execute_shard_with_threads(
     let ran: Vec<Result<bool, String>> = parallel_map_with_threads(&slots, threads, |&slot| {
         let key = &matrix.keys()[slot];
         let path = dir.join(outcome_file_name(matrix.key_ids()[slot]));
-        if path.exists() {
-            if let Ok(record) = read_outcome(&path) {
-                if record.matrix == fingerprint && record.key_json == key.canonical_json() {
-                    return Ok(false);
-                }
-            }
-            // Unreadable, foreign, or stale: re-execute and overwrite.
+        if outcome_is_valid(&path, fingerprint, key) {
+            return Ok(false);
         }
+        // Missing, unreadable, foreign, or stale: (re-)execute and overwrite.
         let result = matrix.simulation(slot).run();
         write_outcome(dir, fingerprint, key, &result).map_err(|e| {
             format!(
@@ -207,11 +230,492 @@ pub fn execute_shard_with_threads(
     })
 }
 
+/// Seconds since the Unix epoch on this machine's clock (0 if the clock is
+/// before the epoch — staleness checks degrade to "always stale" then,
+/// which errs toward re-execution, the safe direction).
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// Process-wide worker-id counter so concurrent in-process queue workers
+/// (tests, multi-worker drivers) get distinct identities.
+static NEXT_WORKER: AtomicU64 = AtomicU64::new(0);
+
+/// How one work-queue worker identifies itself and times the lock protocol.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Worker id recorded in claim locks. Diagnostics only — mutual
+    /// exclusion never depends on it. Restricted to filename-safe
+    /// characters (it also names reclaim temp files).
+    pub worker: String,
+    /// Age past which another worker's claim counts as abandoned and may be
+    /// reclaimed. Must comfortably exceed the longest single simulation
+    /// *plus* any cross-machine clock skew: too small risks duplicate
+    /// execution (wasteful but safe — outcomes are idempotent and
+    /// bit-identical), too large delays recovery after a worker dies.
+    pub lock_ttl: Duration,
+    /// Sleep between passes while every remaining run is claimed by live
+    /// workers.
+    pub poll: Duration,
+    /// `true` (the operator default): keep polling until the whole matrix
+    /// has outcomes, so a worker returning success means the sweep is
+    /// complete. `false`: return as soon as nothing more is claimable,
+    /// reporting [`QueueReport::complete`] accordingly.
+    pub wait: bool,
+}
+
+impl QueueConfig {
+    /// Default reclaim TTL: one hour — far above any single Test/Demo-scale
+    /// simulation, and above paper-scale runs with margin. Override with
+    /// [`QueueConfig::from_env`]'s `SHIFT_QUEUE_TTL` or directly.
+    pub const DEFAULT_TTL: Duration = Duration::from_secs(3600);
+
+    /// A worker named `worker` with default timing (TTL
+    /// [`QueueConfig::DEFAULT_TTL`], 500 ms poll, wait-until-complete).
+    /// Non-filename-safe characters in the name are replaced with `_`.
+    pub fn new(worker: impl Into<String>) -> Self {
+        let worker: String = worker
+            .into()
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        QueueConfig {
+            worker,
+            lock_ttl: Self::DEFAULT_TTL,
+            poll: Duration::from_millis(500),
+            wait: true,
+        }
+    }
+
+    /// A worker with a generated id (`pid<pid>-w<n>`) and the TTL from the
+    /// `SHIFT_QUEUE_TTL` environment variable (seconds; default
+    /// [`QueueConfig::DEFAULT_TTL`]).
+    pub fn from_env() -> Self {
+        let mut config = QueueConfig::new(format!(
+            "pid{}-w{}",
+            std::process::id(),
+            NEXT_WORKER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if let Ok(value) = std::env::var("SHIFT_QUEUE_TTL") {
+            match value.trim().parse::<u64>() {
+                Ok(secs) => config.lock_ttl = Duration::from_secs(secs),
+                Err(_) => eprintln!("ignoring invalid SHIFT_QUEUE_TTL `{value}`"),
+            }
+        }
+        config
+    }
+}
+
+/// What one [`execute_queue`] worker did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueReport {
+    /// Runs in the whole matrix (a queue worker sees all of them).
+    pub planned: usize,
+    /// Runs this worker claimed and simulated.
+    pub executed: usize,
+    /// Stale locks this worker reclaimed from dead workers.
+    pub reclaimed: usize,
+    /// Passes over the queue (≥ 1; more when waiting on other workers).
+    pub passes: usize,
+    /// `true` if every planned run had a valid outcome when the worker
+    /// returned. Always `true` on success when [`QueueConfig::wait`] is set.
+    pub complete: bool,
+}
+
+/// What happened when a worker tried to claim one run.
+enum Claim {
+    /// This worker took the claim and simulated the run.
+    Executed { reclaimed: bool },
+    /// A valid outcome already existed (another worker, or a previous run).
+    AlreadyDone,
+    /// Another live worker holds the claim.
+    Blocked,
+}
+
+/// How a claim lock held by someone else looks to a contender.
+enum LockState {
+    /// The lock vanished (owner finished or was reclaimed): retry.
+    Gone,
+    /// Claimed recently enough to be presumed live.
+    Fresh,
+    /// Older than the TTL: the owner is presumed dead; reclaim.
+    Stale,
+}
+
+/// Assesses another worker's lock: prefer the claim timestamp embedded in
+/// the lock, falling back to file mtime when the lock is half-written or
+/// unreadable (the owner died between creating and filling it).
+fn lock_state(path: &Path, ttl: Duration) -> LockState {
+    match read_lock(path) {
+        Ok(record) => {
+            if unix_now() >= record.claimed_unix.saturating_add(ttl.as_secs()) {
+                LockState::Stale
+            } else {
+                LockState::Fresh
+            }
+        }
+        Err(crate::store::StoreError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
+            LockState::Gone
+        }
+        Err(_) => match std::fs::metadata(path).and_then(|m| m.modified()) {
+            // `elapsed` errs when mtime is in the future (clock skew):
+            // treat as fresh — never reclaim on skew alone.
+            Ok(mtime) => match mtime.elapsed() {
+                Ok(age) if age >= ttl => LockState::Stale,
+                _ => LockState::Fresh,
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => LockState::Gone,
+            Err(_) => LockState::Fresh,
+        },
+    }
+}
+
+/// Tries to claim and execute the run in plan-order `slot`.
+///
+/// The claim sequence (each step atomic on POSIX filesystems):
+///
+/// 1. if a valid outcome exists, the run is done — no claim needed;
+/// 2. create `claim-<id>.lock` with `O_CREAT|O_EXCL` — exclusive creation
+///    is the entire mutual-exclusion mechanism;
+/// 3. re-check the outcome (another worker may have finished between 1 and
+///    2), then simulate and write the outcome (temp file + rename), then
+///    remove the lock;
+/// 4. on a lost creation race: a fresh foreign lock blocks; a stale one is
+///    reclaimed by *renaming* it to a worker-unique name — exactly one
+///    contender wins the rename — and retrying from step 1.
+fn claim_one(
+    matrix: &RunMatrix,
+    slot: usize,
+    fingerprint: MatrixFingerprint,
+    dir: &Path,
+    config: &QueueConfig,
+) -> io::Result<Claim> {
+    let key = &matrix.keys()[slot];
+    let key_id = matrix.key_ids()[slot];
+    let outcome = dir.join(outcome_file_name(key_id));
+    let lock = dir.join(lock_file_name(key_id));
+    let mut reclaimed = false;
+    loop {
+        if outcome_is_valid(&outcome, fingerprint, key) {
+            return Ok(Claim::AlreadyDone);
+        }
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock)
+        {
+            Ok(mut file) => {
+                let record = LockRecord {
+                    key_id,
+                    worker: config.worker.clone(),
+                    claimed_unix: unix_now(),
+                };
+                // Best-effort: an empty lock still excludes; readers fall
+                // back to its mtime for staleness.
+                let _ = file.write_all(record.to_json().as_bytes());
+                drop(file);
+                // Double-check: the run may have completed between the
+                // validity check and our claim.
+                if outcome_is_valid(&outcome, fingerprint, key) {
+                    let _ = std::fs::remove_file(&lock);
+                    return Ok(Claim::AlreadyDone);
+                }
+                let result = matrix.simulation(slot).run();
+                let written = write_outcome(dir, fingerprint, key, &result);
+                let _ = std::fs::remove_file(&lock);
+                written?;
+                return Ok(Claim::Executed { reclaimed });
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                match lock_state(&lock, config.lock_ttl) {
+                    LockState::Gone => continue,
+                    LockState::Fresh => return Ok(Claim::Blocked),
+                    LockState::Stale => {
+                        let tomb = dir.join(format!(".reclaim-{key_id}-{}", config.worker));
+                        if std::fs::rename(&lock, &tomb).is_ok() {
+                            let _ = std::fs::remove_file(&tomb);
+                            reclaimed = true;
+                        }
+                        // Rename lost ⇒ someone else reclaimed or the owner
+                        // finished; either way, re-evaluate from the top.
+                        continue;
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Per-pass tallies of a queue worker.
+#[derive(Default)]
+struct PassStats {
+    executed: usize,
+    reclaimed: usize,
+    blocked: usize,
+}
+
+/// One pass over `candidates`: worker threads race down the list claiming
+/// what they can. Runs proven complete (executed here, or found done) are
+/// marked in `done` so later passes skip re-validating them — outcome
+/// validity is monotonic, a valid file never becomes invalid.
+fn queue_pass(
+    matrix: &RunMatrix,
+    fingerprint: MatrixFingerprint,
+    dir: &Path,
+    config: &QueueConfig,
+    threads: usize,
+    candidates: &[usize],
+    done: &[std::sync::atomic::AtomicBool],
+) -> io::Result<PassStats> {
+    let workers = threads.clamp(1, candidates.len().max(1));
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let stats = Mutex::new(PassStats::default());
+    let failure: Mutex<Option<io::Error>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failure.lock().expect("failure flag poisoned").is_some() {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&slot) = candidates.get(i) else {
+                    break;
+                };
+                match claim_one(matrix, slot, fingerprint, dir, config) {
+                    Ok(claim) => {
+                        let mut stats = stats.lock().expect("stats poisoned");
+                        match claim {
+                            Claim::Executed { reclaimed } => {
+                                done[slot].store(true, Ordering::Relaxed);
+                                stats.executed += 1;
+                                if reclaimed {
+                                    stats.reclaimed += 1;
+                                }
+                            }
+                            Claim::AlreadyDone => {
+                                done[slot].store(true, Ordering::Relaxed);
+                            }
+                            Claim::Blocked => stats.blocked += 1,
+                        }
+                    }
+                    Err(e) => {
+                        failure
+                            .lock()
+                            .expect("failure flag poisoned")
+                            .get_or_insert(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().expect("failure flag poisoned") {
+        return Err(e);
+    }
+    Ok(stats.into_inner().expect("stats poisoned"))
+}
+
+/// Drains `matrix` through the shared work queue in `dir` on the default
+/// worker pool: the elastic counterpart of [`execute_shard`].
+///
+/// Every participating worker (any number of processes on any number of
+/// hosts sharing `dir`) runs this same function with the same planned
+/// matrix; each run executes exactly once under cooperating workers, and at
+/// least once — always converging to the same bit-identical outcome files —
+/// under crashes and reclaims. The four-step claim sequence is documented
+/// in `docs/SWEEP.md` (§ "The lock-file / reclaim protocol"); its
+/// invariants:
+///
+/// * **Mutual exclusion** comes from `O_CREAT|O_EXCL` lock creation; lock
+///   *contents* are diagnostics only.
+/// * **Crash safety**: outcomes are written atomically before the lock is
+///   released, so a lock's absence plus an outcome's presence proves
+///   completion; a killed worker leaves at most one lock, which goes stale
+///   after [`QueueConfig::lock_ttl`] and is reclaimed by rename (exactly
+///   one contender can win).
+/// * **Idempotence**: runs are deterministic in their key, so even a
+///   duplicate execution after an over-eager reclaim rewrites byte-identical
+///   content.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir`, creating locks, or writing
+/// outcome files.
+pub fn execute_queue(
+    matrix: &RunMatrix,
+    dir: &Path,
+    config: &QueueConfig,
+) -> io::Result<QueueReport> {
+    execute_queue_with_threads(matrix, dir, config, default_threads())
+}
+
+/// [`execute_queue`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir`, creating locks, or writing
+/// outcome files.
+pub fn execute_queue_with_threads(
+    matrix: &RunMatrix,
+    dir: &Path,
+    config: &QueueConfig,
+    threads: usize,
+) -> io::Result<QueueReport> {
+    std::fs::create_dir_all(dir)?;
+    let fingerprint = matrix.fingerprint();
+    let order = matrix.canonical_order();
+    // Completion is monotonic, so it is remembered across passes: only
+    // not-yet-done slots are (re-)examined, and `claim_one` performs the
+    // actual on-disk validity check for those. Without this, an idle worker
+    // would re-read and re-parse every completed outcome file on every
+    // poll tick — painful on a large sweep over a network filesystem.
+    let done: Vec<std::sync::atomic::AtomicBool> = (0..matrix.len())
+        .map(|_| std::sync::atomic::AtomicBool::new(false))
+        .collect();
+    let mut report = QueueReport {
+        planned: matrix.len(),
+        executed: 0,
+        reclaimed: 0,
+        passes: 0,
+        complete: false,
+    };
+    loop {
+        report.passes += 1;
+        let candidates: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&slot| !done[slot].load(Ordering::Relaxed))
+            .collect();
+        if candidates.is_empty() {
+            report.complete = true;
+            return Ok(report);
+        }
+        let stats = queue_pass(
+            matrix,
+            fingerprint,
+            dir,
+            config,
+            threads,
+            &candidates,
+            &done,
+        )?;
+        report.executed += stats.executed;
+        report.reclaimed += stats.reclaimed;
+        if stats.executed == 0 && stats.blocked > 0 {
+            // Everything left is claimed by other live workers: wait for
+            // them (their completion or their locks going stale both
+            // unblock the next pass), or hand the tally back.
+            if !config.wait {
+                return Ok(report);
+            }
+            std::thread::sleep(config.poll);
+        }
+    }
+}
+
+/// Seeds only this shard's slice of `partial`'s cache hits into `dir`
+/// (under `matrix`'s own fingerprint), returning how many files it wrote.
+///
+/// The slice restriction is what keeps `--reuse` composable with static
+/// sharding: each of the `N` shard directories receives only the runs its
+/// [`ShardSpec`] owns, so the directories stay disjoint and the strict
+/// merge's [`DuplicateKey`](crate::store::StoreError::DuplicateKey) check
+/// still catches genuinely overlapping shards. Use
+/// [`seed_outcomes`](crate::store::seed_outcomes) (the
+/// [`ShardSpec::full`] equivalent) for queue and single-directory modes,
+/// where one directory holds the whole sweep.
+///
+/// # Panics
+///
+/// Panics if `partial` was probed against a different matrix.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir` or writing outcome files.
+pub fn seed_shard_outcomes(
+    matrix: &RunMatrix,
+    partial: &PartialLoad,
+    dir: &Path,
+    spec: ShardSpec,
+) -> io::Result<usize> {
+    let slots: Vec<usize> = matrix
+        .canonical_order()
+        .into_iter()
+        .enumerate()
+        .filter(|&(rank, _)| spec.selects(rank))
+        .map(|(_, slot)| slot)
+        .collect();
+    crate::store::seed_outcome_slots(matrix, partial, dir, &slots)
+}
+
+/// Outcomes assembled from cache hits plus a freshly executed delta.
+#[derive(Debug)]
+pub struct DeltaReport {
+    /// The complete outcomes for the planned matrix.
+    pub outcomes: RunOutcomes,
+    /// Runs answered from the cache ([`PartialLoad::reused`]).
+    pub reused: usize,
+    /// Runs this call simulated (the cache misses).
+    pub executed: usize,
+}
+
+/// Completes a [`PartialLoad`] in memory: executes only the planned runs
+/// the cache missed, on the default worker pool, and returns full
+/// [`RunOutcomes`] indistinguishable from an end-to-end execution — the
+/// reuse-safety argument in [`crate::store`] is what makes the splice sound.
+///
+/// # Panics
+///
+/// Panics if `partial` was probed against a different matrix.
+pub fn execute_delta(matrix: &RunMatrix, partial: PartialLoad) -> DeltaReport {
+    execute_delta_with_threads(matrix, partial, default_threads())
+}
+
+/// [`execute_delta`] with an explicit worker-thread count.
+///
+/// # Panics
+///
+/// Panics if `partial` was probed against a different matrix.
+pub fn execute_delta_with_threads(
+    matrix: &RunMatrix,
+    partial: PartialLoad,
+    threads: usize,
+) -> DeltaReport {
+    let missing = partial.missing_slots(matrix);
+    let fresh: Vec<RunResult> =
+        parallel_map_with_threads(&missing, threads, |&slot| matrix.simulation(slot).run());
+    let reused = partial.reused;
+    let mut results = partial.into_results();
+    for (&slot, result) in missing.iter().zip(fresh) {
+        results[slot] = Some(result);
+    }
+    DeltaReport {
+        outcomes: RunOutcomes::from_results(
+            matrix.local_id(),
+            results
+                .into_iter()
+                .map(|r| r.expect("hits plus delta cover every slot"))
+                .collect(),
+        ),
+        reused,
+        executed: missing.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::PrefetcherConfig;
-    use crate::store::RunStore;
+    use crate::store::{read_outcome, RunStore};
     use shift_trace::{presets, Scale};
     use std::fs;
     use std::path::PathBuf;

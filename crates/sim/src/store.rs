@@ -22,6 +22,36 @@
 //! [`RunMatrix::execute`](crate::RunMatrix::execute) would have produced.
 //! Foreign sweeps, duplicate keys, and missing runs are rejected with
 //! typed [`StoreError`]s rather than silently merged.
+//!
+//! # The outcome directory as a cache
+//!
+//! Strict loading treats an outcome directory as *the durable state of one
+//! sweep*; [`RunStore::load_partial`] treats it as a *cache of individual
+//! runs* instead. It accepts any outcome file whose embedded key JSON is
+//! byte-identical to a key in the locally planned matrix — regardless of the
+//! recorded [`MatrixFingerprint`] — and reports which planned runs are still
+//! missing, so a changed plan (one figure added, one sweep point removed)
+//! re-executes only its delta.
+//!
+//! **Reuse-safety argument.** A [`RunKey`] is, by construction, *everything*
+//! that determines a run's [`RunResult`] (full CMP config, options, workload
+//! assignment — see [`RunKey`]'s docs), and simulations are deterministic in
+//! their key. Therefore an outcome whose embedded canonical key JSON equals
+//! the planned key's byte-for-byte would be reproduced bit-identically by
+//! re-executing the run, and substituting the cached result is sound. The
+//! matrix fingerprint certifies something different — that a directory
+//! *completely covers one specific sweep* — which is why the strict
+//! [`RunStore::load`] keeps enforcing it while per-key reuse ignores it.
+//!
+//! # Claim locks
+//!
+//! Work-queue execution ([`crate::shard::execute_queue`]) coordinates
+//! workers through `claim-<RunKeyId>.lock` files in the same directory; the
+//! file names are reserved here (next to the outcome-file schema) so every
+//! consumer agrees on the directory layout. Lock files are transient: a
+//! drained queue leaves none behind, and both [`RunStore::load`] and
+//! [`RunStore::load_partial`] ignore them except to improve the diagnostic
+//! when runs are missing ([`StoreError::ActiveLocks`]).
 
 use std::fmt;
 use std::fs;
@@ -161,6 +191,18 @@ pub enum StoreError {
         /// Total planned runs.
         planned: usize,
     },
+    /// Some planned runs have no outcome but *do* have claim lock files:
+    /// a queue worker is still executing them (merge too early), or workers
+    /// died holding claims (the locks become reclaimable once the TTL
+    /// expires — see [`crate::shard::execute_queue`]).
+    ActiveLocks {
+        /// Lock files found for missing runs, sorted.
+        locks: Vec<PathBuf>,
+        /// Total runs without outcomes (locked or not).
+        missing: usize,
+        /// Total planned runs.
+        planned: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -209,6 +251,21 @@ impl fmt::Display for StoreError {
                         .map_or_else(|| "-".to_owned(), ToString::to_string)
                 )
             }
+            StoreError::ActiveLocks {
+                locks,
+                missing,
+                planned,
+            } => write!(
+                f,
+                "merge is missing {missing} of {planned} planned runs and found {} claim \
+                 lock file(s) for them — queue workers are still draining this directory \
+                 (merge after they exit), or died holding claims (re-run a worker; stale \
+                 locks are reclaimed after the TTL); first lock: {}",
+                locks.len(),
+                locks
+                    .first()
+                    .map_or_else(|| "-".to_owned(), |p| p.display().to_string())
+            ),
         }
     }
 }
@@ -247,9 +304,96 @@ pub fn outcome_file_name(key_id: RunKeyId) -> String {
     format!("run-{key_id}.json")
 }
 
+/// File name of the queue claim lock for `key_id` inside an outcome
+/// directory (see [`crate::shard::execute_queue`] for the claim protocol).
+pub fn lock_file_name(key_id: RunKeyId) -> String {
+    format!("claim-{key_id}.lock")
+}
+
+/// Version tag of the claim-lock layout; bump when fields change meaning.
+pub const LOCK_SCHEMA: u32 = 1;
+
+/// One parsed claim lock file: who claimed a run, and when.
+///
+/// The contents are *informational* (operator diagnostics, staleness
+/// assessment); the lock's mutual-exclusion property comes entirely from the
+/// atomicity of its exclusive creation, never from what is in it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockRecord {
+    /// The claimed run.
+    pub key_id: RunKeyId,
+    /// Free-form id of the claiming worker (host/pid style).
+    pub worker: String,
+    /// When the claim was taken, as seconds since the Unix epoch *on the
+    /// claiming worker's clock*. Staleness checks compare it against the
+    /// reader's clock, so the reclaim TTL must comfortably exceed any
+    /// cross-machine clock skew.
+    pub claimed_unix: u64,
+}
+
+impl LockRecord {
+    /// The lock's serialized form (compact JSON).
+    pub(crate) fn to_json(&self) -> String {
+        let doc = Value::Map(vec![
+            ("schema".to_owned(), LOCK_SCHEMA.to_value()),
+            ("key_id".to_owned(), self.key_id.to_value()),
+            ("worker".to_owned(), self.worker.to_value()),
+            ("claimed_unix".to_owned(), self.claimed_unix.to_value()),
+        ]);
+        json::to_string(&doc)
+    }
+}
+
+/// Parses one claim lock file.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the file is unreadable, [`StoreError::Malformed`]
+/// if it does not parse or has the wrong schema. A half-written lock (the
+/// claiming worker died between creating and filling it) parses as
+/// malformed; the queue's staleness check falls back to the file's mtime in
+/// that case rather than failing.
+pub fn read_lock(path: &Path) -> Result<LockRecord, StoreError> {
+    let malformed = |reason: String| StoreError::Malformed {
+        path: path.to_path_buf(),
+        reason,
+    };
+    let text = fs::read_to_string(path)?;
+    let doc = json::parse(&text).map_err(|e| malformed(e.to_string()))?;
+    let read_field = |name: &str| {
+        doc.get(name)
+            .ok_or_else(|| malformed(format!("missing `{name}` field")))
+    };
+    let schema = u32::from_value(read_field("schema")?)
+        .map_err(|e| malformed(format!("bad `schema`: {e}")))?;
+    if schema != LOCK_SCHEMA {
+        return Err(malformed(format!(
+            "lock schema {schema} is not the supported {LOCK_SCHEMA}"
+        )));
+    }
+    Ok(LockRecord {
+        key_id: RunKeyId::from_value(read_field("key_id")?)
+            .map_err(|e| malformed(format!("bad `key_id`: {e}")))?,
+        worker: String::from_value(read_field("worker")?)
+            .map_err(|e| malformed(format!("bad `worker`: {e}")))?,
+        claimed_unix: u64::from_value(read_field("claimed_unix")?)
+            .map_err(|e| malformed(format!("bad `claimed_unix`: {e}")))?,
+    })
+}
+
+/// Process-wide counter making concurrent writers' temp files distinct.
+static NEXT_TMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Writes one run's outcome under `dir`, atomically (write to a temp file,
 /// then rename), so a killed shard never leaves a half-written outcome that
 /// a resume or merge would trip over.
+///
+/// The temp name is unique per writer (pid + counter): two workers racing
+/// to persist the same run — possible after an over-eager queue reclaim, or
+/// when several reusing workers seed one directory — each complete their
+/// own write, and whichever rename lands last wins with byte-identical
+/// content. A shared temp name would instead let one writer rename the
+/// other's half-written file into place.
 pub(crate) fn write_outcome(
     dir: &Path,
     fingerprint: MatrixFingerprint,
@@ -265,9 +409,24 @@ pub(crate) fn write_outcome(
         ("result".to_owned(), result.to_value()),
     ]);
     let final_path = dir.join(outcome_file_name(key_id));
-    let tmp_path = dir.join(format!(".tmp-{key_id}.json"));
+    let tmp_path = dir.join(format!(
+        ".tmp-{key_id}-{}-{}.json",
+        std::process::id(),
+        NEXT_TMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
     fs::write(&tmp_path, json::to_string_pretty(&doc))?;
     fs::rename(&tmp_path, &final_path)
+}
+
+/// `true` if `path` holds a valid, reusable outcome for `key` executed
+/// under `fingerprint` (parses, right sweep, byte-identical embedded key).
+/// The one definition of "this run is done" shared by shard resume, queue
+/// claims, and reuse seeding.
+pub(crate) fn outcome_is_valid(path: &Path, fingerprint: MatrixFingerprint, key: &RunKey) -> bool {
+    match read_outcome(path) {
+        Ok(record) => record.matrix == fingerprint && record.key_json == key.canonical_json(),
+        Err(_) => false,
+    }
 }
 
 /// Parses and integrity-checks one outcome file.
@@ -400,6 +559,26 @@ impl RunStore {
             .map(|slot| matrix.key_ids()[slot])
             .collect();
         if !missing.is_empty() {
+            // If the incomplete runs are claim-locked, say so — the operator
+            // is merging under live (or dead) queue workers, which has a
+            // different fix than a shard that never ran.
+            let mut locks: Vec<PathBuf> = Vec::new();
+            for dir in &self.dirs {
+                for &key_id in &missing {
+                    let lock = dir.join(lock_file_name(key_id));
+                    if lock.exists() {
+                        locks.push(lock);
+                    }
+                }
+            }
+            if !locks.is_empty() {
+                locks.sort();
+                return Err(StoreError::ActiveLocks {
+                    locks,
+                    missing: missing.len(),
+                    planned: matrix.len(),
+                });
+            }
             return Err(StoreError::MissingRuns {
                 missing,
                 planned: matrix.len(),
@@ -413,6 +592,183 @@ impl RunStore {
                 .collect(),
         ))
     }
+
+    /// Loads every outcome file *reusable under `matrix`*, ignoring matrix
+    /// fingerprints: the incremental half of the outcome cache.
+    ///
+    /// A file is reusable iff its embedded key's canonical JSON is
+    /// byte-identical to a planned key's (see the
+    /// [reuse-safety argument](self#the-outcome-directory-as-a-cache)); the
+    /// content-addressed [`RunKeyId`] is only the lookup accelerator, never
+    /// the authority. Everything else is tolerated rather than rejected —
+    /// this is a cache probe, not an integrity check of one sweep:
+    ///
+    /// * files for keys the plan does not contain are skipped (counted in
+    ///   [`PartialLoad::skipped_foreign`]) — they belong to other sweeps
+    ///   sharing the cache;
+    /// * malformed or truncated files are skipped (paths collected in
+    ///   [`PartialLoad::skipped_malformed`]) — the run simply re-executes;
+    /// * a key present in several files (same dir listed twice, overlapping
+    ///   caches) reuses the first in sorted order — byte-identical keys
+    ///   guarantee the recorded results agree.
+    ///
+    /// # Errors
+    ///
+    /// Only filesystem errors ([`StoreError::Io`]) propagate.
+    pub fn load_partial(&self, matrix: &RunMatrix) -> Result<PartialLoad, StoreError> {
+        let slot_of = |key_id: RunKeyId| -> Option<usize> {
+            matrix.key_ids().iter().position(|&id| id == key_id)
+        };
+        let mut results: Vec<Option<RunResult>> = vec![None; matrix.len()];
+        let mut scanned = 0usize;
+        let mut skipped_foreign = 0usize;
+        let mut skipped_malformed: Vec<PathBuf> = Vec::new();
+
+        for dir in &self.dirs {
+            for path in outcome_paths(dir)? {
+                scanned += 1;
+                let record = match read_outcome(&path) {
+                    Ok(record) => record,
+                    Err(StoreError::Io(e)) => return Err(StoreError::Io(e)),
+                    Err(_) => {
+                        skipped_malformed.push(path);
+                        continue;
+                    }
+                };
+                let Some(slot) = slot_of(record.key_id) else {
+                    skipped_foreign += 1;
+                    continue;
+                };
+                if record.key_json != matrix.keys()[slot].canonical_json() {
+                    // A 64-bit id collision with a *different* key: not ours.
+                    skipped_foreign += 1;
+                    continue;
+                }
+                if results[slot].is_none() {
+                    results[slot] = Some(record.result);
+                }
+            }
+        }
+
+        let reused = results.iter().filter(|r| r.is_some()).count();
+        Ok(PartialLoad {
+            matrix_id: matrix.local_id(),
+            results,
+            scanned,
+            reused,
+            skipped_foreign,
+            skipped_malformed,
+        })
+    }
+}
+
+/// What [`RunStore::load_partial`] recovered from the cache: per-slot hits
+/// for one planned [`RunMatrix`], plus what the scan skipped.
+///
+/// Feed it to [`execute_delta`](crate::shard::execute_delta) to run only the
+/// missing slots, or to [`seed_outcomes`] to persist the hits into a fresh
+/// outcome directory under the new plan's fingerprint.
+#[derive(Clone, Debug)]
+pub struct PartialLoad {
+    /// The planning matrix's process-local id; delta execution asserts it.
+    matrix_id: u64,
+    /// One slot per planned run, in plan order; `Some` where the cache hit.
+    results: Vec<Option<RunResult>>,
+    /// Outcome files examined across all directories.
+    pub scanned: usize,
+    /// Planned runs with a reusable cached result.
+    pub reused: usize,
+    /// Valid outcome files whose key the plan does not contain.
+    pub skipped_foreign: usize,
+    /// Files that did not parse or failed integrity checks — their runs
+    /// re-execute; surface these to the operator, silent corruption is how
+    /// caches rot.
+    pub skipped_malformed: Vec<PathBuf>,
+}
+
+impl PartialLoad {
+    /// The cached result for plan-order `slot`, if the cache hit.
+    pub fn hit(&self, slot: usize) -> Option<&RunResult> {
+        self.results.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Plan-order slots with no cached result, in canonical order — the
+    /// delta a reusing run must still execute.
+    pub fn missing_slots(&self, matrix: &RunMatrix) -> Vec<usize> {
+        assert_eq!(
+            self.matrix_id,
+            matrix.local_id(),
+            "PartialLoad was probed against a different RunMatrix"
+        );
+        matrix
+            .canonical_order()
+            .into_iter()
+            .filter(|&slot| self.results[slot].is_none())
+            .collect()
+    }
+
+    /// The matrix id this load was probed against (same-matrix assertions).
+    pub(crate) fn matrix_id(&self) -> u64 {
+        self.matrix_id
+    }
+
+    /// Consumes the load into its per-slot results (plan order).
+    pub(crate) fn into_results(self) -> Vec<Option<RunResult>> {
+        self.results
+    }
+}
+
+/// Persists every cache hit of `partial` into `dir` as a regular outcome
+/// file under **`matrix`'s own fingerprint**, skipping runs whose valid
+/// outcome is already present. Returns how many files it wrote.
+///
+/// This is how `--reuse OLD --outcomes NEW` composes with every execution
+/// mode: after seeding, `NEW` looks exactly as if the reused runs had been
+/// executed into it, so shard resume, queue draining, and the strict
+/// [`RunStore::load`] all work unchanged on top.
+///
+/// # Panics
+///
+/// Panics if `partial` was probed against a different matrix.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir` or writing outcome files.
+pub fn seed_outcomes(matrix: &RunMatrix, partial: &PartialLoad, dir: &Path) -> io::Result<usize> {
+    let all: Vec<usize> = (0..matrix.len()).collect();
+    seed_outcome_slots(matrix, partial, dir, &all)
+}
+
+/// [`seed_outcomes`] restricted to the given plan-order `slots` — how a
+/// `K/N` shard seeds only the slice it owns, so the per-shard directories
+/// stay disjoint and the strict merge's duplicate check keeps its teeth.
+pub(crate) fn seed_outcome_slots(
+    matrix: &RunMatrix,
+    partial: &PartialLoad,
+    dir: &Path,
+    slots: &[usize],
+) -> io::Result<usize> {
+    assert_eq!(
+        partial.matrix_id(),
+        matrix.local_id(),
+        "PartialLoad was probed against a different RunMatrix"
+    );
+    fs::create_dir_all(dir)?;
+    let fingerprint = matrix.fingerprint();
+    let mut written = 0usize;
+    for &slot in slots {
+        let Some(result) = partial.hit(slot) else {
+            continue;
+        };
+        let key = &matrix.keys()[slot];
+        let path = dir.join(outcome_file_name(matrix.key_ids()[slot]));
+        if outcome_is_valid(&path, fingerprint, key) {
+            continue;
+        }
+        write_outcome(dir, fingerprint, key, result)?;
+        written += 1;
+    }
+    Ok(written)
 }
 
 /// The outcome files under `dir`, sorted by name for deterministic error

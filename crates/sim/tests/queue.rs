@@ -1,0 +1,371 @@
+//! Work-queue and incremental-reuse tests for the sweep pipeline.
+//!
+//! The central property mirrors the shard one: for *any* matrix and *any*
+//! number of concurrent queue workers sharing one directory, the drained
+//! queue merges bit-identical to a serial in-process execution. The
+//! negative tests pin down the lock protocol (live claims are respected,
+//! stale claims are reclaimed, merging under locks is a typed error) and
+//! the cache semantics of partial loads (corrupted or foreign outcomes are
+//! cache misses, never poison).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use shift_sim::shard::{
+    execute_delta_with_threads, execute_queue_with_threads, execute_shard_with_threads,
+};
+use shift_sim::store::{lock_file_name, outcome_file_name, read_lock, seed_outcomes};
+use shift_sim::{
+    PrefetcherConfig, QueueConfig, RunKeyId, RunMatrix, RunStore, ShardSpec, StoreError,
+};
+use shift_trace::{presets, Scale};
+
+/// A claim lock as a dead/foreign worker would have written it (the schema
+/// is field-order independent; `read_lock` keys on names).
+fn lock_json(key_id: RunKeyId, worker: &str, claimed_unix: u64) -> String {
+    format!(
+        "{{\"schema\": 1, \"key_id\": \"{key_id}\", \"worker\": \"{worker}\", \
+         \"claimed_unix\": {claimed_unix}}}"
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shift-sim-queue-test-{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn prefetcher(idx: u64) -> PrefetcherConfig {
+    match idx % 4 {
+        0 => PrefetcherConfig::None,
+        1 => PrefetcherConfig::next_line(),
+        2 => PrefetcherConfig::pif_2k(),
+        _ => PrefetcherConfig::shift_virtualized(),
+    }
+}
+
+fn build_matrix(entries: &[(u64, u64, u64)]) -> (RunMatrix, Vec<shift_sim::RunHandle>) {
+    let workloads = [
+        presets::tiny().with_region_index(0),
+        presets::tiny().with_region_index(1),
+    ];
+    let mut matrix = RunMatrix::new();
+    let handles = entries
+        .iter()
+        .map(|&(w, p, seed)| {
+            matrix.standalone(
+                &workloads[(w % 2) as usize],
+                prefetcher(p),
+                2,
+                Scale::Test,
+                seed % 3,
+            )
+        })
+        .collect();
+    (matrix, handles)
+}
+
+/// A test worker config: distinct id, fast poll, default (long) TTL so
+/// cooperating workers never steal each other's live claims.
+fn worker(tag: &str) -> QueueConfig {
+    let mut config = QueueConfig::new(format!("test-{tag}"));
+    config.poll = Duration::from_millis(10);
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For random matrices and any worker count in 1..=4, K concurrent
+    /// queue workers sharing one directory drain it to outcomes that merge
+    /// bit-identical to `execute_serial()`, with every run executed exactly
+    /// once across the fleet.
+    #[test]
+    fn concurrent_queue_workers_merge_bit_identical_to_serial(
+        entries in proptest::collection::vec((0u64..2, 0u64..4, 0u64..3), 1..5),
+        workers in 1usize..=4,
+    ) {
+        let (matrix, handles) = build_matrix(&entries);
+        let serial = matrix.execute_serial();
+
+        let dir = temp_dir(&format!("prop-{workers}"));
+        let reports: Vec<_> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..workers)
+                .map(|w| {
+                    let dir = dir.clone();
+                    let matrix = &matrix;
+                    scope.spawn(move || {
+                        execute_queue_with_threads(matrix, &dir, &worker(&format!("w{w}")), 1)
+                            .expect("queue worker")
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("worker thread")).collect()
+        });
+
+        // Wait-mode workers only return once the sweep is complete, and
+        // cooperating workers (TTL far above run time) never duplicate work.
+        let executed_total: usize = reports.iter().map(|r| r.executed).sum();
+        prop_assert_eq!(executed_total, matrix.len(), "each run executes exactly once");
+        for report in &reports {
+            prop_assert!(report.complete);
+            prop_assert_eq!(report.reclaimed, 0, "no stale locks among live workers");
+        }
+        // A drained queue leaves no locks behind.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            prop_assert!(name.starts_with("run-"), "leftover non-outcome file {name}");
+        }
+
+        let merged = RunStore::new([&dir]).load(&matrix).expect("strict merge");
+        for &handle in &handles {
+            prop_assert_eq!(&merged[handle], &serial[handle]);
+        }
+        prop_assert_eq!(format!("{merged:?}"), format!("{serial:?}"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn stale_lock_is_reclaimed_and_run_executes() {
+    let (matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
+    let dir = temp_dir("stale-reclaim");
+    fs::create_dir_all(&dir).unwrap();
+
+    // A worker died holding a claim: its lock records a long-past claim
+    // time, and no outcome exists for the run.
+    let victim = matrix.key_ids()[0];
+    // Claimed in 1970: stale under any sane TTL.
+    fs::write(
+        dir.join(lock_file_name(victim)),
+        lock_json(victim, "dead-worker", 1_000),
+    )
+    .unwrap();
+
+    let report = execute_queue_with_threads(&matrix, &dir, &worker("reclaimer"), 1)
+        .expect("queue drains past the stale lock");
+    assert!(report.complete);
+    assert_eq!(report.executed, matrix.len(), "all runs execute");
+    assert!(
+        report.reclaimed >= 1,
+        "the dead worker's claim was reclaimed"
+    );
+    assert!(
+        !dir.join(lock_file_name(victim)).exists(),
+        "the stale lock is gone"
+    );
+    RunStore::new([&dir]).load(&matrix).expect("complete sweep");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn live_lock_is_respected_and_merge_reports_active_locks() {
+    let (matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1)]);
+    let dir = temp_dir("live-lock");
+    fs::create_dir_all(&dir).unwrap();
+
+    // Another worker holds a *fresh* claim on one run.
+    let held = matrix.key_ids()[0];
+    let lock_path = dir.join(lock_file_name(held));
+    fs::write(&lock_path, lock_json(held, "other-live-worker", now_unix())).unwrap();
+
+    // A non-waiting worker executes everything else and reports incomplete.
+    let mut config = worker("polite");
+    config.wait = false;
+    let report = execute_queue_with_threads(&matrix, &dir, &config, 1).expect("queue worker");
+    assert!(!report.complete, "the held run is not ours to finish");
+    assert_eq!(report.executed, matrix.len() - 1);
+    assert_eq!(report.reclaimed, 0);
+    assert!(lock_path.exists(), "the live lock was not touched");
+    let record = read_lock(&lock_path).expect("lock still parses");
+    assert_eq!(record.worker, "other-live-worker");
+
+    // Merging now surfaces the claim instead of a bare MissingRuns.
+    let err = RunStore::new([&dir]).load(&matrix).unwrap_err();
+    match err {
+        StoreError::ActiveLocks {
+            locks,
+            missing,
+            planned,
+        } => {
+            assert_eq!(locks, vec![lock_path.clone()]);
+            assert_eq!(missing, 1);
+            assert_eq!(planned, matrix.len());
+        }
+        other => panic!("expected ActiveLocks, got {other}"),
+    }
+
+    // Once the claim is released (owner finished elsewhere / operator
+    // removed it), a waiting worker completes the sweep.
+    fs::remove_file(&lock_path).unwrap();
+    let report = execute_queue_with_threads(&matrix, &dir, &worker("finisher"), 1).unwrap();
+    assert!(report.complete);
+    assert_eq!(report.executed, 1);
+    RunStore::new([&dir]).load(&matrix).expect("complete sweep");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn queue_resumes_a_partially_filled_directory() {
+    let (matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2), (1, 3, 0)]);
+    let dir = temp_dir("queue-resume");
+    // A shard (or previous queue run) already produced part of the sweep.
+    execute_shard_with_threads(&matrix, ShardSpec::new(1, 2), &dir, 1).unwrap();
+    let preexisting = fs::read_dir(&dir).unwrap().count();
+    assert!(preexisting > 0 && preexisting < matrix.len());
+
+    let report = execute_queue_with_threads(&matrix, &dir, &worker("resumer"), 2).unwrap();
+    assert!(report.complete);
+    assert_eq!(
+        report.executed,
+        matrix.len() - preexisting,
+        "only the missing runs execute"
+    );
+    RunStore::new([&dir]).load(&matrix).expect("complete sweep");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_cached_outcome_is_a_miss_not_poison() {
+    let (matrix, handles) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
+    let dir = temp_dir("reuse-corrupt");
+    execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+
+    // One cached outcome rots on disk.
+    let victim = dir.join(outcome_file_name(matrix.key_ids()[1]));
+    fs::write(&victim, "{\"schema\": 1, \"matrix\": \"trunca").unwrap();
+
+    let partial = RunStore::new([&dir]).load_partial(&matrix).expect("probe");
+    assert_eq!(partial.reused, matrix.len() - 1);
+    assert_eq!(partial.skipped_malformed, vec![victim]);
+    assert_eq!(partial.skipped_foreign, 0);
+
+    // The delta re-executes exactly the rotten run, and the spliced
+    // outcomes are bit-identical to a from-scratch serial execution.
+    let delta = execute_delta_with_threads(&matrix, partial, 1);
+    assert_eq!(delta.executed, 1);
+    assert_eq!(delta.reused, matrix.len() - 1);
+    let serial = matrix.execute_serial();
+    for &handle in &handles {
+        assert_eq!(&delta.outcomes[handle], &serial[handle]);
+    }
+    assert_eq!(format!("{:?}", delta.outcomes), format!("{serial:?}"));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partial_load_reuses_across_foreign_fingerprints_and_seeds_a_new_directory() {
+    // An old sweep's outcomes...
+    let (old_matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1)]);
+    let old_dir = temp_dir("reuse-old");
+    execute_shard_with_threads(&old_matrix, ShardSpec::full(), &old_dir, 1).unwrap();
+
+    // ...probed under a *grown* plan (different fingerprint, superset keys).
+    let (new_matrix, handles) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2), (1, 3, 0)]);
+    assert_ne!(old_matrix.fingerprint(), new_matrix.fingerprint());
+    assert!(new_matrix.len() > old_matrix.len());
+    // The strict merge refuses foreign fingerprints...
+    assert!(matches!(
+        RunStore::new([&old_dir]).load(&new_matrix),
+        Err(StoreError::ForeignMatrix { .. })
+    ));
+    // ...but the partial load reuses every still-planned key.
+    let partial = RunStore::new([&old_dir]).load_partial(&new_matrix).unwrap();
+    assert_eq!(partial.reused, old_matrix.len());
+    assert_eq!(partial.skipped_foreign, 0);
+    assert!(partial.skipped_malformed.is_empty());
+
+    // Seeding writes the hits under the NEW fingerprint; a queue worker
+    // then drains only the delta, and the strict merge accepts the result.
+    let new_dir = temp_dir("reuse-new");
+    let seeded = seed_outcomes(&new_matrix, &partial, &new_dir).expect("seed");
+    assert_eq!(seeded, old_matrix.len());
+    // Seeding is idempotent: valid outcomes are not rewritten.
+    assert_eq!(seed_outcomes(&new_matrix, &partial, &new_dir).unwrap(), 0);
+
+    let report = execute_queue_with_threads(&new_matrix, &new_dir, &worker("delta"), 1).unwrap();
+    assert_eq!(report.executed, new_matrix.len() - old_matrix.len());
+    let merged = RunStore::new([&new_dir]).load(&new_matrix).expect("merge");
+    let serial = new_matrix.execute_serial();
+    for &handle in &handles {
+        assert_eq!(&merged[handle], &serial[handle]);
+    }
+    fs::remove_dir_all(&old_dir).unwrap();
+    fs::remove_dir_all(&new_dir).unwrap();
+}
+
+/// `--reuse` composed with static `K/N` sharding: each shard seeds only
+/// the slice it owns, so the per-shard directories stay disjoint and the
+/// strict multi-directory merge succeeds (a full seed into every shard
+/// directory would duplicate every reused run and trip `DuplicateKey`).
+#[test]
+fn per_shard_seeding_keeps_shard_directories_disjoint() {
+    use shift_sim::shard::seed_shard_outcomes;
+
+    let (old_matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
+    let old_dir = temp_dir("shard-reuse-old");
+    execute_shard_with_threads(&old_matrix, ShardSpec::full(), &old_dir, 1).unwrap();
+
+    let (new_matrix, handles) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2), (1, 3, 0)]);
+    let partial = RunStore::new([&old_dir]).load_partial(&new_matrix).unwrap();
+    assert_eq!(partial.reused, old_matrix.len());
+
+    const SHARDS: usize = 2;
+    let dirs: Vec<PathBuf> = (1..=SHARDS)
+        .map(|k| temp_dir(&format!("shard-reuse-d{k}")))
+        .collect();
+    let mut seeded_total = 0;
+    let mut executed_total = 0;
+    for (k, dir) in dirs.iter().enumerate() {
+        let spec = ShardSpec::new(k + 1, SHARDS);
+        seeded_total += seed_shard_outcomes(&new_matrix, &partial, dir, spec).unwrap();
+        let report = execute_shard_with_threads(&new_matrix, spec, dir, 1).unwrap();
+        executed_total += report.executed;
+    }
+    assert_eq!(
+        seeded_total,
+        old_matrix.len(),
+        "every hit seeded exactly once"
+    );
+    assert_eq!(
+        executed_total,
+        new_matrix.len() - old_matrix.len(),
+        "only the delta executes across all shards"
+    );
+
+    // The disjoint shard directories merge strictly — no DuplicateKey.
+    let merged = RunStore::new(dirs.iter().cloned())
+        .load(&new_matrix)
+        .expect("disjoint shard+reuse directories merge");
+    let serial = new_matrix.execute_serial();
+    for &handle in &handles {
+        assert_eq!(&merged[handle], &serial[handle]);
+    }
+    for dir in dirs.iter().chain([&old_dir]) {
+        let _ = fs::remove_dir_all(dir);
+    }
+}
+
+/// Shrunken plans reuse too: outcomes for dropped keys are skipped as
+/// foreign, the kept keys hit.
+#[test]
+fn partial_load_skips_keys_the_plan_dropped() {
+    let (big, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
+    let dir = temp_dir("reuse-shrunk");
+    execute_shard_with_threads(&big, ShardSpec::full(), &dir, 1).unwrap();
+
+    let (small, _) = build_matrix(&[(0, 0, 0)]);
+    let partial = RunStore::new([&dir]).load_partial(&small).unwrap();
+    assert_eq!(partial.reused, small.len());
+    assert_eq!(partial.skipped_foreign, big.len() - small.len());
+    assert!(partial.missing_slots(&small).is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
