@@ -30,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod config;
 pub mod llc;

@@ -149,16 +149,18 @@ impl NucaLlc {
         self.traffic.record(class, self.config.block_bytes as u64);
         let bank_idx = self.bank_of(block);
         let local = self.bank_local(block);
-        let pinned = self.is_pinned(block);
-        let bank = &mut self.banks[bank_idx];
-        let hit = bank.access(local).is_hit();
-        let index_ptr = if hit {
-            bank.meta(local).and_then(|m| m.index_ptr)
+        // One combined scan resolves hit/miss, recency, and the index
+        // pointer; the pinned-range check only matters for fills, so it is
+        // deferred to the miss path.
+        let (result, meta) = self.banks[bank_idx].access_meta(local);
+        let hit = result.is_hit();
+        let index_ptr = if let Some(meta) = meta {
+            meta.index_ptr
         } else {
-            if pinned {
-                bank.fill_pinned(local, LlcMeta::default());
+            if self.is_pinned(block) {
+                self.banks[bank_idx].fill_pinned(local, LlcMeta::default());
             } else {
-                bank.fill(local, LlcMeta::default());
+                self.banks[bank_idx].fill(local, LlcMeta::default());
             }
             None
         };

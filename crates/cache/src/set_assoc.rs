@@ -1,4 +1,21 @@
 //! A set-associative cache with per-line metadata and pinning support.
+//!
+//! # Layout
+//!
+//! Per-line state lives in parallel packed arrays (`tags`, `last_use`,
+//! `meta`) indexed by `set * ways + way`, with per-set occupancy counts and a
+//! per-set pinned-way bitmask — a struct-of-arrays layout in which the tag
+//! scan of a lookup touches only the 8-byte tag lane instead of striding over
+//! full line structs. The scan itself is a branch-light fixed-width loop that
+//! builds a hit bitmask (one bit per way) the compiler can autovectorize; an
+//! explicit portable-SIMD variant sits behind the default-off `simd` feature
+//! (nightly toolchains only — stable builds use the pure-scalar loop).
+//!
+//! Within a set, live lines occupy ways `0..len` in the order the previous
+//! `Vec`-per-set representation kept them (fills append, evictions
+//! `swap_remove`), so replacement decisions — including the deterministic
+//! `Random` policy's k-th-unpinned-way choice — are bit-identical to the old
+//! layout.
 
 use serde::{Deserialize, Serialize};
 use shift_types::BlockAddr;
@@ -38,12 +55,64 @@ pub struct EvictedLine<M> {
     pub meta: M,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct Line<M> {
-    block: BlockAddr,
-    meta: M,
-    last_use: u64,
-    pinned: bool,
+/// Computes the hit bitmask of a fixed-width tag row: bit `w` is set iff
+/// `tags[w] == target`. Monomorphizing per associativity gives the compiler a
+/// compile-time trip count it fully unrolls and autovectorizes.
+#[inline(always)]
+fn hit_mask_fixed<const W: usize>(tags: &[u64], target: u64) -> u64 {
+    let row: &[u64; W] = tags.first_chunk::<W>().expect("set narrower than ways");
+    let mut mask = 0u64;
+    let mut w = 0;
+    while w < W {
+        mask |= u64::from(row[w] == target) << w;
+        w += 1;
+    }
+    mask
+}
+
+/// Scalar hit-mask scan, specialized for the associativities the simulator
+/// actually configures (2-way L1s, 16-way LLC banks, 4/8-way studies).
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+fn hit_mask(tags: &[u64], target: u64) -> u64 {
+    match tags.len() {
+        2 => hit_mask_fixed::<2>(tags, target),
+        4 => hit_mask_fixed::<4>(tags, target),
+        8 => hit_mask_fixed::<8>(tags, target),
+        16 => hit_mask_fixed::<16>(tags, target),
+        _ => {
+            let mut mask = 0u64;
+            for (w, &t) in tags.iter().enumerate() {
+                mask |= u64::from(t == target) << w;
+            }
+            mask
+        }
+    }
+}
+
+/// Portable-SIMD hit-mask scan: compare 8 ways per vector op against the
+/// splatted target and merge the lane masks. Requires a nightly toolchain
+/// (`core::simd`); enabled by the `simd` feature, which is default-off so
+/// stable builds stay pure-scalar.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn hit_mask(tags: &[u64], target: u64) -> u64 {
+    use std::simd::cmp::SimdPartialEq;
+    use std::simd::Simd;
+
+    let splat: Simd<u64, 8> = Simd::splat(target);
+    let mut mask = 0u64;
+    let mut shift = 0u32;
+    let mut chunks = tags.chunks_exact(8);
+    for chunk in &mut chunks {
+        let row = Simd::<u64, 8>::from_slice(chunk);
+        mask |= row.simd_eq(splat).to_bitmask() << shift;
+        shift += 8;
+    }
+    for (w, &t) in chunks.remainder().iter().enumerate() {
+        mask |= u64::from(t == target) << (shift as usize + w);
+    }
+    mask
 }
 
 /// A set-associative cache parameterized by per-line metadata `M`.
@@ -70,7 +139,20 @@ struct Line<M> {
 pub struct SetAssocCache<M> {
     config: CacheConfig,
     policy: ReplacementPolicy,
-    sets: Vec<Vec<Line<M>>>,
+    /// Associativity, hoisted out of `config` for the per-access path.
+    ways: usize,
+    /// Tag lane: the raw block number per line slot (`set * ways + way`).
+    /// Slots at or beyond a set's occupancy hold stale values that the
+    /// live-way mask excludes from every match.
+    tags: Vec<u64>,
+    /// Recency lane: the cache clock at each line's last touch.
+    last_use: Vec<u64>,
+    /// Metadata lane.
+    meta: Vec<M>,
+    /// Number of live ways per set; live lines pack ways `0..len`.
+    set_len: Vec<u8>,
+    /// Per-set bitmask of pinned (non-evictable) ways.
+    pinned: Vec<u64>,
     /// Number of sets, cached so the per-access index computation performs no
     /// division over the configuration.
     set_count: u64,
@@ -82,28 +164,69 @@ pub struct SetAssocCache<M> {
     victim_rng: VictimRng,
 }
 
-impl<M> SetAssocCache<M> {
+impl<M: Default> SetAssocCache<M> {
     /// Creates an empty cache with LRU replacement.
     pub fn new(config: CacheConfig) -> Self {
         Self::with_policy(config, ReplacementPolicy::Lru)
     }
 
     /// Creates an empty cache with the given replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64 (the pinned/live way bitmasks
+    /// are single words).
     pub fn with_policy(config: CacheConfig, policy: ReplacementPolicy) -> Self {
-        let set_count = config.sets() as u64;
-        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
+        assert!(config.ways <= 64, "associativity above 64 ways unsupported");
+        let sets = config.sets();
+        let set_count = sets as u64;
+        let slots = sets * config.ways;
+        let mut meta = Vec::with_capacity(slots);
+        meta.resize_with(slots, M::default);
         SetAssocCache {
-            config,
             policy,
-            sets,
+            ways: config.ways,
+            tags: vec![0; slots],
+            last_use: vec![0; slots],
+            meta,
+            set_len: vec![0; sets],
+            pinned: vec![0; sets],
             set_count,
             index_mask: set_count.is_power_of_two().then(|| set_count - 1),
             clock: 0,
             stats: CacheStats::default(),
             victim_rng: VictimRng::default(),
+            config,
         }
     }
 
+    /// Removes `block` from the cache, returning its metadata if it was
+    /// resident.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<M> {
+        let idx = self.set_index(block);
+        let base = idx * self.ways;
+        let len = self.set_len[idx] as usize;
+        let w = self.match_way(base, len, block.get())?;
+        let last = len - 1;
+        // Vacate the last live way and let it backfill the removed slot —
+        // the same compaction `Vec::swap_remove` performed.
+        let moved_meta = std::mem::take(&mut self.meta[base + last]);
+        let evicted = if w == last {
+            moved_meta
+        } else {
+            self.tags[base + w] = self.tags[base + last];
+            self.last_use[base + w] = self.last_use[base + last];
+            let moved_pin = (self.pinned[idx] >> last) & 1;
+            self.pinned[idx] = (self.pinned[idx] & !(1 << w)) | (moved_pin << w);
+            std::mem::replace(&mut self.meta[base + w], moved_meta)
+        };
+        self.pinned[idx] &= !(1 << last);
+        self.set_len[idx] = last as u8;
+        Some(evicted)
+    }
+}
+
+impl<M> SetAssocCache<M> {
     /// The cache's configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.config
@@ -121,7 +244,7 @@ impl<M> SetAssocCache<M> {
 
     /// Number of valid blocks currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.set_len.iter().map(|&l| l as usize).sum()
     }
 
     #[inline]
@@ -132,12 +255,28 @@ impl<M> SetAssocCache<M> {
         }
     }
 
+    /// Finds the live way holding `target` in the set at `base`, if any.
+    #[inline(always)]
+    fn match_way(&self, base: usize, len: usize, target: u64) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        let row = &self.tags[base..base + self.ways];
+        let live = hit_mask(row, target) & (u64::MAX >> (64 - len as u32));
+        if live == 0 {
+            None
+        } else {
+            Some(live.trailing_zeros() as usize)
+        }
+    }
+
     /// Returns `true` if `block` is resident, without updating recency or
     /// statistics.
     #[inline]
     pub fn probe(&self, block: BlockAddr) -> bool {
-        let set = &self.sets[self.set_index(block)];
-        set.iter().any(|l| l.block == block)
+        let idx = self.set_index(block);
+        self.match_way(idx * self.ways, self.set_len[idx] as usize, block.get())
+            .is_some()
     }
 
     /// Looks up `block`, updating recency and statistics. Does **not** fill on
@@ -147,16 +286,18 @@ impl<M> SetAssocCache<M> {
     pub fn access(&mut self, block: BlockAddr) -> AccessResult {
         self.clock += 1;
         self.stats.accesses += 1;
-        let clock = self.clock;
         let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
-            line.last_use = clock;
-            self.stats.hits += 1;
-            AccessResult::Hit
-        } else {
-            self.stats.misses += 1;
-            AccessResult::Miss
+        let base = idx * self.ways;
+        match self.match_way(base, self.set_len[idx] as usize, block.get()) {
+            Some(w) => {
+                self.last_use[base + w] = self.clock;
+                self.stats.hits += 1;
+                AccessResult::Hit
+            }
+            None => {
+                self.stats.misses += 1;
+                AccessResult::Miss
+            }
         }
     }
 
@@ -170,16 +311,18 @@ impl<M> SetAssocCache<M> {
     pub fn access_meta(&mut self, block: BlockAddr) -> (AccessResult, Option<&mut M>) {
         self.clock += 1;
         self.stats.accesses += 1;
-        let clock = self.clock;
         let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
-            line.last_use = clock;
-            self.stats.hits += 1;
-            (AccessResult::Hit, Some(&mut line.meta))
-        } else {
-            self.stats.misses += 1;
-            (AccessResult::Miss, None)
+        let base = idx * self.ways;
+        match self.match_way(base, self.set_len[idx] as usize, block.get()) {
+            Some(w) => {
+                self.last_use[base + w] = self.clock;
+                self.stats.hits += 1;
+                (AccessResult::Hit, Some(&mut self.meta[base + w]))
+            }
+            None => {
+                self.stats.misses += 1;
+                (AccessResult::Miss, None)
+            }
         }
     }
 
@@ -209,99 +352,143 @@ impl<M> SetAssocCache<M> {
         self.clock += 1;
         self.stats.fills += 1;
         let clock = self.clock;
-        let ways = self.config.ways;
-        let policy = self.policy;
+        let ways = self.ways;
         let idx = self.set_index(block);
+        let base = idx * ways;
+        let len = self.set_len[idx] as usize;
+        let key = block.get();
 
         // Fast path: block already resident → update metadata in place.
-        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.block == block) {
-            line.meta = meta;
-            line.last_use = clock;
-            line.pinned = line.pinned || pinned;
+        if let Some(w) = self.match_way(base, len, key) {
+            self.meta[base + w] = meta;
+            self.last_use[base + w] = clock;
+            if pinned {
+                self.pinned[idx] |= 1 << w;
+            }
             return None;
         }
 
-        let evicted = if self.sets[idx].len() < ways {
-            None
-        } else {
-            // Victim selection scans the (at most `ways`-long) set directly
-            // instead of collecting candidate indices into a heap-allocated
-            // vector; fills are on the miss path of every cache level, so
-            // this must stay allocation-free.
-            let victim = {
-                let set = &self.sets[idx];
-                let unpinned = set.iter().filter(|l| !l.pinned).count();
-                assert!(
-                    unpinned > 0,
-                    "all ways of set {idx} are pinned; cannot fill {block}"
-                );
-                match policy {
-                    ReplacementPolicy::Lru => (0..set.len())
-                        .filter(|&i| !set[i].pinned)
-                        .min_by_key(|&i| set[i].last_use)
-                        .expect("candidates non-empty"),
-                    ReplacementPolicy::Random => {
-                        let k = self.victim_rng.next_below(unpinned);
-                        (0..set.len())
-                            .filter(|&i| !set[i].pinned)
-                            .nth(k)
-                            .expect("k-th unpinned way exists")
-                    }
-                }
-            };
-            self.stats.evictions += 1;
-            let line = self.sets[idx].swap_remove(victim);
-            Some(EvictedLine {
-                block: line.block,
-                meta: line.meta,
-            })
-        };
+        if len < ways {
+            // A free way: append, as the Vec representation's `push` did.
+            let slot = base + len;
+            self.tags[slot] = key;
+            self.meta[slot] = meta;
+            self.last_use[slot] = clock;
+            if pinned {
+                self.pinned[idx] |= 1 << len;
+            } else {
+                self.pinned[idx] &= !(1 << len);
+            }
+            self.set_len[idx] = (len + 1) as u8;
+            return None;
+        }
 
-        self.sets[idx].push(Line {
-            block,
-            meta,
-            last_use: clock,
-            pinned,
-        });
-        evicted
+        // Victim selection over the unpinned live ways, directly on the
+        // bitmask; fills are on the miss path of every cache level, so this
+        // must stay allocation-free.
+        let live_mask = u64::MAX >> (64 - len as u32);
+        let unpinned_mask = live_mask & !self.pinned[idx];
+        assert!(
+            unpinned_mask != 0,
+            "all ways of set {idx} are pinned; cannot fill {block}"
+        );
+        let victim = match self.policy {
+            ReplacementPolicy::Lru => {
+                let mut rest = unpinned_mask;
+                let mut best = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                while rest != 0 {
+                    let w = rest.trailing_zeros() as usize;
+                    if self.last_use[base + w] < self.last_use[base + best] {
+                        best = w;
+                    }
+                    rest &= rest - 1;
+                }
+                best
+            }
+            ReplacementPolicy::Random => {
+                // The k-th unpinned way in way order — the same candidate
+                // order the Vec representation enumerated.
+                let k = self
+                    .victim_rng
+                    .next_below(unpinned_mask.count_ones() as usize);
+                let mut rest = unpinned_mask;
+                for _ in 0..k {
+                    rest &= rest - 1;
+                }
+                rest.trailing_zeros() as usize
+            }
+        };
+        self.stats.evictions += 1;
+
+        // Emulate `swap_remove(victim)` + `push(new)`: the last live way
+        // backfills the victim slot and the new line lands in the last way.
+        let last = len - 1;
+        let vslot = base + victim;
+        let lslot = base + last;
+        let evicted_block = BlockAddr::new(self.tags[vslot]);
+        let evicted_meta = if victim == last {
+            std::mem::replace(&mut self.meta[vslot], meta)
+        } else {
+            let moved = std::mem::replace(&mut self.meta[lslot], meta);
+            let evicted = std::mem::replace(&mut self.meta[vslot], moved);
+            self.tags[vslot] = self.tags[lslot];
+            self.last_use[vslot] = self.last_use[lslot];
+            let moved_pin = (self.pinned[idx] >> last) & 1;
+            self.pinned[idx] = (self.pinned[idx] & !(1 << victim)) | (moved_pin << victim);
+            evicted
+        };
+        self.tags[lslot] = key;
+        self.last_use[lslot] = clock;
+        if pinned {
+            self.pinned[idx] |= 1 << last;
+        } else {
+            self.pinned[idx] &= !(1 << last);
+        }
+        Some(EvictedLine {
+            block: evicted_block,
+            meta: evicted_meta,
+        })
     }
 
     /// Returns a reference to the metadata of `block`, if resident.
     #[inline]
     pub fn meta(&self, block: BlockAddr) -> Option<&M> {
-        let set = &self.sets[self.set_index(block)];
-        set.iter().find(|l| l.block == block).map(|l| &l.meta)
+        let idx = self.set_index(block);
+        let base = idx * self.ways;
+        self.match_way(base, self.set_len[idx] as usize, block.get())
+            .map(|w| &self.meta[base + w])
     }
 
     /// Returns a mutable reference to the metadata of `block`, if resident.
     #[inline]
     pub fn meta_mut(&mut self, block: BlockAddr) -> Option<&mut M> {
         let idx = self.set_index(block);
-        self.sets[idx]
-            .iter_mut()
-            .find(|l| l.block == block)
-            .map(|l| &mut l.meta)
-    }
-
-    /// Removes `block` from the cache, returning its metadata if it was
-    /// resident.
-    pub fn invalidate(&mut self, block: BlockAddr) -> Option<M> {
-        let idx = self.set_index(block);
-        let pos = self.sets[idx].iter().position(|l| l.block == block)?;
-        Some(self.sets[idx].swap_remove(pos).meta)
+        let base = idx * self.ways;
+        self.match_way(base, self.set_len[idx] as usize, block.get())
+            .map(|w| &mut self.meta[base + w])
     }
 
     /// Iterates over all resident blocks (in no particular order).
     pub fn resident(&self) -> impl Iterator<Item = BlockAddr> + '_ {
-        self.sets.iter().flat_map(|s| s.iter().map(|l| l.block))
+        self.set_len
+            .iter()
+            .enumerate()
+            .flat_map(move |(idx, &len)| {
+                let base = idx * self.ways;
+                self.tags[base..base + len as usize]
+                    .iter()
+                    .map(|&t| BlockAddr::new(t))
+            })
     }
 
     /// Applies `f` to the metadata of every resident line (used e.g. to clear
     /// transient bookkeeping after cache warm-up).
     pub fn for_each_meta_mut<F: FnMut(&mut M)>(&mut self, mut f: F) {
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                f(&mut line.meta);
+        for (idx, &len) in self.set_len.iter().enumerate() {
+            let base = idx * self.ways;
+            for m in &mut self.meta[base..base + len as usize] {
+                f(m);
             }
         }
     }
@@ -392,6 +579,22 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_compacts_and_preserves_peers() {
+        let mut c = small();
+        // Fill both ways of set 0, remove the first, and check the survivor.
+        c.fill(BlockAddr::new(0), 1);
+        c.fill_pinned(BlockAddr::new(4), 2);
+        assert_eq!(c.invalidate(BlockAddr::new(0)), Some(1));
+        assert!(c.probe(BlockAddr::new(4)));
+        assert_eq!(c.meta(BlockAddr::new(4)), Some(&2));
+        // The survivor kept its pin: a new fill pair must evict around it.
+        c.fill(BlockAddr::new(8), 3);
+        let evicted = c.fill(BlockAddr::new(12), 4).expect("eviction expected");
+        assert_eq!(evicted.block, BlockAddr::new(8));
+        assert!(c.probe(BlockAddr::new(4)));
+    }
+
+    #[test]
     fn meta_mut_allows_in_place_update() {
         let mut c = small();
         c.fill(BlockAddr::new(1), 5);
@@ -427,5 +630,66 @@ mod tests {
         c.access(BlockAddr::new(1));
         c.reset_stats();
         assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn wide_sets_scan_all_ways() {
+        // 16-way (the LLC bank shape) exercises the widest fixed scan.
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(CacheConfig::new(2048, 16, 64, 1));
+        // 2 sets; fill all 16 ways of set 0.
+        for i in 0..16u64 {
+            c.fill(BlockAddr::new(i * 2), i as u32);
+        }
+        for i in 0..16u64 {
+            assert!(c.access(BlockAddr::new(i * 2)).is_hit(), "way {i} lost");
+            assert_eq!(c.meta(BlockAddr::new(i * 2)), Some(&(i as u32)));
+        }
+        // One more fill evicts exactly one line.
+        let evicted = c.fill(BlockAddr::new(32), 99).expect("set full");
+        assert_eq!(evicted.block, BlockAddr::new(0), "LRU way evicted");
+    }
+
+    #[test]
+    fn stale_tags_beyond_occupancy_never_match() {
+        let mut c = small();
+        // Fill both ways of set 0, then invalidate the newest: its tag stays
+        // in the array but beyond the live prefix.
+        c.fill(BlockAddr::new(0), 1);
+        c.fill(BlockAddr::new(4), 2);
+        c.invalidate(BlockAddr::new(4));
+        assert!(!c.probe(BlockAddr::new(4)), "stale tag matched");
+        assert!(c.access(BlockAddr::new(4)).is_miss());
+    }
+
+    #[test]
+    fn hot_paths_do_not_allocate_after_construction() {
+        let mut c: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(4096, 4, 64, 1));
+        let caps = (
+            c.tags.capacity(),
+            c.last_use.capacity(),
+            c.meta.capacity(),
+            c.set_len.capacity(),
+            c.pinned.capacity(),
+        );
+        for i in 0..50_000u64 {
+            let b = BlockAddr::new(i % 509);
+            if c.access(b).is_miss() {
+                c.fill(b, i);
+            }
+            if i % 17 == 0 {
+                c.invalidate(BlockAddr::new((i * 3) % 509));
+            }
+        }
+        assert_eq!(
+            caps,
+            (
+                c.tags.capacity(),
+                c.last_use.capacity(),
+                c.meta.capacity(),
+                c.set_len.capacity(),
+                c.pinned.capacity(),
+            ),
+            "SetAssocCache hot paths must not reallocate"
+        );
     }
 }

@@ -45,6 +45,82 @@ proptest! {
         }
     }
 
+    /// The packed-tag-array `SetAssocCache` is observationally identical to a
+    /// scalar per-set model under any interleaving of accesses, fills, and
+    /// invalidations — same hit/miss outcomes, same eviction victims, same
+    /// resident sets. This pins the SoA layout's branch-light scan and
+    /// bitmask victim selection to the straightforward AoS semantics it
+    /// replaced.
+    #[test]
+    fn packed_tag_scan_matches_scalar_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..64), 1..400),
+    ) {
+        const SETS: u64 = 8;
+        const WAYS: usize = 4;
+        let mut cache: SetAssocCache<u64> =
+            SetAssocCache::new(CacheConfig::new(SETS as usize * WAYS * 64, WAYS, 64, 1));
+
+        // Scalar reference model: per-set Vec of (block, meta, last_use) with
+        // a shared clock that ticks on every access *and* fill, mirroring the
+        // cache's internal clock so LRU victims are chosen identically.
+        let mut model: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); SETS as usize];
+        let mut clock = 0u64;
+
+        for (i, &(op, key)) in ops.iter().enumerate() {
+            let block = BlockAddr::new(key);
+            let set = &mut model[(key % SETS) as usize];
+            match op {
+                0 => {
+                    clock += 1;
+                    let model_hit = match set.iter_mut().find(|l| l.0 == key) {
+                        Some(line) => {
+                            line.2 = clock;
+                            true
+                        }
+                        None => false,
+                    };
+                    prop_assert_eq!(cache.access(block).is_hit(), model_hit);
+                }
+                1 => {
+                    clock += 1;
+                    let meta = i as u64;
+                    let model_victim = if let Some(line) = set.iter_mut().find(|l| l.0 == key) {
+                        line.1 = meta;
+                        line.2 = clock;
+                        None
+                    } else if set.len() < WAYS {
+                        set.push((key, meta, clock));
+                        None
+                    } else {
+                        let victim = (0..set.len())
+                            .min_by_key(|&w| set[w].2)
+                            .expect("full set");
+                        let evicted = set.remove(victim);
+                        set.push((key, meta, clock));
+                        Some((evicted.0, evicted.1))
+                    };
+                    let evicted = cache.fill(block, meta).map(|e| (e.block.get(), e.meta));
+                    prop_assert_eq!(evicted, model_victim);
+                }
+                _ => {
+                    let model_meta = set
+                        .iter()
+                        .position(|l| l.0 == key)
+                        .map(|w| set.remove(w).1);
+                    prop_assert_eq!(cache.invalidate(block), model_meta);
+                }
+            }
+        }
+
+        // Final residency over the whole block domain must agree exactly.
+        let resident: usize = model.iter().map(Vec::len).sum();
+        prop_assert_eq!(cache.resident_blocks(), resident);
+        for key in 0..64u64 {
+            let in_model = model[(key % SETS) as usize].iter().any(|l| l.0 == key);
+            prop_assert_eq!(cache.probe(BlockAddr::new(key)), in_model);
+        }
+    }
+
     /// MSHR occupancy never exceeds capacity and completes exactly what was
     /// allocated.
     #[test]

@@ -6,11 +6,23 @@
 //! point); dedicated-storage SHIFT keeps one shared bounded table, and
 //! virtualized SHIFT replaces the table entirely with pointer bits appended to
 //! LLC tags (modelled in [`crate::shift`], not here).
-
-use std::collections::{BTreeMap, HashMap};
+//!
+//! # Layout
+//!
+//! The table is a fixed-capacity, open-addressed hash table over packed
+//! parallel arrays plus an intrusive doubly-linked LRU list threaded through
+//! `u32` slot indices. All storage is allocated once in [`IndexTable::new`];
+//! `update` and `lookup` never allocate. Recency is move-to-front on both
+//! `update` and `lookup` hits, and eviction takes the list tail — the same
+//! eviction order as a recency-stamp map that refreshes on update and hit and
+//! evicts the minimum stamp (covered by the differential proptest in
+//! `tests/proptest_core.rs`).
 
 use serde::{Deserialize, Serialize};
 use shift_types::BlockAddr;
+
+/// Sentinel slot index marking "no slot" in the LRU list and bucket array.
+const NIL: u32 = u32::MAX;
 
 /// A bounded, LRU-evicting map from trigger block address to history pointer.
 ///
@@ -30,17 +42,23 @@ use shift_types::BlockAddr;
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct IndexTable {
     capacity: usize,
-    entries: HashMap<BlockAddr, IndexEntry>,
-    lru: BTreeMap<u64, BlockAddr>,
-    clock: u64,
+    /// Open-addressed bucket array of slot indices (`NIL` = empty), sized to a
+    /// power of two at least twice `capacity` so linear probes stay short.
+    buckets: Vec<u32>,
+    /// Bit shift applied to the multiplicative hash to produce a bucket index.
+    hash_shift: u32,
+    /// Packed per-slot state; slots `0..len` are live.
+    keys: Vec<u64>,
+    ptrs: Vec<u32>,
+    /// Intrusive LRU list: `prev` points toward the MRU head, `next` toward
+    /// the LRU tail.
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
     lookups: u64,
     hits: u64,
-}
-
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-struct IndexEntry {
-    ptr: u32,
-    stamp: u64,
 }
 
 impl IndexTable {
@@ -51,11 +69,22 @@ impl IndexTable {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "index table needs at least one entry");
+        assert!(
+            capacity < NIL as usize,
+            "index table capacity must fit in a u32 slot index"
+        );
+        let bucket_count = (capacity * 2).next_power_of_two();
         IndexTable {
             capacity,
-            entries: HashMap::with_capacity(capacity.min(1 << 20)),
-            lru: BTreeMap::new(),
-            clock: 0,
+            buckets: vec![NIL; bucket_count],
+            hash_shift: 64 - bucket_count.trailing_zeros(),
+            keys: Vec::with_capacity(capacity),
+            ptrs: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            len: 0,
             lookups: 0,
             hits: 0,
         }
@@ -68,12 +97,12 @@ impl IndexTable {
 
     /// Current number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Returns `true` if the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Number of lookups performed.
@@ -86,27 +115,126 @@ impl IndexTable {
         self.hits
     }
 
+    /// Fibonacci multiplicative hash of a block number into a bucket index.
+    #[inline(always)]
+    fn bucket_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.hash_shift) as usize
+    }
+
+    /// Probes for `key`, returning `(bucket, slot)` — `slot == NIL` means the
+    /// key is absent and `bucket` is the empty bucket where it would insert.
+    #[inline(always)]
+    fn probe(&self, key: u64) -> (usize, u32) {
+        let mask = self.buckets.len() - 1;
+        let mut b = self.bucket_of(key);
+        loop {
+            let slot = self.buckets[b];
+            if slot == NIL || self.keys[slot as usize] == key {
+                return (b, slot);
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// Unlinks `slot` from the LRU list.
+    #[inline(always)]
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Links `slot` at the MRU head of the list.
+    #[inline(always)]
+    fn link_front(&mut self, slot: u32) {
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Moves an already-linked `slot` to the MRU head.
+    #[inline(always)]
+    fn touch(&mut self, slot: u32) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+    }
+
+    /// Removes `key` from the bucket array using backward-shift deletion so
+    /// probe chains stay tombstone-free. Entry slots are untouched; only the
+    /// `u32` indices in the bucket array move.
+    fn bucket_remove(&mut self, key: u64) {
+        let mask = self.buckets.len() - 1;
+        let (mut hole, _) = self.probe(key);
+        let mut b = (hole + 1) & mask;
+        self.buckets[hole] = NIL;
+        loop {
+            let slot = self.buckets[b];
+            if slot == NIL {
+                return;
+            }
+            let home = self.bucket_of(self.keys[slot as usize]);
+            // `slot` can fill the hole iff its home bucket is outside the
+            // cyclic range (hole, b], i.e. the probe from `home` would have
+            // reached `hole` before `b`.
+            let wrapped_home = b.wrapping_sub(home) & mask;
+            let wrapped_hole = b.wrapping_sub(hole) & mask;
+            if wrapped_home >= wrapped_hole {
+                self.buckets[hole] = slot;
+                self.buckets[b] = NIL;
+                hole = b;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
     /// Inserts or updates the pointer for `trigger`, evicting the
     /// least-recently-used entry if the table is full.
     #[inline]
     pub fn update(&mut self, trigger: BlockAddr, ptr: u32) {
-        self.clock += 1;
-        let stamp = self.clock;
-        if let Some(entry) = self.entries.get_mut(&trigger) {
-            self.lru.remove(&entry.stamp);
-            entry.ptr = ptr;
-            entry.stamp = stamp;
-            self.lru.insert(stamp, trigger);
+        let key = trigger.get();
+        let (bucket, slot) = self.probe(key);
+        if slot != NIL {
+            self.ptrs[slot as usize] = ptr;
+            self.touch(slot);
             return;
         }
-        if self.entries.len() >= self.capacity {
-            if let Some((&oldest_stamp, &victim)) = self.lru.iter().next() {
-                self.lru.remove(&oldest_stamp);
-                self.entries.remove(&victim);
-            }
+        if self.len < self.capacity {
+            let slot = self.len as u32;
+            self.keys.push(key);
+            self.ptrs.push(ptr);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.len += 1;
+            self.buckets[bucket] = slot;
+            self.link_front(slot);
+        } else {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.bucket_remove(self.keys[victim as usize]);
+            self.keys[victim as usize] = key;
+            self.ptrs[victim as usize] = ptr;
+            // Re-probe: the backward shift may have moved indices into the
+            // bucket the original probe found empty.
+            let (bucket, _) = self.probe(key);
+            self.buckets[bucket] = victim;
+            self.link_front(victim);
         }
-        self.entries.insert(trigger, IndexEntry { ptr, stamp });
-        self.lru.insert(stamp, trigger);
     }
 
     /// Looks up the most recent history pointer for `trigger`, refreshing its
@@ -114,22 +242,23 @@ impl IndexTable {
     #[inline]
     pub fn lookup(&mut self, trigger: BlockAddr) -> Option<u32> {
         self.lookups += 1;
-        self.clock += 1;
-        let stamp = self.clock;
-        if let Some(entry) = self.entries.get_mut(&trigger) {
-            self.hits += 1;
-            self.lru.remove(&entry.stamp);
-            entry.stamp = stamp;
-            self.lru.insert(stamp, trigger);
-            Some(entry.ptr)
-        } else {
-            None
+        let (_, slot) = self.probe(trigger.get());
+        if slot == NIL {
+            return None;
         }
+        self.hits += 1;
+        self.touch(slot);
+        Some(self.ptrs[slot as usize])
     }
 
     /// Looks up without updating recency or statistics.
     pub fn peek(&self, trigger: BlockAddr) -> Option<u32> {
-        self.entries.get(&trigger).map(|e| e.ptr)
+        let (_, slot) = self.probe(trigger.get());
+        if slot == NIL {
+            None
+        } else {
+            Some(self.ptrs[slot as usize])
+        }
     }
 }
 
@@ -186,5 +315,56 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = IndexTable::new(0);
+    }
+
+    #[test]
+    fn eviction_churn_keeps_probe_chains_consistent() {
+        // Force heavy eviction through a small table with colliding keys so
+        // the backward-shift deletion path is exercised, then verify every
+        // resident key still resolves.
+        let mut idx = IndexTable::new(8);
+        for i in 0..4_000u64 {
+            idx.update(BlockAddr::new(i.wrapping_mul(0x1000)), i as u32);
+        }
+        // The 8 most recent inserts must all be present and correct.
+        for i in 3_992..4_000u64 {
+            assert_eq!(
+                idx.peek(BlockAddr::new(i.wrapping_mul(0x1000))),
+                Some(i as u32),
+                "key inserted at i={i} lost"
+            );
+        }
+        assert_eq!(idx.len(), 8);
+    }
+
+    #[test]
+    fn hot_paths_do_not_allocate_after_construction() {
+        let mut idx = IndexTable::new(256);
+        // Fill to capacity first (growth phase uses the pre-reserved Vecs).
+        for i in 0..256u64 {
+            idx.update(BlockAddr::new(i), i as u32);
+        }
+        let caps = (
+            idx.buckets.capacity(),
+            idx.keys.capacity(),
+            idx.ptrs.capacity(),
+            idx.prev.capacity(),
+            idx.next.capacity(),
+        );
+        for i in 0..50_000u64 {
+            idx.update(BlockAddr::new(i % 1021), (i % 4096) as u32);
+            idx.lookup(BlockAddr::new((i * 13) % 1021));
+        }
+        assert_eq!(
+            caps,
+            (
+                idx.buckets.capacity(),
+                idx.keys.capacity(),
+                idx.ptrs.capacity(),
+                idx.prev.capacity(),
+                idx.next.capacity(),
+            ),
+            "IndexTable hot paths must not reallocate"
+        );
     }
 }

@@ -103,17 +103,18 @@ impl SpatialRegion {
 
     /// Iterates over the accessed blocks encoded by the record (trigger first,
     /// then the set bit positions in ascending address order).
-    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
-        let trigger = self.trigger;
-        let bits = self.bits;
-        let extra = (1..self.region_blocks as u64).filter_map(move |off| {
-            if bits & (1 << (off - 1)) != 0 {
-                Some(trigger.offset(off))
-            } else {
-                None
-            }
-        });
-        std::iter::once(trigger).chain(extra)
+    ///
+    /// The bit vector is walked with a `trailing_zeros` bit scan, so the
+    /// iteration cost is proportional to the number of *accessed* blocks
+    /// rather than the region size — this iterator runs on the replay hot
+    /// path for every record a stream buffer reads. The iterator reports an
+    /// exact size so `Vec::extend` reserves in one step.
+    pub fn blocks(&self) -> impl ExactSizeIterator<Item = BlockAddr> + '_ {
+        BlockIter {
+            trigger: self.trigger,
+            emit_trigger: true,
+            bits: self.bits,
+        }
     }
 
     /// Number of accessed blocks encoded (including the trigger).
@@ -128,6 +129,40 @@ impl SpatialRegion {
         BlockAddr::STORAGE_BITS + (region_blocks as u32 - 1)
     }
 }
+
+/// Iterator behind [`SpatialRegion::blocks`]: the trigger, then each set bit
+/// of the access vector in ascending order via a bit scan.
+struct BlockIter {
+    trigger: BlockAddr,
+    emit_trigger: bool,
+    bits: u64,
+}
+
+impl Iterator for BlockIter {
+    type Item = BlockAddr;
+
+    #[inline]
+    fn next(&mut self) -> Option<BlockAddr> {
+        if self.emit_trigger {
+            self.emit_trigger = false;
+            return Some(self.trigger);
+        }
+        if self.bits == 0 {
+            return None;
+        }
+        let off = self.bits.trailing_zeros() as u64 + 1;
+        self.bits &= self.bits - 1;
+        Some(self.trigger.offset(off))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.emit_trigger as usize + self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BlockIter {}
 
 /// Folds a retire-order block stream into spatial region records.
 ///

@@ -1,0 +1,99 @@
+//! Differential property tests for the core data structures.
+//!
+//! The array-backed [`IndexTable`] replaced a `HashMap` + `BTreeMap`
+//! recency-stamp LRU. This test keeps that earlier structure alive as an
+//! executable reference model and drives both with random operation
+//! sequences: every lookup and peek must agree, and after any sequence both
+//! must hold exactly the same entries.
+
+use std::collections::{BTreeMap, HashMap};
+
+use proptest::prelude::*;
+use shift_core::IndexTable;
+use shift_types::BlockAddr;
+
+/// Reference model: a bounded LRU map built from a recency-stamp `BTreeMap`.
+///
+/// Stamps come from a shared logical clock, refresh on `update` and on
+/// `lookup` hits, and eviction removes the minimum stamp — the semantics the
+/// intrusive-list `IndexTable` claims to preserve.
+struct ModelIndex {
+    capacity: usize,
+    clock: u64,
+    by_key: HashMap<u64, (u32, u64)>,
+    by_stamp: BTreeMap<u64, u64>,
+}
+
+impl ModelIndex {
+    fn new(capacity: usize) -> Self {
+        ModelIndex {
+            capacity,
+            clock: 0,
+            by_key: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+        }
+    }
+
+    fn update(&mut self, key: u64, ptr: u32) {
+        self.clock += 1;
+        if let Some((stored, stamp)) = self.by_key.get_mut(&key) {
+            *stored = ptr;
+            self.by_stamp.remove(stamp);
+            *stamp = self.clock;
+            self.by_stamp.insert(self.clock, key);
+            return;
+        }
+        if self.by_key.len() == self.capacity {
+            let (&victim_stamp, &victim) = self.by_stamp.iter().next().expect("full model");
+            self.by_stamp.remove(&victim_stamp);
+            self.by_key.remove(&victim);
+        }
+        self.by_key.insert(key, (ptr, self.clock));
+        self.by_stamp.insert(self.clock, key);
+    }
+
+    fn lookup(&mut self, key: u64) -> Option<u32> {
+        self.clock += 1;
+        let (ptr, stamp) = self.by_key.get_mut(&key)?;
+        self.by_stamp.remove(stamp);
+        *stamp = self.clock;
+        self.by_stamp.insert(self.clock, key);
+        Some(*ptr)
+    }
+
+    fn peek(&self, key: u64) -> Option<u32> {
+        self.by_key.get(&key).map(|&(ptr, _)| ptr)
+    }
+}
+
+proptest! {
+    /// The open-addressed + intrusive-LRU `IndexTable` is observationally
+    /// identical to the recency-stamp map model under any interleaving of
+    /// updates, lookups, and peeks — including identical eviction victims,
+    /// which a single diverging `lookup(evicted) == Some(_)` would expose.
+    #[test]
+    fn index_table_matches_recency_stamp_model(
+        capacity in 1usize..24,
+        ops in proptest::collection::vec((0u8..3, 0u64..48, 0u32..1_000), 1..400),
+    ) {
+        let mut table = IndexTable::new(capacity);
+        let mut model = ModelIndex::new(capacity);
+        for &(op, key, ptr) in &ops {
+            let block = BlockAddr::new(key);
+            match op {
+                0 => {
+                    table.update(block, ptr);
+                    model.update(key, ptr);
+                }
+                1 => prop_assert_eq!(table.lookup(block), model.lookup(key)),
+                _ => prop_assert_eq!(table.peek(block), model.peek(key)),
+            }
+            prop_assert_eq!(table.len(), model.by_key.len());
+            prop_assert!(table.len() <= capacity);
+        }
+        // Final membership over the whole key domain must agree exactly.
+        for key in 0..48u64 {
+            prop_assert_eq!(table.peek(BlockAddr::new(key)), model.peek(key));
+        }
+    }
+}

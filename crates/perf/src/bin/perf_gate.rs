@@ -1,10 +1,13 @@
 //! CI perf regression gate: `perf_gate <snapshot BENCH.json> <fresh BENCH.json>`.
 //!
 //! Exits non-zero when the fresh `shift_fetches_per_sec` drops more than the
-//! tolerance (default 20%; override with `SHIFT_PERF_TOLERANCE`, a fraction)
-//! below the committed snapshot. Run after `perf --quick` in the perf-smoke
-//! job; attach the `skip-perf-gate` label to a PR to skip the job on runners
-//! known to be noisy.
+//! headline tolerance (default 20%; override with `SHIFT_PERF_TOLERANCE`, a
+//! fraction) below the committed snapshot, or when any gated hot-path
+//! component median (`shift_perf::gate::GATED_COMPONENTS`) regresses beyond
+//! the component tolerance (default 50%; `SHIFT_PERF_COMPONENT_TOLERANCE`).
+//! Run after `perf --quick` in the perf-smoke job; attach the
+//! `skip-perf-gate` label to a PR to skip the job on runners known to be
+//! noisy.
 
 use std::process::ExitCode;
 
@@ -19,27 +22,45 @@ fn main() -> ExitCode {
     let read = |path: &String| {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
-    let verdict = read(snapshot_path)
-        .and_then(|snapshot| Ok((snapshot, read(fresh_path)?)))
-        .and_then(|(snapshot, fresh)| {
-            gate::evaluate(&snapshot, &fresh, gate::tolerance_from_env())
-        });
-    match verdict {
-        Ok(report) => {
+    let (snapshot, fresh) = match read(snapshot_path).and_then(|s| Ok((s, read(fresh_path)?))) {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("perf gate error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let headline = gate::evaluate(&snapshot, &fresh, gate::tolerance_from_env());
+    let components =
+        gate::evaluate_components(&snapshot, &fresh, gate::component_tolerance_from_env());
+    match (headline, components) {
+        (Ok(report), Ok(component_reports)) => {
             println!("{report}");
-            if report.pass {
+            for component in &component_reports {
+                println!("{component}");
+            }
+            let failed: Vec<&str> = (!report.pass)
+                .then_some("shift_fetches_per_sec")
+                .into_iter()
+                .chain(
+                    component_reports
+                        .iter()
+                        .filter(|c| !c.pass)
+                        .map(|c| c.id.as_str()),
+                )
+                .collect();
+            if failed.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 eprintln!(
-                    "perf gate failed: shift_fetches_per_sec regressed more than {:.0}% \
-                     vs {snapshot_path}; if this is runner noise, re-run or label the PR \
-                     `skip-perf-gate`",
-                    report.tolerance * 100.0
+                    "perf gate failed: {} regressed beyond tolerance vs {snapshot_path}; \
+                     if this is runner noise, re-run or label the PR `skip-perf-gate`",
+                    failed.join(", ")
                 );
                 ExitCode::FAILURE
             }
         }
-        Err(message) => {
+        (Err(message), _) | (_, Err(message)) => {
             eprintln!("perf gate error: {message}");
             ExitCode::FAILURE
         }

@@ -2,21 +2,41 @@
 //! against a committed snapshot and fails CI when the headline throughput
 //! drops beyond a tolerance.
 //!
-//! The gated metric is `data.shift_fetches_per_sec` — end-to-end simulated
-//! fetches per second with virtualized SHIFT, the number every optimization
-//! PR moves. The tolerance default (20%) is deliberately loose: shared CI
-//! runners are noisy, and the gate's job is to catch real regressions
-//! (2× slowdowns from an accidental allocation in the hot loop), not to
-//! flake on scheduler jitter. Override with the `SHIFT_PERF_TOLERANCE`
-//! environment variable (a fraction, e.g. `0.1`), and skip the CI job
-//! entirely with the `skip-perf-gate` PR label when a runner is known-bad.
+//! The headline gated metric is `data.shift_fetches_per_sec` — end-to-end
+//! simulated fetches per second with virtualized SHIFT, the number every
+//! optimization PR moves. The gate additionally checks the hot-path
+//! component medians listed in [`GATED_COMPONENTS`] (PIF lookup, index-table
+//! lookup, LLC bank tag scan) so a regression localized to one data
+//! structure cannot hide inside end-to-end noise. The headline tolerance
+//! default (20%) is deliberately loose: shared CI runners are noisy, and the
+//! gate's job is to catch real regressions (2× slowdowns from an accidental
+//! allocation in the hot loop), not to flake on scheduler jitter; component
+//! medians are noisier still, so their default is 50%. Override with the
+//! `SHIFT_PERF_TOLERANCE` / `SHIFT_PERF_COMPONENT_TOLERANCE` environment
+//! variables (fractions, e.g. `0.1`), and skip the CI job entirely with the
+//! `skip-perf-gate` PR label when a runner is known-bad.
 
 use std::fmt;
 
 use serde::json;
+use serde::Value;
 
 /// Default allowed drop: 20% below the snapshot.
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Default allowed component-median drop: 50% below the snapshot.
+/// Nanosecond-scale microbenchmarks on shared runners jitter far more than
+/// the second-scale end-to-end measurement.
+pub const DEFAULT_COMPONENT_TOLERANCE: f64 = 0.50;
+
+/// The `(group, name)` component medians the gate checks, beyond the
+/// headline throughput: the per-fetch hot-path data structures this
+/// repository's optimization PRs target.
+pub const GATED_COMPONENTS: &[(&str, &str)] = &[
+    ("lookup", "pif_on_access_miss"),
+    ("index", "lookup_hit"),
+    ("scan", "bank_tag_scan"),
+];
 
 /// The verdict of one gate evaluation.
 #[derive(Clone, Debug, PartialEq)]
@@ -100,6 +120,133 @@ pub fn evaluate(
     })
 }
 
+/// The verdict for one gated component median.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentReport {
+    /// Component id, `group/name`.
+    pub id: String,
+    /// Snapshot (committed) median ns/op.
+    pub snapshot_ns: f64,
+    /// Freshly measured median ns/op.
+    pub fresh_ns: f64,
+    /// Allowed fractional throughput drop.
+    pub tolerance: f64,
+    /// `snapshot_ns / fresh_ns` — the throughput ratio, same orientation as
+    /// [`GateReport::ratio`] (1.0 = unchanged, below 1.0 = slower).
+    pub ratio: f64,
+    /// `true` if the fresh median is within tolerance.
+    pub pass: bool,
+}
+
+impl fmt::Display for ComponentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: fresh {:.1} ns vs snapshot {:.1} ns ({:+.1}%), tolerance -{:.0}% => {}",
+            self.id,
+            self.fresh_ns,
+            self.snapshot_ns,
+            (self.ratio - 1.0) * 100.0,
+            self.tolerance * 100.0,
+            if self.pass { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Extracts the `ns_per_op` median of component `group`/`name` from a
+/// `BENCH.json` artifact document.
+///
+/// # Errors
+///
+/// Returns a message naming the component when the document has no `data`
+/// tree, no `components` array, or no entry with that group and name (or a
+/// non-positive median).
+pub fn component_ns_per_op(bench_json: &str, group: &str, name: &str) -> Result<f64, String> {
+    let doc = json::parse(bench_json).map_err(|e| format!("BENCH.json does not parse: {e}"))?;
+    let Some(Value::Seq(components)) = doc
+        .get("data")
+        .ok_or("BENCH.json has no `data` tree (not an artifact document?)")?
+        .get("components")
+    else {
+        return Err("BENCH.json data has no `components` array".to_owned());
+    };
+    let entry = components
+        .iter()
+        .find(|c| {
+            c.get("group").and_then(Value::as_str) == Some(group)
+                && c.get("name").and_then(Value::as_str) == Some(name)
+        })
+        .ok_or_else(|| format!("BENCH.json has no component `{group}/{name}`"))?;
+    let ns = entry
+        .get("ns_per_op")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("component `{group}/{name}` has no numeric `ns_per_op`"))?;
+    if ns > 0.0 {
+        Ok(ns)
+    } else {
+        Err(format!(
+            "component `{group}/{name}` median is non-positive ({ns})"
+        ))
+    }
+}
+
+/// Evaluates every [`GATED_COMPONENTS`] median of `fresh_json` against
+/// `snapshot_json`.
+///
+/// # Errors
+///
+/// Propagates extraction failures from either document (a gated component
+/// missing from the committed snapshot is a configuration error, not a pass)
+/// and rejects tolerances outside `[0, 1)`.
+pub fn evaluate_components(
+    snapshot_json: &str,
+    fresh_json: &str,
+    tolerance: f64,
+) -> Result<Vec<ComponentReport>, String> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!(
+            "tolerance must be a fraction in [0, 1), got {tolerance}"
+        ));
+    }
+    GATED_COMPONENTS
+        .iter()
+        .map(|&(group, name)| {
+            let snapshot_ns = component_ns_per_op(snapshot_json, group, name)
+                .map_err(|e| format!("snapshot: {e}"))?;
+            let fresh_ns =
+                component_ns_per_op(fresh_json, group, name).map_err(|e| format!("fresh: {e}"))?;
+            let ratio = snapshot_ns / fresh_ns;
+            Ok(ComponentReport {
+                id: format!("{group}/{name}"),
+                snapshot_ns,
+                fresh_ns,
+                tolerance,
+                ratio,
+                pass: ratio >= 1.0 - tolerance,
+            })
+        })
+        .collect()
+}
+
+/// Reads the component tolerance from `SHIFT_PERF_COMPONENT_TOLERANCE`,
+/// defaulting to [`DEFAULT_COMPONENT_TOLERANCE`]; invalid values fall back
+/// to the default with a warning on stderr.
+pub fn component_tolerance_from_env() -> f64 {
+    match std::env::var("SHIFT_PERF_COMPONENT_TOLERANCE") {
+        Err(_) => DEFAULT_COMPONENT_TOLERANCE,
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!(
+                    "ignoring invalid SHIFT_PERF_COMPONENT_TOLERANCE `{raw}` (want a fraction \
+                     in [0, 1)); using {DEFAULT_COMPONENT_TOLERANCE}"
+                );
+                DEFAULT_COMPONENT_TOLERANCE
+            }
+        },
+    }
+}
+
 /// Reads the tolerance from `SHIFT_PERF_TOLERANCE`, defaulting to
 /// [`DEFAULT_TOLERANCE`]; invalid values fall back to the default with a
 /// warning on stderr.
@@ -124,9 +271,24 @@ mod tests {
     use super::*;
 
     fn bench_doc(fetches_per_sec: f64) -> String {
+        bench_doc_with_components(fetches_per_sec, 50.0)
+    }
+
+    fn bench_doc_with_components(fetches_per_sec: f64, component_ns: f64) -> String {
+        let components: Vec<String> = GATED_COMPONENTS
+            .iter()
+            .map(|(group, name)| {
+                format!(
+                    "{{\"group\": \"{group}\", \"name\": \"{name}\", \
+                     \"ns_per_op\": {component_ns}, \"per_sec\": 1.0}}"
+                )
+            })
+            .collect();
         format!(
             "{{\"name\": \"BENCH\", \"data\": {{\"schema\": 1, \
-             \"shift_fetches_per_sec\": {fetches_per_sec}, \"components\": []}}}}"
+             \"shift_fetches_per_sec\": {fetches_per_sec}, \
+             \"components\": [{}]}}}}",
+            components.join(", ")
         )
     }
 
@@ -172,11 +334,47 @@ mod tests {
     }
 
     #[test]
+    fn component_within_tolerance_passes() {
+        let snapshot = bench_doc_with_components(1e6, 50.0);
+        let fresh = bench_doc_with_components(1e6, 70.0); // 1.4× slower
+        let reports = evaluate_components(&snapshot, &fresh, 0.50).unwrap();
+        assert_eq!(reports.len(), GATED_COMPONENTS.len());
+        assert!(reports.iter().all(|r| r.pass), "{reports:?}");
+        assert!(reports[0].to_string().contains("PASS"));
+    }
+
+    #[test]
+    fn component_regression_beyond_tolerance_fails() {
+        let snapshot = bench_doc_with_components(1e6, 50.0);
+        let fresh = bench_doc_with_components(1e6, 200.0); // 4× slower
+        let reports = evaluate_components(&snapshot, &fresh, 0.50).unwrap();
+        assert!(reports.iter().all(|r| !r.pass), "{reports:?}");
+        assert!(reports[0].to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn component_missing_from_snapshot_is_an_error() {
+        // A gated component absent from the committed snapshot must error,
+        // not silently pass — it means the snapshot predates the gate list.
+        let old = "{\"name\": \"BENCH\", \"data\": {\"schema\": 1, \
+                   \"shift_fetches_per_sec\": 1.0, \"components\": []}}";
+        let fresh = bench_doc(1.0);
+        let err = evaluate_components(old, &fresh, 0.5).unwrap_err();
+        assert!(err.contains("snapshot"), "{err}");
+        assert!(err.contains("no component"), "{err}");
+    }
+
+    #[test]
     fn committed_snapshot_parses() {
         // The gate must always be able to read the snapshot this repository
         // ships; if the BENCH schema changes, this test fails before CI does.
-        let snapshot = include_str!("../../../docs/bench/BENCH_PR3.json");
+        let snapshot = include_str!("../../../docs/bench/BENCH_PR6.json");
         let fetches = shift_fetches_per_sec(snapshot).expect("snapshot readable");
         assert!(fetches > 100_000.0, "implausible snapshot: {fetches}");
+        for &(group, name) in GATED_COMPONENTS {
+            let ns =
+                component_ns_per_op(snapshot, group, name).expect("gated component in snapshot");
+            assert!(ns > 0.0, "implausible {group}/{name} median: {ns}");
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! * **Microbenchmarks** (via the upgraded `compat/criterion` shim: warm-up
 //!   passes, batched timed iterations, median ns/iter) for the components on
 //!   the per-fetch hot path — trace generation, history-buffer append/read,
-//!   SHIFT and PIF lookup.
+//!   index-table lookup, LLC bank tag scan, SHIFT and PIF lookup.
 //! * **End-to-end engine stepping** on the quickstart workload (the same
 //!   web-frontend configuration `examples/quickstart.rs` runs), measured in
 //!   simulated fetches per second through [`shift_sim::Engine::step_rounds`],
@@ -29,9 +29,10 @@ pub mod gate;
 
 use criterion::{BenchReport, Criterion, Throughput};
 use serde::Serialize;
-use shift_cache::{LlcConfig, NucaLlc};
+use shift_cache::{CacheConfig, LlcConfig, NucaLlc, SetAssocCache};
 use shift_core::{
-    HistoryBuffer, InstructionPrefetcher, Pif, PifConfig, Shift, ShiftConfig, SpatialRegion,
+    HistoryBuffer, IndexTable, InstructionPrefetcher, Pif, PifConfig, Shift, ShiftConfig,
+    SpatialRegion,
 };
 use shift_report::{Artifact, Table};
 use shift_sim::matrix::default_threads;
@@ -155,6 +156,70 @@ fn bench_history_buffer(c: &mut Criterion, mode: SuiteMode) {
             history.read_into(ptr, 5, &mut window);
             ptr = history.advance_ptr(ptr, 1);
             window.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_index_table(c: &mut Criterion, mode: SuiteMode) {
+    let mut group = c.benchmark_group("index");
+    group
+        .sample_size(if mode.is_quick() { 5 } else { 10 })
+        .warm_up_iterations(1_000)
+        .measurement_iterations(if mode.is_quick() { 20_000 } else { 100_000 })
+        .throughput(Throughput::Elements(1));
+
+    // The paper's PIF_32K design point: an 8 K-entry per-core index table,
+    // fully populated so every lookup probes a live open-addressed slot and
+    // splices the LRU list (the hot path of every L1-I miss).
+    const ENTRIES: u64 = 8 * 1024;
+    let mut table = IndexTable::new(ENTRIES as usize);
+    for i in 0..ENTRIES {
+        table.update(BlockAddr::new(i * 3), i as u32);
+    }
+    let mut key = 0u64;
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| {
+            key += 1;
+            if key == ENTRIES {
+                key = 0;
+            }
+            table.lookup(BlockAddr::new(key * 3))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bank_scan(c: &mut Criterion, mode: SuiteMode) {
+    let mut group = c.benchmark_group("scan");
+    group
+        .sample_size(if mode.is_quick() { 5 } else { 10 })
+        .warm_up_iterations(1_000)
+        .measurement_iterations(if mode.is_quick() { 20_000 } else { 100_000 })
+        .throughput(Throughput::Elements(1));
+
+    // One LLC bank's worth of sets at the paper's 16-way associativity, fully
+    // resident, so every access scans a full 16-tag set — the packed-array
+    // scan the SoA layout (and the optional `simd` feature) accelerates.
+    const SETS: u64 = 512;
+    const WAYS: u64 = 16;
+    let mut bank: SetAssocCache<()> = SetAssocCache::new(CacheConfig::new(
+        (SETS * WAYS) as usize * 64,
+        WAYS as usize,
+        64,
+        10,
+    ));
+    for way in 0..WAYS {
+        for set in 0..SETS {
+            bank.fill(BlockAddr::new(way * SETS + set), ());
+        }
+    }
+    let mut i = 0u64;
+    group.bench_function("bank_tag_scan", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let block = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (SETS * WAYS);
+            bank.access(BlockAddr::new(block)).is_hit()
         })
     });
     group.finish();
@@ -290,6 +355,8 @@ pub fn run_suite(mode: SuiteMode) -> BenchDoc {
     let mut criterion = Criterion::default();
     bench_trace_generation(&mut criterion, mode);
     bench_history_buffer(&mut criterion, mode);
+    bench_index_table(&mut criterion, mode);
+    bench_bank_scan(&mut criterion, mode);
     bench_prefetcher_lookup(&mut criterion, mode);
     bench_engine(&mut criterion, mode);
     bench_matrix(&mut criterion, mode);
@@ -364,7 +431,15 @@ mod tests {
         assert!(doc.baseline_fetches_per_sec > 0.0);
         assert!(doc.shift_fetches_per_sec > 0.0);
         assert!(doc.runs_per_sec > 0.0);
-        assert!(doc.components.len() >= 7);
+        assert!(doc.components.len() >= 9);
+        for (group, name) in gate::GATED_COMPONENTS {
+            assert!(
+                doc.components
+                    .iter()
+                    .any(|c| c.group == *group && c.name == *name),
+                "suite did not measure gated component {group}/{name}"
+            );
+        }
         assert!(doc.components.iter().all(|c| c.ns_per_op >= 0.0));
     }
 

@@ -84,7 +84,7 @@ pub mod system;
 pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
 pub use engine::Engine;
 pub use matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
-pub use results::{CoverageStats, RunResult};
-pub use shard::{DeltaReport, QueueConfig, QueueReport, ShardReport, ShardSpec};
+pub use results::{CoverageStats, RunResult, RESULTS_VERSION};
+pub use shard::{DeltaReport, LockHeartbeat, QueueConfig, QueueReport, ShardReport, ShardSpec};
 pub use store::{PartialLoad, RunOutcomes, RunStore, StoreError};
 pub use system::Simulation;

@@ -4,6 +4,22 @@ use serde::{Deserialize, Serialize};
 use shift_cache::{CacheStats, TrafficStats};
 use shift_types::AccessClass;
 
+/// Version of the *result semantics* this binary produces.
+///
+/// Bump this constant in the same change that alters what any simulation
+/// computes — a new or re-interpreted [`RunResult`] field, a model fix, any
+/// deploy that intentionally re-blesses the golden files. Outcome files
+/// record the version they were produced under, and every cache reader
+/// (`RunStore::load`, `RunStore::load_partial`, shard resume, queue claims)
+/// treats a mismatch as a cache miss, so `--reuse` and resumed sweeps
+/// auto-invalidate across result-changing deploys instead of relying on an
+/// operator remembering to wipe outcome directories.
+///
+/// Layout-only changes to the outcome *file* (renamed or re-typed JSON
+/// fields) bump `shift_sim::store::OUTCOME_SCHEMA` instead; this constant is
+/// about the meaning of the numbers, not their encoding.
+pub const RESULTS_VERSION: u32 = 1;
+
 /// Instruction-miss coverage accounting for one run.
 ///
 /// "Covered" misses are baseline misses that the prefetcher turned into hits;

@@ -40,13 +40,15 @@
 use std::fmt;
 use std::io;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use crate::matrix::{default_threads, parallel_map_with_threads, MatrixFingerprint, RunMatrix};
+use crate::matrix::{
+    default_threads, parallel_map_with_threads, MatrixFingerprint, RunKeyId, RunMatrix,
+};
 use crate::results::RunResult;
 use crate::store::{
     lock_file_name, outcome_file_name, outcome_is_valid, read_lock, write_outcome, LockRecord,
@@ -251,13 +253,16 @@ pub struct QueueConfig {
     /// characters (it also names reclaim temp files).
     pub worker: String,
     /// Age past which another worker's claim counts as abandoned and may be
-    /// reclaimed. Must comfortably exceed the longest single simulation
-    /// *plus* any cross-machine clock skew: too small risks duplicate
+    /// reclaimed. Live workers re-stamp their claims every poll tick (see
+    /// [`LockHeartbeat`]), so this only needs to comfortably exceed the
+    /// [`QueueConfig::poll`] interval plus any cross-machine clock skew —
+    /// *not* the longest single simulation. Too small still risks duplicate
     /// execution (wasteful but safe — outcomes are idempotent and
     /// bit-identical), too large delays recovery after a worker dies.
     pub lock_ttl: Duration,
     /// Sleep between passes while every remaining run is claimed by live
-    /// workers.
+    /// workers; also the interval at which this worker's own claims are
+    /// heartbeat-refreshed while simulating.
     pub poll: Duration,
     /// `true` (the operator default): keep polling until the whole matrix
     /// has outcomes, so a worker returning success means the sweep is
@@ -267,9 +272,12 @@ pub struct QueueConfig {
 }
 
 impl QueueConfig {
-    /// Default reclaim TTL: one hour — far above any single Test/Demo-scale
-    /// simulation, and above paper-scale runs with margin. Override with
-    /// [`QueueConfig::from_env`]'s `SHIFT_QUEUE_TTL` or directly.
+    /// Default reclaim TTL: one hour. With heartbeats a live claim is
+    /// re-stamped every poll tick, so much smaller TTLs (seconds, not the
+    /// longest run) are safe when faster dead-worker recovery matters;
+    /// the conservative default favors never reclaiming a live claim even
+    /// under extreme clock skew. Override with [`QueueConfig::from_env`]'s
+    /// `SHIFT_QUEUE_TTL` or directly.
     pub const DEFAULT_TTL: Duration = Duration::from_secs(3600);
 
     /// A worker named `worker` with default timing (TTL
@@ -378,6 +386,88 @@ fn lock_state(path: &Path, ttl: Duration) -> LockState {
     }
 }
 
+/// Keeps a claim lock *fresh* while its owner executes a long run.
+///
+/// Spawned by [`execute_queue`]'s claim path right after a lock is taken,
+/// and dropped (stopping the refresher thread) as soon as the simulation
+/// finishes: every `interval` the background thread rewrites the lock with a
+/// current `claimed_unix`, refreshing both the embedded timestamp and the
+/// file mtime that half-written locks are judged by. With heartbeats in
+/// place, a lock only goes stale when its owner has actually stopped — so
+/// [`QueueConfig::lock_ttl`] (`SHIFT_QUEUE_TTL`) needs to exceed only the
+/// heartbeat interval plus clock skew, not the longest single run.
+///
+/// The refresher never *creates* the lock file: if a contender reclaimed it
+/// (rename-based, see [`execute_queue`]) or the owner already released it,
+/// recreating the path would orphan the slot until the TTL expired again.
+/// A refresh that finds the file gone is simply skipped.
+///
+/// Public so external long-running executors that speak the claim protocol
+/// directly (and tests) can keep their claims alive the same way.
+#[derive(Debug)]
+pub struct LockHeartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LockHeartbeat {
+    /// Starts refreshing the lock at `path` every `interval` until dropped.
+    /// `key_id` and `worker` are rewritten into the lock on every beat.
+    pub fn spawn(path: PathBuf, key_id: RunKeyId, worker: String, interval: Duration) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let signal = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let (flag, wake) = &*signal;
+            let mut stopped = flag.lock().expect("heartbeat flag poisoned");
+            loop {
+                let (guard, _) = wake
+                    .wait_timeout(stopped, interval)
+                    .expect("heartbeat flag poisoned");
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
+                refresh_lock(&path, key_id, &worker);
+            }
+        });
+        LockHeartbeat {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for LockHeartbeat {
+    fn drop(&mut self) {
+        let (flag, wake) = &*self.stop;
+        *flag.lock().expect("heartbeat flag poisoned") = true;
+        wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One heartbeat: rewrite the existing lock with a current timestamp.
+/// Truncate-in-place on an already-open handle, never create — see
+/// [`LockHeartbeat`] for why resurrection would be harmful. A reader racing
+/// the rewrite can observe a half-written lock; it falls back to the file
+/// mtime, which the rewrite also refreshed, so the claim still reads fresh.
+fn refresh_lock(path: &Path, key_id: RunKeyId, worker: &str) {
+    let record = LockRecord {
+        key_id,
+        worker: worker.to_owned(),
+        claimed_unix: unix_now(),
+    };
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .write(true)
+        .truncate(true)
+        .open(path)
+    {
+        let _ = file.write_all(record.to_json().as_bytes());
+    }
+}
+
 /// Tries to claim and execute the run in plan-order `slot`.
 ///
 /// The claim sequence (each step atomic on POSIX filesystems):
@@ -386,8 +476,9 @@ fn lock_state(path: &Path, ttl: Duration) -> LockState {
 /// 2. create `claim-<id>.lock` with `O_CREAT|O_EXCL` — exclusive creation
 ///    is the entire mutual-exclusion mechanism;
 /// 3. re-check the outcome (another worker may have finished between 1 and
-///    2), then simulate and write the outcome (temp file + rename), then
-///    remove the lock;
+///    2), then simulate — with a [`LockHeartbeat`] refreshing the lock every
+///    poll tick so the claim never looks stale while the run is live — and
+///    write the outcome (temp file + rename), then remove the lock;
 /// 4. on a lost creation race: a fresh foreign lock blocks; a stale one is
 ///    reclaimed by *renaming* it to a worker-unique name — exactly one
 ///    contender wins the rename — and retrying from step 1.
@@ -428,7 +519,12 @@ fn claim_one(
                     let _ = std::fs::remove_file(&lock);
                     return Ok(Claim::AlreadyDone);
                 }
+                // Keep the claim visibly alive for the whole simulation, so
+                // the TTL can be far shorter than the longest run.
+                let heartbeat =
+                    LockHeartbeat::spawn(lock.clone(), key_id, config.worker.clone(), config.poll);
                 let result = matrix.simulation(slot).run();
+                drop(heartbeat);
                 let written = write_outcome(dir, fingerprint, key, &result);
                 let _ = std::fs::remove_file(&lock);
                 written?;

@@ -8,12 +8,19 @@
 //! ```json
 //! {
 //!   "schema": 1,
+//!   "results": 1,
 //!   "matrix": "<16-hex MatrixFingerprint of the planned sweep>",
 //!   "key_id": "<16-hex RunKeyId>",
 //!   "key": { ...the full RunKey... },
 //!   "result": { ...the RunResult... }
 //! }
 //! ```
+//!
+//! `results` records the [`RESULTS_VERSION`] the producing binary was built
+//! with; files stamped with a different version (including pre-versioning
+//! files, which read back as version 0) are *stale* — every reader treats
+//! them as cache misses and re-executes the run rather than reusing numbers
+//! a result-changing deploy has invalidated.
 //!
 //! [`RunStore::load`] scans one or more shard directories, verifies every
 //! file against the locally planned matrix — same fingerprint, known key id,
@@ -62,9 +69,10 @@ use std::path::{Path, PathBuf};
 use serde::{json, Deserialize, Serialize, Value};
 
 use crate::matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
-use crate::results::RunResult;
+use crate::results::{RunResult, RESULTS_VERSION};
 
 /// Version tag of the outcome-file layout; bump when fields change meaning.
+/// (Result *semantics* are versioned separately by [`RESULTS_VERSION`].)
 pub const OUTCOME_SCHEMA: u32 = 1;
 
 /// Results of a [`RunMatrix`] execution, indexed by
@@ -191,6 +199,21 @@ pub enum StoreError {
         /// Total planned runs.
         planned: usize,
     },
+    /// Some planned runs only have outcome files stamped with a different
+    /// [`RESULTS_VERSION`]: a result-changing deploy invalidated them, and
+    /// the strict merge refuses to splice old numbers into a new sweep.
+    /// Re-execute the stale runs (shard resume and queue workers do so
+    /// automatically) and merge again.
+    StaleResults {
+        /// Stale outcome files for runs that have no current outcome, sorted.
+        paths: Vec<PathBuf>,
+        /// The results version this binary produces.
+        expected: u32,
+        /// Total runs without current outcomes (stale or absent).
+        missing: usize,
+        /// Total planned runs.
+        planned: usize,
+    },
     /// Some planned runs have no outcome but *do* have claim lock files:
     /// a queue worker is still executing them (merge too early), or workers
     /// died holding claims (the locks become reclaimable once the TTL
@@ -251,6 +274,22 @@ impl fmt::Display for StoreError {
                         .map_or_else(|| "-".to_owned(), ToString::to_string)
                 )
             }
+            StoreError::StaleResults {
+                paths,
+                expected,
+                missing,
+                planned,
+            } => write!(
+                f,
+                "merge is missing {missing} of {planned} planned runs, and {} of them only \
+                 have outcome files from an older results version (current is {expected}); \
+                 a result-changing deploy invalidated them — re-run the shard or queue \
+                 workers to re-execute, then merge again; first stale: {}",
+                paths.len(),
+                paths
+                    .first()
+                    .map_or_else(|| "-".to_owned(), |p| p.display().to_string())
+            ),
             StoreError::ActiveLocks {
                 locks,
                 missing,
@@ -288,6 +327,9 @@ impl From<io::Error> for StoreError {
 /// One parsed outcome file.
 #[derive(Clone, Debug)]
 pub struct OutcomeRecord {
+    /// [`RESULTS_VERSION`] the producing binary was built with (0 for files
+    /// written before versioning existed — always stale).
+    pub results_version: u32,
     /// Fingerprint of the sweep the run was executed for.
     pub matrix: MatrixFingerprint,
     /// Content-addressed id of the run.
@@ -403,6 +445,7 @@ pub(crate) fn write_outcome(
     let key_id = key.id();
     let doc = Value::Map(vec![
         ("schema".to_owned(), OUTCOME_SCHEMA.to_value()),
+        ("results".to_owned(), RESULTS_VERSION.to_value()),
         ("matrix".to_owned(), fingerprint.to_value()),
         ("key_id".to_owned(), key_id.to_value()),
         ("key".to_owned(), key.to_value()),
@@ -419,12 +462,17 @@ pub(crate) fn write_outcome(
 }
 
 /// `true` if `path` holds a valid, reusable outcome for `key` executed
-/// under `fingerprint` (parses, right sweep, byte-identical embedded key).
-/// The one definition of "this run is done" shared by shard resume, queue
-/// claims, and reuse seeding.
+/// under `fingerprint` (parses, current results version, right sweep,
+/// byte-identical embedded key). The one definition of "this run is done"
+/// shared by shard resume, queue claims, and reuse seeding — so a
+/// results-version bump makes all of them re-execute automatically.
 pub(crate) fn outcome_is_valid(path: &Path, fingerprint: MatrixFingerprint, key: &RunKey) -> bool {
     match read_outcome(path) {
-        Ok(record) => record.matrix == fingerprint && record.key_json == key.canonical_json(),
+        Ok(record) => {
+            record.results_version == RESULTS_VERSION
+                && record.matrix == fingerprint
+                && record.key_json == key.canonical_json()
+        }
         Err(_) => false,
     }
 }
@@ -455,6 +503,15 @@ pub fn read_outcome(path: &Path) -> Result<OutcomeRecord, StoreError> {
             "outcome schema {schema} is not the supported {OUTCOME_SCHEMA}"
         )));
     }
+    // Absent on files written before result versioning existed: version 0,
+    // which never equals the current version — such files parse fine (the
+    // operator can still inspect them) but are stale for every reuse path.
+    let results_version = match doc.get("results") {
+        Some(value) => {
+            u32::from_value(value).map_err(|e| malformed(format!("bad `results`: {e}")))?
+        }
+        None => 0,
+    };
     let matrix = MatrixFingerprint::from_value(read_field("matrix")?)
         .map_err(|e| malformed(format!("bad `matrix`: {e}")))?;
     let key_id = RunKeyId::from_value(read_field("key_id")?)
@@ -471,6 +528,7 @@ pub fn read_outcome(path: &Path) -> Result<OutcomeRecord, StoreError> {
     let result = RunResult::from_value(read_field("result")?)
         .map_err(|e| malformed(format!("bad `result`: {e}")))?;
     Ok(OutcomeRecord {
+        results_version,
         matrix,
         key_id,
         key_json: key.canonical_json(),
@@ -510,17 +568,26 @@ impl RunStore {
     /// unplanned or integrity-failing files ([`StoreError::UnknownKey`],
     /// [`StoreError::Malformed`]), more than one file per run
     /// ([`StoreError::DuplicateKey`]), and incomplete coverage
-    /// ([`StoreError::MissingRuns`]).
+    /// ([`StoreError::MissingRuns`]). Files stamped with a different
+    /// [`RESULTS_VERSION`] are *cache misses*, not integrity failures: they
+    /// are skipped, and if that leaves runs uncovered the merge fails with
+    /// [`StoreError::StaleResults`] telling the operator to re-execute
+    /// rather than wipe.
     pub fn load(&self, matrix: &RunMatrix) -> Result<RunOutcomes, StoreError> {
         let fingerprint = matrix.fingerprint();
         let slot_of = |key_id: RunKeyId| -> Option<usize> {
             matrix.key_ids().iter().position(|&id| id == key_id)
         };
         let mut results: Vec<Option<(RunResult, PathBuf)>> = vec![None; matrix.len()];
+        let mut stale: Vec<(RunKeyId, PathBuf)> = Vec::new();
 
         for dir in &self.dirs {
             for path in outcome_paths(dir)? {
                 let record = read_outcome(&path)?;
+                if record.results_version != RESULTS_VERSION {
+                    stale.push((record.key_id, path));
+                    continue;
+                }
                 if record.matrix != fingerprint {
                     return Err(StoreError::ForeignMatrix {
                         path,
@@ -559,6 +626,23 @@ impl RunStore {
             .map(|slot| matrix.key_ids()[slot])
             .collect();
         if !missing.is_empty() {
+            // Prefer the most actionable diagnosis: runs whose only outcome
+            // is a stale-version file need re-execution, not a missing-shard
+            // hunt.
+            let mut stale_paths: Vec<PathBuf> = stale
+                .into_iter()
+                .filter(|(key_id, _)| missing.contains(key_id))
+                .map(|(_, path)| path)
+                .collect();
+            if !stale_paths.is_empty() {
+                stale_paths.sort();
+                return Err(StoreError::StaleResults {
+                    paths: stale_paths,
+                    expected: RESULTS_VERSION,
+                    missing: missing.len(),
+                    planned: matrix.len(),
+                });
+            }
             // If the incomplete runs are claim-locked, say so — the operator
             // is merging under live (or dead) queue workers, which has a
             // different fix than a shard that never ran.
@@ -606,6 +690,9 @@ impl RunStore {
     /// * files for keys the plan does not contain are skipped (counted in
     ///   [`PartialLoad::skipped_foreign`]) — they belong to other sweeps
     ///   sharing the cache;
+    /// * files stamped with a different [`RESULTS_VERSION`] are skipped
+    ///   (counted in [`PartialLoad::skipped_stale`]) — a result-changing
+    ///   deploy invalidated them, so their runs re-execute;
     /// * malformed or truncated files are skipped (paths collected in
     ///   [`PartialLoad::skipped_malformed`]) — the run simply re-executes;
     /// * a key present in several files (same dir listed twice, overlapping
@@ -622,6 +709,7 @@ impl RunStore {
         let mut results: Vec<Option<RunResult>> = vec![None; matrix.len()];
         let mut scanned = 0usize;
         let mut skipped_foreign = 0usize;
+        let mut skipped_stale = 0usize;
         let mut skipped_malformed: Vec<PathBuf> = Vec::new();
 
         for dir in &self.dirs {
@@ -635,6 +723,10 @@ impl RunStore {
                         continue;
                     }
                 };
+                if record.results_version != RESULTS_VERSION {
+                    skipped_stale += 1;
+                    continue;
+                }
                 let Some(slot) = slot_of(record.key_id) else {
                     skipped_foreign += 1;
                     continue;
@@ -657,6 +749,7 @@ impl RunStore {
             scanned,
             reused,
             skipped_foreign,
+            skipped_stale,
             skipped_malformed,
         })
     }
@@ -680,6 +773,9 @@ pub struct PartialLoad {
     pub reused: usize,
     /// Valid outcome files whose key the plan does not contain.
     pub skipped_foreign: usize,
+    /// Outcome files stamped with a different [`RESULTS_VERSION`] — cache
+    /// misses from a result-changing deploy; their runs re-execute.
+    pub skipped_stale: usize,
     /// Files that did not parse or failed integrity checks — their runs
     /// re-execute; surface these to the operator, silent corruption is how
     /// caches rot.
@@ -860,6 +956,95 @@ mod tests {
         let err = read_outcome(&path).unwrap_err();
         assert!(err.to_string().contains("hashes to"), "{err}");
 
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_results_version_is_a_cache_miss() {
+        let dir = temp_dir("stale-version");
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let outcomes = matrix.execute_serial();
+        write_outcome(
+            &dir,
+            matrix.fingerprint(),
+            &matrix.keys()[0],
+            &outcomes[handle],
+        )
+        .unwrap();
+        let path = dir.join(outcome_file_name(matrix.key_ids()[0]));
+
+        // Rewrite the file as if an older deploy had produced it.
+        let original = fs::read_to_string(&path).unwrap();
+        let old_version =
+            original.replace(&format!("\"results\": {RESULTS_VERSION}"), "\"results\": 0");
+        assert_ne!(old_version, original, "results stamp must be in the file");
+        fs::write(&path, &old_version).unwrap();
+
+        // The file still parses — operators can inspect old outcomes…
+        let record = read_outcome(&path).expect("stale files stay readable");
+        assert_eq!(record.results_version, 0);
+
+        // …but every reuse path treats it as a miss.
+        let err = RunStore::new([&dir]).load(&matrix).unwrap_err();
+        assert!(
+            matches!(err, StoreError::StaleResults { .. }),
+            "strict merge must diagnose staleness, got: {err}"
+        );
+        let partial = RunStore::new([&dir]).load_partial(&matrix).unwrap();
+        assert_eq!(partial.reused, 0);
+        assert_eq!(partial.skipped_stale, 1);
+        assert_eq!(partial.missing_slots(&matrix).len(), 1);
+
+        // Shard resume re-executes and re-stamps instead of trusting it.
+        let report = crate::shard::execute_shard_with_threads(
+            &matrix,
+            crate::shard::ShardSpec::full(),
+            &dir,
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.executed, 1, "stale outcome must re-run");
+        assert_eq!(
+            read_outcome(&path).unwrap().results_version,
+            RESULTS_VERSION
+        );
+        let merged = RunStore::new([&dir]).load(&matrix).expect("fresh merge");
+        assert_eq!(merged[handle], outcomes[handle]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_versioning_files_read_as_version_zero() {
+        let dir = temp_dir("pre-versioning");
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
+        let outcomes = matrix.execute_serial();
+        write_outcome(
+            &dir,
+            matrix.fingerprint(),
+            &matrix.keys()[0],
+            &outcomes[handle],
+        )
+        .unwrap();
+        let path = dir.join(outcome_file_name(matrix.key_ids()[0]));
+
+        // Strip the `results` field entirely: the PR 5-era file layout.
+        let original = fs::read_to_string(&path).unwrap();
+        let legacy: String = original
+            .lines()
+            .filter(|line| !line.contains("\"results\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(legacy, original);
+        fs::write(&path, &legacy).unwrap();
+
+        assert_eq!(read_outcome(&path).unwrap().results_version, 0);
+        let partial = RunStore::new([&dir]).load_partial(&matrix).unwrap();
+        assert_eq!(partial.reused, 0);
+        assert_eq!(partial.skipped_stale, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,7 +18,8 @@ use shift_sim::shard::{
 };
 use shift_sim::store::{lock_file_name, outcome_file_name, read_lock, seed_outcomes};
 use shift_sim::{
-    PrefetcherConfig, QueueConfig, RunKeyId, RunMatrix, RunStore, ShardSpec, StoreError,
+    LockHeartbeat, PrefetcherConfig, QueueConfig, RunKeyId, RunMatrix, RunStore, ShardSpec,
+    StoreError,
 };
 use shift_trace::{presets, Scale};
 
@@ -204,6 +205,96 @@ fn live_lock_is_respected_and_merge_reports_active_locks() {
     assert!(report.complete);
     assert_eq!(report.executed, 1);
     RunStore::new([&dir]).load(&matrix).expect("complete sweep");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The heartbeat half of the lock protocol: a live worker's claim is
+/// re-stamped every poll tick, so `SHIFT_QUEUE_TTL` can drop far below the
+/// longest single run without contending workers stealing live claims.
+#[test]
+fn heartbeat_keeps_a_claim_fresh_while_its_owner_works() {
+    let (matrix, _) = build_matrix(&[(0, 0, 0)]);
+    let dir = temp_dir("heartbeat-fresh");
+    fs::create_dir_all(&dir).unwrap();
+    let key_id = matrix.key_ids()[0];
+    let lock_path = dir.join(lock_file_name(key_id));
+
+    // A claim whose embedded timestamp is ancient — as a long run's lock
+    // would look mid-simulation if nobody refreshed it.
+    fs::write(&lock_path, lock_json(key_id, "long-runner", 1_000)).unwrap();
+
+    let heartbeat = LockHeartbeat::spawn(
+        lock_path.clone(),
+        key_id,
+        "long-runner".to_owned(),
+        Duration::from_millis(10),
+    );
+    // Wait until a beat lands (generous deadline for loaded CI hosts).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let refreshed = loop {
+        if let Ok(record) = read_lock(&lock_path) {
+            if record.claimed_unix > 1_000 {
+                break record;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no heartbeat within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(refreshed.key_id, key_id);
+    assert_eq!(refreshed.worker, "long-runner");
+    assert!(refreshed.claimed_unix + 60 > now_unix(), "stamped with now");
+
+    // A contender with a TTL far below any long run now sees a *fresh*
+    // claim and leaves the run alone — no reclaim, no duplicate execution.
+    let mut contender = worker("contender");
+    contender.wait = false;
+    contender.lock_ttl = Duration::from_secs(60);
+    let report = execute_queue_with_threads(&matrix, &dir, &contender, 1).unwrap();
+    assert_eq!(report.executed, 0, "live claim respected");
+    assert_eq!(report.reclaimed, 0);
+    assert!(!report.complete);
+
+    // Dropping the heartbeat stops the refresher: a sentinel rewrite stays.
+    drop(heartbeat);
+    fs::write(&lock_path, lock_json(key_id, "sentinel", 5)).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(
+        read_lock(&lock_path).unwrap().worker,
+        "sentinel",
+        "heartbeat kept beating after drop"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A heartbeat must never recreate a lock that a contender reclaimed (or
+/// the owner released): resurrection would orphan the slot until the TTL
+/// expired again.
+#[test]
+fn heartbeat_does_not_resurrect_a_reclaimed_lock() {
+    let (matrix, _) = build_matrix(&[(0, 0, 0)]);
+    let dir = temp_dir("heartbeat-resurrect");
+    fs::create_dir_all(&dir).unwrap();
+    let key_id = matrix.key_ids()[0];
+    let lock_path = dir.join(lock_file_name(key_id));
+    fs::write(&lock_path, lock_json(key_id, "owner", now_unix())).unwrap();
+
+    let heartbeat = LockHeartbeat::spawn(
+        lock_path.clone(),
+        key_id,
+        "owner".to_owned(),
+        Duration::from_millis(10),
+    );
+    // Another worker reclaims (rename + unlink, here collapsed to unlink).
+    fs::remove_file(&lock_path).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        !lock_path.exists(),
+        "heartbeat resurrected a reclaimed lock"
+    );
+    drop(heartbeat);
     fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -4,10 +4,11 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use shift_types::{AccessKind, BlockAddr, CoreId};
 
 use crate::event::{DataEvent, FetchEvent, TraceEvent};
+use crate::fastdiv::InvariantModulus;
 use crate::request::pick_request_with_total;
 use crate::workload::{WorkloadProgram, WorkloadSpec};
 
@@ -45,6 +46,14 @@ pub struct CoreTraceGenerator {
     requests_generated: u64,
     fetches_generated: u64,
     data_ref_carry: f64,
+    // Strength-reduced reducers for the uniform draws on the per-event hot
+    // path. Each produces exactly `next_u64() % span` (the compat `rand`
+    // `gen_range` reduction) for its loop-invariant span, replacing a
+    // hardware 64-bit division with a multiply-and-shift.
+    instr_mod: InvariantModulus,
+    hot_data_mod: InvariantModulus,
+    cold_data_mod: InvariantModulus,
+    os_fn_mod: InvariantModulus,
 }
 
 impl CoreTraceGenerator {
@@ -72,6 +81,16 @@ impl CoreTraceGenerator {
         // scratch holds at most one function execution's blocks.
         let max_burst = program.max_burst_events();
         let max_function_blocks = program.max_function_blocks();
+        let spec = program.spec();
+        let instr_span = (spec
+            .instructions_per_block_max
+            .max(spec.instructions_per_block_min)
+            - spec.instructions_per_block_min) as u64
+            + 1;
+        let instr_mod = InvariantModulus::new(instr_span);
+        let hot_data_mod = InvariantModulus::new(spec.hot_data_blocks.max(1));
+        let cold_data_mod = InvariantModulus::new(spec.data_region_blocks.max(1));
+        let os_fn_mod = InvariantModulus::new(program.layout().os_functions().len().max(1) as u64);
         CoreTraceGenerator {
             program,
             core,
@@ -85,6 +104,10 @@ impl CoreTraceGenerator {
             requests_generated: 0,
             fetches_generated: 0,
             data_ref_carry: 0.0,
+            instr_mod,
+            hot_data_mod,
+            cold_data_mod,
+            os_fn_mod,
         }
     }
 
@@ -175,7 +198,7 @@ impl CoreTraceGenerator {
                 && self.rng.gen_bool(spec.os_invocation_probability)
             {
                 let os_fns = program.layout().os_functions();
-                let os_idx = self.rng.gen_range(0..os_fns.len());
+                let os_idx = self.os_fn_mod.rem(self.rng.next_u64()) as usize;
                 let handler = &os_fns[os_idx];
                 self.emit_function(handler, spec);
             }
@@ -187,12 +210,8 @@ impl CoreTraceGenerator {
         function.execute(&mut self.rng, &mut self.scratch_blocks);
         let blocks = std::mem::take(&mut self.scratch_blocks);
         for &block in &blocks {
-            let instructions = self.rng.gen_range(
-                spec.instructions_per_block_min
-                    ..=spec
-                        .instructions_per_block_max
-                        .max(spec.instructions_per_block_min),
-            );
+            let instructions =
+                spec.instructions_per_block_min + self.instr_mod.rem(self.rng.next_u64()) as u8;
             self.pending
                 .push_back(TraceEvent::Fetch(FetchEvent::new(block, instructions)));
             self.emit_data_refs(instructions, spec);
@@ -208,11 +227,11 @@ impl CoreTraceGenerator {
         self.data_ref_carry = expected - count as f64;
         for _ in 0..count {
             let block = if self.rng.gen_bool(spec.hot_data_fraction.clamp(0.0, 1.0)) {
-                let off = self.rng.gen_range(0..spec.hot_data_blocks.max(1));
-                spec.data_base.offset(off)
+                spec.data_base
+                    .offset(self.hot_data_mod.rem(self.rng.next_u64()))
             } else {
-                let off = self.rng.gen_range(0..spec.data_region_blocks.max(1));
-                spec.data_base.offset(off)
+                spec.data_base
+                    .offset(self.cold_data_mod.rem(self.rng.next_u64()))
             };
             let kind = if self.rng.gen_bool(spec.store_fraction.clamp(0.0, 1.0)) {
                 AccessKind::Store
