@@ -28,9 +28,11 @@
 //!
 //! [`Simulation`]: shift_sim::Simulation
 
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use serde::{Deserialize, Serialize};
 use shift_report::{scoreboard, Artifact};
 use shift_sim::experiments::{
     commonality, storage_table, ConsolidationPlan, CoverageBreakdownPlan, EliminationPlan,
@@ -82,6 +84,117 @@ impl ReproduceSettings {
             seed,
             workloads,
         }
+    }
+}
+
+/// A wire-serializable sweep submission: [`ReproduceSettings`] with the
+/// workloads referenced *by preset name* instead of by their full parameter
+/// blocks, so a client can submit a plan as a small JSON document and the
+/// server resolves it against the same catalog `reproduce` itself uses.
+///
+/// Naming (rather than inlining) the workload parameters is a correctness
+/// feature for the serving path: two clients asking for "OLTP DB2" always
+/// resolve to byte-identical [`WorkloadSpec`]s, so their planned matrices
+/// share [`RunKeyId`](shift_sim::RunKeyId)s and the outcome cache
+/// deduplicates across submissions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanSpec {
+    /// Simulated core count (16 in the paper; at least 2).
+    pub cores: u16,
+    /// Trace length per core.
+    pub scale: Scale,
+    /// Seed for all runs.
+    pub seed: u64,
+    /// Preset workload names (case-insensitive; empty means the full paper
+    /// suite). See [`PlanSpec::catalog`].
+    pub workloads: Vec<String>,
+}
+
+/// Why a [`PlanSpec`] could not be resolved into [`ReproduceSettings`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// Fewer than two cores (the commonality study needs at least 2).
+    TooFewCores {
+        /// The rejected core count.
+        cores: u16,
+    },
+    /// A workload name matched nothing in the catalog.
+    UnknownWorkload {
+        /// The unmatched name as submitted.
+        name: String,
+        /// Every name the catalog does know, for the error message.
+        known: Vec<String>,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::TooFewCores { cores } => {
+                write!(f, "plan needs at least 2 cores, got {cores}")
+            }
+            PlanError::UnknownWorkload { name, known } => {
+                write!(f, "unknown workload {name:?}; known: {}", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl PlanSpec {
+    /// The names a submission may reference: the paper suite plus the
+    /// test-scale `Tiny` workload (so smoke submissions stay cheap).
+    pub fn catalog() -> Vec<WorkloadSpec> {
+        let mut suite = presets::paper_suite();
+        suite.push(presets::tiny());
+        suite
+    }
+
+    /// A spec naming the given settings' workloads (the inverse of
+    /// [`resolve`](PlanSpec::resolve) for catalog workloads).
+    pub fn from_settings(settings: &ReproduceSettings) -> Self {
+        PlanSpec {
+            cores: settings.cores,
+            scale: settings.scale,
+            seed: settings.seed,
+            workloads: settings.workloads.iter().map(|w| w.name.clone()).collect(),
+        }
+    }
+
+    /// Resolves the named workloads against the catalog into full
+    /// [`ReproduceSettings`]. Matching is case-insensitive but otherwise
+    /// exact; an empty workload list selects the whole paper suite.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::TooFewCores`] if `cores < 2`;
+    /// [`PlanError::UnknownWorkload`] naming the first unmatched workload.
+    pub fn resolve(&self) -> Result<ReproduceSettings, PlanError> {
+        if self.cores < 2 {
+            return Err(PlanError::TooFewCores { cores: self.cores });
+        }
+        let catalog = Self::catalog();
+        let workloads = if self.workloads.is_empty() {
+            presets::paper_suite()
+        } else {
+            self.workloads
+                .iter()
+                .map(|name| {
+                    catalog
+                        .iter()
+                        .find(|w| w.name.eq_ignore_ascii_case(name))
+                        .cloned()
+                        .ok_or_else(|| PlanError::UnknownWorkload {
+                            name: name.clone(),
+                            known: catalog.iter().map(|w| w.name.clone()).collect(),
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(ReproduceSettings::new(
+            self.cores, self.scale, self.seed, workloads,
+        ))
     }
 }
 
@@ -429,6 +542,83 @@ mod tests {
         assert_eq!(PaperPlan::consolidation_mix(&six).len(), 3);
         let sixteen = ReproduceSettings::new(16, Scale::Test, 1, vec![presets::tiny()]);
         assert_eq!(PaperPlan::consolidation_mix(&sixteen).len(), 4);
+    }
+
+    #[test]
+    fn plan_spec_round_trips_and_resolves_against_the_catalog() {
+        let spec = PlanSpec {
+            cores: 4,
+            scale: Scale::Test,
+            seed: 7,
+            workloads: vec!["Tiny".to_owned(), "OLTP DB2".to_owned()],
+        };
+        // Wire round-trip through the same JSON layer the server uses.
+        let json = serde::json::to_string(&spec);
+        let back: PlanSpec = serde::json::from_str(&json).expect("parse");
+        assert_eq!(back, spec);
+
+        // Resolution is case-insensitive and yields catalog specs verbatim.
+        let lax = PlanSpec {
+            workloads: vec!["tiny".to_owned(), "oltp db2".to_owned()],
+            ..spec.clone()
+        };
+        let settings = lax.resolve().expect("resolve");
+        assert_eq!(settings.cores, 4);
+        assert_eq!(settings.workloads[0], presets::tiny());
+        assert_eq!(settings.workloads[1], presets::oltp_db2());
+
+        // Two equal submissions plan to the same matrix fingerprint — the
+        // property the serving cache depends on.
+        let a = PaperPlan::plan(spec.resolve().unwrap());
+        let b = PaperPlan::plan(lax.resolve().unwrap());
+        assert_eq!(a.matrix().fingerprint(), b.matrix().fingerprint());
+
+        // from_settings is the inverse for catalog workloads.
+        assert_eq!(
+            PlanSpec::from_settings(&spec.resolve().unwrap()),
+            PlanSpec {
+                workloads: vec!["Tiny".to_owned(), "OLTP DB2".to_owned()],
+                ..spec
+            }
+        );
+    }
+
+    #[test]
+    fn plan_spec_rejects_bad_submissions_with_typed_errors() {
+        let unknown = PlanSpec {
+            cores: 4,
+            scale: Scale::Test,
+            seed: 0,
+            workloads: vec!["OLTP DB3".to_owned()],
+        };
+        match unknown.resolve() {
+            Err(PlanError::UnknownWorkload { name, known }) => {
+                assert_eq!(name, "OLTP DB3");
+                assert!(known.contains(&"OLTP DB2".to_owned()));
+                assert!(known.contains(&"Tiny".to_owned()));
+            }
+            other => panic!("expected UnknownWorkload, got {other:?}"),
+        }
+
+        let narrow = PlanSpec {
+            cores: 1,
+            scale: Scale::Test,
+            seed: 0,
+            workloads: vec![],
+        };
+        assert_eq!(
+            narrow.resolve().unwrap_err(),
+            PlanError::TooFewCores { cores: 1 }
+        );
+
+        // Empty workloads select the full paper suite.
+        let full = PlanSpec {
+            cores: 2,
+            scale: Scale::Test,
+            seed: 0,
+            workloads: vec![],
+        };
+        assert_eq!(full.resolve().unwrap().workloads, presets::paper_suite());
     }
 
     #[test]

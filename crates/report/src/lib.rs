@@ -24,10 +24,12 @@
 mod artifact;
 mod reference;
 mod table;
+mod wire;
 
 pub use artifact::{write_json, Artifact};
 pub use reference::{Check, Reference, Verdict};
 pub use table::Table;
+pub use wire::{wire_artifact, wire_bundle, wire_bundle_json};
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,113 @@
+//! Wire encoding of artifact bundles for the serving path.
+//!
+//! A resident server answers artifact queries over HTTP, so the whole
+//! bundle — every figure/table plus the scoreboard — has to travel as one
+//! JSON document. The encoding here embeds each artifact's **exact**
+//! [`Artifact::to_json`] / [`Table::to_csv`](crate::Table::to_csv) /
+//! [`Artifact::to_markdown`] output as JSON *string fields* rather than
+//! splicing the JSON tree in structurally. That choice is what makes the
+//! serving path byte-faithful: a client that extracts the `json` field of
+//! `fig08` gets the identical bytes `reproduce --merge` would have written
+//! to `fig08.json`, so byte-comparison tests (and checksum-keeping clients)
+//! work across the wire.
+
+use serde::{json, Value};
+
+use crate::artifact::Artifact;
+use crate::scoreboard;
+
+/// One artifact as a wire value: `{name, title, json, csv, markdown}`,
+/// where the last three are the exact strings the on-disk
+/// [`Artifact::write_to`] files would contain.
+pub fn wire_artifact(artifact: &Artifact) -> Value {
+    Value::Map(vec![
+        ("name".to_owned(), Value::Str(artifact.name().to_owned())),
+        ("title".to_owned(), Value::Str(artifact.title().to_owned())),
+        ("json".to_owned(), Value::Str(artifact.to_json())),
+        ("csv".to_owned(), Value::Str(artifact.table().to_csv())),
+        ("markdown".to_owned(), Value::Str(artifact.to_markdown())),
+    ])
+}
+
+/// A whole artifact set as one wire value:
+/// `{scoreboard, artifacts: [...]}` with the artifacts in input order, each
+/// encoded by [`wire_artifact`].
+pub fn wire_bundle(artifacts: &[Artifact]) -> Value {
+    Value::Map(vec![
+        ("scoreboard".to_owned(), Value::Str(scoreboard(artifacts))),
+        (
+            "artifacts".to_owned(),
+            Value::Seq(artifacts.iter().map(wire_artifact).collect()),
+        ),
+    ])
+}
+
+/// [`wire_bundle`] rendered to its JSON string — the body a server caches
+/// and replays verbatim for repeat queries.
+pub fn wire_bundle_json(artifacts: &[Artifact]) -> String {
+    json::to_string(&wire_bundle(artifacts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Check, Reference, Table};
+
+    fn sample() -> Artifact {
+        let mut table = Table::new(["workload", "speedup"]);
+        table.push_row(["OLTP DB2".to_owned(), "1.5".to_owned()]);
+        Artifact::new(
+            "fig99",
+            "Figure 99: a \"quoted\" title\nwith a newline",
+            &1.5f64,
+            table,
+        )
+        .with_reference(Reference::new("speedup", 1.5, Check::near(1.4, 0.2)))
+    }
+
+    #[test]
+    fn wire_fields_are_byte_identical_to_local_rendering() {
+        let artifact = sample();
+        let wire = wire_artifact(&artifact);
+        assert_eq!(wire.get("name").and_then(Value::as_str), Some("fig99"));
+        assert_eq!(
+            wire.get("json").and_then(Value::as_str),
+            Some(artifact.to_json().as_str())
+        );
+        assert_eq!(
+            wire.get("csv").and_then(Value::as_str),
+            Some(artifact.table().to_csv().as_str())
+        );
+        assert_eq!(
+            wire.get("markdown").and_then(Value::as_str),
+            Some(artifact.to_markdown().as_str())
+        );
+    }
+
+    #[test]
+    fn bundle_json_round_trips_through_the_json_layer() {
+        let artifacts = [sample()];
+        let body = wire_bundle_json(&artifacts);
+        // Embedded newlines/quotes must survive a parse round-trip exactly:
+        // the client-side decode of the string fields is the byte-identity
+        // contract the serve tests rely on.
+        let doc = json::parse(&body).expect("bundle parses");
+        assert_eq!(
+            doc.get("scoreboard").and_then(Value::as_str),
+            Some(scoreboard(&artifacts).as_str())
+        );
+        let list = match doc.get("artifacts") {
+            Some(Value::Seq(items)) => items,
+            other => panic!("expected artifact seq, got {other:?}"),
+        };
+        assert_eq!(list.len(), 1);
+        assert_eq!(
+            list[0].get("json").and_then(Value::as_str),
+            Some(artifacts[0].to_json().as_str())
+        );
+        assert_eq!(
+            list[0].get("markdown").and_then(Value::as_str),
+            Some(artifacts[0].to_markdown().as_str())
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! A hand-rolled, deliberately minimal HTTP/1.1 layer.
+//!
+//! The build environment has no crate registry, so — in the `compat/` shim
+//! spirit — this module implements exactly the protocol subset the daemon
+//! needs and documents the contract:
+//!
+//! * one request per connection, answered with `Connection: close`;
+//! * request bodies are `Content-Length`-delimited (no chunked encoding);
+//! * response bodies are either `Content-Length`-delimited or, for the
+//!   progress stream, delimited by connection close (legal in HTTP/1.1 for
+//!   responses, and what lets the daemon stream NDJSON lines of unknown
+//!   total length).
+//!
+//! Keeping the parser tiny is also what makes the protocol-level tests
+//! meaningful: every error path (`malformed`, `truncated`, `oversized`) is
+//! a few lines away from the test that exercises it.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// One parsed request: method, target path (query string split off), and
+/// the raw body bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target (no query string).
+    pub path: String,
+    /// The raw body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request line or a header was not parseable HTTP/1.1.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the server's limit.
+    TooLarge {
+        /// The declared body length.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+    /// The peer disconnected (or timed out) before the full request
+    /// arrived — e.g. a truncated body. There is nobody left to answer, so
+    /// handlers drop the connection without a response.
+    Disconnected,
+    /// A transport-level read error other than a clean disconnect.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Disconnected => write!(f, "peer disconnected mid-request"),
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn read_line(reader: &mut dyn BufRead) -> Result<String, HttpError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Err(HttpError::Disconnected),
+        Ok(_) => {
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            Ok(line)
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            Err(HttpError::Malformed("request is not UTF-8".to_owned()))
+        }
+        Err(e)
+            if e.kind() == io::ErrorKind::UnexpectedEof
+                || e.kind() == io::ErrorKind::ConnectionReset =>
+        {
+            Err(HttpError::Disconnected)
+        }
+        Err(e) => Err(HttpError::Io(e)),
+    }
+}
+
+/// Reads one request off `reader`, enforcing `max_body` against the
+/// declared `Content-Length` *before* reading the body (an oversized
+/// declaration is rejected without buffering a byte of it).
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for an unparseable request line or header,
+/// [`HttpError::TooLarge`] for an over-limit body declaration,
+/// [`HttpError::Disconnected`] when the peer hangs up mid-request (the
+/// truncated-body case), and [`HttpError::Io`] for other transport errors.
+pub fn read_request(reader: &mut dyn BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        match reader.read_exact(&mut body) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(HttpError::Disconnected)
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+
+    let path = target.split(['?', '#']).next().unwrap_or("").to_owned();
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        body,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Content-Length`-delimited response and flushes.
+///
+/// # Errors
+///
+/// Propagates transport write errors (a disconnected peer surfaces here;
+/// handlers treat that as the client abandoning the request).
+pub fn write_response(
+    writer: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes the head of a close-delimited streaming response (no
+/// `Content-Length`); the caller then writes body chunks directly and the
+/// body ends when the connection closes.
+///
+/// # Errors
+///
+/// Propagates transport write errors.
+pub fn write_streaming_head(
+    writer: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+        reason(status),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes), max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_strips_the_query_string() {
+        let req = parse(
+            b"POST /v1/sweeps?wait=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            64,
+        )
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sweeps");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn get_without_content_length_has_an_empty_body() {
+        let req = parse(b"GET /v1/status HTTP/1.1\r\n\r\n", 64).expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, b"");
+    }
+
+    #[test]
+    fn rejects_garbage_and_bad_headers_as_malformed() {
+        assert!(matches!(
+            parse(b"not http at all\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x SPDY/9\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declarations_before_reading_the_body() {
+        // The body bytes are absent entirely: the limit check must fire on
+        // the declaration alone.
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 64).unwrap_err();
+        match err {
+            HttpError::TooLarge { declared, limit } => {
+                assert_eq!(declared, 999);
+                assert_eq!(limit, 64);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_a_disconnect() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 64).unwrap_err();
+        assert!(matches!(err, HttpError::Disconnected));
+        // As is a peer that hangs up before sending anything.
+        assert!(matches!(parse(b"", 64), Err(HttpError::Disconnected)));
+    }
+
+    #[test]
+    fn response_writer_emits_content_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut head = Vec::new();
+        write_streaming_head(&mut head, 200, "application/x-ndjson").unwrap();
+        let head = String::from_utf8(head).unwrap();
+        assert!(
+            !head.contains("Content-Length"),
+            "stream is close-delimited"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Typed API errors and their wire encoding.
+//!
+//! Every failure a client can provoke maps to exactly one [`ApiError`]
+//! variant with a stable machine-readable `code`, rendered as
+//! `{"error": {"code": ..., "message": ...}}`. The protocol tests assert on
+//! the codes, not the prose, so messages can improve without breaking
+//! clients.
+
+use serde::{json, Value};
+
+/// Every error the HTTP surface can return.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// The submission body was not parseable JSON (or not a plan shape).
+    BadJson(String),
+    /// The plan parsed but cannot be resolved (unknown workload, too few
+    /// cores).
+    BadPlan(String),
+    /// No such endpoint or sweep id.
+    NotFound,
+    /// The endpoint exists but not for this method.
+    MethodNotAllowed,
+    /// The declared body length exceeds the server limit.
+    PayloadTooLarge {
+        /// The server's body limit in bytes.
+        limit: usize,
+    },
+    /// The request itself was not parseable HTTP.
+    BadRequest(String),
+    /// The daemon is draining and accepts no new work (cached answers are
+    /// still served).
+    Draining,
+    /// The sweep failed on the server side.
+    Internal(String),
+}
+
+impl ApiError {
+    /// The HTTP status this error is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadJson(_) | ApiError::BadPlan(_) | ApiError::BadRequest(_) => 400,
+            ApiError::NotFound => 404,
+            ApiError::MethodNotAllowed => 405,
+            ApiError::PayloadTooLarge { .. } => 413,
+            ApiError::Draining => 503,
+            ApiError::Internal(_) => 500,
+        }
+    }
+
+    /// The stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::BadJson(_) => "bad_json",
+            ApiError::BadPlan(_) => "bad_plan",
+            ApiError::NotFound => "not_found",
+            ApiError::MethodNotAllowed => "method_not_allowed",
+            ApiError::PayloadTooLarge { .. } => "payload_too_large",
+            ApiError::BadRequest(_) => "bad_request",
+            ApiError::Draining => "draining",
+            ApiError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> String {
+        match self {
+            ApiError::BadJson(msg) => format!("submission is not a valid plan JSON: {msg}"),
+            ApiError::BadPlan(msg) => format!("plan cannot be resolved: {msg}"),
+            ApiError::NotFound => "no such endpoint or sweep".to_owned(),
+            ApiError::MethodNotAllowed => "endpoint does not support this method".to_owned(),
+            ApiError::PayloadTooLarge { limit } => {
+                format!("body exceeds the {limit}-byte limit")
+            }
+            ApiError::BadRequest(msg) => msg.clone(),
+            ApiError::Draining => "daemon is draining; new sweeps are not accepted".to_owned(),
+            ApiError::Internal(msg) => msg.clone(),
+        }
+    }
+
+    /// The JSON body: `{"error": {"code": ..., "message": ...}}`.
+    pub fn body(&self) -> String {
+        let doc = Value::Map(vec![(
+            "error".to_owned(),
+            Value::Map(vec![
+                ("code".to_owned(), Value::Str(self.code().to_owned())),
+                ("message".to_owned(), Value::Str(self.message())),
+            ]),
+        )]);
+        json::to_string(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_stable_code_and_parseable_body() {
+        let cases: Vec<(ApiError, u16, &str)> = vec![
+            (ApiError::BadJson("x".into()), 400, "bad_json"),
+            (ApiError::BadPlan("x".into()), 400, "bad_plan"),
+            (ApiError::NotFound, 404, "not_found"),
+            (ApiError::MethodNotAllowed, 405, "method_not_allowed"),
+            (
+                ApiError::PayloadTooLarge { limit: 9 },
+                413,
+                "payload_too_large",
+            ),
+            (ApiError::BadRequest("x".into()), 400, "bad_request"),
+            (ApiError::Draining, 503, "draining"),
+            (ApiError::Internal("x".into()), 500, "internal"),
+        ];
+        for (err, status, code) in cases {
+            assert_eq!(err.status(), status);
+            assert_eq!(err.code(), code);
+            let doc = json::parse(&err.body()).expect("error body parses");
+            assert_eq!(
+                doc.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str),
+                Some(code)
+            );
+        }
+    }
+}

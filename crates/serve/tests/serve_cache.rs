@@ -1,0 +1,120 @@
+//! Cache semantics through the daemon path, end to end on one warm root:
+//!
+//! 1. the first submission executes the sweep;
+//! 2. resubmitting the identical plan is a pure cache hit — zero new
+//!    simulations, zero new outcome files, byte-identical bundle (the
+//!    repo's acceptance criterion, asserted here rather than by hand);
+//! 3. a *restarted* daemon over the same root re-validates the store and
+//!    still executes nothing;
+//! 4. stamping every stored outcome with a wrong `RESULTS_VERSION` makes
+//!    the next daemon treat the store as all-miss: everything re-executes,
+//!    stale results are never served.
+
+mod common;
+
+use common::*;
+use shift_serve::Server;
+
+#[test]
+fn warm_cache_serves_without_simulating_and_stale_versions_invalidate() {
+    let root = temp_root("cache");
+    let spec = test_spec(&["Tiny"]);
+    let reference_plan = plan_of(&spec);
+    let id = reference_plan.matrix().fingerprint().to_string();
+    let planned = reference_plan.run_count();
+    let sweep_dir = test_config(&root).sweep_dir(&id);
+    let body = spec_body(&spec);
+
+    // --- 1. Cold daemon: the sweep executes in full.
+    let server = Server::start(test_config(&root), "127.0.0.1:0").expect("server starts");
+    let addr = server.addr();
+    let first = request(addr, "POST", "/v1/sweeps", Some(&body));
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(summary_u64(&first.body, "executed") as usize, planned);
+    assert!(!summary_cached(&first.body));
+    let files_after_first = outcome_files(&sweep_dir);
+    assert_eq!(files_after_first.len(), planned);
+
+    // --- 2. Identical resubmission: answered from the registry cache.
+    let second = request(addr, "POST", "/v1/sweeps", Some(&body));
+    assert_eq!(second.status, 200);
+    assert!(
+        summary_cached(&second.body),
+        "resubmission was not a cache hit: {}",
+        second.body
+    );
+    assert_eq!(
+        summary_u64(&second.body, "executed") as usize,
+        planned,
+        "the summary still reports the original execution tally"
+    );
+    assert_eq!(
+        outcome_files(&sweep_dir),
+        files_after_first,
+        "a cache hit must write no new outcome files"
+    );
+
+    // The served bundle is byte-identical to the single-process reference.
+    let bundle = request(addr, "GET", &format!("/v1/sweeps/{id}/artifacts"), None);
+    assert_eq!(bundle.status, 200);
+    let reference = reference_plan.execute();
+    assert_bundle_matches(&bundle.body, &reference);
+    server.shutdown();
+
+    // --- 3. A fresh daemon on the same root: the registry is empty but the
+    // store is warm, so the sweep re-validates to zero executions.
+    let server = Server::start(test_config(&root), "127.0.0.1:0").expect("restart");
+    let addr = server.addr();
+    let warm = request(addr, "POST", "/v1/sweeps", Some(&body));
+    assert_eq!(warm.status, 200);
+    assert!(
+        !summary_cached(&warm.body),
+        "a restarted daemon has no registry entry — this goes through the store"
+    );
+    assert_eq!(
+        summary_u64(&warm.body, "executed"),
+        0,
+        "warm store: zero new simulations: {}",
+        warm.body
+    );
+    assert_eq!(summary_u64(&warm.body, "reused") as usize, planned);
+    assert_eq!(outcome_files(&sweep_dir), files_after_first);
+    let bundle = request(addr, "GET", &format!("/v1/sweeps/{id}/artifacts"), None);
+    assert_bundle_matches(&bundle.body, &reference);
+    server.shutdown();
+
+    // --- 4. RESULTS_VERSION invalidation through the daemon path: rewrite
+    // every stored outcome to a wrong results version, restart, resubmit.
+    // The store must treat them all as misses and re-execute, never serve.
+    let version_field = format!("\"results\": {}", shift_sim::RESULTS_VERSION);
+    let mut rewritten = 0;
+    for name in &files_after_first {
+        let path = sweep_dir.join(name);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(&version_field), "no version stamp in {name}");
+        std::fs::write(&path, text.replace(&version_field, "\"results\": 0")).unwrap();
+        rewritten += 1;
+    }
+    assert_eq!(rewritten, planned);
+
+    let server = Server::start(test_config(&root), "127.0.0.1:0").expect("restart");
+    let addr = server.addr();
+    let stale = request(addr, "POST", "/v1/sweeps", Some(&body));
+    assert_eq!(stale.status, 200);
+    assert_eq!(
+        summary_u64(&stale.body, "executed") as usize,
+        planned,
+        "stale-version outcomes must be all-miss: {}",
+        stale.body
+    );
+    assert_eq!(summary_u64(&stale.body, "reused"), 0);
+    // Re-execution rewrote the store with current-version outcomes, and the
+    // served bundle is the reference again — stale bytes never reached a
+    // client.
+    let bundle = request(addr, "GET", &format!("/v1/sweeps/{id}/artifacts"), None);
+    assert_bundle_matches(&bundle.body, &reference);
+    server.shutdown();
+
+    assert_no_locks(&root);
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -1,0 +1,129 @@
+//! The serving layer's headline property, as a property test: for any mix
+//! of concurrent clients submitting overlapping plans, every shared run
+//! simulates exactly once, every response is byte-identical to a serial
+//! single-process execution, and the store is left clean (no locks, no
+//! temp files).
+//!
+//! The two candidate plans overlap by construction: plan B's workload list
+//! is a superset of plan A's, and both include the same consolidation-mix
+//! runs, so their matrices share keys without being identical. The
+//! exactly-once assertion is on exact counts — the summed `executed`
+//! tallies across distinct jobs must equal the size of the *union* of the
+//! submitted plans' key sets.
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use common::*;
+use proptest::prelude::*;
+use shift_bench::reproduce::{PaperReport, PlanSpec};
+use shift_serve::Server;
+use shift_sim::RunKeyId;
+
+fn candidate_specs() -> [PlanSpec; 2] {
+    [test_spec(&["Tiny"]), test_spec(&["Tiny", "OLTP DB2"])]
+}
+
+fn key_set(spec: &PlanSpec) -> BTreeSet<RunKeyId> {
+    plan_of(spec).matrix().key_ids().iter().copied().collect()
+}
+
+/// Serial single-process references, computed once per test process.
+fn reference(index: usize) -> &'static PaperReport {
+    static REFS: [OnceLock<PaperReport>; 2] = [OnceLock::new(), OnceLock::new()];
+    REFS[index].get_or_init(|| plan_of(&candidate_specs()[index]).execute())
+}
+
+#[test]
+fn candidate_plans_overlap_without_being_identical() {
+    let [a, b] = candidate_specs();
+    let (keys_a, keys_b) = (key_set(&a), key_set(&b));
+    assert!(
+        keys_a.intersection(&keys_b).count() > 0,
+        "plans must share runs for the dedup property to be non-trivial"
+    );
+    assert_ne!(keys_a, keys_b, "plans must be distinct fingerprints");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// N ∈ 1..=3 concurrent clients, each randomly assigned one of the two
+    /// overlapping plans, against a cold daemon.
+    #[test]
+    fn concurrent_overlapping_submissions_simulate_each_shared_run_once(
+        assignments in proptest::collection::vec(0usize..2, 1..4),
+    ) {
+        let tag = format!(
+            "concurrent-{}",
+            assignments.iter().map(ToString::to_string).collect::<String>()
+        );
+        let root = temp_root(&tag);
+        let specs = candidate_specs();
+        let server = Server::start(test_config(&root), "127.0.0.1:0").expect("server starts");
+        let addr = server.addr();
+
+        // Fire all clients at once; each POST blocks until its sweep is done.
+        let responses: Vec<(usize, Response)> = std::thread::scope(|scope| {
+            let joins: Vec<_> = assignments
+                .iter()
+                .map(|&which| {
+                    let body = spec_body(&specs[which]);
+                    scope.spawn(move || (which, request(addr, "POST", "/v1/sweeps", Some(&body))))
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+        });
+
+        // Exactly-once: across the distinct jobs these submissions created,
+        // the executed tallies sum to the union of the submitted key sets —
+        // no shared run simulated twice, none skipped.
+        let distinct: BTreeSet<usize> = assignments.iter().copied().collect();
+        let union: BTreeSet<RunKeyId> = distinct
+            .iter()
+            .flat_map(|&which| key_set(&specs[which]))
+            .collect();
+        let mut executed_by_job: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for (_, response) in &responses {
+            prop_assert_eq!(response.status, 200, "body: {}", &response.body);
+            let doc = serde::json::parse(&response.body).expect("summary parses");
+            let id = doc.get("id").and_then(serde::Value::as_str).expect("id").to_owned();
+            executed_by_job.insert(id, summary_u64(&response.body, "executed"));
+        }
+        prop_assert_eq!(executed_by_job.len(), distinct.len(), "one job per distinct plan");
+        let executed_total: u64 = executed_by_job.values().sum();
+        prop_assert_eq!(
+            executed_total as usize,
+            union.len(),
+            "every run in the union executes exactly once across all jobs"
+        );
+
+        // Every client's artifact bundle is byte-identical to a serial
+        // single-process execution of its plan.
+        for &which in &distinct {
+            let id = plan_of(&specs[which]).matrix().fingerprint().to_string();
+            let bundle = request(addr, "GET", &format!("/v1/sweeps/{id}/artifacts"), None);
+            prop_assert_eq!(bundle.status, 200);
+            assert_bundle_matches(&bundle.body, reference(which));
+        }
+
+        // No leftover locks or temp files anywhere under the root.
+        assert_no_locks(&root);
+        for entry in std::fs::read_dir(root.join("sweeps")).expect("sweeps dir") {
+            let dir = entry.expect("entry").path();
+            for file in std::fs::read_dir(&dir).expect("sweep dir") {
+                let name = file.expect("entry").file_name().to_string_lossy().into_owned();
+                prop_assert!(
+                    name.starts_with("run-") && name.ends_with(".json"),
+                    "leftover non-outcome file {} in {:?}", name, dir
+                );
+            }
+        }
+
+        server.shutdown();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

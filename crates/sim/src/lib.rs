@@ -85,6 +85,9 @@ pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
 pub use engine::Engine;
 pub use matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
 pub use results::{CoverageStats, RunResult, RESULTS_VERSION};
-pub use shard::{DeltaReport, LockHeartbeat, QueueConfig, QueueReport, ShardReport, ShardSpec};
+pub use shard::{
+    CancelToken, DeltaReport, LockHeartbeat, QueueConfig, QueueReport, RunEvent, RunObserver,
+    ShardReport, ShardSpec,
+};
 pub use store::{PartialLoad, RunOutcomes, RunStore, StoreError};
 pub use system::Simulation;

@@ -42,7 +42,7 @@ use std::io;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
@@ -338,6 +338,101 @@ pub struct QueueReport {
     pub complete: bool,
 }
 
+/// Cooperative cancellation handle for library-embedded executors.
+///
+/// Long-running hosts (the `shift-serve` daemon, notebooks, schedulers)
+/// share a clone of the token with [`execute_queue_observed`] and call
+/// [`CancelToken::cancel`] to stop the drain at the next safe point: workers
+/// finish the run they have claimed — releasing its lock and persisting its
+/// outcome, so nothing is orphaned — and then return with
+/// [`QueueReport::complete`] `false` instead of claiming further runs.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any clone has requested cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// One progress event from an observed queue drain
+/// ([`execute_queue_observed`]).
+///
+/// Events are emitted from worker threads as they happen, so an observer
+/// sees them in real execution order (and must be [`Sync`]). Every planned
+/// run produces exactly one terminal event per worker that proves it done —
+/// [`RunEvent::Executed`] on the worker that simulated it,
+/// [`RunEvent::AlreadyDone`] on workers that found it finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunEvent {
+    /// This worker claimed the run and is about to simulate it.
+    Claimed {
+        /// The claimed run.
+        key_id: RunKeyId,
+    },
+    /// This worker finished simulating the run and persisted its outcome.
+    Executed {
+        /// The completed run.
+        key_id: RunKeyId,
+    },
+    /// A valid outcome for the run already existed (another worker, a
+    /// previous invocation, or a seeded cache hit).
+    AlreadyDone {
+        /// The already-complete run.
+        key_id: RunKeyId,
+    },
+    /// This worker reclaimed a stale claim left by a dead worker.
+    Reclaimed {
+        /// The run whose stale lock was reclaimed.
+        key_id: RunKeyId,
+    },
+}
+
+impl RunEvent {
+    /// The run this event is about.
+    pub fn key_id(&self) -> RunKeyId {
+        match *self {
+            RunEvent::Claimed { key_id }
+            | RunEvent::Executed { key_id }
+            | RunEvent::AlreadyDone { key_id }
+            | RunEvent::Reclaimed { key_id } => key_id,
+        }
+    }
+}
+
+/// Receives [`RunEvent`]s from an observed queue drain. Implemented for any
+/// `Fn(RunEvent) + Sync` closure, so ad-hoc observers need no newtype.
+pub trait RunObserver: Sync {
+    /// Called once per event, from the worker thread that produced it.
+    fn on_event(&self, event: RunEvent);
+}
+
+impl<F: Fn(RunEvent) + Sync> RunObserver for F {
+    fn on_event(&self, event: RunEvent) {
+        self(event);
+    }
+}
+
+/// The observer the unobserved entry points use: drops every event.
+struct NoopObserver;
+
+impl RunObserver for NoopObserver {
+    fn on_event(&self, _event: RunEvent) {}
+}
+
 /// What happened when a worker tried to claim one run.
 enum Claim {
     /// This worker took the claim and simulated the run.
@@ -468,6 +563,17 @@ fn refresh_lock(path: &Path, key_id: RunKeyId, worker: &str) {
     }
 }
 
+/// Everything shared by every claim attempt of one queue drain: the plan,
+/// the directory, the worker's configuration, and the embedding hooks.
+struct DrainCtx<'a> {
+    matrix: &'a RunMatrix,
+    fingerprint: MatrixFingerprint,
+    dir: &'a Path,
+    config: &'a QueueConfig,
+    observer: &'a dyn RunObserver,
+    cancel: &'a CancelToken,
+}
+
 /// Tries to claim and execute the run in plan-order `slot`.
 ///
 /// The claim sequence (each step atomic on POSIX filesystems):
@@ -482,13 +588,15 @@ fn refresh_lock(path: &Path, key_id: RunKeyId, worker: &str) {
 /// 4. on a lost creation race: a fresh foreign lock blocks; a stale one is
 ///    reclaimed by *renaming* it to a worker-unique name — exactly one
 ///    contender wins the rename — and retrying from step 1.
-fn claim_one(
-    matrix: &RunMatrix,
-    slot: usize,
-    fingerprint: MatrixFingerprint,
-    dir: &Path,
-    config: &QueueConfig,
-) -> io::Result<Claim> {
+fn claim_one(ctx: &DrainCtx<'_>, slot: usize) -> io::Result<Claim> {
+    let DrainCtx {
+        matrix,
+        fingerprint,
+        dir,
+        config,
+        observer,
+        ..
+    } = *ctx;
     let key = &matrix.keys()[slot];
     let key_id = matrix.key_ids()[slot];
     let outcome = dir.join(outcome_file_name(key_id));
@@ -496,6 +604,7 @@ fn claim_one(
     let mut reclaimed = false;
     loop {
         if outcome_is_valid(&outcome, fingerprint, key) {
+            observer.on_event(RunEvent::AlreadyDone { key_id });
             return Ok(Claim::AlreadyDone);
         }
         match std::fs::OpenOptions::new()
@@ -517,8 +626,10 @@ fn claim_one(
                 // validity check and our claim.
                 if outcome_is_valid(&outcome, fingerprint, key) {
                     let _ = std::fs::remove_file(&lock);
+                    observer.on_event(RunEvent::AlreadyDone { key_id });
                     return Ok(Claim::AlreadyDone);
                 }
+                observer.on_event(RunEvent::Claimed { key_id });
                 // Keep the claim visibly alive for the whole simulation, so
                 // the TTL can be far shorter than the longest run.
                 let heartbeat =
@@ -528,6 +639,7 @@ fn claim_one(
                 let written = write_outcome(dir, fingerprint, key, &result);
                 let _ = std::fs::remove_file(&lock);
                 written?;
+                observer.on_event(RunEvent::Executed { key_id });
                 return Ok(Claim::Executed { reclaimed });
             }
             Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
@@ -539,6 +651,7 @@ fn claim_one(
                         if std::fs::rename(&lock, &tomb).is_ok() {
                             let _ = std::fs::remove_file(&tomb);
                             reclaimed = true;
+                            observer.on_event(RunEvent::Reclaimed { key_id });
                         }
                         // Rename lost ⇒ someone else reclaimed or the owner
                         // finished; either way, re-evaluate from the top.
@@ -564,10 +677,7 @@ struct PassStats {
 /// marked in `done` so later passes skip re-validating them — outcome
 /// validity is monotonic, a valid file never becomes invalid.
 fn queue_pass(
-    matrix: &RunMatrix,
-    fingerprint: MatrixFingerprint,
-    dir: &Path,
-    config: &QueueConfig,
+    ctx: &DrainCtx<'_>,
     threads: usize,
     candidates: &[usize],
     done: &[std::sync::atomic::AtomicBool],
@@ -579,6 +689,9 @@ fn queue_pass(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if ctx.cancel.is_cancelled() {
+                    break;
+                }
                 if failure.lock().expect("failure flag poisoned").is_some() {
                     break;
                 }
@@ -586,7 +699,7 @@ fn queue_pass(
                 let Some(&slot) = candidates.get(i) else {
                     break;
                 };
-                match claim_one(matrix, slot, fingerprint, dir, config) {
+                match claim_one(ctx, slot) {
                     Ok(claim) => {
                         let mut stats = stats.lock().expect("stats poisoned");
                         match claim {
@@ -666,8 +779,50 @@ pub fn execute_queue_with_threads(
     config: &QueueConfig,
     threads: usize,
 ) -> io::Result<QueueReport> {
+    execute_queue_observed(
+        matrix,
+        dir,
+        config,
+        threads,
+        &NoopObserver,
+        &CancelToken::new(),
+    )
+}
+
+/// [`execute_queue`] with an explicit thread count, a progress
+/// [`RunObserver`], and a [`CancelToken`] — the embedding-friendly entry
+/// point a resident server builds on.
+///
+/// `observer` receives a [`RunEvent`] for every state transition this
+/// worker performs (claims, executions, cache hits, stale-lock reclaims),
+/// which is enough to stream per-run progress without polling the outcome
+/// directory. Cancellation is cooperative and checked between claims: any
+/// run already claimed finishes, persists its outcome, and releases its
+/// lock before the drain stops, so a cancelled drain never leaves orphaned
+/// claims behind. A cancelled drain returns `Ok` with
+/// [`QueueReport::complete`] left `false`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir`, creating locks, or writing
+/// outcome files.
+pub fn execute_queue_observed(
+    matrix: &RunMatrix,
+    dir: &Path,
+    config: &QueueConfig,
+    threads: usize,
+    observer: &dyn RunObserver,
+    cancel: &CancelToken,
+) -> io::Result<QueueReport> {
     std::fs::create_dir_all(dir)?;
-    let fingerprint = matrix.fingerprint();
+    let ctx = DrainCtx {
+        matrix,
+        fingerprint: matrix.fingerprint(),
+        dir,
+        config,
+        observer,
+        cancel,
+    };
     let order = matrix.canonical_order();
     // Completion is monotonic, so it is remembered across passes: only
     // not-yet-done slots are (re-)examined, and `claim_one` performs the
@@ -685,6 +840,9 @@ pub fn execute_queue_with_threads(
         complete: false,
     };
     loop {
+        if cancel.is_cancelled() {
+            return Ok(report);
+        }
         report.passes += 1;
         let candidates: Vec<usize> = order
             .iter()
@@ -695,17 +853,12 @@ pub fn execute_queue_with_threads(
             report.complete = true;
             return Ok(report);
         }
-        let stats = queue_pass(
-            matrix,
-            fingerprint,
-            dir,
-            config,
-            threads,
-            &candidates,
-            &done,
-        )?;
+        let stats = queue_pass(&ctx, threads, &candidates, &done)?;
         report.executed += stats.executed;
         report.reclaimed += stats.reclaimed;
+        if cancel.is_cancelled() {
+            return Ok(report);
+        }
         if stats.executed == 0 && stats.blocked > 0 {
             // Everything left is claimed by other live workers: wait for
             // them (their completion or their locks going stale both

@@ -14,12 +14,13 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use shift_sim::shard::{
-    execute_delta_with_threads, execute_queue_with_threads, execute_shard_with_threads,
+    execute_delta_with_threads, execute_queue_observed, execute_queue_with_threads,
+    execute_shard_with_threads,
 };
 use shift_sim::store::{lock_file_name, outcome_file_name, read_lock, seed_outcomes};
 use shift_sim::{
-    LockHeartbeat, PrefetcherConfig, QueueConfig, RunKeyId, RunMatrix, RunStore, ShardSpec,
-    StoreError,
+    CancelToken, LockHeartbeat, PrefetcherConfig, QueueConfig, RunEvent, RunKeyId, RunMatrix,
+    RunStore, ShardSpec, StoreError,
 };
 use shift_trace::{presets, Scale};
 
@@ -452,6 +453,116 @@ fn partial_load_skips_keys_the_plan_dropped() {
     assert_eq!(partial.reused, small.len());
     assert_eq!(partial.skipped_foreign, big.len() - small.len());
     assert!(partial.missing_slots(&small).is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The observer hook sees every state transition: a fresh drain emits one
+/// `Claimed` + one `Executed` per run (no cache hits, no reclaims), and the
+/// event stream alone reconstructs the run count — which is what lets a
+/// resident server stream progress without polling the outcome directory.
+#[test]
+fn observer_sees_one_claim_and_one_execution_per_run() {
+    use std::sync::Mutex;
+
+    let (matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
+    let dir = temp_dir("observer-counts");
+    let events: Mutex<Vec<RunEvent>> = Mutex::new(Vec::new());
+    let observer = |event: RunEvent| events.lock().unwrap().push(event);
+
+    let report = execute_queue_observed(
+        &matrix,
+        &dir,
+        &worker("observed"),
+        2,
+        &observer,
+        &CancelToken::new(),
+    )
+    .expect("observed drain");
+    assert!(report.complete);
+    assert_eq!(report.executed, matrix.len());
+
+    let events = events.into_inner().unwrap();
+    let count = |f: fn(&RunEvent) -> bool| events.iter().filter(|e| f(e)).count();
+    assert_eq!(
+        count(|e| matches!(e, RunEvent::Claimed { .. })),
+        matrix.len()
+    );
+    assert_eq!(
+        count(|e| matches!(e, RunEvent::Executed { .. })),
+        matrix.len()
+    );
+    assert_eq!(count(|e| matches!(e, RunEvent::Reclaimed { .. })), 0);
+    // Every planned key appears among the executions, exactly once.
+    let mut executed: Vec<RunKeyId> = events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::Executed { .. }))
+        .map(RunEvent::key_id)
+        .collect();
+    executed.sort_unstable();
+    let mut planned = matrix.key_ids().to_vec();
+    planned.sort_unstable();
+    assert_eq!(executed, planned);
+
+    // A second drain over the full directory is all cache hits.
+    let hits: Mutex<Vec<RunEvent>> = Mutex::new(Vec::new());
+    let observer = |event: RunEvent| hits.lock().unwrap().push(event);
+    let report = execute_queue_observed(
+        &matrix,
+        &dir,
+        &worker("observed-2"),
+        1,
+        &observer,
+        &CancelToken::new(),
+    )
+    .unwrap();
+    assert!(report.complete);
+    assert_eq!(report.executed, 0);
+    let hits = hits.into_inner().unwrap();
+    assert!(hits
+        .iter()
+        .all(|e| matches!(e, RunEvent::AlreadyDone { .. })));
+    assert_eq!(hits.len(), matrix.len());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Cooperative cancellation: cancelling from the observer after the first
+/// execution stops the drain between claims — exactly one run executed, the
+/// report honestly incomplete, and (the invariant a server relies on) no
+/// orphaned claim locks left behind.
+#[test]
+fn cancelled_drain_stops_cleanly_without_orphaned_claims() {
+    let (matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2), (1, 3, 0)]);
+    let dir = temp_dir("cancel-clean");
+    let cancel = CancelToken::new();
+    let observer = {
+        let cancel = cancel.clone();
+        move |event: RunEvent| {
+            if matches!(event, RunEvent::Executed { .. }) {
+                cancel.cancel();
+            }
+        }
+    };
+
+    let report = execute_queue_observed(&matrix, &dir, &worker("cancelled"), 1, &observer, &cancel)
+        .expect("cancelled drain still returns its tally");
+    assert!(!report.complete, "a cancelled drain is not complete");
+    assert_eq!(report.executed, 1, "in-flight run finished, no new claims");
+
+    // The one finished run persisted; nothing else was touched, and no
+    // lock survived the cancellation.
+    let mut outcomes = 0;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(name.starts_with("run-"), "leftover non-outcome file {name}");
+        outcomes += 1;
+    }
+    assert_eq!(outcomes, 1);
+
+    // A fresh (uncancelled) worker finishes the remainder.
+    let report = execute_queue_with_threads(&matrix, &dir, &worker("resume-after"), 1).unwrap();
+    assert!(report.complete);
+    assert_eq!(report.executed, matrix.len() - 1);
+    RunStore::new([&dir]).load(&matrix).expect("complete sweep");
     fs::remove_dir_all(&dir).unwrap();
 }
 
