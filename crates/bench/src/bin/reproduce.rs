@@ -21,6 +21,11 @@
 //!   hosts drain one queue at their own pace; a killed worker's claims go
 //!   stale after `SHIFT_QUEUE_TTL` seconds (default 3600) and are reclaimed.
 //!   The worker only returns success once the sweep is complete.
+//!   `--policy cost-ordered` drains biggest-runs-first weighted by the
+//!   worker's measured throughput (see `docs/PERFORMANCE.md`), and
+//!   `--decision-log FILE` appends one NDJSON line per claim — with the
+//!   run's estimated cost, its rank in the schedule, and the worker's
+//!   fetch rate — plus a final `drained` line carrying the makespan.
 //! * **`--merge DIR...`** — load outcome files from one or more shard/queue
 //!   directories, verify they cover this exact sweep, and derive all
 //!   artifacts + scoreboard. Byte-identical to the default mode's output.
@@ -42,15 +47,21 @@
 //! rejected rather than silently merged). See `docs/SWEEP.md` for the
 //! pipeline guide and `docs/OPERATIONS.md` for the operator runbook.
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use shift_bench::artifacts::artifacts_dir;
 use shift_bench::reproduce::{PaperPlan, PaperReport, ReproduceSettings};
 use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env};
-use shift_sim::shard::{execute_delta, execute_queue, execute_shard, seed_shard_outcomes};
+use shift_sim::shard::seed_shard_outcomes;
 use shift_sim::store::seed_outcomes;
-use shift_sim::{PartialLoad, QueueConfig, RunStore, ShardSpec};
+use shift_sim::{
+    Execution, PartialLoad, QueueConfig, RunEvent, RunStore, SchedulePolicy, ShardSpec,
+};
 
 /// What the command line asked for.
 enum Mode {
@@ -71,6 +82,7 @@ enum Mode {
 const USAGE: &str = "\
 usage: reproduce [--shard K/N --outcomes DIR | --queue --outcomes DIR |
                   --outcomes DIR | --merge DIR...] [--reuse OLD_DIR...]
+                 [--policy canonical|cost-ordered] [--decision-log FILE]
   (no flags)                   plan, execute in-process, write artifacts + scoreboard
   --shard K/N --outcomes DIR   execute shard K of N into DIR (resumable)
   --queue --outcomes DIR       one elastic queue worker over shared DIR; returns
@@ -80,15 +92,29 @@ usage: reproduce [--shard K/N --outcomes DIR | --queue --outcomes DIR |
   --merge DIR...               merge shard outcome dirs, write artifacts + scoreboard
   --reuse OLD_DIR...           reuse cached outcomes whose keys are still planned
                                (any mode but --merge); only the delta executes
+  --policy POLICY              claim order: canonical (default) or cost-ordered
+                               (biggest runs first, weighted by worker throughput)
+  --decision-log FILE          (--queue only) append one NDJSON line per claim
+                               with cost / rank / worker rate, and a final
+                               `drained` line with the worker's makespan
 ";
 
-fn parse_args() -> Result<(Mode, Vec<PathBuf>), String> {
+/// Everything parsed from the command line besides the mode itself.
+struct Options {
+    reuse: Vec<PathBuf>,
+    policy: Option<SchedulePolicy>,
+    decision_log: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<(Mode, Options), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut shard: Option<ShardSpec> = None;
     let mut queue = false;
     let mut outcomes: Option<PathBuf> = None;
     let mut merge: Vec<PathBuf> = Vec::new();
     let mut reuse: Vec<PathBuf> = Vec::new();
+    let mut policy: Option<SchedulePolicy> = None;
+    let mut decision_log: Option<PathBuf> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -100,6 +126,14 @@ fn parse_args() -> Result<(Mode, Vec<PathBuf>), String> {
             "--outcomes" => {
                 let dir = iter.next().ok_or("--outcomes needs a directory")?;
                 outcomes = Some(PathBuf::from(dir));
+            }
+            "--policy" => {
+                let name = iter.next().ok_or("--policy needs canonical|cost-ordered")?;
+                policy = Some(name.parse::<SchedulePolicy>()?);
+            }
+            "--decision-log" => {
+                let path = iter.next().ok_or("--decision-log needs a file path")?;
+                decision_log = Some(PathBuf::from(path));
             }
             "--merge" | "--reuse" => {
                 let list = if arg == "--merge" {
@@ -117,7 +151,16 @@ fn parse_args() -> Result<(Mode, Vec<PathBuf>), String> {
                     return Err(format!("{arg} needs at least one directory"));
                 }
             }
-            "--help" | "-h" => return Ok((Mode::Help, Vec::new())),
+            "--help" | "-h" => {
+                return Ok((
+                    Mode::Help,
+                    Options {
+                        reuse: Vec::new(),
+                        policy: None,
+                        decision_log: None,
+                    },
+                ))
+            }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
@@ -127,6 +170,9 @@ fn parse_args() -> Result<(Mode, Vec<PathBuf>), String> {
                     point --reuse at an execution mode instead)"
                 .into(),
         );
+    }
+    if decision_log.is_some() && !queue {
+        return Err("--decision-log only applies to --queue workers".into());
     }
     let mode = match (shard, queue, outcomes, merge.is_empty()) {
         (None, false, None, true) => Mode::Local,
@@ -139,11 +185,18 @@ fn parse_args() -> Result<(Mode, Vec<PathBuf>), String> {
         (Some(_), _, None, _) => return Err("--shard requires --outcomes DIR".into()),
         _ => return Err("--merge cannot be combined with --shard/--queue/--outcomes".into()),
     };
-    Ok((mode, reuse))
+    Ok((
+        mode,
+        Options {
+            reuse,
+            policy,
+            decision_log,
+        },
+    ))
 }
 
 fn main() -> ExitCode {
-    let (mode, reuse) = match parse_args() {
+    let (mode, options) = match parse_args() {
         Ok((Mode::Help, _)) => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -154,6 +207,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let reuse = options.reuse;
 
     let scale = scale_from_env();
     let cores = cores_from_env();
@@ -218,27 +272,45 @@ fn main() -> ExitCode {
         Mode::Help => unreachable!("handled before planning"),
         Mode::Local => {
             let report = match partial {
-                None => plan.execute(),
+                None => {
+                    let mut execution = Execution::new(plan.matrix());
+                    if let Some(policy) = options.policy {
+                        execution = execution.policy(policy);
+                    }
+                    let outcomes = execution
+                        .run()
+                        .unwrap_or_else(|e| panic!("in-process execution failed: {e}"))
+                        .into_outcomes();
+                    plan.collect(&outcomes)
+                }
                 Some(partial) => {
-                    let delta = execute_delta(plan.matrix(), partial);
+                    let output = Execution::new(plan.matrix())
+                        .reuse(partial)
+                        .run()
+                        .unwrap_or_else(|e| panic!("incremental execution failed: {e}"));
                     println!(
                         "incremental run: {} reused, {} executed",
-                        delta.reused, delta.executed
+                        output.report().sources.reused,
+                        output.report().sources.executed
                     );
-                    plan.collect(&delta.outcomes)
+                    plan.collect(&output.into_outcomes())
                 }
             };
             write_report(&report);
         }
         Mode::Shard(spec, dir) => {
             seed(&dir, spec);
-            let report = execute_shard(plan.matrix(), spec, &dir)
-                .unwrap_or_else(|e| panic!("shard {spec} failed: {e}"));
+            let report = *Execution::new(plan.matrix())
+                .shard(spec)
+                .dir(&dir)
+                .run()
+                .unwrap_or_else(|e| panic!("shard {spec} failed: {e}"))
+                .report();
             println!(
                 "shard {spec}: {} of {} runs executed, {} resumed, under {}",
-                report.executed,
+                report.sources.executed,
                 report.planned,
-                report.resumed,
+                report.sources.reused,
                 dir.display()
             );
             println!(
@@ -248,30 +320,91 @@ fn main() -> ExitCode {
         }
         Mode::Queue(dir) => {
             seed(&dir, ShardSpec::full());
-            let config = QueueConfig::from_env();
+            let mut config = QueueConfig::from_env();
+            if let Some(policy) = options.policy {
+                config.policy = policy;
+            }
+            let worker = config.worker.clone();
+            let policy = config.policy;
             println!(
-                "queue worker {} draining {} (claim TTL {}s)",
-                config.worker,
+                "queue worker {} draining {} (claim TTL {}s, {} order)",
+                worker,
                 dir.display(),
-                config.lock_ttl.as_secs()
+                config.lock_ttl.as_secs(),
+                policy
             );
-            let report = execute_queue(plan.matrix(), &dir, &config)
-                .unwrap_or_else(|e| panic!("queue worker failed: {e}"));
+            let log = options.decision_log.as_ref().map(|path| {
+                let file = File::create(path).unwrap_or_else(|e| {
+                    panic!("cannot open --decision-log {}: {e}", path.display())
+                });
+                Mutex::new(BufWriter::new(file))
+            });
+            let start = Instant::now();
+            let observer = |event: RunEvent| {
+                let Some(log) = &log else { return };
+                if let RunEvent::Claimed {
+                    key_id,
+                    cost,
+                    rank,
+                    worker_rate,
+                } = event
+                {
+                    let rate = worker_rate
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "null".to_owned());
+                    let mut log = log.lock().expect("decision log poisoned");
+                    writeln!(
+                        log,
+                        "{{\"event\":\"claimed\",\"run\":\"{key_id}\",\"worker\":\"{worker}\",\
+                         \"policy\":\"{policy}\",\"cost\":{cost_units},\"rank\":{rank},\
+                         \"worker_rate\":{rate},\"t_ms\":{t}}}",
+                        cost_units = cost.units(),
+                        t = start.elapsed().as_millis(),
+                    )
+                    .expect("decision log write");
+                }
+            };
+            let report = *Execution::new(plan.matrix())
+                .queue(config)
+                .dir(&dir)
+                .observer(&observer)
+                .run()
+                .unwrap_or_else(|e| panic!("queue worker failed: {e}"))
+                .report();
+            if let Some(log) = &log {
+                let mut log = log.lock().expect("decision log poisoned");
+                writeln!(
+                    log,
+                    "{{\"event\":\"drained\",\"worker\":\"{worker}\",\"policy\":\"{policy}\",\
+                     \"executed\":{executed},\"reclaimed\":{reclaimed},\"passes\":{passes},\
+                     \"makespan_ms\":{makespan}}}",
+                    executed = report.sources.executed,
+                    reclaimed = report.sources.reclaimed,
+                    passes = report.passes,
+                    makespan = start.elapsed().as_millis(),
+                )
+                .expect("decision log write");
+                log.flush().expect("decision log flush");
+            }
             println!(
                 "queue drained: this worker executed {} of {} runs ({} stale claims \
                  reclaimed, {} passes); sweep complete",
-                report.executed, report.planned, report.reclaimed, report.passes
+                report.sources.executed, report.planned, report.sources.reclaimed, report.passes
             );
             println!("merge with: reproduce --merge {}", dir.display());
         }
         Mode::LocalDurable(dir) => {
             seed(&dir, ShardSpec::full());
-            let report = execute_shard(plan.matrix(), ShardSpec::full(), &dir)
-                .unwrap_or_else(|e| panic!("durable execution failed: {e}"));
+            let report = *Execution::new(plan.matrix())
+                .shard(ShardSpec::full())
+                .dir(&dir)
+                .run()
+                .unwrap_or_else(|e| panic!("durable execution failed: {e}"))
+                .report();
             println!(
                 "durable run: {} executed, {} resumed, under {}",
-                report.executed,
-                report.resumed,
+                report.sources.executed,
+                report.sources.reused,
                 dir.display()
             );
             merge_and_report(plan, vec![dir]);

@@ -39,7 +39,7 @@ use shift_sim::experiments::{
     HistorySweepPlan, LlcTrafficPlan, PerformanceDensityPlan, PowerOverheadPlan,
     SpeedupComparisonPlan,
 };
-use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix};
+use shift_sim::{CmpConfig, Execution, PrefetcherConfig, RunMatrix};
 use shift_trace::{presets, Scale, WorkloadSpec};
 
 use crate::artifacts::{
@@ -360,7 +360,10 @@ impl PaperPlan {
     /// derives every artifact: the trivial single-host path through the
     /// plan / execute / merge pipeline.
     pub fn execute(self) -> PaperReport {
-        let outcomes = self.matrix.execute();
+        let outcomes = Execution::new(&self.matrix)
+            .run()
+            .expect("in-memory execution is infallible")
+            .into_outcomes();
         self.collect(&outcomes)
     }
 

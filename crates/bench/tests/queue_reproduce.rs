@@ -15,11 +15,10 @@ use std::time::Duration;
 
 use shift_bench::reproduce::{PaperPlan, ReproduceSettings};
 use shift_sim::experiments::{EliminationPlan, SpeedupComparisonPlan};
-use shift_sim::shard::{
-    execute_delta_with_threads, execute_queue_with_threads, execute_shard_with_threads,
-};
 use shift_sim::store::{lock_file_name, seed_outcomes};
-use shift_sim::{PrefetcherConfig, QueueConfig, RunMatrix, RunStore, ShardSpec};
+use shift_sim::{
+    Execution, ExecutionReport, PrefetcherConfig, QueueConfig, RunMatrix, RunStore, ShardSpec,
+};
 use shift_trace::{presets, Scale};
 
 fn settings() -> ReproduceSettings {
@@ -58,6 +57,22 @@ fn worker(tag: &str) -> QueueConfig {
     config
 }
 
+/// One durable shard execution through the builder.
+fn run_shard(
+    matrix: &RunMatrix,
+    spec: ShardSpec,
+    dir: &PathBuf,
+    threads: usize,
+) -> ExecutionReport {
+    *Execution::new(matrix)
+        .shard(spec)
+        .dir(dir)
+        .threads(threads)
+        .run()
+        .expect("shard executes")
+        .report()
+}
+
 #[test]
 fn four_queue_workers_with_one_killed_merge_byte_identical_to_single_process() {
     const WORKERS: usize = 4;
@@ -72,8 +87,7 @@ fn four_queue_workers_with_one_killed_merge_byte_identical_to_single_process() {
     // past), and left a half-written temp outcome behind.
     let dir = temp_dir("shared");
     let dead_plan = PaperPlan::plan(settings());
-    execute_shard_with_threads(dead_plan.matrix(), ShardSpec::new(1, 4), &dir, 1)
-        .expect("dead worker's completed slice");
+    run_shard(dead_plan.matrix(), ShardSpec::new(1, 4), &dir, 1);
     let done_before = fs::read_dir(&dir).unwrap().count();
     let victim = {
         // A run the dead worker had claimed but not finished: any key
@@ -107,8 +121,13 @@ fn four_queue_workers_with_one_killed_merge_byte_identical_to_single_process() {
                 let dir = dir.clone();
                 scope.spawn(move || {
                     let plan = PaperPlan::plan(settings());
-                    execute_queue_with_threads(plan.matrix(), &dir, &worker(&format!("w{w}")), 1)
+                    *Execution::new(plan.matrix())
+                        .queue(worker(&format!("w{w}")))
+                        .dir(&dir)
+                        .serial()
+                        .run()
                         .expect("queue worker")
+                        .report()
                 })
             })
             .collect();
@@ -119,13 +138,13 @@ fn four_queue_workers_with_one_killed_merge_byte_identical_to_single_process() {
     });
 
     let plan = PaperPlan::plan(settings());
-    let executed_total: usize = reports.iter().map(|r| r.executed).sum();
+    let executed_total: usize = reports.iter().map(|r| r.sources.executed).sum();
     assert_eq!(
         executed_total,
         plan.matrix().len() - done_before,
         "the fleet executes exactly the runs the dead worker left unfinished"
     );
-    let reclaimed_total: usize = reports.iter().map(|r| r.reclaimed).sum();
+    let reclaimed_total: usize = reports.iter().map(|r| r.sources.reclaimed).sum();
     assert_eq!(reclaimed_total, 1, "exactly one stale claim to reclaim");
     for report in &reports {
         assert!(report.complete, "wait-mode workers return on completion");
@@ -163,7 +182,7 @@ fn adding_one_figure_executes_only_the_delta_keys() {
     let _ =
         SpeedupComparisonPlan::plan(&mut old_matrix, workloads, &prefetchers, cores, scale, seed);
     let old_dir = temp_dir("incr-old");
-    execute_shard_with_threads(&old_matrix, ShardSpec::full(), &old_dir, 2).unwrap();
+    run_shard(&old_matrix, ShardSpec::full(), &old_dir, 2);
 
     // Today's sweep: Figure 8 plus Figure 1 (whose baselines dedup onto
     // Figure 8's) — a grown plan with a different fingerprint.
@@ -185,12 +204,25 @@ fn adding_one_figure_executes_only_the_delta_keys() {
 
     // ...and in-memory delta execution runs exactly those keys. The spliced
     // outcomes are bit-identical to executing the grown plan from scratch.
-    let report = execute_delta_with_threads(&new_matrix, partial.clone(), 2);
-    assert_eq!(report.executed, delta, "only the delta keys execute");
-    assert_eq!(report.reused, old_matrix.len());
-    let scratch = new_matrix.execute_serial();
-    assert_eq!(format!("{:?}", report.outcomes), format!("{scratch:?}"));
-    let _ = fig01.collect(&report.outcomes); // figure derivation works on spliced outcomes
+    let output = Execution::new(&new_matrix)
+        .reuse(partial.clone())
+        .threads(2)
+        .run()
+        .expect("delta execution");
+    assert_eq!(
+        output.report().sources.executed,
+        delta,
+        "only the delta keys execute"
+    );
+    assert_eq!(output.report().sources.reused, old_matrix.len());
+    let spliced = output.into_outcomes();
+    let scratch = Execution::new(&new_matrix)
+        .serial()
+        .run()
+        .expect("scratch execution")
+        .into_outcomes();
+    assert_eq!(format!("{spliced:?}"), format!("{scratch:?}"));
+    let _ = fig01.collect(&spliced); // figure derivation works on spliced outcomes
 
     // The durable variant: seed a new directory from the old cache, then a
     // resumable 1/1 execution runs only the delta and the strict merge
@@ -198,10 +230,9 @@ fn adding_one_figure_executes_only_the_delta_keys() {
     let new_dir = temp_dir("incr-new");
     let seeded = seed_outcomes(&new_matrix, &partial, &new_dir).unwrap();
     assert_eq!(seeded, old_matrix.len());
-    let shard_report =
-        execute_shard_with_threads(&new_matrix, ShardSpec::full(), &new_dir, 2).unwrap();
-    assert_eq!(shard_report.executed, delta);
-    assert_eq!(shard_report.resumed, old_matrix.len());
+    let shard_report = run_shard(&new_matrix, ShardSpec::full(), &new_dir, 2);
+    assert_eq!(shard_report.sources.executed, delta);
+    assert_eq!(shard_report.sources.reused, old_matrix.len());
     RunStore::new([&new_dir])
         .load(&new_matrix)
         .expect("strict merge");

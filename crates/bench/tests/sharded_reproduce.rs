@@ -8,8 +8,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use shift_bench::reproduce::{PaperPlan, ReproduceSettings};
-use shift_sim::shard::execute_shard_with_threads;
-use shift_sim::{RunStore, ShardSpec, StoreError};
+use shift_sim::{Execution, ExecutionReport, RunStore, ShardSpec, StoreError};
 use shift_trace::{presets, Scale};
 
 fn settings() -> ReproduceSettings {
@@ -20,6 +19,22 @@ fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("shift-sharded-reproduce-{tag}"));
     let _ = fs::remove_dir_all(&dir);
     dir
+}
+
+/// One durable `K/N` shard execution through the builder.
+fn run_shard(
+    matrix: &shift_sim::RunMatrix,
+    spec: ShardSpec,
+    dir: &PathBuf,
+    threads: usize,
+) -> ExecutionReport {
+    *Execution::new(matrix)
+        .shard(spec)
+        .dir(dir)
+        .threads(threads)
+        .run()
+        .expect("shard executes")
+        .report()
 }
 
 /// Writes a report's artifacts under `dir` and returns every file's bytes,
@@ -57,11 +72,9 @@ fn four_shards_merge_byte_identical_to_single_process() {
     let shard_plan = PaperPlan::plan(settings());
     let mut sliced_runs = 0;
     for (k, dir) in dirs.iter().enumerate() {
-        let report =
-            execute_shard_with_threads(shard_plan.matrix(), ShardSpec::new(k + 1, SHARDS), dir, 2)
-                .expect("shard executes");
+        let report = run_shard(shard_plan.matrix(), ShardSpec::new(k + 1, SHARDS), dir, 2);
         assert_eq!(
-            report.executed, report.planned,
+            report.sources.executed, report.planned,
             "fresh shard runs its whole slice"
         );
         sliced_runs += report.planned;
@@ -85,18 +98,17 @@ fn four_shards_merge_byte_identical_to_single_process() {
     }
     fs::write(dirs[1].join(".tmp-interrupted.json"), "{\"schema\": 1,").unwrap();
     let restart_plan = PaperPlan::plan(settings());
-    let restarted = execute_shard_with_threads(
+    let restarted = run_shard(
         restart_plan.matrix(),
         ShardSpec::new(2, SHARDS),
         &dirs[1],
         2,
-    )
-    .expect("restarted shard");
+    );
     assert_eq!(
-        restarted.executed, killed,
+        restarted.sources.executed, killed,
         "restart re-runs only the lost outcomes"
     );
-    assert_eq!(restarted.resumed, restarted.planned - killed);
+    assert_eq!(restarted.sources.reused, restarted.planned - killed);
 
     // Merge on a "fresh host": yet another identical plan, loading all dirs.
     let merge_plan = PaperPlan::plan(settings());
@@ -124,7 +136,7 @@ fn merge_with_a_missing_shard_is_rejected() {
     let dir = temp_dir("missing-shard");
     let plan = PaperPlan::plan(settings());
     // Only shard 1 of 2 ran.
-    execute_shard_with_threads(plan.matrix(), ShardSpec::new(1, 2), &dir, 2).unwrap();
+    run_shard(plan.matrix(), ShardSpec::new(1, 2), &dir, 2);
     let err = RunStore::new([&dir]).load(plan.matrix()).unwrap_err();
     match err {
         StoreError::MissingRuns { missing, planned } => {

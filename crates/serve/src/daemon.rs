@@ -34,12 +34,13 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use serde::{json, Value};
+use serde::{json, Serialize, Value};
 use shift_bench::reproduce::{PaperPlan, PlanSpec};
 use shift_report::wire_bundle_json;
-use shift_sim::shard::execute_queue_observed;
 use shift_sim::store::seed_outcomes;
-use shift_sim::{CancelToken, QueueConfig, RunEvent, RunStore};
+use shift_sim::{
+    CancelToken, Execution, ExecutionReport, QueueConfig, RunEvent, RunStore, SchedulePolicy,
+};
 
 /// Everything that parameterizes a daemon instance.
 #[derive(Clone, Debug)]
@@ -52,6 +53,10 @@ pub struct ServeConfig {
     pub poll: Duration,
     /// Maximum accepted request-body size in bytes.
     pub max_body: usize,
+    /// Claim-ordering policy for every sweep drain; [`SchedulePolicy::CostOrdered`]
+    /// makes the NDJSON `claimed` events carry cost/rank/rate fields that
+    /// explain each decision.
+    pub policy: SchedulePolicy,
 }
 
 impl ServeConfig {
@@ -62,6 +67,7 @@ impl ServeConfig {
             threads: 2,
             poll: Duration::from_millis(200),
             max_body: 1 << 20,
+            policy: SchedulePolicy::default(),
         }
     }
 
@@ -102,12 +108,10 @@ pub struct JobState {
     pub status: JobStatus,
     /// Distinct runs the plan needs.
     pub planned: usize,
-    /// Runs this job actually simulated.
-    pub executed: usize,
-    /// Runs answered from earlier sweeps' outcomes (or a warm directory).
-    pub reused: usize,
-    /// Stale claims reclaimed while draining (dead-worker recovery).
-    pub reclaimed: usize,
+    /// The drain's [`ExecutionReport`], once the sweep has run: where every
+    /// outcome came from (executed / reused / reclaimed) and how many queue
+    /// passes the drain took.
+    pub report: Option<ExecutionReport>,
     /// NDJSON progress events, in emission order.
     pub events: Vec<String>,
     /// The cached wire bundle (`shift_report::wire_bundle_json`).
@@ -172,15 +176,22 @@ impl Job {
     /// The status summary document served for this job.
     pub fn summary(&self, cached: bool) -> String {
         let state = self.state.lock().expect("job state poisoned");
+        let sources = state.report.map(|r| r.sources).unwrap_or_default();
         let mut fields = vec![
             ("id".to_owned(), Value::Str(self.id.clone())),
             ("status".to_owned(), Value::Str(state.status.to_string())),
             ("planned".to_owned(), Value::UInt(state.planned as u64)),
-            ("executed".to_owned(), Value::UInt(state.executed as u64)),
-            ("reused".to_owned(), Value::UInt(state.reused as u64)),
-            ("reclaimed".to_owned(), Value::UInt(state.reclaimed as u64)),
+            ("executed".to_owned(), Value::UInt(sources.executed as u64)),
+            ("reused".to_owned(), Value::UInt(sources.reused as u64)),
+            (
+                "reclaimed".to_owned(),
+                Value::UInt(sources.reclaimed as u64),
+            ),
             ("cached".to_owned(), Value::Bool(cached)),
         ];
+        if let Some(report) = &state.report {
+            fields.push(("report".to_owned(), report.to_value()));
+        }
         if let JobStatus::Failed(msg) = &state.status {
             fields.push(("error".to_owned(), Value::Str(msg.clone())));
         }
@@ -307,9 +318,7 @@ impl Daemon {
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 planned: plan.run_count(),
-                executed: 0,
-                reused: 0,
-                reclaimed: 0,
+                report: None,
                 events: Vec::new(),
                 bundle: None,
                 scoreboard: None,
@@ -426,29 +435,50 @@ impl Daemon {
             ("written".to_owned(), Value::UInt(seeded as u64)),
         ])));
 
+        // The scheduler decision log: `claimed` events carry the cost rank
+        // and the worker's measured rate so the NDJSON stream explains *why*
+        // each claim happened in that order.
         let observer = |event: RunEvent| {
-            let kind = match event {
-                RunEvent::Claimed { .. } => "claimed",
-                RunEvent::Executed { .. } => "executed",
-                RunEvent::AlreadyDone { .. } => "already_done",
-                RunEvent::Reclaimed { .. } => "reclaimed",
-            };
-            job.push_event(json::to_string(&Value::Map(vec![
-                ("event".to_owned(), Value::Str(kind.to_owned())),
-                ("run".to_owned(), Value::Str(event.key_id().to_string())),
-            ])));
+            let mut fields = vec![(
+                "event".to_owned(),
+                Value::Str(
+                    match event {
+                        RunEvent::Claimed { .. } => "claimed",
+                        RunEvent::Executed { .. } => "executed",
+                        RunEvent::AlreadyDone { .. } => "already_done",
+                        RunEvent::Reclaimed { .. } => "reclaimed",
+                    }
+                    .to_owned(),
+                ),
+            )];
+            fields.push(("run".to_owned(), Value::Str(event.key_id().to_string())));
+            if let RunEvent::Claimed {
+                cost,
+                rank,
+                worker_rate,
+                ..
+            } = event
+            {
+                fields.push(("cost".to_owned(), Value::UInt(cost.units())));
+                fields.push(("rank".to_owned(), Value::UInt(rank as u64)));
+                if let Some(rate) = worker_rate {
+                    fields.push(("worker_rate".to_owned(), Value::UInt(rate)));
+                }
+            }
+            job.push_event(json::to_string(&Value::Map(fields)));
         };
         let mut queue_config = QueueConfig::new(format!("serve-{}", std::process::id()));
         queue_config.poll = self.config.poll;
-        let report = execute_queue_observed(
-            plan.matrix(),
-            &dir,
-            &queue_config,
-            self.config.threads,
-            &observer,
-            &self.cancel,
-        )
-        .map_err(|e| e.to_string())?;
+        let output = Execution::new(plan.matrix())
+            .queue(queue_config)
+            .dir(&dir)
+            .threads(self.config.threads)
+            .policy(self.config.policy)
+            .observer(&observer)
+            .cancel(&self.cancel)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let report = *output.report();
         if !report.complete {
             return Err("drain cancelled before the sweep completed".to_owned());
         }
@@ -463,15 +493,16 @@ impl Daemon {
 
         let mut state = job.state.lock().expect("job state poisoned");
         state.planned = planned;
-        state.executed = report.executed;
-        state.reused = planned - report.executed;
-        state.reclaimed = report.reclaimed;
+        state.report = Some(report);
         state.bundle = Some(bundle);
         state.scoreboard = Some(scoreboard);
         drop(state);
         job.push_event(json::to_string(&Value::Map(vec![
             ("event".to_owned(), Value::Str("complete".to_owned())),
-            ("executed".to_owned(), Value::UInt(report.executed as u64)),
+            (
+                "executed".to_owned(),
+                Value::UInt(report.sources.executed as u64),
+            ),
         ])));
         Ok(())
     }

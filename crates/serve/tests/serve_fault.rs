@@ -14,9 +14,8 @@ mod common;
 
 use common::*;
 use shift_serve::Server;
-use shift_sim::shard::execute_shard_with_threads;
 use shift_sim::store::lock_file_name;
-use shift_sim::ShardSpec;
+use shift_sim::{Execution, ShardSpec};
 
 #[test]
 fn daemon_completes_a_sweep_abandoned_by_a_killed_worker() {
@@ -36,9 +35,16 @@ fn daemon_completes_a_sweep_abandoned_by_a_killed_worker() {
 
     // 1. The dead worker finished a quarter of the sweep before dying.
     let staged = plan_of(&spec);
-    let shard_report =
-        execute_shard_with_threads(staged.matrix(), ShardSpec::new(1, 4), &sweep_dir, 1).unwrap();
-    assert!(shard_report.executed > 0 && shard_report.executed < planned);
+    let shard_executed = Execution::new(staged.matrix())
+        .shard(ShardSpec::new(1, 4))
+        .dir(&sweep_dir)
+        .serial()
+        .run()
+        .unwrap()
+        .report()
+        .sources
+        .executed;
+    assert!(shard_executed > 0 && shard_executed < planned);
 
     // 2. It died *holding a claim* on a run it never finished: the lock's
     //    timestamp (1970) is stale under any TTL.
@@ -76,12 +82,12 @@ fn daemon_completes_a_sweep_abandoned_by_a_killed_worker() {
     assert_eq!(summary_u64(&response.body, "planned") as usize, planned);
     assert_eq!(
         summary_u64(&response.body, "executed") as usize,
-        planned - shard_report.executed,
+        planned - shard_executed,
         "only the crashed worker's unfinished runs re-execute"
     );
     assert_eq!(
         summary_u64(&response.body, "reused") as usize,
-        shard_report.executed
+        shard_executed
     );
     assert!(
         summary_u64(&response.body, "reclaimed") >= 1,

@@ -1,0 +1,537 @@
+//! The unified entry point for executing a planned [`RunMatrix`]: one
+//! builder subsuming the nine historical `execute_*` functions.
+//!
+//! The execute surface grew one function at a time — serial, threaded,
+//! sharded, queued, observed, delta — until callers had to pick from nine
+//! near-duplicates and there was no coherent place to hang new cross-cutting
+//! concerns (scheduling policy, cost calibration, unified reporting). The
+//! [`Execution`] builder replaces all of them:
+//!
+//! ```
+//! use shift_sim::{Execution, PrefetcherConfig, RunMatrix};
+//! use shift_trace::{presets, Scale};
+//!
+//! let mut matrix = RunMatrix::new();
+//! let w = presets::tiny();
+//! let run = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 7);
+//!
+//! // In-memory execution on two worker threads.
+//! let output = Execution::new(&matrix).threads(2).run().unwrap();
+//! assert!(output.report().complete);
+//! let outcomes = output.into_outcomes();
+//! assert!(outcomes[run].throughput() > 0.0);
+//! ```
+//!
+//! The configured pieces compose by *mode*:
+//!
+//! | Configured | Mode |
+//! |---|---|
+//! | *(nothing)* | In-memory parallel execution (ex-`execute_with_threads`) |
+//! | [`dir`](Execution::dir) | Durable full execution: persist every outcome, return them too |
+//! | [`shard`](Execution::shard) + `dir` | Durable slice (ex-`execute_shard`) |
+//! | [`queue`](Execution::queue) + `dir` | Elastic work-queue drain (ex-`execute_queue_observed`) |
+//! | [`reuse`](Execution::reuse) | In-memory delta over a cache probe (ex-`execute_delta`) |
+//! | `reuse` + any durable mode | Cache hits seeded into `dir` first |
+//!
+//! A migration table from each legacy function is in the
+//! [`shard`](crate::shard) module documentation.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{default_threads, RunMatrix};
+use crate::schedule::{rank_by_cost, CostModel, SchedulePolicy};
+use crate::shard::{
+    delta_inner, queue_inner, shard_inner, CancelToken, QueueConfig, RunObserver, ShardSpec,
+};
+use crate::store::{seed_outcomes, RunOutcomes, RunStore};
+
+/// Where each planned run's outcome came from, summed over one execution.
+///
+/// The three sources are exhaustive and disjoint per run *as this invocation
+/// saw it*: simulated here (`executed`), already present — cache hit,
+/// resumed file, or another queue worker's work (`reused`) — or taken over
+/// from a dead worker's stale claim (`reclaimed`, a subset of `executed`
+/// counted separately because operators alert on it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeSources {
+    /// Runs simulated by this invocation.
+    pub executed: usize,
+    /// Runs satisfied without simulating: valid outcomes that already
+    /// existed (resume, cache seed, or other workers' completions observed
+    /// by this one).
+    pub reused: usize,
+    /// Stale claims taken over from dead workers (these runs also count in
+    /// `executed`).
+    pub reclaimed: usize,
+}
+
+/// What one [`Execution`] did, uniformly across every mode — the successor
+/// of `ShardReport` / `QueueReport` / `DeltaReport`. Serde-derived so
+/// embedding services (`shift-serve` status responses, the bench decision
+/// log) can emit it directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Runs this execution was responsible for: the whole matrix, or the
+    /// shard's slice in shard mode.
+    pub planned: usize,
+    /// Per-source breakdown of how those runs were satisfied.
+    pub sources: OutcomeSources,
+    /// Queue passes taken (1 for every non-queue mode).
+    pub passes: usize,
+    /// `true` if every planned run had a valid outcome on return. Shard
+    /// mode reports its own slice; a cancelled or non-waiting queue drain
+    /// reports `false`.
+    pub complete: bool,
+}
+
+/// The result of [`Execution::run`]: the unified report, plus in-memory
+/// outcomes for the modes that produce them.
+#[derive(Debug)]
+pub struct ExecutionOutput {
+    report: ExecutionReport,
+    outcomes: Option<RunOutcomes>,
+}
+
+impl ExecutionOutput {
+    /// What the execution did.
+    pub fn report(&self) -> &ExecutionReport {
+        &self.report
+    }
+
+    /// The executed outcomes, if this mode produces them in memory: every
+    /// mode except shard and queue execution (those persist to the outcome
+    /// directory for a later [`RunStore`] merge instead; `None`).
+    pub fn outcomes(&self) -> Option<&RunOutcomes> {
+        self.outcomes.as_ref()
+    }
+
+    /// Consumes the output, returning the in-memory outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for shard/queue executions, which do not return outcomes in
+    /// memory — merge their outcome directory with [`RunStore`] instead.
+    pub fn into_outcomes(self) -> RunOutcomes {
+        self.outcomes.expect(
+            "this execution mode persists to the outcome directory; \
+             merge it with RunStore::load instead of into_outcomes()",
+        )
+    }
+}
+
+/// Builder for executing a [`RunMatrix`] — see the [module docs](self) for
+/// the mode table, and [`crate::shard`] for the migration table from the
+/// deprecated `execute_*` functions.
+pub struct Execution<'a> {
+    matrix: &'a RunMatrix,
+    threads: Option<usize>,
+    dir: Option<PathBuf>,
+    shard: Option<ShardSpec>,
+    queue: Option<QueueConfig>,
+    reuse: Option<crate::store::PartialLoad>,
+    observer: Option<&'a dyn RunObserver>,
+    cancel: Option<&'a CancelToken>,
+    policy: Option<SchedulePolicy>,
+    calibration: CostModel,
+}
+
+impl std::fmt::Debug for Execution<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution")
+            .field("planned", &self.matrix.len())
+            .field("threads", &self.threads)
+            .field("dir", &self.dir)
+            .field("shard", &self.shard)
+            .field("queue", &self.queue)
+            .field("reuse", &self.reuse.is_some())
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("policy", &self.policy)
+            .field("calibration", &self.calibration)
+            .finish()
+    }
+}
+
+impl<'a> Execution<'a> {
+    /// Starts building an execution of `matrix`. With no further
+    /// configuration, [`run`](Execution::run) executes in memory on the
+    /// default worker pool.
+    pub fn new(matrix: &'a RunMatrix) -> Self {
+        Execution {
+            matrix,
+            threads: None,
+            dir: None,
+            shard: None,
+            queue: None,
+            reuse: None,
+            observer: None,
+            cancel: None,
+            policy: None,
+            calibration: CostModel::default(),
+        }
+    }
+
+    /// Uses exactly `n` worker threads (default: [`default_threads`]).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Executes on the calling thread only — shorthand for `.threads(1)`.
+    #[must_use]
+    pub fn serial(self) -> Self {
+        self.threads(1)
+    }
+
+    /// Persists outcomes under `dir`. Alone this is a durable full
+    /// execution (every run written as a keyed outcome file, resumable);
+    /// combined with [`shard`](Execution::shard) or
+    /// [`queue`](Execution::queue) it is the shared outcome directory those
+    /// modes require.
+    #[must_use]
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Executes only this shard's slice of the matrix (requires
+    /// [`dir`](Execution::dir); mutually exclusive with
+    /// [`queue`](Execution::queue)).
+    #[must_use]
+    pub fn shard(mut self, spec: ShardSpec) -> Self {
+        self.shard = Some(spec);
+        self
+    }
+
+    /// Drains the matrix through the elastic work queue as the worker
+    /// described by `config` (requires [`dir`](Execution::dir); mutually
+    /// exclusive with [`shard`](Execution::shard)).
+    #[must_use]
+    pub fn queue(mut self, config: QueueConfig) -> Self {
+        self.queue = Some(config);
+        self
+    }
+
+    /// Reuses the cache hits of a [`RunStore::load_partial`] probe:
+    /// in-memory modes splice them in and execute only the delta; durable
+    /// modes seed them into [`dir`](Execution::dir) first.
+    #[must_use]
+    pub fn reuse(mut self, partial: crate::store::PartialLoad) -> Self {
+        self.reuse = Some(partial);
+        self
+    }
+
+    /// Streams [`RunEvent`](crate::RunEvent)s from queue execution to
+    /// `observer` (ignored by other modes).
+    #[must_use]
+    pub fn observer(mut self, observer: &'a dyn RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Makes queue execution cancellable through `token` (ignored by other
+    /// modes).
+    #[must_use]
+    pub fn cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the scheduling policy: the claim order for queue workers, and
+    /// the packing order for in-memory execution. Overrides the policy in
+    /// the [`queue`](Execution::queue) config (which is where
+    /// `SHIFT_SCHED_POLICY` lands); when neither is set, the stable
+    /// canonical order is used.
+    #[must_use]
+    pub fn policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Replaces the default cost calibration (committed `BENCH_PR6.json`
+    /// numbers) — see [`CostModel::from_bench_json`].
+    #[must_use]
+    pub fn calibration(mut self, model: CostModel) -> Self {
+        self.calibration = model;
+        self
+    }
+
+    /// Executes in the mode the configuration selects (see the
+    /// [module docs](self)) and returns the unified report plus, for
+    /// in-memory modes, the outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contradictory configuration: [`shard`](Execution::shard)
+    /// combined with [`queue`](Execution::queue), or either of them without
+    /// [`dir`](Execution::dir).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the durable modes (creating the
+    /// outcome directory, writing outcome or lock files, loading outcomes
+    /// back).
+    pub fn run(self) -> io::Result<ExecutionOutput> {
+        assert!(
+            self.shard.is_none() || self.queue.is_none(),
+            "Execution: .shard() and .queue() are mutually exclusive \
+             (a shard is a static slice, a queue worker sees the whole matrix)"
+        );
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let matrix = self.matrix;
+
+        if let Some(mut config) = self.queue {
+            let dir = self
+                .dir
+                .as_deref()
+                .expect("Execution: .queue() requires .dir(shared outcome directory)");
+            if let Some(policy) = self.policy {
+                config.policy = policy;
+            }
+            if let Some(partial) = &self.reuse {
+                seed_outcomes(matrix, partial, dir)?;
+            }
+            let fallback_cancel = CancelToken::new();
+            let noop = |_event: crate::shard::RunEvent| {};
+            let observer: &dyn RunObserver = match self.observer {
+                Some(o) => o,
+                None => &noop,
+            };
+            let drained = queue_inner(
+                matrix,
+                dir,
+                &config,
+                threads,
+                observer,
+                self.cancel.unwrap_or(&fallback_cancel),
+                &self.calibration,
+            )?;
+            return Ok(ExecutionOutput {
+                report: ExecutionReport {
+                    planned: drained.planned,
+                    sources: OutcomeSources {
+                        executed: drained.executed,
+                        reused: drained.already,
+                        reclaimed: drained.reclaimed,
+                    },
+                    passes: drained.passes,
+                    complete: drained.complete,
+                },
+                outcomes: None,
+            });
+        }
+
+        if let Some(spec) = self.shard {
+            let dir = self
+                .dir
+                .as_deref()
+                .expect("Execution: .shard() requires .dir(outcome directory)");
+            if let Some(partial) = &self.reuse {
+                // Seeded files surface as resumed (reused) runs below.
+                crate::shard::seed_shard_outcomes(matrix, partial, dir, spec)?;
+            }
+            let report = shard_inner(matrix, spec, dir, threads)?;
+            return Ok(ExecutionOutput {
+                report: ExecutionReport {
+                    planned: report.planned,
+                    sources: OutcomeSources {
+                        executed: report.executed,
+                        reused: report.resumed,
+                        reclaimed: 0,
+                    },
+                    passes: 1,
+                    complete: report.executed + report.resumed == report.planned,
+                },
+                outcomes: None,
+            });
+        }
+
+        if let Some(dir) = self.dir.as_deref() {
+            // Durable full execution: persist everything, then load the
+            // complete sweep back so callers get outcomes *and* durability.
+            if let Some(partial) = &self.reuse {
+                seed_outcomes(matrix, partial, dir)?;
+            }
+            let report = shard_inner(matrix, ShardSpec::full(), dir, threads)?;
+            let outcomes = load_back(matrix, dir)?;
+            return Ok(ExecutionOutput {
+                report: ExecutionReport {
+                    planned: report.planned,
+                    sources: OutcomeSources {
+                        executed: report.executed,
+                        reused: report.resumed,
+                        reclaimed: 0,
+                    },
+                    passes: 1,
+                    complete: true,
+                },
+                outcomes: Some(outcomes),
+            });
+        }
+
+        if let Some(partial) = self.reuse {
+            let report = delta_inner(matrix, partial, threads);
+            return Ok(ExecutionOutput {
+                report: ExecutionReport {
+                    planned: matrix.len(),
+                    sources: OutcomeSources {
+                        executed: report.executed,
+                        reused: report.reused,
+                        reclaimed: 0,
+                    },
+                    passes: 1,
+                    complete: true,
+                },
+                outcomes: Some(report.outcomes),
+            });
+        }
+
+        // Pure in-memory execution. Under CostOrdered the workers pick up
+        // the biggest runs first (classic LPT packing, lower makespan when
+        // run sizes are skewed); results are keyed by plan slot, so the
+        // outcomes are bit-identical either way.
+        let outcomes = match self.policy.unwrap_or_default() {
+            SchedulePolicy::Canonical => matrix.run_all(threads),
+            SchedulePolicy::CostOrdered => {
+                matrix.run_all_ordered(threads, &rank_by_cost(&self.calibration, matrix))
+            }
+        };
+        Ok(ExecutionOutput {
+            report: ExecutionReport {
+                planned: matrix.len(),
+                sources: OutcomeSources {
+                    executed: matrix.len(),
+                    reused: 0,
+                    reclaimed: 0,
+                },
+                passes: 1,
+                complete: true,
+            },
+            outcomes: Some(outcomes),
+        })
+    }
+}
+
+/// Loads a complete durable execution back into memory, mapping store
+/// errors (all of which indicate a bug or concurrent tampering right after
+/// a successful full execution) into `io::Error`.
+fn load_back(matrix: &RunMatrix, dir: &Path) -> io::Result<RunOutcomes> {
+    RunStore::new([dir])
+        .load(matrix)
+        .map_err(|e| io::Error::other(format!("re-loading executed outcomes: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetcherConfig;
+    use shift_trace::{presets, Scale};
+
+    fn small_matrix() -> RunMatrix {
+        let mut matrix = RunMatrix::new();
+        let w = presets::tiny();
+        for seed in [11u64, 12] {
+            matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, seed);
+        }
+        matrix
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("shift-execution-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_mode_returns_outcomes_and_full_report() {
+        let matrix = small_matrix();
+        let output = Execution::new(&matrix).serial().run().unwrap();
+        assert_eq!(output.report().planned, matrix.len());
+        assert_eq!(output.report().sources.executed, matrix.len());
+        assert!(output.report().complete);
+        assert_eq!(output.into_outcomes().len(), matrix.len());
+    }
+
+    #[test]
+    fn cost_ordered_in_memory_is_bit_identical_to_canonical() {
+        let matrix = small_matrix();
+        let canonical = Execution::new(&matrix)
+            .serial()
+            .run()
+            .unwrap()
+            .into_outcomes();
+        let ordered = Execution::new(&matrix)
+            .serial()
+            .policy(SchedulePolicy::CostOrdered)
+            .run()
+            .unwrap()
+            .into_outcomes();
+        assert_eq!(format!("{canonical:?}"), format!("{ordered:?}"));
+    }
+
+    #[test]
+    fn dir_mode_persists_and_returns_outcomes() {
+        let matrix = small_matrix();
+        let dir = temp_dir("durable");
+        let output = Execution::new(&matrix).serial().dir(&dir).run().unwrap();
+        assert_eq!(output.report().sources.executed, matrix.len());
+        assert!(output.outcomes().is_some());
+        // Durable: a second execution resumes everything from disk.
+        let again = Execution::new(&matrix).serial().dir(&dir).run().unwrap();
+        assert_eq!(again.report().sources.executed, 0);
+        assert_eq!(again.report().sources.reused, matrix.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_mode_reports_slice_and_withholds_outcomes() {
+        let matrix = small_matrix();
+        let dir = temp_dir("shard");
+        let output = Execution::new(&matrix)
+            .serial()
+            .shard(ShardSpec::new(1, 2))
+            .dir(&dir)
+            .run()
+            .unwrap();
+        assert!(output.report().planned < matrix.len() || matrix.len() < 2);
+        assert!(output.outcomes().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn shard_plus_queue_is_rejected() {
+        let matrix = small_matrix();
+        let _ = Execution::new(&matrix)
+            .shard(ShardSpec::full())
+            .queue(QueueConfig::new("w"))
+            .dir("/tmp/never-used")
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires .dir")]
+    fn queue_without_dir_is_rejected() {
+        let matrix = small_matrix();
+        let _ = Execution::new(&matrix).queue(QueueConfig::new("w")).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "merge it with RunStore")]
+    fn into_outcomes_panics_for_durable_slice_modes() {
+        let matrix = small_matrix();
+        let dir = temp_dir("no-outcomes");
+        let output = Execution::new(&matrix)
+            .serial()
+            .shard(ShardSpec::full())
+            .dir(&dir)
+            .run()
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = output.into_outcomes();
+    }
+}

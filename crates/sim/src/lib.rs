@@ -65,26 +65,34 @@
 //! outcome directories back into bit-identical [`RunOutcomes`] ([`store`]).
 //! Outcome directories double as a cross-sweep simulation cache:
 //! [`RunStore::load_partial`] reuses any outcome whose key still exists in a
-//! changed plan and [`shard::execute_delta`] runs only the rest. See
-//! `docs/SWEEP.md` and `docs/OPERATIONS.md` in the repository for the
-//! operational guides.
+//! changed plan and `Execution::new(&matrix).reuse(partial)` runs only the
+//! rest. All of these modes go through one entry point, the [`Execution`]
+//! builder ([`execution`]), which also owns the scheduling knobs: a
+//! [`CostModel`] ranks runs by estimated work ([`schedule`]) and
+//! [`SchedulePolicy::CostOrdered`] drains queues biggest-first weighted by
+//! each worker's measured throughput. See `docs/SWEEP.md` and
+//! `docs/OPERATIONS.md` in the repository for the operational guides.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod config;
 pub mod engine;
+pub mod execution;
 pub mod experiments;
 pub mod matrix;
 pub mod results;
+pub mod schedule;
 pub mod shard;
 pub mod store;
 pub mod system;
 
 pub use config::{CmpConfig, PrefetcherConfig, SimOptions};
 pub use engine::Engine;
+pub use execution::{Execution, ExecutionOutput, ExecutionReport, OutcomeSources};
 pub use matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
 pub use results::{CoverageStats, RunResult, RESULTS_VERSION};
+pub use schedule::{CostModel, RunCost, SchedulePolicy};
 pub use shard::{
     CancelToken, DeltaReport, LockHeartbeat, QueueConfig, QueueReport, RunEvent, RunObserver,
     ShardReport, ShardSpec,

@@ -21,7 +21,7 @@
 //!    [`shard::execute_queue`](crate::shard::execute_queue) lets any number
 //!    of heterogeneous workers *elastically* claim runs one at a time from a
 //!    shared outcome directory.
-//! 3. **Merge / consume** — look up each run's [`RunResult`](crate::results::RunResult) by handle and
+//! 3. **Merge / consume** — look up each run's [`RunResult`] by handle and
 //!    derive the figure's rows. Outcomes can come from in-process execution,
 //!    from a [`RunStore`](crate::store::RunStore) merge of one or more
 //!    shard/queue directories (all bit-identical), or partially from a
@@ -78,6 +78,7 @@ use serde::{json, Deserialize, Serialize, Value};
 use shift_trace::{ConsolidationSpec, Scale, WorkloadSpec};
 
 use crate::config::{CmpConfig, PrefetcherConfig, SimOptions};
+use crate::results::RunResult;
 use crate::store::RunOutcomes;
 use crate::system::Simulation;
 
@@ -86,7 +87,7 @@ use crate::system::Simulation;
 static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Handle to one planned run in a [`RunMatrix`]; index into the matrix's
-/// [`RunOutcomes`] to get its [`RunResult`](crate::results::RunResult).
+/// [`RunOutcomes`] to get its [`RunResult`].
 ///
 /// # Invariant
 ///
@@ -104,7 +105,7 @@ pub struct RunHandle {
 /// The identity of one simulation run: everything that determines its result.
 ///
 /// Two runs with equal keys produce bit-identical
-/// [`RunResult`](crate::results::RunResult)s, so the planner simulates only
+/// [`RunResult`]s, so the planner simulates only
 /// one of them. The key covers the full CMP configuration (including the
 /// prefetcher), the simulation options (scale, seed, prediction-only and
 /// miss-elimination modes), and the complete workload-to-core assignment —
@@ -126,6 +127,21 @@ impl RunKey {
             options: *sim.options(),
             consolidation: sim.consolidation().clone(),
         }
+    }
+
+    /// The CMP configuration of the planned run (cores, caches, prefetcher).
+    pub fn config(&self) -> &CmpConfig {
+        &self.config
+    }
+
+    /// The simulation options of the planned run (scale, seed, modes).
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    /// The workload-to-core assignment of the planned run.
+    pub fn consolidation(&self) -> &ConsolidationSpec {
+        &self.consolidation
     }
 
     /// The key's canonical serialized form: compact JSON of all fields.
@@ -419,14 +435,18 @@ impl RunMatrix {
 
     /// Executes every planned run across the default worker-thread count:
     /// the `SHIFT_THREADS` environment variable if set, otherwise one thread
-    /// per available hardware core.
+    /// per available hardware core. Shorthand for
+    /// [`Execution::new(&matrix).run()`](crate::execution::Execution); use
+    /// the builder directly for explicit thread counts, durable modes, or
+    /// scheduling policies.
     pub fn execute(&self) -> RunOutcomes {
-        self.execute_with_threads(default_threads())
+        self.run_all(default_threads())
     }
 
     /// Executes every planned run on the calling thread, in plan order.
+    #[deprecated(note = "use `Execution::new(&matrix).serial().run()` instead")]
     pub fn execute_serial(&self) -> RunOutcomes {
-        self.execute_with_threads(1)
+        self.run_all(1)
     }
 
     /// Executes every planned run on exactly `threads` worker threads.
@@ -434,10 +454,38 @@ impl RunMatrix {
     /// Results are keyed by plan position, so the outcome is independent of
     /// which worker runs which simulation: for the same matrix, any thread
     /// count yields bit-identical [`RunOutcomes`].
+    #[deprecated(note = "use `Execution::new(&matrix).threads(n).run()` instead")]
     pub fn execute_with_threads(&self, threads: usize) -> RunOutcomes {
+        self.run_all(threads)
+    }
+
+    /// The in-memory executor behind [`RunMatrix::execute`] and the
+    /// [`Execution`](crate::execution::Execution) builder.
+    pub(crate) fn run_all(&self, threads: usize) -> RunOutcomes {
         RunOutcomes::from_results(
             self.id,
             parallel_map_with_threads(&self.plans, threads, Simulation::run),
+        )
+    }
+
+    /// [`RunMatrix::run_all`] with an explicit claim order: workers pick up
+    /// slots in `order` (e.g. biggest-first for better tail packing), but
+    /// results still land in plan order, so the outcomes are bit-identical
+    /// for every ordering.
+    pub(crate) fn run_all_ordered(&self, threads: usize, order: &[usize]) -> RunOutcomes {
+        debug_assert_eq!(order.len(), self.plans.len());
+        let ordered: Vec<RunResult> =
+            parallel_map_with_threads(order, threads, |&slot| self.plans[slot].run());
+        let mut results: Vec<Option<RunResult>> = (0..self.plans.len()).map(|_| None).collect();
+        for (&slot, result) in order.iter().zip(ordered) {
+            results[slot] = Some(result);
+        }
+        RunOutcomes::from_results(
+            self.id,
+            results
+                .into_iter()
+                .map(|r| r.expect("order covers every plan slot"))
+                .collect(),
         )
     }
 }

@@ -36,6 +36,33 @@
 //! then execute only the planned runs the cache missed. Combined with
 //! [`seed_outcomes`](crate::store::seed_outcomes) this turns any outcome
 //! directory into a cross-sweep simulation cache.
+//!
+//! # Migrating to the `Execution` builder
+//!
+//! The free functions in this module grew one at a time and are now thin
+//! deprecated wrappers around the [`Execution`](crate::Execution) builder,
+//! which is the one entry point for every execution mode (and the only
+//! place the scheduling policy, cost calibration, and unified
+//! [`ExecutionReport`](crate::ExecutionReport) are exposed):
+//!
+//! | Deprecated call | Builder equivalent |
+//! |---|---|
+//! | `matrix.execute_serial()` | `Execution::new(&matrix).serial().run()?.into_outcomes()` |
+//! | `matrix.execute_with_threads(n)` | `Execution::new(&matrix).threads(n).run()?.into_outcomes()` |
+//! | `execute_shard(&m, spec, dir)` | `Execution::new(&m).shard(spec).dir(dir).run()?` |
+//! | `execute_shard_with_threads(&m, spec, dir, n)` | `Execution::new(&m).shard(spec).dir(dir).threads(n).run()?` |
+//! | `execute_queue(&m, dir, &cfg)` | `Execution::new(&m).queue(cfg).dir(dir).run()?` |
+//! | `execute_queue_with_threads(&m, dir, &cfg, n)` | `Execution::new(&m).queue(cfg).dir(dir).threads(n).run()?` |
+//! | `execute_queue_observed(&m, dir, &cfg, n, &obs, &cancel)` | `Execution::new(&m).queue(cfg).dir(dir).threads(n).observer(&obs).cancel(&cancel).run()?` |
+//! | `execute_delta(&m, partial)` | `Execution::new(&m).reuse(partial).run()?.into_outcomes()` |
+//! | `execute_delta_with_threads(&m, partial, n)` | `Execution::new(&m).reuse(partial).threads(n).run()?.into_outcomes()` |
+//!
+//! Reports unify the same way: `ShardReport::executed` ↦
+//! [`ExecutionReport`](crate::ExecutionReport)`.sources.executed`,
+//! `ShardReport::resumed` / `DeltaReport::reused` ↦ `.sources.reused`, and
+//! `QueueReport::reclaimed` ↦ `.sources.reclaimed`. The wrappers (and the
+//! per-mode report structs, which the wrappers still return) will be removed
+//! one release after every in-tree caller is migrated.
 
 use std::fmt;
 use std::io;
@@ -50,6 +77,7 @@ use crate::matrix::{
     default_threads, parallel_map_with_threads, MatrixFingerprint, RunKeyId, RunMatrix,
 };
 use crate::results::RunResult;
+use crate::schedule::{rank_by_cost, CostModel, RunCost, SchedulePolicy};
 use crate::store::{
     lock_file_name, outcome_file_name, outcome_is_valid, read_lock, write_outcome, LockRecord,
     PartialLoad, RunOutcomes,
@@ -168,8 +196,9 @@ pub struct ShardReport {
 /// # Errors
 ///
 /// Propagates filesystem errors creating `dir` or writing outcome files.
+#[deprecated(note = "use `Execution::new(&matrix).shard(spec).dir(dir).run()` instead")]
 pub fn execute_shard(matrix: &RunMatrix, spec: ShardSpec, dir: &Path) -> io::Result<ShardReport> {
-    execute_shard_with_threads(matrix, spec, dir, default_threads())
+    shard_inner(matrix, spec, dir, default_threads())
 }
 
 /// [`execute_shard`] with an explicit worker-thread count.
@@ -177,7 +206,19 @@ pub fn execute_shard(matrix: &RunMatrix, spec: ShardSpec, dir: &Path) -> io::Res
 /// # Errors
 ///
 /// Propagates filesystem errors creating `dir` or writing outcome files.
+#[deprecated(note = "use `Execution::new(&matrix).shard(spec).dir(dir).threads(n).run()` instead")]
 pub fn execute_shard_with_threads(
+    matrix: &RunMatrix,
+    spec: ShardSpec,
+    dir: &Path,
+    threads: usize,
+) -> io::Result<ShardReport> {
+    shard_inner(matrix, spec, dir, threads)
+}
+
+/// The shard executor behind the deprecated `execute_shard*` wrappers and
+/// the [`Execution`](crate::Execution) builder's durable modes.
+pub(crate) fn shard_inner(
     matrix: &RunMatrix,
     spec: ShardSpec,
     dir: &Path,
@@ -269,6 +310,29 @@ pub struct QueueConfig {
     /// complete. `false`: return as soon as nothing more is claimable,
     /// reporting [`QueueReport::complete`] accordingly.
     pub wait: bool,
+    /// In what order this worker walks the not-yet-done runs when claiming.
+    /// [`SchedulePolicy::CostOrdered`] claims biggest-first by [`RunCost`]
+    /// (see [`crate::schedule`]); the default keeps the stable canonical
+    /// order. Either way every run is eventually claimed — the policy only
+    /// changes claim order and makespan, never results.
+    pub policy: SchedulePolicy,
+    /// Seed for this worker's measured drain rate, in weighted fetch units
+    /// per second (`None`: unknown until the first run completes, unless a
+    /// leftover lock from a previous incarnation of the same worker id holds
+    /// a persisted rate). Lets operators pre-calibrate known-slow hosts.
+    pub initial_rate: Option<u64>,
+    /// Under [`SchedulePolicy::CostOrdered`], a worker whose measured rate
+    /// predicts a run will take longer than this *defers* it — walks past it
+    /// to cheaper runs, returning to it only when nothing cheaper is left.
+    /// Fast workers are unaffected (their estimates stay under the cutoff),
+    /// so the biggest runs land on the fastest hosts. Deferral never skips a
+    /// run permanently: a lone slow worker still drains the whole queue.
+    pub slow_cutoff: Duration,
+    /// Artificial per-weighted-fetch-unit slowdown in nanoseconds, slept
+    /// after each simulated run while its claim is still heartbeat-fresh.
+    /// `0` (the default) disables it. This exists to emulate a slow host in
+    /// tests and CI makespan experiments deterministically.
+    pub throttle_ns_per_unit: u64,
 }
 
 impl QueueConfig {
@@ -300,12 +364,28 @@ impl QueueConfig {
             lock_ttl: Self::DEFAULT_TTL,
             poll: Duration::from_millis(500),
             wait: true,
+            policy: SchedulePolicy::default(),
+            initial_rate: None,
+            slow_cutoff: Self::DEFAULT_SLOW_CUTOFF,
+            throttle_ns_per_unit: 0,
         }
     }
 
-    /// A worker with a generated id (`pid<pid>-w<n>`) and the TTL from the
-    /// `SHIFT_QUEUE_TTL` environment variable (seconds; default
-    /// [`QueueConfig::DEFAULT_TTL`]).
+    /// Default slowness cutoff: five minutes. At the calibrated baseline
+    /// rate (~2.3 M weighted fetch units/s) this is far above any paper-scale
+    /// run, so only a genuinely slow (or throttled) worker ever defers.
+    pub const DEFAULT_SLOW_CUTOFF: Duration = Duration::from_secs(300);
+
+    /// A worker with a generated id (`pid<pid>-w<n>`) and knobs from the
+    /// environment:
+    ///
+    /// * `SHIFT_QUEUE_TTL` — reclaim TTL in seconds (default
+    ///   [`QueueConfig::DEFAULT_TTL`]);
+    /// * `SHIFT_SCHED_POLICY` — `canonical` or `cost` (claim ordering);
+    /// * `SHIFT_QUEUE_RATE` — initial rate estimate, weighted fetch units/s;
+    /// * `SHIFT_QUEUE_CUTOFF` — slowness cutoff in seconds;
+    /// * `SHIFT_QUEUE_THROTTLE` — artificial slowdown, ns per weighted
+    ///   fetch unit (test/CI instrumentation).
     pub fn from_env() -> Self {
         let mut config = QueueConfig::new(format!(
             "pid{}-w{}",
@@ -316,6 +396,30 @@ impl QueueConfig {
             match value.trim().parse::<u64>() {
                 Ok(secs) => config.lock_ttl = Duration::from_secs(secs),
                 Err(_) => eprintln!("ignoring invalid SHIFT_QUEUE_TTL `{value}`"),
+            }
+        }
+        if let Ok(value) = std::env::var("SHIFT_SCHED_POLICY") {
+            match value.parse::<SchedulePolicy>() {
+                Ok(policy) => config.policy = policy,
+                Err(e) => eprintln!("ignoring invalid SHIFT_SCHED_POLICY: {e}"),
+            }
+        }
+        if let Ok(value) = std::env::var("SHIFT_QUEUE_RATE") {
+            match value.trim().parse::<u64>() {
+                Ok(rate) if rate > 0 => config.initial_rate = Some(rate),
+                _ => eprintln!("ignoring invalid SHIFT_QUEUE_RATE `{value}`"),
+            }
+        }
+        if let Ok(value) = std::env::var("SHIFT_QUEUE_CUTOFF") {
+            match value.trim().parse::<u64>() {
+                Ok(secs) => config.slow_cutoff = Duration::from_secs(secs),
+                Err(_) => eprintln!("ignoring invalid SHIFT_QUEUE_CUTOFF `{value}`"),
+            }
+        }
+        if let Ok(value) = std::env::var("SHIFT_QUEUE_THROTTLE") {
+            match value.trim().parse::<u64>() {
+                Ok(ns) => config.throttle_ns_per_unit = ns,
+                Err(_) => eprintln!("ignoring invalid SHIFT_QUEUE_THROTTLE `{value}`"),
             }
         }
         config
@@ -378,10 +482,22 @@ impl CancelToken {
 /// [`RunEvent::AlreadyDone`] on workers that found it finished.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunEvent {
-    /// This worker claimed the run and is about to simulate it.
+    /// This worker claimed the run and is about to simulate it. Carries the
+    /// scheduler's reasoning — together these fields are the claim's
+    /// decision-log entry: *this* run was picked because it sat at `rank` in
+    /// the policy ordering, cost `cost`, and the worker was draining at
+    /// `worker_rate`.
     Claimed {
         /// The claimed run.
         key_id: RunKeyId,
+        /// The run's estimated cost under the active [`CostModel`].
+        cost: RunCost,
+        /// The run's position in the full-matrix claim ordering of the
+        /// active [`SchedulePolicy`] (0 = claimed first).
+        rank: usize,
+        /// The worker's measured drain rate in weighted fetch units per
+        /// second at claim time; `None` before its first completed run.
+        worker_rate: Option<u64>,
     },
     /// This worker finished simulating the run and persisted its outcome.
     Executed {
@@ -405,7 +521,7 @@ impl RunEvent {
     /// The run this event is about.
     pub fn key_id(&self) -> RunKeyId {
         match *self {
-            RunEvent::Claimed { key_id }
+            RunEvent::Claimed { key_id, .. }
             | RunEvent::Executed { key_id }
             | RunEvent::AlreadyDone { key_id }
             | RunEvent::Reclaimed { key_id } => key_id,
@@ -509,6 +625,21 @@ impl LockHeartbeat {
     /// Starts refreshing the lock at `path` every `interval` until dropped.
     /// `key_id` and `worker` are rewritten into the lock on every beat.
     pub fn spawn(path: PathBuf, key_id: RunKeyId, worker: String, interval: Duration) -> Self {
+        Self::spawn_with_rate(path, key_id, worker, interval, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// [`LockHeartbeat::spawn`], additionally re-stamping the owner's
+    /// current measured drain rate (read from `rate`; 0 means unknown and
+    /// is omitted) into the lock on every beat. Persisting the rate through
+    /// the lock is what lets a restarted worker recover its calibration by
+    /// reading its own leftover claims.
+    pub fn spawn_with_rate(
+        path: PathBuf,
+        key_id: RunKeyId,
+        worker: String,
+        interval: Duration,
+        rate: Arc<AtomicU64>,
+    ) -> Self {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let signal = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
@@ -522,7 +653,8 @@ impl LockHeartbeat {
                 if *stopped {
                     return;
                 }
-                refresh_lock(&path, key_id, &worker);
+                let measured = rate.load(Ordering::Relaxed);
+                refresh_lock(&path, key_id, &worker, (measured > 0).then_some(measured));
             }
         });
         LockHeartbeat {
@@ -548,11 +680,12 @@ impl Drop for LockHeartbeat {
 /// [`LockHeartbeat`] for why resurrection would be harmful. A reader racing
 /// the rewrite can observe a half-written lock; it falls back to the file
 /// mtime, which the rewrite also refreshed, so the claim still reads fresh.
-fn refresh_lock(path: &Path, key_id: RunKeyId, worker: &str) {
+fn refresh_lock(path: &Path, key_id: RunKeyId, worker: &str, rate: Option<u64>) {
     let record = LockRecord {
         key_id,
         worker: worker.to_owned(),
         claimed_unix: unix_now(),
+        rate,
     };
     if let Ok(mut file) = std::fs::OpenOptions::new()
         .write(true)
@@ -564,7 +697,8 @@ fn refresh_lock(path: &Path, key_id: RunKeyId, worker: &str) {
 }
 
 /// Everything shared by every claim attempt of one queue drain: the plan,
-/// the directory, the worker's configuration, and the embedding hooks.
+/// the directory, the worker's configuration, the scheduler state, and the
+/// embedding hooks.
 struct DrainCtx<'a> {
     matrix: &'a RunMatrix,
     fingerprint: MatrixFingerprint,
@@ -572,6 +706,40 @@ struct DrainCtx<'a> {
     config: &'a QueueConfig,
     observer: &'a dyn RunObserver,
     cancel: &'a CancelToken,
+    /// Per-slot estimated cost under the active model (plan order).
+    costs: &'a [RunCost],
+    /// Per-slot rank in the full-matrix claim ordering of the active policy.
+    ranks: &'a [usize],
+    /// This worker's measured drain rate in weighted fetch units per second
+    /// (0 = unknown). Shared with every worker thread and the heartbeats.
+    rate: &'a Arc<AtomicU64>,
+}
+
+impl DrainCtx<'_> {
+    /// The worker's current rate, `None` while still unmeasured.
+    fn current_rate(&self) -> Option<u64> {
+        let rate = self.rate.load(Ordering::Relaxed);
+        (rate > 0).then_some(rate)
+    }
+
+    /// Folds one completed run into the worker's measured rate: the first
+    /// sample is taken as-is, later samples are blended half-and-half with
+    /// the running estimate so the rate tracks drift without whiplashing on
+    /// one outlier run.
+    fn record_rate(&self, cost: RunCost, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+        let sample = (cost.units() as f64 / secs).round().max(1.0) as u64;
+        let previous = self.rate.load(Ordering::Relaxed);
+        let blended = if previous == 0 {
+            sample
+        } else {
+            previous / 2 + sample / 2
+        };
+        self.rate.store(blended.max(1), Ordering::Relaxed);
+    }
 }
 
 /// Tries to claim and execute the run in plan-order `slot`.
@@ -617,6 +785,7 @@ fn claim_one(ctx: &DrainCtx<'_>, slot: usize) -> io::Result<Claim> {
                     key_id,
                     worker: config.worker.clone(),
                     claimed_unix: unix_now(),
+                    rate: ctx.current_rate(),
                 };
                 // Best-effort: an empty lock still excludes; readers fall
                 // back to its mtime for staleness.
@@ -629,12 +798,33 @@ fn claim_one(ctx: &DrainCtx<'_>, slot: usize) -> io::Result<Claim> {
                     observer.on_event(RunEvent::AlreadyDone { key_id });
                     return Ok(Claim::AlreadyDone);
                 }
-                observer.on_event(RunEvent::Claimed { key_id });
+                let cost = ctx.costs[slot];
+                observer.on_event(RunEvent::Claimed {
+                    key_id,
+                    cost,
+                    rank: ctx.ranks[slot],
+                    worker_rate: ctx.current_rate(),
+                });
                 // Keep the claim visibly alive for the whole simulation, so
                 // the TTL can be far shorter than the longest run.
-                let heartbeat =
-                    LockHeartbeat::spawn(lock.clone(), key_id, config.worker.clone(), config.poll);
+                let heartbeat = LockHeartbeat::spawn_with_rate(
+                    lock.clone(),
+                    key_id,
+                    config.worker.clone(),
+                    config.poll,
+                    Arc::clone(ctx.rate),
+                );
+                let started = std::time::Instant::now();
                 let result = matrix.simulation(slot).run();
+                if config.throttle_ns_per_unit > 0 {
+                    // Emulated slow host: sleep in proportion to the run's
+                    // cost, with the heartbeat still stamping the claim so
+                    // it never looks abandoned.
+                    std::thread::sleep(Duration::from_nanos(
+                        cost.units().saturating_mul(config.throttle_ns_per_unit),
+                    ));
+                }
+                ctx.record_rate(cost, started.elapsed());
                 drop(heartbeat);
                 let written = write_outcome(dir, fingerprint, key, &result);
                 let _ = std::fs::remove_file(&lock);
@@ -668,6 +858,7 @@ fn claim_one(ctx: &DrainCtx<'_>, slot: usize) -> io::Result<Claim> {
 #[derive(Default)]
 struct PassStats {
     executed: usize,
+    already: usize,
     reclaimed: usize,
     blocked: usize,
 }
@@ -712,6 +903,7 @@ fn queue_pass(
                             }
                             Claim::AlreadyDone => {
                                 done[slot].store(true, Ordering::Relaxed);
+                                stats.already += 1;
                             }
                             Claim::Blocked => stats.blocked += 1,
                         }
@@ -759,12 +951,22 @@ fn queue_pass(
 ///
 /// Propagates filesystem errors creating `dir`, creating locks, or writing
 /// outcome files.
+#[deprecated(note = "use `Execution::new(&matrix).queue(config).dir(dir).run()` instead")]
 pub fn execute_queue(
     matrix: &RunMatrix,
     dir: &Path,
     config: &QueueConfig,
 ) -> io::Result<QueueReport> {
-    execute_queue_with_threads(matrix, dir, config, default_threads())
+    queue_inner(
+        matrix,
+        dir,
+        config,
+        default_threads(),
+        &NoopObserver,
+        &CancelToken::new(),
+        &CostModel::default(),
+    )
+    .map(QueueDrain::into_report)
 }
 
 /// [`execute_queue`] with an explicit worker-thread count.
@@ -773,20 +975,25 @@ pub fn execute_queue(
 ///
 /// Propagates filesystem errors creating `dir`, creating locks, or writing
 /// outcome files.
+#[deprecated(
+    note = "use `Execution::new(&matrix).queue(config).dir(dir).threads(n).run()` instead"
+)]
 pub fn execute_queue_with_threads(
     matrix: &RunMatrix,
     dir: &Path,
     config: &QueueConfig,
     threads: usize,
 ) -> io::Result<QueueReport> {
-    execute_queue_observed(
+    queue_inner(
         matrix,
         dir,
         config,
         threads,
         &NoopObserver,
         &CancelToken::new(),
+        &CostModel::default(),
     )
+    .map(QueueDrain::into_report)
 }
 
 /// [`execute_queue`] with an explicit thread count, a progress
@@ -806,6 +1013,9 @@ pub fn execute_queue_with_threads(
 ///
 /// Propagates filesystem errors creating `dir`, creating locks, or writing
 /// outcome files.
+#[deprecated(
+    note = "use `Execution::new(&matrix).queue(config).dir(dir).threads(n).observer(&o).cancel(&c).run()` instead"
+)]
 pub fn execute_queue_observed(
     matrix: &RunMatrix,
     dir: &Path,
@@ -814,7 +1024,98 @@ pub fn execute_queue_observed(
     observer: &dyn RunObserver,
     cancel: &CancelToken,
 ) -> io::Result<QueueReport> {
+    queue_inner(
+        matrix,
+        dir,
+        config,
+        threads,
+        observer,
+        cancel,
+        &CostModel::default(),
+    )
+    .map(QueueDrain::into_report)
+}
+
+/// Full tallies of one queue worker's drain, including outcomes it *found*
+/// done rather than executed — what the unified
+/// [`ExecutionReport`](crate::ExecutionReport) reports as reused.
+pub(crate) struct QueueDrain {
+    pub planned: usize,
+    pub executed: usize,
+    pub already: usize,
+    pub reclaimed: usize,
+    pub passes: usize,
+    pub complete: bool,
+}
+
+impl QueueDrain {
+    /// Narrows to the legacy [`QueueReport`] the deprecated wrappers return.
+    fn into_report(self) -> QueueReport {
+        QueueReport {
+            planned: self.planned,
+            executed: self.executed,
+            reclaimed: self.reclaimed,
+            passes: self.passes,
+            complete: self.complete,
+        }
+    }
+}
+
+/// Recovers a restarted worker's measured rate from its own leftover claim
+/// locks: a worker that died (or was killed) mid-drain left locks whose
+/// heartbeats persisted its last rate estimate, so its successor — same
+/// operator-assigned worker id — resumes calibrated instead of cold.
+fn recover_rate(dir: &Path, worker: &str) -> Option<u64> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<u64> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !(name.starts_with("claim-") && name.ends_with(".lock")) {
+            continue;
+        }
+        if let Ok(record) = read_lock(&entry.path()) {
+            if record.worker == worker {
+                if let Some(rate) = record.rate {
+                    best = Some(best.map_or(rate, |b| b.max(rate)));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The queue executor behind the deprecated `execute_queue*` wrappers and
+/// the [`Execution`](crate::Execution) builder's queue mode: full scheduler
+/// support (claim ordering policy, per-worker rate measurement and
+/// recovery, slowness deferral) plus the extended tallies.
+pub(crate) fn queue_inner(
+    matrix: &RunMatrix,
+    dir: &Path,
+    config: &QueueConfig,
+    threads: usize,
+    observer: &dyn RunObserver,
+    cancel: &CancelToken,
+    model: &CostModel,
+) -> io::Result<QueueDrain> {
     std::fs::create_dir_all(dir)?;
+    // The claim ordering is a pure function of the plan and the model, so
+    // every worker computes the same ranking with no coordination.
+    let order = match config.policy {
+        SchedulePolicy::Canonical => matrix.canonical_order(),
+        SchedulePolicy::CostOrdered => rank_by_cost(model, matrix),
+    };
+    let costs: Vec<RunCost> = matrix.keys().iter().map(|key| model.cost(key)).collect();
+    let mut ranks = vec![0usize; matrix.len()];
+    for (rank, &slot) in order.iter().enumerate() {
+        ranks[slot] = rank;
+    }
+    let rate = Arc::new(AtomicU64::new(
+        config
+            .initial_rate
+            .or_else(|| recover_rate(dir, &config.worker))
+            .unwrap_or(0),
+    ));
     let ctx = DrainCtx {
         matrix,
         fingerprint: matrix.fingerprint(),
@@ -822,8 +1123,10 @@ pub fn execute_queue_observed(
         config,
         observer,
         cancel,
+        costs: &costs,
+        ranks: &ranks,
+        rate: &rate,
     };
-    let order = matrix.canonical_order();
     // Completion is monotonic, so it is remembered across passes: only
     // not-yet-done slots are (re-)examined, and `claim_one` performs the
     // actual on-disk validity check for those. Without this, an idle worker
@@ -832,9 +1135,10 @@ pub fn execute_queue_observed(
     let done: Vec<std::sync::atomic::AtomicBool> = (0..matrix.len())
         .map(|_| std::sync::atomic::AtomicBool::new(false))
         .collect();
-    let mut report = QueueReport {
+    let mut report = QueueDrain {
         planned: matrix.len(),
         executed: 0,
+        already: 0,
         reclaimed: 0,
         passes: 0,
         complete: false,
@@ -844,7 +1148,7 @@ pub fn execute_queue_observed(
             return Ok(report);
         }
         report.passes += 1;
-        let candidates: Vec<usize> = order
+        let mut candidates: Vec<usize> = order
             .iter()
             .copied()
             .filter(|&slot| !done[slot].load(Ordering::Relaxed))
@@ -853,8 +1157,25 @@ pub fn execute_queue_observed(
             report.complete = true;
             return Ok(report);
         }
+        // Slowness deferral: once this worker has a measured rate, runs it
+        // would hold for longer than the cutoff move to the back of *its*
+        // claim order — fast contenders pick them up first, but nothing is
+        // ever skipped outright, so a lone slow worker still completes.
+        if config.policy == SchedulePolicy::CostOrdered {
+            if let Some(rate) = ctx.current_rate() {
+                let (mut preferred, deferred): (Vec<usize>, Vec<usize>) =
+                    candidates.into_iter().partition(|&slot| {
+                        costs[slot]
+                            .duration_at(rate)
+                            .is_none_or(|d| d <= config.slow_cutoff)
+                    });
+                preferred.extend(deferred);
+                candidates = preferred;
+            }
+        }
         let stats = queue_pass(&ctx, threads, &candidates, &done)?;
         report.executed += stats.executed;
+        report.already += stats.already;
         report.reclaimed += stats.reclaimed;
         if cancel.is_cancelled() {
             return Ok(report);
@@ -925,8 +1246,9 @@ pub struct DeltaReport {
 /// # Panics
 ///
 /// Panics if `partial` was probed against a different matrix.
+#[deprecated(note = "use `Execution::new(&matrix).reuse(partial).run()` instead")]
 pub fn execute_delta(matrix: &RunMatrix, partial: PartialLoad) -> DeltaReport {
-    execute_delta_with_threads(matrix, partial, default_threads())
+    delta_inner(matrix, partial, default_threads())
 }
 
 /// [`execute_delta`] with an explicit worker-thread count.
@@ -934,11 +1256,18 @@ pub fn execute_delta(matrix: &RunMatrix, partial: PartialLoad) -> DeltaReport {
 /// # Panics
 ///
 /// Panics if `partial` was probed against a different matrix.
+#[deprecated(note = "use `Execution::new(&matrix).reuse(partial).threads(n).run()` instead")]
 pub fn execute_delta_with_threads(
     matrix: &RunMatrix,
     partial: PartialLoad,
     threads: usize,
 ) -> DeltaReport {
+    delta_inner(matrix, partial, threads)
+}
+
+/// The delta executor behind the deprecated `execute_delta*` wrappers and
+/// the [`Execution`](crate::Execution) builder's reuse mode.
+pub(crate) fn delta_inner(matrix: &RunMatrix, partial: PartialLoad, threads: usize) -> DeltaReport {
     let missing = partial.missing_slots(matrix);
     let fresh: Vec<RunResult> =
         parallel_map_with_threads(&missing, threads, |&slot| matrix.simulation(slot).run());
@@ -1017,7 +1346,7 @@ mod tests {
     fn full_shard_covers_the_matrix_and_resumes() {
         let dir = temp_dir("full");
         let matrix = small_matrix();
-        let report = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 2).unwrap();
+        let report = shard_inner(&matrix, ShardSpec::full(), &dir, 2).unwrap();
         assert_eq!(report.planned, matrix.len());
         assert_eq!(report.executed, matrix.len());
         assert_eq!(report.resumed, 0);
@@ -1031,7 +1360,7 @@ mod tests {
                 (p.clone(), fs::read_to_string(p).unwrap())
             })
             .collect();
-        let again = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 2).unwrap();
+        let again = shard_inner(&matrix, ShardSpec::full(), &dir, 2).unwrap();
         assert_eq!(again.executed, 0);
         assert_eq!(again.resumed, matrix.len());
         for (path, content) in before {
@@ -1044,7 +1373,7 @@ mod tests {
     fn killed_shard_resumes_only_missing_runs() {
         let dir = temp_dir("resume");
         let matrix = small_matrix();
-        execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+        shard_inner(&matrix, ShardSpec::full(), &dir, 1).unwrap();
 
         // Simulate a crash that lost two outcomes (plus a half-written temp
         // file the atomic rename protocol would have left behind).
@@ -1057,7 +1386,7 @@ mod tests {
         fs::remove_file(&outcome_files[2]).unwrap();
         fs::write(dir.join(".tmp-dead.json"), "{\"schema\":").unwrap();
 
-        let report = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 2).unwrap();
+        let report = shard_inner(&matrix, ShardSpec::full(), &dir, 2).unwrap();
         assert_eq!(report.executed, 2);
         assert_eq!(report.resumed, matrix.len() - 2);
 
@@ -1071,11 +1400,11 @@ mod tests {
     fn corrupt_outcome_is_re_executed() {
         let dir = temp_dir("corrupt");
         let matrix = small_matrix();
-        execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+        shard_inner(&matrix, ShardSpec::full(), &dir, 1).unwrap();
         let victim = dir.join(outcome_file_name(matrix.key_ids()[0]));
         fs::write(&victim, "not json at all").unwrap();
 
-        let report = execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+        let report = shard_inner(&matrix, ShardSpec::full(), &dir, 1).unwrap();
         assert_eq!(report.executed, 1, "only the corrupt outcome re-runs");
         assert!(
             read_outcome(&victim).is_ok(),

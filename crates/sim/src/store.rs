@@ -371,18 +371,26 @@ pub struct LockRecord {
     /// reader's clock, so the reclaim TTL must comfortably exceed any
     /// cross-machine clock skew.
     pub claimed_unix: u64,
+    /// The claiming worker's measured drain rate, in weighted fetch units
+    /// per second (see [`crate::schedule::RunCost`]), if it has completed at
+    /// least one run. Heartbeats re-stamp it, and a restarted worker reads
+    /// its own leftover locks to recover calibration across crashes.
+    pub rate: Option<u64>,
 }
 
 impl LockRecord {
     /// The lock's serialized form (compact JSON).
     pub(crate) fn to_json(&self) -> String {
-        let doc = Value::Map(vec![
+        let mut fields = vec![
             ("schema".to_owned(), LOCK_SCHEMA.to_value()),
             ("key_id".to_owned(), self.key_id.to_value()),
             ("worker".to_owned(), self.worker.to_value()),
             ("claimed_unix".to_owned(), self.claimed_unix.to_value()),
-        ]);
-        json::to_string(&doc)
+        ];
+        if let Some(rate) = self.rate {
+            fields.push(("rate".to_owned(), rate.to_value()));
+        }
+        json::to_string(&Value::Map(fields))
     }
 }
 
@@ -420,6 +428,12 @@ pub fn read_lock(path: &Path) -> Result<LockRecord, StoreError> {
             .map_err(|e| malformed(format!("bad `worker`: {e}")))?,
         claimed_unix: u64::from_value(read_field("claimed_unix")?)
             .map_err(|e| malformed(format!("bad `claimed_unix`: {e}")))?,
+        // Optional: locks from workers that have not completed a run yet (or
+        // were written before rate persistence existed) simply omit it.
+        rate: match doc.get("rate") {
+            Some(v) => Some(u64::from_value(v).map_err(|e| malformed(format!("bad `rate`: {e}")))?),
+            None => None,
+        },
     })
 }
 
@@ -902,7 +916,11 @@ mod tests {
         let mut matrix = RunMatrix::new();
         let w = presets::tiny();
         let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let outcomes = matrix.execute_serial();
+        let outcomes = crate::Execution::new(&matrix)
+            .serial()
+            .run()
+            .unwrap()
+            .into_outcomes();
 
         write_outcome(
             &dir,
@@ -928,7 +946,11 @@ mod tests {
         let mut matrix = RunMatrix::new();
         let w = presets::tiny();
         let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let outcomes = matrix.execute_serial();
+        let outcomes = crate::Execution::new(&matrix)
+            .serial()
+            .run()
+            .unwrap()
+            .into_outcomes();
         write_outcome(
             &dir,
             matrix.fingerprint(),
@@ -965,7 +987,11 @@ mod tests {
         let mut matrix = RunMatrix::new();
         let w = presets::tiny();
         let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let outcomes = matrix.execute_serial();
+        let outcomes = crate::Execution::new(&matrix)
+            .serial()
+            .run()
+            .unwrap()
+            .into_outcomes();
         write_outcome(
             &dir,
             matrix.fingerprint(),
@@ -998,13 +1024,8 @@ mod tests {
         assert_eq!(partial.missing_slots(&matrix).len(), 1);
 
         // Shard resume re-executes and re-stamps instead of trusting it.
-        let report = crate::shard::execute_shard_with_threads(
-            &matrix,
-            crate::shard::ShardSpec::full(),
-            &dir,
-            1,
-        )
-        .unwrap();
+        let report =
+            crate::shard::shard_inner(&matrix, crate::shard::ShardSpec::full(), &dir, 1).unwrap();
         assert_eq!(report.executed, 1, "stale outcome must re-run");
         assert_eq!(
             read_outcome(&path).unwrap().results_version,
@@ -1021,7 +1042,11 @@ mod tests {
         let mut matrix = RunMatrix::new();
         let w = presets::tiny();
         let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let outcomes = matrix.execute_serial();
+        let outcomes = crate::Execution::new(&matrix)
+            .serial()
+            .run()
+            .unwrap()
+            .into_outcomes();
         write_outcome(
             &dir,
             matrix.fingerprint(),
@@ -1054,7 +1079,11 @@ mod tests {
         let mut matrix = RunMatrix::new();
         let w = presets::tiny();
         let handle = matrix.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 5);
-        let outcomes = matrix.execute_serial();
+        let outcomes = crate::Execution::new(&matrix)
+            .serial()
+            .run()
+            .unwrap()
+            .into_outcomes();
         write_outcome(
             &dir,
             matrix.fingerprint(),

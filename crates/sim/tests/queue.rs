@@ -13,14 +13,10 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use proptest::prelude::*;
-use shift_sim::shard::{
-    execute_delta_with_threads, execute_queue_observed, execute_queue_with_threads,
-    execute_shard_with_threads,
-};
 use shift_sim::store::{lock_file_name, outcome_file_name, read_lock, seed_outcomes};
 use shift_sim::{
-    CancelToken, LockHeartbeat, PrefetcherConfig, QueueConfig, RunEvent, RunKeyId, RunMatrix,
-    RunStore, ShardSpec, StoreError,
+    CancelToken, Execution, ExecutionReport, LockHeartbeat, PrefetcherConfig, QueueConfig,
+    RunEvent, RunKeyId, RunMatrix, RunOutcomes, RunStore, ShardSpec, StoreError,
 };
 use shift_trace::{presets, Scale};
 
@@ -77,6 +73,42 @@ fn worker(tag: &str) -> QueueConfig {
     config
 }
 
+/// One queue worker draining `matrix` into `dir` through the builder.
+fn drain(
+    matrix: &RunMatrix,
+    dir: &std::path::Path,
+    config: QueueConfig,
+    threads: usize,
+) -> ExecutionReport {
+    *Execution::new(matrix)
+        .queue(config)
+        .dir(dir)
+        .threads(threads)
+        .run()
+        .expect("queue drain")
+        .report()
+}
+
+/// Serial reference execution every merge is compared against.
+fn serial_reference(matrix: &RunMatrix) -> RunOutcomes {
+    Execution::new(matrix)
+        .serial()
+        .run()
+        .expect("serial reference")
+        .into_outcomes()
+}
+
+/// A durable shard execution through the builder.
+fn shard_exec(matrix: &RunMatrix, spec: ShardSpec, dir: &std::path::Path) -> ExecutionReport {
+    *Execution::new(matrix)
+        .shard(spec)
+        .dir(dir)
+        .serial()
+        .run()
+        .expect("shard execution")
+        .report()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -90,7 +122,7 @@ proptest! {
         workers in 1usize..=4,
     ) {
         let (matrix, handles) = build_matrix(&entries);
-        let serial = matrix.execute_serial();
+        let serial = serial_reference(&matrix);
 
         let dir = temp_dir(&format!("prop-{workers}"));
         let reports: Vec<_> = std::thread::scope(|scope| {
@@ -98,10 +130,7 @@ proptest! {
                 .map(|w| {
                     let dir = dir.clone();
                     let matrix = &matrix;
-                    scope.spawn(move || {
-                        execute_queue_with_threads(matrix, &dir, &worker(&format!("w{w}")), 1)
-                            .expect("queue worker")
-                    })
+                    scope.spawn(move || drain(matrix, &dir, worker(&format!("w{w}")), 1))
                 })
                 .collect();
             joins.into_iter().map(|j| j.join().expect("worker thread")).collect()
@@ -109,11 +138,11 @@ proptest! {
 
         // Wait-mode workers only return once the sweep is complete, and
         // cooperating workers (TTL far above run time) never duplicate work.
-        let executed_total: usize = reports.iter().map(|r| r.executed).sum();
+        let executed_total: usize = reports.iter().map(|r| r.sources.executed).sum();
         prop_assert_eq!(executed_total, matrix.len(), "each run executes exactly once");
         for report in &reports {
             prop_assert!(report.complete);
-            prop_assert_eq!(report.reclaimed, 0, "no stale locks among live workers");
+            prop_assert_eq!(report.sources.reclaimed, 0, "no stale locks among live workers");
         }
         // A drained queue leaves no locks behind.
         for entry in fs::read_dir(&dir).unwrap() {
@@ -146,12 +175,11 @@ fn stale_lock_is_reclaimed_and_run_executes() {
     )
     .unwrap();
 
-    let report = execute_queue_with_threads(&matrix, &dir, &worker("reclaimer"), 1)
-        .expect("queue drains past the stale lock");
+    let report = drain(&matrix, &dir, worker("reclaimer"), 1);
     assert!(report.complete);
-    assert_eq!(report.executed, matrix.len(), "all runs execute");
+    assert_eq!(report.sources.executed, matrix.len(), "all runs execute");
     assert!(
-        report.reclaimed >= 1,
+        report.sources.reclaimed >= 1,
         "the dead worker's claim was reclaimed"
     );
     assert!(
@@ -176,10 +204,10 @@ fn live_lock_is_respected_and_merge_reports_active_locks() {
     // A non-waiting worker executes everything else and reports incomplete.
     let mut config = worker("polite");
     config.wait = false;
-    let report = execute_queue_with_threads(&matrix, &dir, &config, 1).expect("queue worker");
+    let report = drain(&matrix, &dir, config, 1);
     assert!(!report.complete, "the held run is not ours to finish");
-    assert_eq!(report.executed, matrix.len() - 1);
-    assert_eq!(report.reclaimed, 0);
+    assert_eq!(report.sources.executed, matrix.len() - 1);
+    assert_eq!(report.sources.reclaimed, 0);
     assert!(lock_path.exists(), "the live lock was not touched");
     let record = read_lock(&lock_path).expect("lock still parses");
     assert_eq!(record.worker, "other-live-worker");
@@ -202,9 +230,9 @@ fn live_lock_is_respected_and_merge_reports_active_locks() {
     // Once the claim is released (owner finished elsewhere / operator
     // removed it), a waiting worker completes the sweep.
     fs::remove_file(&lock_path).unwrap();
-    let report = execute_queue_with_threads(&matrix, &dir, &worker("finisher"), 1).unwrap();
+    let report = drain(&matrix, &dir, worker("finisher"), 1);
     assert!(report.complete);
-    assert_eq!(report.executed, 1);
+    assert_eq!(report.sources.executed, 1);
     RunStore::new([&dir]).load(&matrix).expect("complete sweep");
     fs::remove_dir_all(&dir).unwrap();
 }
@@ -253,9 +281,9 @@ fn heartbeat_keeps_a_claim_fresh_while_its_owner_works() {
     let mut contender = worker("contender");
     contender.wait = false;
     contender.lock_ttl = Duration::from_secs(60);
-    let report = execute_queue_with_threads(&matrix, &dir, &contender, 1).unwrap();
-    assert_eq!(report.executed, 0, "live claim respected");
-    assert_eq!(report.reclaimed, 0);
+    let report = drain(&matrix, &dir, contender, 1);
+    assert_eq!(report.sources.executed, 0, "live claim respected");
+    assert_eq!(report.sources.reclaimed, 0);
     assert!(!report.complete);
 
     // Dropping the heartbeat stops the refresher: a sentinel rewrite stays.
@@ -304,14 +332,14 @@ fn queue_resumes_a_partially_filled_directory() {
     let (matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2), (1, 3, 0)]);
     let dir = temp_dir("queue-resume");
     // A shard (or previous queue run) already produced part of the sweep.
-    execute_shard_with_threads(&matrix, ShardSpec::new(1, 2), &dir, 1).unwrap();
+    shard_exec(&matrix, ShardSpec::new(1, 2), &dir);
     let preexisting = fs::read_dir(&dir).unwrap().count();
     assert!(preexisting > 0 && preexisting < matrix.len());
 
-    let report = execute_queue_with_threads(&matrix, &dir, &worker("resumer"), 2).unwrap();
+    let report = drain(&matrix, &dir, worker("resumer"), 2);
     assert!(report.complete);
     assert_eq!(
-        report.executed,
+        report.sources.executed,
         matrix.len() - preexisting,
         "only the missing runs execute"
     );
@@ -323,7 +351,7 @@ fn queue_resumes_a_partially_filled_directory() {
 fn corrupted_cached_outcome_is_a_miss_not_poison() {
     let (matrix, handles) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
     let dir = temp_dir("reuse-corrupt");
-    execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+    shard_exec(&matrix, ShardSpec::full(), &dir);
 
     // One cached outcome rots on disk.
     let victim = dir.join(outcome_file_name(matrix.key_ids()[1]));
@@ -336,14 +364,19 @@ fn corrupted_cached_outcome_is_a_miss_not_poison() {
 
     // The delta re-executes exactly the rotten run, and the spliced
     // outcomes are bit-identical to a from-scratch serial execution.
-    let delta = execute_delta_with_threads(&matrix, partial, 1);
-    assert_eq!(delta.executed, 1);
-    assert_eq!(delta.reused, matrix.len() - 1);
-    let serial = matrix.execute_serial();
+    let delta = Execution::new(&matrix)
+        .reuse(partial)
+        .serial()
+        .run()
+        .expect("delta execution");
+    assert_eq!(delta.report().sources.executed, 1);
+    assert_eq!(delta.report().sources.reused, matrix.len() - 1);
+    let spliced = delta.into_outcomes();
+    let serial = serial_reference(&matrix);
     for &handle in &handles {
-        assert_eq!(&delta.outcomes[handle], &serial[handle]);
+        assert_eq!(&spliced[handle], &serial[handle]);
     }
-    assert_eq!(format!("{:?}", delta.outcomes), format!("{serial:?}"));
+    assert_eq!(format!("{spliced:?}"), format!("{serial:?}"));
     fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -352,7 +385,7 @@ fn partial_load_reuses_across_foreign_fingerprints_and_seeds_a_new_directory() {
     // An old sweep's outcomes...
     let (old_matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1)]);
     let old_dir = temp_dir("reuse-old");
-    execute_shard_with_threads(&old_matrix, ShardSpec::full(), &old_dir, 1).unwrap();
+    shard_exec(&old_matrix, ShardSpec::full(), &old_dir);
 
     // ...probed under a *grown* plan (different fingerprint, superset keys).
     let (new_matrix, handles) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2), (1, 3, 0)]);
@@ -377,10 +410,10 @@ fn partial_load_reuses_across_foreign_fingerprints_and_seeds_a_new_directory() {
     // Seeding is idempotent: valid outcomes are not rewritten.
     assert_eq!(seed_outcomes(&new_matrix, &partial, &new_dir).unwrap(), 0);
 
-    let report = execute_queue_with_threads(&new_matrix, &new_dir, &worker("delta"), 1).unwrap();
-    assert_eq!(report.executed, new_matrix.len() - old_matrix.len());
+    let report = drain(&new_matrix, &new_dir, worker("delta"), 1);
+    assert_eq!(report.sources.executed, new_matrix.len() - old_matrix.len());
     let merged = RunStore::new([&new_dir]).load(&new_matrix).expect("merge");
-    let serial = new_matrix.execute_serial();
+    let serial = serial_reference(&new_matrix);
     for &handle in &handles {
         assert_eq!(&merged[handle], &serial[handle]);
     }
@@ -398,7 +431,7 @@ fn per_shard_seeding_keeps_shard_directories_disjoint() {
 
     let (old_matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
     let old_dir = temp_dir("shard-reuse-old");
-    execute_shard_with_threads(&old_matrix, ShardSpec::full(), &old_dir, 1).unwrap();
+    shard_exec(&old_matrix, ShardSpec::full(), &old_dir);
 
     let (new_matrix, handles) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2), (1, 3, 0)]);
     let partial = RunStore::new([&old_dir]).load_partial(&new_matrix).unwrap();
@@ -413,8 +446,8 @@ fn per_shard_seeding_keeps_shard_directories_disjoint() {
     for (k, dir) in dirs.iter().enumerate() {
         let spec = ShardSpec::new(k + 1, SHARDS);
         seeded_total += seed_shard_outcomes(&new_matrix, &partial, dir, spec).unwrap();
-        let report = execute_shard_with_threads(&new_matrix, spec, dir, 1).unwrap();
-        executed_total += report.executed;
+        let report = shard_exec(&new_matrix, spec, dir);
+        executed_total += report.sources.executed;
     }
     assert_eq!(
         seeded_total,
@@ -431,7 +464,7 @@ fn per_shard_seeding_keeps_shard_directories_disjoint() {
     let merged = RunStore::new(dirs.iter().cloned())
         .load(&new_matrix)
         .expect("disjoint shard+reuse directories merge");
-    let serial = new_matrix.execute_serial();
+    let serial = serial_reference(&new_matrix);
     for &handle in &handles {
         assert_eq!(&merged[handle], &serial[handle]);
     }
@@ -446,7 +479,7 @@ fn per_shard_seeding_keeps_shard_directories_disjoint() {
 fn partial_load_skips_keys_the_plan_dropped() {
     let (big, _) = build_matrix(&[(0, 0, 0), (1, 1, 1), (0, 2, 2)]);
     let dir = temp_dir("reuse-shrunk");
-    execute_shard_with_threads(&big, ShardSpec::full(), &dir, 1).unwrap();
+    shard_exec(&big, ShardSpec::full(), &dir);
 
     let (small, _) = build_matrix(&[(0, 0, 0)]);
     let partial = RunStore::new([&dir]).load_partial(&small).unwrap();
@@ -469,17 +502,16 @@ fn observer_sees_one_claim_and_one_execution_per_run() {
     let events: Mutex<Vec<RunEvent>> = Mutex::new(Vec::new());
     let observer = |event: RunEvent| events.lock().unwrap().push(event);
 
-    let report = execute_queue_observed(
-        &matrix,
-        &dir,
-        &worker("observed"),
-        2,
-        &observer,
-        &CancelToken::new(),
-    )
-    .expect("observed drain");
+    let report = *Execution::new(&matrix)
+        .queue(worker("observed"))
+        .dir(&dir)
+        .threads(2)
+        .observer(&observer)
+        .run()
+        .expect("observed drain")
+        .report();
     assert!(report.complete);
-    assert_eq!(report.executed, matrix.len());
+    assert_eq!(report.sources.executed, matrix.len());
 
     let events = events.into_inner().unwrap();
     let count = |f: fn(&RunEvent) -> bool| events.iter().filter(|e| f(e)).count();
@@ -506,17 +538,17 @@ fn observer_sees_one_claim_and_one_execution_per_run() {
     // A second drain over the full directory is all cache hits.
     let hits: Mutex<Vec<RunEvent>> = Mutex::new(Vec::new());
     let observer = |event: RunEvent| hits.lock().unwrap().push(event);
-    let report = execute_queue_observed(
-        &matrix,
-        &dir,
-        &worker("observed-2"),
-        1,
-        &observer,
-        &CancelToken::new(),
-    )
-    .unwrap();
+    let report = *Execution::new(&matrix)
+        .queue(worker("observed-2"))
+        .dir(&dir)
+        .serial()
+        .observer(&observer)
+        .run()
+        .unwrap()
+        .report();
     assert!(report.complete);
-    assert_eq!(report.executed, 0);
+    assert_eq!(report.sources.executed, 0);
+    assert_eq!(report.sources.reused, matrix.len(), "all cache hits");
     let hits = hits.into_inner().unwrap();
     assert!(hits
         .iter()
@@ -543,10 +575,20 @@ fn cancelled_drain_stops_cleanly_without_orphaned_claims() {
         }
     };
 
-    let report = execute_queue_observed(&matrix, &dir, &worker("cancelled"), 1, &observer, &cancel)
-        .expect("cancelled drain still returns its tally");
+    let report = *Execution::new(&matrix)
+        .queue(worker("cancelled"))
+        .dir(&dir)
+        .serial()
+        .observer(&observer)
+        .cancel(&cancel)
+        .run()
+        .expect("cancelled drain still returns its tally")
+        .report();
     assert!(!report.complete, "a cancelled drain is not complete");
-    assert_eq!(report.executed, 1, "in-flight run finished, no new claims");
+    assert_eq!(
+        report.sources.executed, 1,
+        "in-flight run finished, no new claims"
+    );
 
     // The one finished run persisted; nothing else was touched, and no
     // lock survived the cancellation.
@@ -559,9 +601,9 @@ fn cancelled_drain_stops_cleanly_without_orphaned_claims() {
     assert_eq!(outcomes, 1);
 
     // A fresh (uncancelled) worker finishes the remainder.
-    let report = execute_queue_with_threads(&matrix, &dir, &worker("resume-after"), 1).unwrap();
+    let report = drain(&matrix, &dir, worker("resume-after"), 1);
     assert!(report.complete);
-    assert_eq!(report.executed, matrix.len() - 1);
+    assert_eq!(report.sources.executed, matrix.len() - 1);
     RunStore::new([&dir]).load(&matrix).expect("complete sweep");
     fs::remove_dir_all(&dir).unwrap();
 }

@@ -2,7 +2,7 @@
 //! bit-identical to serial execution, and shared runs must be memoized.
 
 use shift_sim::experiments::speedup_comparison::speedup_comparison_with;
-use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix, SimOptions, Simulation};
+use shift_sim::{CmpConfig, Execution, PrefetcherConfig, RunMatrix, SimOptions, Simulation};
 use shift_trace::{presets, ConsolidationSpec, Scale};
 
 /// Builds the matrix a figure-8-style sweep would: two workloads, a
@@ -37,8 +37,16 @@ fn parallel_execution_is_bit_identical_to_serial() {
     let matrix = figure_sized_matrix();
     assert_eq!(matrix.len(), 9);
 
-    let serial = matrix.execute_serial();
-    let parallel = matrix.execute_with_threads(4);
+    let serial = Execution::new(&matrix)
+        .serial()
+        .run()
+        .unwrap()
+        .into_outcomes();
+    let parallel = Execution::new(&matrix)
+        .threads(4)
+        .run()
+        .unwrap()
+        .into_outcomes();
     let default = matrix.execute();
 
     assert_eq!(serial.len(), parallel.len());
@@ -108,8 +116,16 @@ fn batched_stepping_matches_matrix_outcomes_across_thread_counts() {
         21,
     );
 
-    let serial = matrix.execute_with_threads(1);
-    let parallel = matrix.execute_with_threads(4);
+    let serial = Execution::new(&matrix)
+        .serial()
+        .run()
+        .unwrap()
+        .into_outcomes();
+    let parallel = Execution::new(&matrix)
+        .threads(4)
+        .run()
+        .unwrap()
+        .into_outcomes();
 
     let config = CmpConfig::micro13(4, PrefetcherConfig::shift_virtualized());
     let sim = Simulation::standalone(config, workload, SimOptions::new(Scale::Test, 21));

@@ -11,8 +11,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use proptest::prelude::*;
-use shift_sim::shard::execute_shard_with_threads;
-use shift_sim::{PrefetcherConfig, RunMatrix, RunStore, ShardSpec, StoreError};
+use shift_sim::{Execution, PrefetcherConfig, RunMatrix, RunStore, ShardSpec, StoreError};
 use shift_trace::{presets, Scale};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -64,20 +63,20 @@ proptest! {
         total in 1usize..=5,
     ) {
         let (matrix, handles) = build_matrix(&entries);
-        let serial = matrix.execute_serial();
+        let serial = Execution::new(&matrix).serial().run().unwrap().into_outcomes();
 
         let dirs: Vec<PathBuf> = (1..=total)
             .map(|k| temp_dir(&format!("prop-{k}-of-{total}")))
             .collect();
         let mut sliced = 0usize;
         for (k, dir) in dirs.iter().enumerate() {
-            let report = execute_shard_with_threads(
-                &matrix,
-                ShardSpec::new(k + 1, total),
-                dir,
-                2,
-            ).expect("shard executes");
-            sliced += report.planned;
+            let output = Execution::new(&matrix)
+                .shard(ShardSpec::new(k + 1, total))
+                .dir(dir)
+                .threads(2)
+                .run()
+                .expect("shard executes");
+            sliced += output.report().planned;
         }
         prop_assert_eq!(sliced, matrix.len(), "shards must partition the matrix");
 
@@ -103,7 +102,12 @@ fn missing_shard_is_detected() {
     let (matrix, _) = build_matrix(&[(0, 0, 0), (0, 1, 0), (1, 2, 1), (1, 3, 2)]);
     let dir = temp_dir("missing");
     // Execute only shard 1 of 3.
-    execute_shard_with_threads(&matrix, ShardSpec::new(1, 3), &dir, 1).unwrap();
+    Execution::new(&matrix)
+        .shard(ShardSpec::new(1, 3))
+        .dir(&dir)
+        .serial()
+        .run()
+        .unwrap();
     let err = RunStore::new([&dir]).load(&matrix).unwrap_err();
     match err {
         StoreError::MissingRuns { missing, planned } => {
@@ -129,7 +133,12 @@ fn missing_shard_is_detected() {
 fn duplicate_outcomes_are_rejected() {
     let (matrix, _) = build_matrix(&[(0, 0, 0), (1, 1, 1)]);
     let dir = temp_dir("duplicate");
-    execute_shard_with_threads(&matrix, ShardSpec::full(), &dir, 1).unwrap();
+    Execution::new(&matrix)
+        .shard(ShardSpec::full())
+        .dir(&dir)
+        .serial()
+        .run()
+        .unwrap();
     // The same directory listed twice presents every run twice.
     let err = RunStore::new([dir.clone(), dir.clone()])
         .load(&matrix)
@@ -149,7 +158,12 @@ fn foreign_matrix_outcomes_are_rejected() {
     let mut four_core = RunMatrix::new();
     four_core.standalone(&w, PrefetcherConfig::None, 4, Scale::Test, 1);
     let dir = temp_dir("foreign");
-    execute_shard_with_threads(&four_core, ShardSpec::full(), &dir, 1).unwrap();
+    Execution::new(&four_core)
+        .shard(ShardSpec::full())
+        .dir(&dir)
+        .serial()
+        .run()
+        .unwrap();
 
     let mut two_core = RunMatrix::new();
     two_core.standalone(&w, PrefetcherConfig::None, 2, Scale::Test, 1);

@@ -12,7 +12,7 @@
 //! ```
 
 use shift::report::write_json;
-use shift::sim::{PrefetcherConfig, RunMatrix};
+use shift::sim::{Execution, PrefetcherConfig, RunMatrix};
 use shift::trace::{presets, Scale};
 
 fn main() {
@@ -39,7 +39,10 @@ fn main() {
     .collect();
 
     // One parallel sweep executes all three simulations.
-    let outcomes = matrix.execute();
+    let outcomes = Execution::new(&matrix)
+        .run()
+        .expect("in-memory sweep")
+        .into_outcomes();
 
     let base = &outcomes[baseline];
     println!(
