@@ -11,6 +11,12 @@
 //! * per-class traffic accounting in flit-hops, used by the power model of
 //!   §5.7 to estimate the energy cost of SHIFT's extra history traffic.
 //!
+//! For per-access hot paths, [`RoundTripTable`] tabulates the latency and
+//! flit-hop cost of a fixed request/response pair for every tile pair at
+//! construction; [`Mesh::record_round_trip`] then performs a whole accounted
+//! round trip as a table load plus two adds, bit-identical to the computed
+//! [`Mesh::record_transfer`] pair (locked by this crate's property tests).
+//!
 //! # Examples
 //!
 //! ```
@@ -28,4 +34,4 @@
 
 pub mod mesh;
 
-pub use mesh::{Mesh, MeshConfig, NocTrafficStats};
+pub use mesh::{Mesh, MeshConfig, NocTrafficStats, RoundTripTable};

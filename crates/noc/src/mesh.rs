@@ -83,6 +83,101 @@ impl NocTrafficStats {
         self.flits[i] += flits;
         self.flit_hops[i] += flits * hops;
     }
+
+    /// Records pre-multiplied traffic: `flits` injected flits that already
+    /// traversed `flit_hops` flit-hops in total. Used by the tabulated
+    /// round-trip path, where the flits × hops product is precomputed.
+    #[inline]
+    fn record_bulk(&mut self, class: AccessClass, flits: u64, flit_hops: u64) {
+        let i = Self::slot(class);
+        self.flits[i] += flits;
+        self.flit_hops[i] += flit_hops;
+    }
+}
+
+/// Precomputed round-trip costs for a fixed (request, response) message pair
+/// over a mesh: per-(source, destination) latency and flit-hops, tabulated at
+/// construction so the per-access path is a table load plus two adds instead
+/// of coordinate arithmetic, `div_ceil`, and multiplies.
+///
+/// The table is exactly equivalent to two [`Mesh::record_transfer`] calls —
+/// `request_bytes` from `from` to `to` followed by `response_bytes` back —
+/// which the `noc` property tests lock for every tile pair.
+///
+/// # Examples
+///
+/// ```
+/// use shift_noc::{Mesh, MeshConfig, RoundTripTable};
+/// use shift_types::AccessClass;
+///
+/// let mut mesh = Mesh::new(MeshConfig::micro13());
+/// // An LLC access: 8-byte request out, 64-byte block back.
+/// let table = RoundTripTable::new(mesh.config(), 8, 64);
+/// let latency = mesh.record_round_trip(&table, 0, 15, AccessClass::Demand);
+/// assert_eq!(latency, mesh.round_trip_latency(0, 15));
+/// // 1 request flit + 4 response flits, each over 6 hops.
+/// assert_eq!(mesh.traffic().flits(AccessClass::Demand), 5);
+/// assert_eq!(mesh.traffic().flit_hops(AccessClass::Demand), 30);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoundTripTable {
+    /// `latency[from * tiles + to]`: request + response latency in cycles.
+    latency: Vec<u64>,
+    /// `flit_hops[from * tiles + to]`: total flit-hops of both transfers.
+    flit_hops: Vec<u64>,
+    /// Flits injected per round trip (request + response); independent of
+    /// the tile pair.
+    flits: u64,
+    tiles: usize,
+}
+
+impl RoundTripTable {
+    /// Tabulates round trips of `request_bytes` out / `response_bytes` back
+    /// for every ordered tile pair of a mesh with geometry `config`.
+    pub fn new(config: &MeshConfig, request_bytes: u64, response_bytes: u64) -> Self {
+        let mesh = Mesh::new(*config);
+        let tiles = config.tiles();
+        let request_flits = request_bytes.div_ceil(config.flit_bytes as u64).max(1);
+        let response_flits = response_bytes.div_ceil(config.flit_bytes as u64).max(1);
+        let flits = request_flits + response_flits;
+        let mut latency = Vec::with_capacity(tiles * tiles);
+        let mut flit_hops = Vec::with_capacity(tiles * tiles);
+        for from in 0..tiles {
+            for to in 0..tiles {
+                let hops = mesh.hops(from, to);
+                latency.push(2 * hops * config.hop_latency);
+                flit_hops.push(flits * hops);
+            }
+        }
+        RoundTripTable {
+            latency,
+            flit_hops,
+            flits,
+            tiles,
+        }
+    }
+
+    /// Number of tiles the table covers (one row/column per tile).
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Flits injected per round trip (request flits + response flits).
+    pub fn flits_per_round_trip(&self) -> u64 {
+        self.flits
+    }
+
+    /// Tabulated round-trip latency between two tiles in cycles.
+    #[inline]
+    pub fn latency(&self, from: usize, to: usize) -> u64 {
+        self.latency[from * self.tiles + to]
+    }
+
+    /// Tabulated total flit-hops of one round trip between two tiles.
+    #[inline]
+    pub fn flit_hops(&self, from: usize, to: usize) -> u64 {
+        self.flit_hops[from * self.tiles + to]
+    }
 }
 
 /// The mesh interconnect.
@@ -176,6 +271,29 @@ impl Mesh {
         self.traffic.record(class, flits, hops);
         hops * self.config.hop_latency
     }
+
+    /// Records one tabulated round trip (request from `from` to `to`, then
+    /// the response back) for traffic accounting, returning the round-trip
+    /// latency. Equivalent to the two [`Mesh::record_transfer`] calls the
+    /// `table` was built from, at the cost of a table load and two adds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `table` was built for a different tile
+    /// count than this mesh, and on out-of-range tiles via the table lookup.
+    #[inline]
+    pub fn record_round_trip(
+        &mut self,
+        table: &RoundTripTable,
+        from: usize,
+        to: usize,
+        class: AccessClass,
+    ) -> u64 {
+        debug_assert_eq!(table.tiles(), self.config.tiles(), "table/mesh mismatch");
+        self.traffic
+            .record_bulk(class, table.flits, table.flit_hops(from, to));
+        table.latency(from, to)
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +348,25 @@ mod tests {
         assert_eq!(mesh.traffic().total_flit_hops(), 25);
         mesh.reset_stats();
         assert_eq!(mesh.traffic().total_flit_hops(), 0);
+    }
+
+    #[test]
+    fn tabulated_round_trip_matches_two_transfers() {
+        let config = MeshConfig::micro13();
+        let table = RoundTripTable::new(&config, 8, 64);
+        let mut tabulated = Mesh::new(config);
+        let mut computed = Mesh::new(config);
+        for from in 0..config.tiles() {
+            for to in 0..config.tiles() {
+                let fast = tabulated.record_round_trip(&table, from, to, AccessClass::Demand);
+                let req = computed.record_transfer(from, to, 8, AccessClass::Demand);
+                let resp = computed.record_transfer(to, from, 64, AccessClass::Demand);
+                assert_eq!(fast, req + resp, "latency mismatch {from}->{to}");
+            }
+        }
+        assert_eq!(tabulated.traffic(), computed.traffic());
+        assert_eq!(table.flits_per_round_trip(), 5);
+        assert_eq!(table.tiles(), 16);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Property tests pinning the tabulated round-trip path to the computed one.
+//!
+//! [`RoundTripTable`] is a pure precomputation of what two
+//! [`Mesh::record_transfer`] calls (request out, response back) would do; the
+//! simulation engine's per-LLC-access accounting rides on that equivalence
+//! being exact — latency, injected flits, and flit-hops all at once, for
+//! every tile pair, every access class, and arbitrary message sizes.
+
+use proptest::prelude::*;
+use shift_noc::{Mesh, MeshConfig, RoundTripTable};
+use shift_types::AccessClass;
+
+proptest! {
+    /// For any mesh geometry and message-size pair, the table reproduces the
+    /// computed hops/latency/flit accounting for every ordered tile pair and
+    /// every access class.
+    #[test]
+    fn table_matches_computed_transfers(
+        cols in 1usize..6,
+        rows in 1usize..6,
+        hop_latency in 1u64..8,
+        flit_shift in 3u32..6, // flit widths 8/16/32 bytes
+
+        request_bytes in 1u64..130,
+        response_bytes in 1u64..130,
+    ) {
+        let flit_bytes = 1usize << flit_shift;
+        let config = MeshConfig { cols, rows, hop_latency, flit_bytes };
+        let table = RoundTripTable::new(&config, request_bytes, response_bytes);
+        prop_assert_eq!(table.tiles(), config.tiles());
+
+        let mut tabulated = Mesh::new(config);
+        let mut computed = Mesh::new(config);
+        for (slot, &class) in AccessClass::ALL.iter().enumerate() {
+            // Rotate the starting pair per class so classes exercise
+            // different table rows while both meshes stay in lockstep.
+            for from in 0..config.tiles() {
+                for to in 0..config.tiles() {
+                    let from = (from + slot) % config.tiles();
+                    let fast = tabulated.record_round_trip(&table, from, to, class);
+                    let req = computed.record_transfer(from, to, request_bytes, class);
+                    let resp = computed.record_transfer(to, from, response_bytes, class);
+                    prop_assert_eq!(
+                        fast,
+                        req + resp,
+                        "latency mismatch {}->{} class {:?}",
+                        from,
+                        to,
+                        class
+                    );
+                    prop_assert_eq!(fast, tabulated.round_trip_latency(from, to));
+                    prop_assert_eq!(
+                        table.flit_hops(from, to),
+                        table.flits_per_round_trip() * tabulated.hops(from, to)
+                    );
+                }
+            }
+            prop_assert_eq!(
+                tabulated.traffic().flits(class),
+                computed.traffic().flits(class)
+            );
+            prop_assert_eq!(
+                tabulated.traffic().flit_hops(class),
+                computed.traffic().flit_hops(class)
+            );
+        }
+        prop_assert_eq!(tabulated.traffic(), computed.traffic());
+    }
+}

@@ -6,8 +6,9 @@
 //! simulated fetches per second with virtualized SHIFT, the number every
 //! optimization PR moves. The gate additionally checks the hot-path
 //! component medians listed in [`GATED_COMPONENTS`] (PIF lookup, index-table
-//! lookup, LLC bank tag scan) so a regression localized to one data
-//! structure cannot hide inside end-to-end noise. The headline tolerance
+//! lookup, LLC bank tag scan, tabulated NoC round trip, NextLine engine
+//! stepping) so a regression localized to one data structure cannot hide
+//! inside end-to-end noise. The headline tolerance
 //! default (20%) is deliberately loose: shared CI runners are noisy, and the
 //! gate's job is to catch real regressions (2× slowdowns from an accidental
 //! allocation in the hot loop), not to flake on scheduler jitter; component
@@ -36,6 +37,8 @@ pub const GATED_COMPONENTS: &[(&str, &str)] = &[
     ("lookup", "pif_on_access_miss"),
     ("index", "lookup_hit"),
     ("scan", "bank_tag_scan"),
+    ("noc", "round_trip"),
+    ("engine", "step_NextLine"),
 ];
 
 /// The verdict of one gate evaluation.
@@ -121,17 +124,22 @@ pub fn evaluate(
 }
 
 /// The verdict for one gated component median.
+///
+/// Components are compared on `per_sec` rather than `ns_per_op`: for the
+/// micro groups the two are reciprocal, but the `engine` rows time a whole
+/// `step_rounds` batch whose size differs between the quick and full
+/// suites — only the normalized fetches/sec is comparable across them.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ComponentReport {
     /// Component id, `group/name`.
     pub id: String,
-    /// Snapshot (committed) median ns/op.
-    pub snapshot_ns: f64,
-    /// Freshly measured median ns/op.
-    pub fresh_ns: f64,
+    /// Snapshot (committed) median ops/sec.
+    pub snapshot_per_sec: f64,
+    /// Freshly measured median ops/sec.
+    pub fresh_per_sec: f64,
     /// Allowed fractional throughput drop.
     pub tolerance: f64,
-    /// `snapshot_ns / fresh_ns` — the throughput ratio, same orientation as
+    /// `fresh_per_sec / snapshot_per_sec` — same orientation as
     /// [`GateReport::ratio`] (1.0 = unchanged, below 1.0 = slower).
     pub ratio: f64,
     /// `true` if the fresh median is within tolerance.
@@ -142,10 +150,10 @@ impl fmt::Display for ComponentReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: fresh {:.1} ns vs snapshot {:.1} ns ({:+.1}%), tolerance -{:.0}% => {}",
+            "{}: fresh {:.0} /s vs snapshot {:.0} /s ({:+.1}%), tolerance -{:.0}% => {}",
             self.id,
-            self.fresh_ns,
-            self.snapshot_ns,
+            self.fresh_per_sec,
+            self.snapshot_per_sec,
             (self.ratio - 1.0) * 100.0,
             self.tolerance * 100.0,
             if self.pass { "PASS" } else { "FAIL" }
@@ -153,7 +161,7 @@ impl fmt::Display for ComponentReport {
     }
 }
 
-/// Extracts the `ns_per_op` median of component `group`/`name` from a
+/// Extracts the `per_sec` median of component `group`/`name` from a
 /// `BENCH.json` artifact document.
 ///
 /// # Errors
@@ -161,7 +169,7 @@ impl fmt::Display for ComponentReport {
 /// Returns a message naming the component when the document has no `data`
 /// tree, no `components` array, or no entry with that group and name (or a
 /// non-positive median).
-pub fn component_ns_per_op(bench_json: &str, group: &str, name: &str) -> Result<f64, String> {
+pub fn component_per_sec(bench_json: &str, group: &str, name: &str) -> Result<f64, String> {
     let doc = json::parse(bench_json).map_err(|e| format!("BENCH.json does not parse: {e}"))?;
     let Some(Value::Seq(components)) = doc
         .get("data")
@@ -177,15 +185,15 @@ pub fn component_ns_per_op(bench_json: &str, group: &str, name: &str) -> Result<
                 && c.get("name").and_then(Value::as_str) == Some(name)
         })
         .ok_or_else(|| format!("BENCH.json has no component `{group}/{name}`"))?;
-    let ns = entry
-        .get("ns_per_op")
+    let per_sec = entry
+        .get("per_sec")
         .and_then(Value::as_f64)
-        .ok_or_else(|| format!("component `{group}/{name}` has no numeric `ns_per_op`"))?;
-    if ns > 0.0 {
-        Ok(ns)
+        .ok_or_else(|| format!("component `{group}/{name}` has no numeric `per_sec`"))?;
+    if per_sec > 0.0 {
+        Ok(per_sec)
     } else {
         Err(format!(
-            "component `{group}/{name}` median is non-positive ({ns})"
+            "component `{group}/{name}` median is non-positive ({per_sec})"
         ))
     }
 }
@@ -211,15 +219,15 @@ pub fn evaluate_components(
     GATED_COMPONENTS
         .iter()
         .map(|&(group, name)| {
-            let snapshot_ns = component_ns_per_op(snapshot_json, group, name)
+            let snapshot_per_sec = component_per_sec(snapshot_json, group, name)
                 .map_err(|e| format!("snapshot: {e}"))?;
-            let fresh_ns =
-                component_ns_per_op(fresh_json, group, name).map_err(|e| format!("fresh: {e}"))?;
-            let ratio = snapshot_ns / fresh_ns;
+            let fresh_per_sec =
+                component_per_sec(fresh_json, group, name).map_err(|e| format!("fresh: {e}"))?;
+            let ratio = fresh_per_sec / snapshot_per_sec;
             Ok(ComponentReport {
                 id: format!("{group}/{name}"),
-                snapshot_ns,
-                fresh_ns,
+                snapshot_per_sec,
+                fresh_per_sec,
                 tolerance,
                 ratio,
                 pass: ratio >= 1.0 - tolerance,
@@ -271,16 +279,16 @@ mod tests {
     use super::*;
 
     fn bench_doc(fetches_per_sec: f64) -> String {
-        bench_doc_with_components(fetches_per_sec, 50.0)
+        bench_doc_with_components(fetches_per_sec, 20_000_000.0)
     }
 
-    fn bench_doc_with_components(fetches_per_sec: f64, component_ns: f64) -> String {
+    fn bench_doc_with_components(fetches_per_sec: f64, component_per_sec: f64) -> String {
         let components: Vec<String> = GATED_COMPONENTS
             .iter()
             .map(|(group, name)| {
                 format!(
                     "{{\"group\": \"{group}\", \"name\": \"{name}\", \
-                     \"ns_per_op\": {component_ns}, \"per_sec\": 1.0}}"
+                     \"ns_per_op\": 1.0, \"per_sec\": {component_per_sec}}}"
                 )
             })
             .collect();
@@ -335,8 +343,8 @@ mod tests {
 
     #[test]
     fn component_within_tolerance_passes() {
-        let snapshot = bench_doc_with_components(1e6, 50.0);
-        let fresh = bench_doc_with_components(1e6, 70.0); // 1.4× slower
+        let snapshot = bench_doc_with_components(1e6, 20e6);
+        let fresh = bench_doc_with_components(1e6, 14e6); // 1.4× slower
         let reports = evaluate_components(&snapshot, &fresh, 0.50).unwrap();
         assert_eq!(reports.len(), GATED_COMPONENTS.len());
         assert!(reports.iter().all(|r| r.pass), "{reports:?}");
@@ -345,8 +353,8 @@ mod tests {
 
     #[test]
     fn component_regression_beyond_tolerance_fails() {
-        let snapshot = bench_doc_with_components(1e6, 50.0);
-        let fresh = bench_doc_with_components(1e6, 200.0); // 4× slower
+        let snapshot = bench_doc_with_components(1e6, 20e6);
+        let fresh = bench_doc_with_components(1e6, 5e6); // 4× slower
         let reports = evaluate_components(&snapshot, &fresh, 0.50).unwrap();
         assert!(reports.iter().all(|r| !r.pass), "{reports:?}");
         assert!(reports[0].to_string().contains("FAIL"));
@@ -368,13 +376,16 @@ mod tests {
     fn committed_snapshot_parses() {
         // The gate must always be able to read the snapshot this repository
         // ships; if the BENCH schema changes, this test fails before CI does.
-        let snapshot = include_str!("../../../docs/bench/BENCH_PR6.json");
+        let snapshot = include_str!("../../../docs/bench/BENCH_PR9.json");
         let fetches = shift_fetches_per_sec(snapshot).expect("snapshot readable");
         assert!(fetches > 100_000.0, "implausible snapshot: {fetches}");
         for &(group, name) in GATED_COMPONENTS {
-            let ns =
-                component_ns_per_op(snapshot, group, name).expect("gated component in snapshot");
-            assert!(ns > 0.0, "implausible {group}/{name} median: {ns}");
+            let per_sec =
+                component_per_sec(snapshot, group, name).expect("gated component in snapshot");
+            assert!(
+                per_sec > 0.0,
+                "implausible {group}/{name} median: {per_sec}"
+            );
         }
     }
 }

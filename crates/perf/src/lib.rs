@@ -7,7 +7,8 @@
 //! * **Microbenchmarks** (via the upgraded `compat/criterion` shim: warm-up
 //!   passes, batched timed iterations, median ns/iter) for the components on
 //!   the per-fetch hot path — trace generation, history-buffer append/read,
-//!   index-table lookup, LLC bank tag scan, SHIFT and PIF lookup.
+//!   index-table lookup, LLC bank tag scan, tabulated NoC round trip, SHIFT
+//!   and PIF lookup.
 //! * **End-to-end engine stepping** on the quickstart workload (the same
 //!   web-frontend configuration `examples/quickstart.rs` runs), measured in
 //!   simulated fetches per second through [`shift_sim::Engine::step_rounds`],
@@ -34,6 +35,7 @@ use shift_core::{
     HistoryBuffer, IndexTable, InstructionPrefetcher, Pif, PifConfig, Shift, ShiftConfig,
     SpatialRegion,
 };
+use shift_noc::{Mesh, MeshConfig, RoundTripTable};
 use shift_report::{Artifact, Table};
 use shift_sim::matrix::default_threads;
 use shift_sim::{CmpConfig, PrefetcherConfig, RunMatrix, SimOptions};
@@ -292,6 +294,34 @@ fn bench_prefetcher_lookup(c: &mut Criterion, mode: SuiteMode) {
     group.finish();
 }
 
+fn bench_noc(c: &mut Criterion, mode: SuiteMode) {
+    let mut group = c.benchmark_group("noc");
+    group
+        .sample_size(if mode.is_quick() { 5 } else { 10 })
+        .warm_up_iterations(1_000)
+        .measurement_iterations(if mode.is_quick() { 20_000 } else { 100_000 })
+        .throughput(Throughput::Elements(1));
+
+    // The engine's LLC access pattern: an 8 B request out, a 64 B block
+    // back, on the paper's 4×4 mesh — one tabulated round trip per
+    // iteration, cycling through every (core tile, bank tile) pair so the
+    // table row is not pinned in L1.
+    let config = MeshConfig::micro13();
+    let table = RoundTripTable::new(&config, 8, 64);
+    let tiles = config.tiles();
+    let mut mesh = Mesh::new(config);
+    let mut i = 0usize;
+    group.bench_function("round_trip", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let from = i % tiles;
+            let to = (i / tiles) % tiles;
+            mesh.record_round_trip(&table, from, to, AccessClass::Demand)
+        })
+    });
+    group.finish();
+}
+
 /// Rounds each timed engine sample steps (per core).
 fn engine_rounds(mode: SuiteMode) -> usize {
     if mode.is_quick() {
@@ -313,6 +343,7 @@ fn bench_engine(c: &mut Criterion, mode: SuiteMode) {
 
     for prefetcher in [
         PrefetcherConfig::None,
+        PrefetcherConfig::next_line(),
         PrefetcherConfig::shift_virtualized(),
     ] {
         let label = prefetcher.label();
@@ -358,6 +389,7 @@ pub fn run_suite(mode: SuiteMode) -> BenchDoc {
     bench_index_table(&mut criterion, mode);
     bench_bank_scan(&mut criterion, mode);
     bench_prefetcher_lookup(&mut criterion, mode);
+    bench_noc(&mut criterion, mode);
     bench_engine(&mut criterion, mode);
     bench_matrix(&mut criterion, mode);
 

@@ -3,8 +3,9 @@
 //! The batch pipeline (`reproduce`) plans a whole-paper [`RunMatrix`] and
 //! drains it once; this crate keeps that machinery resident. A daemon
 //! accepts plan submissions over localhost HTTP (and, on unix, a unix
-//! socket), schedules them onto the same queue-worker pool
-//! ([`shift_sim::shard::execute_queue_observed`]), streams per-run progress
+//! socket), schedules them onto the same queue-worker pool (the
+//! [`shift_sim::Execution`] builder's observed queue mode), streams per-run
+//! progress
 //! as NDJSON, and serves finished figure/table bundles and scoreboards
 //! straight from the durable outcome store — a repeat query for an
 //! already-simulated configuration returns instantly without spawning a

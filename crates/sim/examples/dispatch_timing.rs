@@ -1,0 +1,50 @@
+//! One-off A/B timing of enum-dispatched vs dyn-dispatched stepping.
+//! Interleaves the two loops over identical warmed engines so scheduler
+//! noise hits both sides equally.
+
+use std::time::Instant;
+
+use shift_sim::{CmpConfig, PrefetcherConfig, SimOptions, Simulation};
+use shift_trace::{presets, Scale};
+
+fn main() {
+    for prefetcher in [
+        PrefetcherConfig::None,
+        PrefetcherConfig::next_line(),
+        PrefetcherConfig::shift_virtualized(),
+    ] {
+        let label = prefetcher.label();
+        let config = CmpConfig::micro13(8, prefetcher);
+        let options = SimOptions::new(Scale::Demo, 1);
+        let workload = presets::web_frontend().scaled_footprint(0.25);
+        let sim = Simulation::standalone(config, workload, options);
+
+        let mut enum_engine = sim.engine();
+        let mut dyn_engine = sim.engine();
+        enum_engine.step_rounds(20_000);
+        dyn_engine.step_rounds(20_000);
+
+        let rounds = 5_000usize;
+        let reps = 40usize;
+        let mut enum_ns: Vec<u128> = Vec::with_capacity(reps);
+        let mut dyn_ns: Vec<u128> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            enum_engine.step_rounds(rounds);
+            enum_ns.push(t.elapsed().as_nanos());
+            let t = Instant::now();
+            dyn_engine.step_rounds_dyn(rounds);
+            dyn_ns.push(t.elapsed().as_nanos());
+        }
+        enum_ns.sort_unstable();
+        dyn_ns.sort_unstable();
+        let e = enum_ns[reps / 2] as f64;
+        let d = dyn_ns[reps / 2] as f64;
+        println!(
+            "{label}: enum {:.1} ms, dyn {:.1} ms per {rounds} rounds, dyn/enum {:.3}",
+            e / 1e6,
+            d / 1e6,
+            d / e
+        );
+    }
+}

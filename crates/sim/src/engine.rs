@@ -27,7 +27,7 @@ use shift_core::{
     ShiftConfig,
 };
 use shift_cpu::{CoreTiming, TimingAccumulator};
-use shift_noc::Mesh;
+use shift_noc::{Mesh, RoundTripTable};
 use shift_trace::workload::WorkloadProgram;
 use shift_trace::{ConsolidationSpec, CoreTraceGenerator, TraceEvent};
 use shift_types::{AccessClass, BlockAddr, CoreId};
@@ -53,8 +53,15 @@ pub(crate) struct L1iMeta {
 pub(crate) struct MemorySystem {
     llc: NucaLlc,
     mesh: Mesh,
-    /// Mesh tile count, hoisted off the per-access path.
-    tiles: usize,
+    /// Tabulated 8-byte-request / 64-byte-response round trips: per tile
+    /// pair, latency and flit-hops as one table load instead of coordinate
+    /// arithmetic and `div_ceil` per access.
+    llc_round_trips: RoundTripTable,
+    /// Core index → home tile, precomputed so the per-access path performs
+    /// no modulo.
+    core_tile: Vec<usize>,
+    /// LLC bank → home tile, same precomputation on the response side.
+    bank_tile: Vec<usize>,
     /// Worst-case demand-miss cost for the CMP's L1-I, precomputed because it
     /// caps every late-prefetch charge (one per covered miss).
     miss_penalty_cap: f64,
@@ -65,6 +72,10 @@ impl MemorySystem {
         let llc = NucaLlc::new(config.llc);
         let mesh = Mesh::new(config.mesh);
         let tiles = mesh.config().tiles();
+        // An LLC access is an 8-byte request out and a 64-byte block back.
+        let llc_round_trips = RoundTripTable::new(mesh.config(), 8, 64);
+        let core_tile = (0..config.cores as usize).map(|c| c % tiles).collect();
+        let bank_tile = (0..llc.config().banks).map(|b| b % tiles).collect();
         // Worst-case cost of a demand miss: a late prefetch can never cost
         // more than re-fetching the block on demand would.
         let miss_penalty_cap = (config.l1i.hit_latency
@@ -74,7 +85,9 @@ impl MemorySystem {
         MemorySystem {
             llc,
             mesh,
-            tiles,
+            llc_round_trips,
+            core_tile,
+            bank_tile,
             miss_penalty_cap,
         }
     }
@@ -87,21 +100,17 @@ impl MemorySystem {
         &self.mesh
     }
 
-    #[inline]
-    fn tile_of_core(&self, core: CoreId) -> usize {
-        core.index() % self.tiles
-    }
-
     /// Performs an LLC access on behalf of `core`, including the mesh round
     /// trip, and returns the total raw latency (request + bank + response).
     #[inline]
     pub(crate) fn round_trip(&mut self, core: CoreId, block: BlockAddr, class: AccessClass) -> u64 {
         let outcome = self.llc.access(block, class);
-        let core_tile = self.tile_of_core(core);
-        let bank_tile = outcome.bank % self.tiles;
-        let req = self.mesh.record_transfer(core_tile, bank_tile, 8, class);
-        let resp = self.mesh.record_transfer(bank_tile, core_tile, 64, class);
-        outcome.latency + req + resp
+        let core_tile = self.core_tile[core.index()];
+        let bank_tile = self.bank_tile[outcome.bank];
+        outcome.latency
+            + self
+                .mesh
+                .record_round_trip(&self.llc_round_trips, core_tile, bank_tile, class)
     }
 
     #[inline]
@@ -117,13 +126,14 @@ impl MemorySystem {
 
 /// Read-mostly state shared by every core step: the analytical timing model,
 /// the run options, the miss-elimination lottery RNG, and the reusable
-/// prefetch-candidate scratch buffer (so the per-fetch prefetcher hooks never
-/// allocate in steady state).
+/// scratch buffers — prefetch candidates and the per-fetch trace-event batch
+/// — so the per-fetch path never allocates in steady state.
 pub(crate) struct StepEnv {
     pub(crate) timing: CoreTiming,
     pub(crate) options: SimOptions,
     pub(crate) rng: SmallRng,
     pub(crate) candidates: Vec<PrefetchCandidate>,
+    pub(crate) events: Vec<TraceEvent>,
 }
 
 /// All per-core simulation state, held as parallel vectors indexed by core
@@ -219,22 +229,29 @@ pub(crate) struct CoreView<'a> {
 impl CoreView<'_> {
     /// Advances this core by exactly one instruction-block fetch (plus any
     /// data references that precede it in the trace).
+    ///
+    /// Generic over the prefetcher type so each [`PrefetcherBank`] variant
+    /// monomorphizes its own copy with the hooks statically dispatched (and,
+    /// for the no-op baseline, inlined away entirely); `?Sized` keeps the
+    /// `&mut dyn` reference path compilable for the equivalence tests.
     #[inline]
-    fn step_one_fetch(
+    fn step_one_fetch<P: InstructionPrefetcher + ?Sized>(
         &mut self,
-        pf: &mut dyn InstructionPrefetcher,
+        pf: &mut P,
         memory: &mut MemorySystem,
         env: &mut StepEnv,
     ) {
-        loop {
-            match self.generator.next_event() {
+        // The whole batch up to and including the next fetch in one slice
+        // copy; the buffer is scratch owned by the step environment.
+        let mut events = std::mem::take(&mut env.events);
+        self.generator.next_events_into(&mut events);
+        for &event in &events {
+            match event {
                 TraceEvent::Data(d) => self.handle_data(memory, env, d.block),
-                TraceEvent::Fetch(f) => {
-                    self.handle_fetch(pf, memory, env, f.block, f.instructions);
-                    return;
-                }
+                TraceEvent::Fetch(f) => self.handle_fetch(pf, memory, env, f.block, f.instructions),
             }
         }
+        env.events = events;
     }
 
     #[inline]
@@ -249,9 +266,9 @@ impl CoreView<'_> {
         self.l1d.fill(block, ());
     }
 
-    fn handle_fetch(
+    fn handle_fetch<P: InstructionPrefetcher + ?Sized>(
         &mut self,
-        pf: &mut dyn InstructionPrefetcher,
+        pf: &mut P,
         memory: &mut MemorySystem,
         env: &mut StepEnv,
         block: BlockAddr,
@@ -356,6 +373,61 @@ impl CoreView<'_> {
     }
 }
 
+/// The configured prefetcher(s) of a run, dispatched statically: one variant
+/// per [`PrefetcherConfig`] family, so the stepping loop monomorphizes per
+/// variant and the per-fetch `on_access`/`on_retire`/`covers` hooks are
+/// direct (inlinable) calls instead of virtual ones through
+/// `Box<dyn InstructionPrefetcher>`. The baseline's no-op hooks — half of
+/// every deduplicated matrix's shared keys — compile away entirely.
+pub(crate) enum PrefetcherBank {
+    /// No prefetcher (the baseline).
+    Null(NullPrefetcher),
+    /// One next-line prefetcher shared by every core.
+    NextLine(NextLinePrefetcher),
+    /// One PIF instance holding all per-core private histories.
+    Pif(Pif),
+    /// SHIFT: one shared history per workload (consolidation gives each
+    /// workload its own instance); `pf_of_core[i]` names core `i`'s unit.
+    Shift {
+        /// Per-workload SHIFT instances.
+        units: Vec<Shift>,
+        /// Core index → index into `units`.
+        pf_of_core: Vec<usize>,
+    },
+}
+
+impl PrefetcherBank {
+    /// The prefetcher serving core `core_idx`, as a trait object — the
+    /// reference path reproducing the old per-fetch virtual dispatch, kept
+    /// for the dispatch-equivalence tests.
+    fn slot_dyn(&mut self, core_idx: usize) -> &mut dyn InstructionPrefetcher {
+        match self {
+            PrefetcherBank::Null(pf) => pf,
+            PrefetcherBank::NextLine(pf) => pf,
+            PrefetcherBank::Pif(pf) => pf,
+            PrefetcherBank::Shift { units, pf_of_core } => &mut units[pf_of_core[core_idx]],
+        }
+    }
+}
+
+/// One round-robin pass over all cores, `rounds` times, with the prefetcher
+/// type statically known — the monomorphized inner loop every
+/// [`PrefetcherBank`] variant of [`Engine::step_rounds`] expands to.
+#[inline]
+fn step_rounds_uniform<P: InstructionPrefetcher>(
+    cores: &mut CoreLanes,
+    memory: &mut MemorySystem,
+    env: &mut StepEnv,
+    pf: &mut P,
+    rounds: usize,
+) {
+    for _ in 0..rounds {
+        for idx in 0..cores.len() {
+            cores.core(idx).step_one_fetch(pf, memory, env);
+        }
+    }
+}
+
 /// The assembled simulation engine: all cores, the prefetchers, the shared
 /// memory system, and the per-step environment.
 ///
@@ -371,8 +443,7 @@ impl CoreView<'_> {
 pub struct Engine {
     memory: MemorySystem,
     cores: CoreLanes,
-    prefetchers: Vec<Box<dyn InstructionPrefetcher>>,
-    pf_of_core: Vec<usize>,
+    prefetchers: PrefetcherBank,
     env: StepEnv,
     prefetcher_label: String,
     workloads: Vec<String>,
@@ -414,18 +485,18 @@ impl Engine {
             );
         }
 
-        let (prefetchers, pf_of_core) = build_prefetchers(config, consolidation, &mut memory);
+        let prefetchers = build_prefetchers(config, consolidation, &mut memory);
 
         Engine {
             memory,
             cores,
             prefetchers,
-            pf_of_core,
             env: StepEnv {
                 timing: CoreTiming::new(config.core_kind),
                 options,
                 rng: SmallRng::seed_from_u64(options.seed ^ 0xF1E2_D3C4_B5A6_9788),
                 candidates: Vec::new(),
+                events: Vec::new(),
             },
             prefetcher_label: config.prefetcher.label(),
             workloads: consolidation
@@ -457,11 +528,42 @@ impl Engine {
     /// This is the batched stepping entry point: one dispatch amortizes over
     /// `rounds × cores` fetches, and splitting the same total across several
     /// calls is bit-identical to a single call (locked by the `runner`
-    /// integration tests).
+    /// integration tests). The prefetcher variant is matched once per call,
+    /// not once per fetch: each arm runs a loop monomorphized for its
+    /// concrete prefetcher type, with all hooks statically dispatched.
     pub fn step_rounds(&mut self, rounds: usize) {
+        let Engine {
+            memory,
+            cores,
+            prefetchers,
+            env,
+            ..
+        } = self;
+        match prefetchers {
+            PrefetcherBank::Null(pf) => step_rounds_uniform(cores, memory, env, pf, rounds),
+            PrefetcherBank::NextLine(pf) => step_rounds_uniform(cores, memory, env, pf, rounds),
+            PrefetcherBank::Pif(pf) => step_rounds_uniform(cores, memory, env, pf, rounds),
+            PrefetcherBank::Shift { units, pf_of_core } => {
+                for _ in 0..rounds {
+                    for idx in 0..cores.len() {
+                        let pf = &mut units[pf_of_core[idx]];
+                        cores.core(idx).step_one_fetch(pf, memory, env);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`step_rounds`](Self::step_rounds) through per-fetch virtual dispatch
+    /// (`&mut dyn InstructionPrefetcher`), reproducing the engine's previous
+    /// boxed-dyn stepping loop. Exists solely so the integration tests can
+    /// lock the enum-dispatched loop bit-identical to the dynamic one; not
+    /// part of the supported API.
+    #[doc(hidden)]
+    pub fn step_rounds_dyn(&mut self, rounds: usize) {
         for _ in 0..rounds {
             for idx in 0..self.cores.len() {
-                let pf = self.prefetchers[self.pf_of_core[idx]].as_mut();
+                let pf = self.prefetchers.slot_dyn(idx);
                 self.cores
                     .core(idx)
                     .step_one_fetch(pf, &mut self.memory, &mut self.env);
@@ -558,29 +660,22 @@ fn build_prefetchers(
     config: &CmpConfig,
     consolidation: &ConsolidationSpec,
     memory: &mut MemorySystem,
-) -> (Vec<Box<dyn InstructionPrefetcher>>, Vec<usize>) {
+) -> PrefetcherBank {
     let cores = config.cores;
     let n_workloads = consolidation.workloads().len();
     match &config.prefetcher {
-        PrefetcherConfig::None => (
-            vec![Box::new(NullPrefetcher::new()) as Box<dyn InstructionPrefetcher>],
-            vec![0; cores as usize],
-        ),
-        PrefetcherConfig::NextLine { degree } => (
-            vec![Box::new(NextLinePrefetcher::new(*degree, cores)) as Box<_>],
-            vec![0; cores as usize],
-        ),
-        PrefetcherConfig::Pif(cfg) => (
-            vec![Box::new(Pif::new(*cfg, cores)) as Box<_>],
-            vec![0; cores as usize],
-        ),
+        PrefetcherConfig::None => PrefetcherBank::Null(NullPrefetcher::new()),
+        PrefetcherConfig::NextLine { degree } => {
+            PrefetcherBank::NextLine(NextLinePrefetcher::new(*degree, cores))
+        }
+        PrefetcherConfig::Pif(cfg) => PrefetcherBank::Pif(Pif::new(*cfg, cores)),
         PrefetcherConfig::Shift {
             history_records,
             mode,
         } => {
             // One shared history per workload, generated by the first core of
             // that workload, embedded at a distinct LLC window.
-            let mut prefetchers: Vec<Box<dyn InstructionPrefetcher>> = Vec::new();
+            let mut units: Vec<Shift> = Vec::with_capacity(n_workloads);
             let mut pf_of_core = vec![0usize; cores as usize];
             for w in 0..n_workloads {
                 let workload_cores = consolidation.cores_of(shift_types::WorkloadId::new(w as u8));
@@ -595,11 +690,11 @@ fn build_prefetchers(
                 let mut shift = Shift::new(cfg, cores);
                 shift.install(memory.llc_mut());
                 for c in workload_cores {
-                    pf_of_core[c.index()] = prefetchers.len();
+                    pf_of_core[c.index()] = units.len();
                 }
-                prefetchers.push(Box::new(shift));
+                units.push(shift);
             }
-            (prefetchers, pf_of_core)
+            PrefetcherBank::Shift { units, pf_of_core }
         }
     }
 }

@@ -1,11 +1,11 @@
-//! The unified entry point for executing a planned [`RunMatrix`]: one
-//! builder subsuming the nine historical `execute_*` functions.
+//! The unified entry point for executing a planned [`RunMatrix`].
 //!
-//! The execute surface grew one function at a time — serial, threaded,
-//! sharded, queued, observed, delta — until callers had to pick from nine
-//! near-duplicates and there was no coherent place to hang new cross-cutting
-//! concerns (scheduling policy, cost calibration, unified reporting). The
-//! [`Execution`] builder replaces all of them:
+//! The execute surface once grew one free function at a time — serial,
+//! threaded, sharded, queued, observed, delta — until callers had to pick
+//! from nine near-duplicates and there was no coherent place to hang new
+//! cross-cutting concerns (scheduling policy, cost calibration, unified
+//! reporting). The [`Execution`] builder replaced all of them, and the
+//! legacy functions have since been removed:
 //!
 //! ```
 //! use shift_sim::{Execution, PrefetcherConfig, RunMatrix};
@@ -26,15 +26,12 @@
 //!
 //! | Configured | Mode |
 //! |---|---|
-//! | *(nothing)* | In-memory parallel execution (ex-`execute_with_threads`) |
+//! | *(nothing)* | In-memory parallel execution |
 //! | [`dir`](Execution::dir) | Durable full execution: persist every outcome, return them too |
-//! | [`shard`](Execution::shard) + `dir` | Durable slice (ex-`execute_shard`) |
-//! | [`queue`](Execution::queue) + `dir` | Elastic work-queue drain (ex-`execute_queue_observed`) |
-//! | [`reuse`](Execution::reuse) | In-memory delta over a cache probe (ex-`execute_delta`) |
+//! | [`shard`](Execution::shard) + `dir` | Durable slice |
+//! | [`queue`](Execution::queue) + `dir` | Elastic work-queue drain |
+//! | [`reuse`](Execution::reuse) | In-memory delta over a cache probe |
 //! | `reuse` + any durable mode | Cache hits seeded into `dir` first |
-//!
-//! A migration table from each legacy function is in the
-//! [`shard`](crate::shard) module documentation.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -68,8 +65,7 @@ pub struct OutcomeSources {
     pub reclaimed: usize,
 }
 
-/// What one [`Execution`] did, uniformly across every mode — the successor
-/// of `ShardReport` / `QueueReport` / `DeltaReport`. Serde-derived so
+/// What one [`Execution`] did, uniformly across every mode. Serde-derived so
 /// embedding services (`shift-serve` status responses, the bench decision
 /// log) can emit it directly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -123,8 +119,7 @@ impl ExecutionOutput {
 }
 
 /// Builder for executing a [`RunMatrix`] — see the [module docs](self) for
-/// the mode table, and [`crate::shard`] for the migration table from the
-/// deprecated `execute_*` functions.
+/// the mode table.
 pub struct Execution<'a> {
     matrix: &'a RunMatrix,
     threads: Option<usize>,

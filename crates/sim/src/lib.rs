@@ -94,8 +94,8 @@ pub use matrix::{MatrixFingerprint, RunHandle, RunKey, RunKeyId, RunMatrix};
 pub use results::{CoverageStats, RunResult, RESULTS_VERSION};
 pub use schedule::{CostModel, RunCost, SchedulePolicy};
 pub use shard::{
-    CancelToken, DeltaReport, LockHeartbeat, QueueConfig, QueueReport, RunEvent, RunObserver,
-    ShardReport, ShardSpec,
+    CancelToken, DeltaReport, LockHeartbeat, QueueConfig, RunEvent, RunObserver, ShardReport,
+    ShardSpec,
 };
 pub use store::{PartialLoad, RunOutcomes, RunStore, StoreError};
 pub use system::Simulation;

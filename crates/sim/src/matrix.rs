@@ -15,25 +15,25 @@
 //!    pool of worker threads (one per available core by default, overridable
 //!    with the `SHIFT_THREADS` environment variable) and returns
 //!    [`RunOutcomes`] indexed by the handles. For sweeps too large for one
-//!    host, [`shard::execute_shard`](crate::shard::execute_shard) executes a
-//!    deterministic *slice* of the matrix instead, persisting each completed
-//!    run as a keyed outcome file — or
-//!    [`shard::execute_queue`](crate::shard::execute_queue) lets any number
-//!    of heterogeneous workers *elastically* claim runs one at a time from a
-//!    shared outcome directory.
+//!    host, the [`Execution`](crate::Execution) builder's shard mode
+//!    executes a deterministic *slice* of the matrix instead, persisting
+//!    each completed run as a keyed outcome file — or its queue mode lets
+//!    any number of heterogeneous workers *elastically* claim runs one at a
+//!    time from a shared outcome directory.
 //! 3. **Merge / consume** — look up each run's [`RunResult`] by handle and
 //!    derive the figure's rows. Outcomes can come from in-process execution,
 //!    from a [`RunStore`](crate::store::RunStore) merge of one or more
 //!    shard/queue directories (all bit-identical), or partially from a
 //!    *cache* of an earlier sweep
 //!    ([`RunStore::load_partial`](crate::store::RunStore::load_partial) +
-//!    [`shard::execute_delta`](crate::shard::execute_delta)) when the plan
-//!    has changed since the outcomes were executed.
+//!    [`Execution::reuse`](crate::Execution::reuse)) when the plan has
+//!    changed since the outcomes were executed.
 //!
 //! Every simulation is fully deterministic in its key (the only randomness
 //! comes from generators seeded by [`SimOptions::seed`]), so the parallel
-//! execution is bit-identical to [`RunMatrix::execute_serial`] — a property
-//! locked in by the `runner` and `shard` integration tests.
+//! execution is bit-identical to a serial one
+//! ([`Execution::serial`](crate::Execution::serial)) — a property locked in
+//! by the `runner` and `shard` integration tests.
 //!
 //! # Identity across process boundaries
 //!
@@ -443,24 +443,12 @@ impl RunMatrix {
         self.run_all(default_threads())
     }
 
-    /// Executes every planned run on the calling thread, in plan order.
-    #[deprecated(note = "use `Execution::new(&matrix).serial().run()` instead")]
-    pub fn execute_serial(&self) -> RunOutcomes {
-        self.run_all(1)
-    }
-
-    /// Executes every planned run on exactly `threads` worker threads.
+    /// The in-memory executor behind [`RunMatrix::execute`] and the
+    /// [`Execution`](crate::execution::Execution) builder.
     ///
     /// Results are keyed by plan position, so the outcome is independent of
     /// which worker runs which simulation: for the same matrix, any thread
     /// count yields bit-identical [`RunOutcomes`].
-    #[deprecated(note = "use `Execution::new(&matrix).threads(n).run()` instead")]
-    pub fn execute_with_threads(&self, threads: usize) -> RunOutcomes {
-        self.run_all(threads)
-    }
-
-    /// The in-memory executor behind [`RunMatrix::execute`] and the
-    /// [`Execution`](crate::execution::Execution) builder.
     pub(crate) fn run_all(&self, threads: usize) -> RunOutcomes {
         RunOutcomes::from_results(
             self.id,

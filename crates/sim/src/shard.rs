@@ -5,9 +5,10 @@
 //! canonical ordering is congruent to `k − 1` modulo `N` — a partition, so
 //! the `N` shards of a matrix are disjoint and cover it exactly, and every
 //! process that plans the same sweep computes the same slices.
-//! [`execute_shard`] simulates the slice on the local worker pool and writes
-//! each completed run as a keyed outcome file (see [`crate::store`] for the
-//! schema) the moment it finishes.
+//! Shard execution ([`Execution::shard`](crate::Execution::shard)) simulates
+//! the slice on the local worker pool and writes each completed run as a
+//! keyed outcome file (see [`crate::store`] for the schema) the moment it
+//! finishes.
 //!
 //! Execution is *resumable*: a run whose valid outcome file already exists
 //! is skipped, so re-running a shard after a crash (or preemption, or a CI
@@ -21,48 +22,35 @@
 //! # Elastic execution: the work queue
 //!
 //! Static `K/N` slices assume the `N` hosts are equal; when they are not,
-//! the sweep drains at the pace of the slowest shard. [`execute_queue`] is
-//! the elastic alternative: every worker sees the *whole* matrix and claims
-//! the next unowned run through an atomic lock file in the shared outcome
-//! directory, so fast hosts simply claim more runs and the queue drains at
-//! the aggregate pace. The claim protocol and its invariants are documented
-//! on [`execute_queue`]; the directory layout (outcome files, lock files) is
-//! owned by [`crate::store`].
+//! the sweep drains at the pace of the slowest shard. Queue execution
+//! ([`Execution::queue`](crate::Execution::queue)) is the elastic
+//! alternative: every worker sees the *whole* matrix and claims the next
+//! unowned run through an atomic lock file in the shared outcome directory,
+//! so fast hosts simply claim more runs and the queue drains at the
+//! aggregate pace. The claim protocol and its invariants are documented on
+//! `queue_inner` (and in `docs/SWEEP.md`); the directory layout (outcome
+//! files, lock files) is owned by [`crate::store`].
 //!
 //! # Incremental execution: the delta
 //!
-//! [`execute_delta`] closes the loop on outcome reuse: probe an old
-//! directory with [`RunStore::load_partial`](crate::store::RunStore::load_partial),
-//! then execute only the planned runs the cache missed. Combined with
+//! `Execution::new(&matrix).reuse(partial)` closes the loop on outcome
+//! reuse: probe an old directory with
+//! [`RunStore::load_partial`](crate::store::RunStore::load_partial), then
+//! execute only the planned runs the cache missed. Combined with
 //! [`seed_outcomes`](crate::store::seed_outcomes) this turns any outcome
 //! directory into a cross-sweep simulation cache.
 //!
-//! # Migrating to the `Execution` builder
+//! # Entry point
 //!
-//! The free functions in this module grew one at a time and are now thin
-//! deprecated wrappers around the [`Execution`](crate::Execution) builder,
-//! which is the one entry point for every execution mode (and the only
-//! place the scheduling policy, cost calibration, and unified
-//! [`ExecutionReport`](crate::ExecutionReport) are exposed):
-//!
-//! | Deprecated call | Builder equivalent |
-//! |---|---|
-//! | `matrix.execute_serial()` | `Execution::new(&matrix).serial().run()?.into_outcomes()` |
-//! | `matrix.execute_with_threads(n)` | `Execution::new(&matrix).threads(n).run()?.into_outcomes()` |
-//! | `execute_shard(&m, spec, dir)` | `Execution::new(&m).shard(spec).dir(dir).run()?` |
-//! | `execute_shard_with_threads(&m, spec, dir, n)` | `Execution::new(&m).shard(spec).dir(dir).threads(n).run()?` |
-//! | `execute_queue(&m, dir, &cfg)` | `Execution::new(&m).queue(cfg).dir(dir).run()?` |
-//! | `execute_queue_with_threads(&m, dir, &cfg, n)` | `Execution::new(&m).queue(cfg).dir(dir).threads(n).run()?` |
-//! | `execute_queue_observed(&m, dir, &cfg, n, &obs, &cancel)` | `Execution::new(&m).queue(cfg).dir(dir).threads(n).observer(&obs).cancel(&cancel).run()?` |
-//! | `execute_delta(&m, partial)` | `Execution::new(&m).reuse(partial).run()?.into_outcomes()` |
-//! | `execute_delta_with_threads(&m, partial, n)` | `Execution::new(&m).reuse(partial).threads(n).run()?.into_outcomes()` |
-//!
-//! Reports unify the same way: `ShardReport::executed` ↦
-//! [`ExecutionReport`](crate::ExecutionReport)`.sources.executed`,
-//! `ShardReport::resumed` / `DeltaReport::reused` ↦ `.sources.reused`, and
-//! `QueueReport::reclaimed` ↦ `.sources.reclaimed`. The wrappers (and the
-//! per-mode report structs, which the wrappers still return) will be removed
-//! one release after every in-tree caller is migrated.
+//! Every execution mode — serial, threaded, shard slice, elastic queue,
+//! cached delta — is driven through the [`Execution`](crate::Execution)
+//! builder ([`crate::execution`]), which also owns the scheduling policy,
+//! cost calibration, and the unified
+//! [`ExecutionReport`](crate::ExecutionReport). The `execute_*` free
+//! functions that used to live here (and the legacy per-mode `QueueReport`)
+//! were deprecated once every in-tree caller migrated, and have been
+//! removed; this module now exports only the building blocks the builder
+//! composes (specs, configs, reports, observers, cancellation).
 
 use std::fmt;
 use std::io;
@@ -73,9 +61,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use crate::matrix::{
-    default_threads, parallel_map_with_threads, MatrixFingerprint, RunKeyId, RunMatrix,
-};
+use crate::matrix::{parallel_map_with_threads, MatrixFingerprint, RunKeyId, RunMatrix};
 use crate::results::RunResult;
 use crate::schedule::{rank_by_cost, CostModel, RunCost, SchedulePolicy};
 use crate::store::{
@@ -176,7 +162,7 @@ impl FromStr for ShardSpec {
     }
 }
 
-/// What [`execute_shard`] did: how much of the slice ran versus resumed.
+/// How much of a shard's slice ran versus resumed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardReport {
     /// The executed shard.
@@ -190,34 +176,8 @@ pub struct ShardReport {
     pub resumed: usize,
 }
 
-/// Executes this shard's slice of `matrix` into `dir` on the default worker
-/// pool, skipping runs whose outcomes are already present.
-///
-/// # Errors
-///
-/// Propagates filesystem errors creating `dir` or writing outcome files.
-#[deprecated(note = "use `Execution::new(&matrix).shard(spec).dir(dir).run()` instead")]
-pub fn execute_shard(matrix: &RunMatrix, spec: ShardSpec, dir: &Path) -> io::Result<ShardReport> {
-    shard_inner(matrix, spec, dir, default_threads())
-}
-
-/// [`execute_shard`] with an explicit worker-thread count.
-///
-/// # Errors
-///
-/// Propagates filesystem errors creating `dir` or writing outcome files.
-#[deprecated(note = "use `Execution::new(&matrix).shard(spec).dir(dir).threads(n).run()` instead")]
-pub fn execute_shard_with_threads(
-    matrix: &RunMatrix,
-    spec: ShardSpec,
-    dir: &Path,
-    threads: usize,
-) -> io::Result<ShardReport> {
-    shard_inner(matrix, spec, dir, threads)
-}
-
-/// The shard executor behind the deprecated `execute_shard*` wrappers and
-/// the [`Execution`](crate::Execution) builder's durable modes.
+/// The shard executor behind the [`Execution`](crate::Execution) builder's
+/// durable modes.
 pub(crate) fn shard_inner(
     matrix: &RunMatrix,
     spec: ShardSpec,
@@ -308,7 +268,8 @@ pub struct QueueConfig {
     /// `true` (the operator default): keep polling until the whole matrix
     /// has outcomes, so a worker returning success means the sweep is
     /// complete. `false`: return as soon as nothing more is claimable,
-    /// reporting [`QueueReport::complete`] accordingly.
+    /// reporting [`ExecutionReport::complete`](crate::ExecutionReport)
+    /// accordingly.
     pub wait: bool,
     /// In what order this worker walks the not-yet-done runs when claiming.
     /// [`SchedulePolicy::CostOrdered`] claims biggest-first by [`RunCost`]
@@ -426,30 +387,16 @@ impl QueueConfig {
     }
 }
 
-/// What one [`execute_queue`] worker did.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct QueueReport {
-    /// Runs in the whole matrix (a queue worker sees all of them).
-    pub planned: usize,
-    /// Runs this worker claimed and simulated.
-    pub executed: usize,
-    /// Stale locks this worker reclaimed from dead workers.
-    pub reclaimed: usize,
-    /// Passes over the queue (≥ 1; more when waiting on other workers).
-    pub passes: usize,
-    /// `true` if every planned run had a valid outcome when the worker
-    /// returned. Always `true` on success when [`QueueConfig::wait`] is set.
-    pub complete: bool,
-}
-
 /// Cooperative cancellation handle for library-embedded executors.
 ///
 /// Long-running hosts (the `shift-serve` daemon, notebooks, schedulers)
-/// share a clone of the token with [`execute_queue_observed`] and call
+/// share a clone of the token with
+/// [`Execution::cancel`](crate::Execution::cancel) and call
 /// [`CancelToken::cancel`] to stop the drain at the next safe point: workers
 /// finish the run they have claimed — releasing its lock and persisting its
 /// outcome, so nothing is orphaned — and then return with
-/// [`QueueReport::complete`] `false` instead of claiming further runs.
+/// [`ExecutionReport::complete`](crate::ExecutionReport) `false` instead of
+/// claiming further runs.
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
@@ -473,7 +420,7 @@ impl CancelToken {
 }
 
 /// One progress event from an observed queue drain
-/// ([`execute_queue_observed`]).
+/// ([`Execution::observer`](crate::Execution::observer)).
 ///
 /// Events are emitted from worker threads as they happen, so an observer
 /// sees them in real execution order (and must be [`Sync`]). Every planned
@@ -542,13 +489,6 @@ impl<F: Fn(RunEvent) + Sync> RunObserver for F {
     }
 }
 
-/// The observer the unobserved entry points use: drops every event.
-struct NoopObserver;
-
-impl RunObserver for NoopObserver {
-    fn on_event(&self, _event: RunEvent) {}
-}
-
 /// What happened when a worker tried to claim one run.
 enum Claim {
     /// This worker took the claim and simulated the run.
@@ -599,7 +539,7 @@ fn lock_state(path: &Path, ttl: Duration) -> LockState {
 
 /// Keeps a claim lock *fresh* while its owner executes a long run.
 ///
-/// Spawned by [`execute_queue`]'s claim path right after a lock is taken,
+/// Spawned by the queue drain's claim path right after a lock is taken,
 /// and dropped (stopping the refresher thread) as soon as the simulation
 /// finishes: every `interval` the background thread rewrites the lock with a
 /// current `claimed_unix`, refreshing both the embedded timestamp and the
@@ -609,7 +549,7 @@ fn lock_state(path: &Path, ttl: Duration) -> LockState {
 /// heartbeat interval plus clock skew, not the longest single run.
 ///
 /// The refresher never *creates* the lock file: if a contender reclaimed it
-/// (rename-based, see [`execute_queue`]) or the owner already released it,
+/// (rename-based, see `queue_inner`) or the owner already released it,
 /// recreating the path would orphan the slot until the TTL expired again.
 /// A refresh that finds the file gone is simply skipped.
 ///
@@ -925,117 +865,6 @@ fn queue_pass(
     Ok(stats.into_inner().expect("stats poisoned"))
 }
 
-/// Drains `matrix` through the shared work queue in `dir` on the default
-/// worker pool: the elastic counterpart of [`execute_shard`].
-///
-/// Every participating worker (any number of processes on any number of
-/// hosts sharing `dir`) runs this same function with the same planned
-/// matrix; each run executes exactly once under cooperating workers, and at
-/// least once — always converging to the same bit-identical outcome files —
-/// under crashes and reclaims. The four-step claim sequence is documented
-/// in `docs/SWEEP.md` (§ "The lock-file / reclaim protocol"); its
-/// invariants:
-///
-/// * **Mutual exclusion** comes from `O_CREAT|O_EXCL` lock creation; lock
-///   *contents* are diagnostics only.
-/// * **Crash safety**: outcomes are written atomically before the lock is
-///   released, so a lock's absence plus an outcome's presence proves
-///   completion; a killed worker leaves at most one lock, which goes stale
-///   after [`QueueConfig::lock_ttl`] and is reclaimed by rename (exactly
-///   one contender can win).
-/// * **Idempotence**: runs are deterministic in their key, so even a
-///   duplicate execution after an over-eager reclaim rewrites byte-identical
-///   content.
-///
-/// # Errors
-///
-/// Propagates filesystem errors creating `dir`, creating locks, or writing
-/// outcome files.
-#[deprecated(note = "use `Execution::new(&matrix).queue(config).dir(dir).run()` instead")]
-pub fn execute_queue(
-    matrix: &RunMatrix,
-    dir: &Path,
-    config: &QueueConfig,
-) -> io::Result<QueueReport> {
-    queue_inner(
-        matrix,
-        dir,
-        config,
-        default_threads(),
-        &NoopObserver,
-        &CancelToken::new(),
-        &CostModel::default(),
-    )
-    .map(QueueDrain::into_report)
-}
-
-/// [`execute_queue`] with an explicit worker-thread count.
-///
-/// # Errors
-///
-/// Propagates filesystem errors creating `dir`, creating locks, or writing
-/// outcome files.
-#[deprecated(
-    note = "use `Execution::new(&matrix).queue(config).dir(dir).threads(n).run()` instead"
-)]
-pub fn execute_queue_with_threads(
-    matrix: &RunMatrix,
-    dir: &Path,
-    config: &QueueConfig,
-    threads: usize,
-) -> io::Result<QueueReport> {
-    queue_inner(
-        matrix,
-        dir,
-        config,
-        threads,
-        &NoopObserver,
-        &CancelToken::new(),
-        &CostModel::default(),
-    )
-    .map(QueueDrain::into_report)
-}
-
-/// [`execute_queue`] with an explicit thread count, a progress
-/// [`RunObserver`], and a [`CancelToken`] — the embedding-friendly entry
-/// point a resident server builds on.
-///
-/// `observer` receives a [`RunEvent`] for every state transition this
-/// worker performs (claims, executions, cache hits, stale-lock reclaims),
-/// which is enough to stream per-run progress without polling the outcome
-/// directory. Cancellation is cooperative and checked between claims: any
-/// run already claimed finishes, persists its outcome, and releases its
-/// lock before the drain stops, so a cancelled drain never leaves orphaned
-/// claims behind. A cancelled drain returns `Ok` with
-/// [`QueueReport::complete`] left `false`.
-///
-/// # Errors
-///
-/// Propagates filesystem errors creating `dir`, creating locks, or writing
-/// outcome files.
-#[deprecated(
-    note = "use `Execution::new(&matrix).queue(config).dir(dir).threads(n).observer(&o).cancel(&c).run()` instead"
-)]
-pub fn execute_queue_observed(
-    matrix: &RunMatrix,
-    dir: &Path,
-    config: &QueueConfig,
-    threads: usize,
-    observer: &dyn RunObserver,
-    cancel: &CancelToken,
-) -> io::Result<QueueReport> {
-    queue_inner(
-        matrix,
-        dir,
-        config,
-        threads,
-        observer,
-        cancel,
-        &CostModel::default(),
-    )
-    .map(QueueDrain::into_report)
-}
-
 /// Full tallies of one queue worker's drain, including outcomes it *found*
 /// done rather than executed — what the unified
 /// [`ExecutionReport`](crate::ExecutionReport) reports as reused.
@@ -1046,19 +875,6 @@ pub(crate) struct QueueDrain {
     pub reclaimed: usize,
     pub passes: usize,
     pub complete: bool,
-}
-
-impl QueueDrain {
-    /// Narrows to the legacy [`QueueReport`] the deprecated wrappers return.
-    fn into_report(self) -> QueueReport {
-        QueueReport {
-            planned: self.planned,
-            executed: self.executed,
-            reclaimed: self.reclaimed,
-            passes: self.passes,
-            complete: self.complete,
-        }
-    }
 }
 
 /// Recovers a restarted worker's measured rate from its own leftover claim
@@ -1085,10 +901,28 @@ fn recover_rate(dir: &Path, worker: &str) -> Option<u64> {
     best
 }
 
-/// The queue executor behind the deprecated `execute_queue*` wrappers and
-/// the [`Execution`](crate::Execution) builder's queue mode: full scheduler
-/// support (claim ordering policy, per-worker rate measurement and
-/// recovery, slowness deferral) plus the extended tallies.
+/// The queue executor behind the [`Execution`](crate::Execution) builder's
+/// queue mode: full scheduler support (claim ordering policy, per-worker
+/// rate measurement and recovery, slowness deferral) plus the extended
+/// tallies.
+///
+/// Every participating worker (any number of processes on any number of
+/// hosts sharing `dir`) drains the same planned matrix; each run executes
+/// exactly once under cooperating workers, and at least once — always
+/// converging to the same bit-identical outcome files — under crashes and
+/// reclaims. The four-step claim sequence is documented in `docs/SWEEP.md`
+/// (§ "The lock-file / reclaim protocol"); its invariants:
+///
+/// * **Mutual exclusion** comes from `O_CREAT|O_EXCL` lock creation; lock
+///   *contents* are diagnostics only.
+/// * **Crash safety**: outcomes are written atomically before the lock is
+///   released, so a lock's absence plus an outcome's presence proves
+///   completion; a killed worker leaves at most one lock, which goes stale
+///   after [`QueueConfig::lock_ttl`] and is reclaimed by rename (exactly
+///   one contender can win).
+/// * **Idempotence**: runs are deterministic in their key, so even a
+///   duplicate execution after an over-eager reclaim rewrites byte-identical
+///   content.
 pub(crate) fn queue_inner(
     matrix: &RunMatrix,
     dir: &Path,
@@ -1238,35 +1072,12 @@ pub struct DeltaReport {
     pub executed: usize,
 }
 
-/// Completes a [`PartialLoad`] in memory: executes only the planned runs
-/// the cache missed, on the default worker pool, and returns full
-/// [`RunOutcomes`] indistinguishable from an end-to-end execution — the
-/// reuse-safety argument in [`crate::store`] is what makes the splice sound.
-///
-/// # Panics
-///
-/// Panics if `partial` was probed against a different matrix.
-#[deprecated(note = "use `Execution::new(&matrix).reuse(partial).run()` instead")]
-pub fn execute_delta(matrix: &RunMatrix, partial: PartialLoad) -> DeltaReport {
-    delta_inner(matrix, partial, default_threads())
-}
-
-/// [`execute_delta`] with an explicit worker-thread count.
-///
-/// # Panics
-///
-/// Panics if `partial` was probed against a different matrix.
-#[deprecated(note = "use `Execution::new(&matrix).reuse(partial).threads(n).run()` instead")]
-pub fn execute_delta_with_threads(
-    matrix: &RunMatrix,
-    partial: PartialLoad,
-    threads: usize,
-) -> DeltaReport {
-    delta_inner(matrix, partial, threads)
-}
-
-/// The delta executor behind the deprecated `execute_delta*` wrappers and
-/// the [`Execution`](crate::Execution) builder's reuse mode.
+/// The delta executor behind the [`Execution`](crate::Execution) builder's
+/// reuse mode: completes a [`PartialLoad`] in memory by executing only the
+/// planned runs the cache missed, returning full [`RunOutcomes`]
+/// indistinguishable from an end-to-end execution — the reuse-safety
+/// argument in [`crate::store`] is what makes the splice sound. Panics if
+/// `partial` was probed against a different matrix.
 pub(crate) fn delta_inner(matrix: &RunMatrix, partial: PartialLoad, threads: usize) -> DeltaReport {
     let missing = partial.missing_slots(matrix);
     let fresh: Vec<RunResult> =

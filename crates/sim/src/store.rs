@@ -52,7 +52,8 @@
 //!
 //! # Claim locks
 //!
-//! Work-queue execution ([`crate::shard::execute_queue`]) coordinates
+//! Work-queue execution ([`Execution::queue`](crate::Execution::queue))
+//! coordinates
 //! workers through `claim-<RunKeyId>.lock` files in the same directory; the
 //! file names are reserved here (next to the outcome-file schema) so every
 //! consumer agrees on the directory layout. Lock files are transient: a
@@ -217,7 +218,7 @@ pub enum StoreError {
     /// Some planned runs have no outcome but *do* have claim lock files:
     /// a queue worker is still executing them (merge too early), or workers
     /// died holding claims (the locks become reclaimable once the TTL
-    /// expires — see [`crate::shard::execute_queue`]).
+    /// expires — see [`QueueConfig::lock_ttl`](crate::QueueConfig)).
     ActiveLocks {
         /// Lock files found for missing runs, sorted.
         locks: Vec<PathBuf>,
@@ -347,7 +348,7 @@ pub fn outcome_file_name(key_id: RunKeyId) -> String {
 }
 
 /// File name of the queue claim lock for `key_id` inside an outcome
-/// directory (see [`crate::shard::execute_queue`] for the claim protocol).
+/// directory (see [`crate::shard`] for the claim protocol).
 pub fn lock_file_name(key_id: RunKeyId) -> String {
     format!("claim-{key_id}.lock")
 }
@@ -772,7 +773,7 @@ impl RunStore {
 /// What [`RunStore::load_partial`] recovered from the cache: per-slot hits
 /// for one planned [`RunMatrix`], plus what the scan skipped.
 ///
-/// Feed it to [`execute_delta`](crate::shard::execute_delta) to run only the
+/// Feed it to [`Execution::reuse`](crate::Execution::reuse) to run only the
 /// missing slots, or to [`seed_outcomes`] to persist the hits into a fresh
 /// outcome directory under the new plan's fingerprint.
 #[derive(Clone, Debug)]

@@ -1,0 +1,92 @@
+//! Enum dispatch ≡ dynamic dispatch.
+//!
+//! `Engine::step_rounds` matches the prefetcher variant once per call and
+//! runs a loop monomorphized for the concrete prefetcher type; the hidden
+//! `Engine::step_rounds_dyn` reproduces the engine's previous per-fetch
+//! `&mut dyn InstructionPrefetcher` virtual dispatch over the same state.
+//! These tests lock the two loops bit-identical — same `RunResult` down to
+//! every counter and float — for every prefetcher family, including SHIFT
+//! under consolidation (multiple per-workload units), and for interleaved
+//! mixes of the two stepping entry points.
+
+use shift_sim::{CmpConfig, PrefetcherConfig, SimOptions, Simulation};
+use shift_trace::{presets, ConsolidationSpec, Scale};
+
+/// Steps two identical engines the same number of rounds — one through the
+/// enum-dispatched loop, one through the dynamic-dispatch reference loop —
+/// and requires identical results.
+fn assert_dispatch_equivalence(prefetcher: PrefetcherConfig, seed: u64) {
+    let label = prefetcher.label();
+    let config = CmpConfig::micro13(4, prefetcher);
+    let options = SimOptions::new(Scale::Test, seed);
+    let workload = presets::tiny();
+
+    let sim = Simulation::standalone(config, workload.clone(), options);
+    let mut enum_engine = sim.engine();
+    let mut dyn_engine = sim.engine();
+
+    let rounds = 400;
+    enum_engine.step_rounds(rounds);
+    dyn_engine.step_rounds_dyn(rounds);
+    enum_engine.begin_measurement();
+    dyn_engine.begin_measurement();
+    enum_engine.step_rounds(rounds);
+    dyn_engine.step_rounds_dyn(rounds);
+
+    assert_eq!(
+        enum_engine.finish(),
+        dyn_engine.finish(),
+        "enum vs dyn dispatch diverged for {label}"
+    );
+}
+
+#[test]
+fn every_prefetcher_family_is_dispatch_equivalent() {
+    for (seed, prefetcher) in [
+        PrefetcherConfig::None,
+        PrefetcherConfig::next_line(),
+        PrefetcherConfig::pif_2k(),
+        PrefetcherConfig::shift_virtualized(),
+        PrefetcherConfig::shift_dedicated(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        assert_dispatch_equivalence(prefetcher, seed as u64 + 11);
+    }
+}
+
+#[test]
+fn consolidated_shift_is_dispatch_equivalent() {
+    // Consolidation is the one configuration with several prefetcher units
+    // (one SHIFT per workload), i.e. where the per-core unit selection
+    // actually routes: cover it explicitly.
+    let spec = ConsolidationSpec::even_split(vec![presets::tiny(), presets::web_frontend()], 4);
+    let config = CmpConfig::micro13(4, PrefetcherConfig::shift_virtualized());
+    let options = SimOptions::new(Scale::Test, 29);
+
+    let sim = Simulation::consolidated(config, spec.clone(), options);
+    let mut enum_engine = sim.engine();
+    let mut dyn_engine = sim.engine();
+    enum_engine.step_rounds(500);
+    dyn_engine.step_rounds_dyn(500);
+    assert_eq!(enum_engine.finish(), dyn_engine.finish());
+}
+
+#[test]
+fn interleaving_enum_and_dyn_stepping_is_equivalent() {
+    // Both entry points drive the same state machine, so any interleaving of
+    // the two must land on the same results as either alone.
+    let config = CmpConfig::micro13(2, PrefetcherConfig::shift_virtualized());
+    let options = SimOptions::new(Scale::Test, 3);
+    let workload = presets::tiny();
+    let sim = Simulation::standalone(config, workload, options);
+
+    let mut mixed = sim.engine();
+    let mut pure = sim.engine();
+    mixed.step_rounds(150);
+    mixed.step_rounds_dyn(250);
+    mixed.step_rounds(100);
+    pure.step_rounds(500);
+    assert_eq!(mixed.finish(), pure.finish());
+}

@@ -114,7 +114,7 @@ proptest! {
 
     /// For random matrices and any worker count in 1..=4, K concurrent
     /// queue workers sharing one directory drain it to outcomes that merge
-    /// bit-identical to `execute_serial()`, with every run executed exactly
+    /// bit-identical to a serial execution, with every run executed exactly
     /// once across the fleet.
     #[test]
     fn concurrent_queue_workers_merge_bit_identical_to_serial(

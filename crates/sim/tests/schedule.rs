@@ -253,7 +253,7 @@ fn drain_fleet(matrix: &RunMatrix, dir: &Path, policy: SchedulePolicy) -> Durati
 
 /// The tentpole acceptance: with one throttled worker in a 4-worker fleet,
 /// `CostOrdered` yields a strictly lower makespan than the canonical claim
-/// order, and the merged outcomes stay byte-identical to `execute_serial`.
+/// order, and the merged outcomes stay byte-identical to a serial execution.
 #[test]
 fn cost_ordered_beats_canonical_makespan_with_one_slow_worker() {
     let matrix = makespan_matrix();

@@ -56,7 +56,7 @@ proptest! {
 
     /// For random matrices (with random duplicates, which must dedup) and any
     /// shard count in 1..=5, executing all N shards and merging is
-    /// bit-identical to `execute_serial()`.
+    /// bit-identical to a serial execution.
     #[test]
     fn sharded_execution_merges_bit_identical_to_serial(
         entries in proptest::collection::vec((0u64..2, 0u64..4, 0u64..3), 1..5),

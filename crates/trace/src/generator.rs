@@ -1,6 +1,5 @@
 //! The per-core trace generator.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -41,7 +40,11 @@ pub struct CoreTraceGenerator {
     core: CoreId,
     core_bias: u64,
     rng: SmallRng,
-    pending: VecDeque<TraceEvent>,
+    /// Events of the current request, consumed through `cursor`: a flat
+    /// buffer instead of a ring, so batch reads are contiguous slice copies.
+    pending: Vec<TraceEvent>,
+    /// Next unconsumed index into `pending`.
+    cursor: usize,
     scratch_blocks: Vec<BlockAddr>,
     requests_generated: u64,
     fetches_generated: u64,
@@ -99,7 +102,8 @@ impl CoreTraceGenerator {
             // core diverges the same way in every run.
             core_bias: spec_seed ^ ((core.index() as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)),
             rng: SmallRng::seed_from_u64(mixed),
-            pending: VecDeque::with_capacity(max_burst),
+            pending: Vec::with_capacity(max_burst),
+            cursor: 0,
             scratch_blocks: Vec::with_capacity(max_function_blocks),
             requests_generated: 0,
             fetches_generated: 0,
@@ -136,12 +140,38 @@ impl CoreTraceGenerator {
     #[inline]
     pub fn next_event(&mut self) -> TraceEvent {
         loop {
-            if let Some(event) = self.pending.pop_front() {
+            if let Some(&event) = self.pending.get(self.cursor) {
+                self.cursor += 1;
                 if matches!(event, TraceEvent::Fetch(_)) {
                     self.fetches_generated += 1;
                 }
                 return event;
             }
+            self.generate_request();
+        }
+    }
+
+    /// Fills `out` (cleared first) with every event up to and *including* the
+    /// next fetch event — the batch the simulation engine consumes per
+    /// stepped fetch: the data references that precede an instruction-block
+    /// fetch in retire order, then the fetch itself (always the last event).
+    ///
+    /// Exactly equivalent to calling [`next_event`](Self::next_event) until
+    /// it returns a [`TraceEvent::Fetch`], but copies each run of pending
+    /// events as one contiguous slice instead of popping through a queue.
+    #[inline]
+    pub fn next_events_into(&mut self, out: &mut Vec<TraceEvent>) {
+        out.clear();
+        loop {
+            let rest = &self.pending[self.cursor..];
+            if let Some(pos) = rest.iter().position(|e| matches!(e, TraceEvent::Fetch(_))) {
+                out.extend_from_slice(&rest[..=pos]);
+                self.cursor += pos + 1;
+                self.fetches_generated += 1;
+                return;
+            }
+            out.extend_from_slice(rest);
+            self.cursor = self.pending.len();
             self.generate_request();
         }
     }
@@ -176,6 +206,11 @@ impl CoreTraceGenerator {
     }
 
     fn generate_request(&mut self) {
+        // Only called once the current buffer is fully consumed, so clearing
+        // never discards events and the buffer never outgrows one request.
+        debug_assert_eq!(self.cursor, self.pending.len());
+        self.pending.clear();
+        self.cursor = 0;
         let program = Arc::clone(&self.program);
         let spec = program.spec();
         let types = program.request_types();
@@ -213,7 +248,7 @@ impl CoreTraceGenerator {
             let instructions =
                 spec.instructions_per_block_min + self.instr_mod.rem(self.rng.next_u64()) as u8;
             self.pending
-                .push_back(TraceEvent::Fetch(FetchEvent::new(block, instructions)));
+                .push(TraceEvent::Fetch(FetchEvent::new(block, instructions)));
             self.emit_data_refs(instructions, spec);
         }
         self.scratch_blocks = blocks;
@@ -239,7 +274,7 @@ impl CoreTraceGenerator {
                 AccessKind::Load
             };
             self.pending
-                .push_back(TraceEvent::Data(DataEvent::new(kind, block)));
+                .push(TraceEvent::Data(DataEvent::new(kind, block)));
         }
     }
 }
@@ -364,7 +399,7 @@ mod tests {
         let mut max_pending = 0usize;
         while gen.requests_generated() < 500 {
             let _ = gen.next_event();
-            max_pending = max_pending.max(gen.pending.len());
+            max_pending = max_pending.max(gen.pending.len() - gen.cursor);
         }
         assert!(max_pending > 0, "bursts must actually fill the queue");
         assert_eq!(
@@ -377,6 +412,27 @@ mod tests {
             scratch_capacity,
             "scratch block buffer reallocated"
         );
+    }
+
+    #[test]
+    fn batched_events_match_event_by_event_consumption() {
+        // `next_events_into` must be an exact restatement of "call
+        // `next_event` until it returns a fetch": same events, same order,
+        // same fetch counter — the property the engine's batched stepping
+        // path (and the golden tests behind it) relies on.
+        let spec = presets::tiny();
+        let mut batched = CoreTraceGenerator::new(&spec, CoreId::new(0), 21);
+        let mut serial = CoreTraceGenerator::new(&spec, CoreId::new(0), 21);
+        let mut batch = Vec::new();
+        for _ in 0..5_000 {
+            batched.next_events_into(&mut batch);
+            assert!(matches!(batch.last(), Some(TraceEvent::Fetch(_))));
+            for &event in &batch {
+                assert_eq!(event, serial.next_event());
+            }
+        }
+        assert_eq!(batched.fetches_generated(), serial.fetches_generated());
+        assert_eq!(batched.requests_generated(), serial.requests_generated());
     }
 
     #[test]
