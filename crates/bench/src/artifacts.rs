@@ -15,8 +15,8 @@ use shift_cpu::CoreKind;
 use shift_report::{Artifact, Check, Reference, Table};
 use shift_sim::experiments::{
     CommonalityResult, ConsolidationResult, CoverageBreakdownResult, EliminationResult,
-    HistorySweepResult, LlcTrafficResult, PerformanceDensityResult, PowerOverheadResult,
-    SpeedupComparisonResult, StorageTableResult,
+    HistorySweepResult, HybridShootoutResult, LlcTrafficResult, PerformanceDensityResult,
+    PowerOverheadResult, SpeedupComparisonResult, StorageTableResult,
 };
 use shift_sim::{CmpConfig, PrefetcherConfig};
 use shift_trace::WorkloadSpec;
@@ -422,6 +422,69 @@ pub fn table1_artifact(cores: u16, workloads: &[WorkloadSpec]) -> Artifact {
     )
 }
 
+/// Beyond the paper: the hybrid-prefetcher shootout — composed designs next
+/// to the paper's standalone suite, plus coverage degradation under a
+/// throttled history port.
+pub fn hybrid_lab_artifact(result: &HybridShootoutResult) -> Artifact {
+    let mut table = Table::new([
+        "design",
+        "hybrid",
+        "coverage_pct",
+        "overpred_pct",
+        "discard_pct",
+        "speedup",
+        "added_sram_kib",
+    ]);
+    for row in &result.rows {
+        table.push_row([
+            row.label.clone(),
+            if row.hybrid { "yes" } else { "no" }.to_owned(),
+            pct(row.coverage),
+            pct(row.overprediction),
+            pct(row.discard_ratio),
+            format!("{:.3}", row.speedup),
+            format!("{:.1}", row.storage_kib),
+        ]);
+    }
+    for point in &result.degradation {
+        table.push_row([
+            format!("SHIFT@bw{}", point.candidates_per_window),
+            "yes".to_owned(),
+            pct(point.coverage),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    Artifact::new(
+        "hybrid_lab",
+        "Beyond the paper: hybrid designs vs the standalone suite",
+        result,
+        table,
+    )
+    .with_reference(Reference::new(
+        "hybrid designs in the shootout",
+        result.hybrid_rows().count() as f64,
+        Check::at_least(3.0),
+    ))
+    .with_reference(Reference::new(
+        "best hybrid coverage win over SHIFT at equal-or-lower storage",
+        result.best_hybrid_coverage_win(),
+        Check::at_least(0.0),
+    ))
+    .with_reference(Reference::new(
+        "hybrid degradation monotonicity violations",
+        result.degradation_monotonicity_violations() as f64,
+        Check::at_most(0.0),
+    ))
+    .with_reference(Reference::new(
+        "hybrid coverage lost, widest to narrowest history port",
+        result.degradation_span(),
+        Check::at_least(0.0),
+    ))
+}
+
 /// §5.6: performance density of SHIFT vs. PIF per core type.
 pub fn table_pd_artifact(result: &PerformanceDensityResult) -> Artifact {
     let mut artifact = Artifact::new(
@@ -570,6 +633,35 @@ mod tests {
         let json = artifact.to_json();
         assert!(json.contains("\"reference\""));
         assert!(json.contains("consolidated speedup, SHIFT"));
+    }
+
+    #[test]
+    fn hybrid_lab_artifact_carries_at_least_three_hybrid_references() {
+        let result = experiments::hybrid_shootout(&[presets::tiny()], 4, Scale::Test, 0x60_1DEA);
+        let artifact = hybrid_lab_artifact(&result);
+        assert_eq!(artifact.name(), "hybrid_lab");
+        // The scoreboard renders one row per reference: the hybrid lab must
+        // contribute at least three.
+        assert!(artifact.references().len() >= 3);
+        let hybrid_metric_rows = artifact
+            .references()
+            .iter()
+            .filter(|r| r.metric.contains("hybrid"))
+            .count();
+        assert!(hybrid_metric_rows >= 3, "{hybrid_metric_rows} hybrid rows");
+        // Design rows + one row per degradation point.
+        assert_eq!(
+            artifact.table().rows().len(),
+            result.rows.len() + result.degradation.len()
+        );
+        for reference in artifact.references() {
+            assert_eq!(
+                reference.verdict(),
+                shift_report::Verdict::Pass,
+                "{} should pass at test scale",
+                reference.metric
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Beyond the paper: the hybrid-prefetcher shootout (composed designs vs the
+//! standalone suite, plus coverage degradation under a throttled history
+//! port).
+
+use shift_bench::artifacts::{hybrid_lab_artifact, publish};
+use shift_bench::{banner, cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
+use shift_sim::experiments::hybrid_shootout;
+
+fn main() {
+    let scale = scale_from_env();
+    let cores = cores_from_env();
+    let workloads = workloads_from_env();
+    banner(
+        "Hybrid shootout (beyond the paper)",
+        scale,
+        cores,
+        &workloads,
+    );
+    let result = hybrid_shootout(&workloads, cores, scale, HARNESS_SEED);
+    println!("{result}");
+    println!(
+        "(checks: some hybrid beats SHIFT coverage at <= storage; throttling degrades coverage monotonically)"
+    );
+    publish(&hybrid_lab_artifact(&result));
+}

@@ -36,16 +36,16 @@ use serde::{Deserialize, Serialize};
 use shift_report::{scoreboard, Artifact};
 use shift_sim::experiments::{
     commonality, storage_table, ConsolidationPlan, CoverageBreakdownPlan, EliminationPlan,
-    HistorySweepPlan, LlcTrafficPlan, PerformanceDensityPlan, PowerOverheadPlan,
-    SpeedupComparisonPlan,
+    HistorySweepPlan, HybridShootoutPlan, LlcTrafficPlan, PerformanceDensityPlan,
+    PowerOverheadPlan, SpeedupComparisonPlan,
 };
 use shift_sim::{CmpConfig, Execution, PrefetcherConfig, RunMatrix};
 use shift_trace::{presets, Scale, WorkloadSpec};
 
 use crate::artifacts::{
     fig01_artifact, fig02_artifact, fig03_artifact, fig06_artifact, fig07_artifact, fig08_artifact,
-    fig09_artifact, fig10_artifact, figure1_fractions, figure6_sizes, table1_artifact,
-    table_pd_artifact, table_power_artifact, table_storage_artifact,
+    fig09_artifact, fig10_artifact, figure1_fractions, figure6_sizes, hybrid_lab_artifact,
+    table1_artifact, table_pd_artifact, table_power_artifact, table_storage_artifact,
 };
 use crate::{cores_from_env, scale_from_env, workloads_from_env, HARNESS_SEED};
 
@@ -214,6 +214,7 @@ pub struct PaperPlan {
     fig10: ConsolidationPlan,
     table_pd: PerformanceDensityPlan,
     table_power: PowerOverheadPlan,
+    hybrid: HybridShootoutPlan,
 }
 
 impl PaperPlan {
@@ -293,6 +294,13 @@ impl PaperPlan {
             PowerOverheadPlan::plan(m, workloads, cores, scale, seed)
         });
 
+        // Beyond the paper: the hybrid shootout. Its baselines and its
+        // NextLine/PIF_32K/SHIFT comparison columns are figure 7/8/9 runs,
+        // so only the hybrid designs and the throttled sweep add keys.
+        let hybrid = Self::plan_both(&mut matrix, &mut naive_runs, |m| {
+            HybridShootoutPlan::plan(m, workloads, cores, scale, seed)
+        });
+
         PaperPlan {
             settings,
             matrix,
@@ -306,6 +314,7 @@ impl PaperPlan {
             fig10,
             table_pd,
             table_power,
+            hybrid,
         }
     }
 
@@ -407,6 +416,7 @@ impl PaperPlan {
             table_pd_artifact(&self.table_pd.collect(outcomes)),
             table_power_artifact(&self.table_power.collect(outcomes)),
             table_storage_artifact(&storage_result),
+            hybrid_lab_artifact(&self.hybrid.collect(outcomes)),
         ];
         PaperReport { artifacts }
     }
@@ -644,6 +654,7 @@ mod tests {
                 "table_pd",
                 "table_power",
                 "table_storage",
+                "hybrid_lab",
             ]
         );
         let board = report.scoreboard();
@@ -651,5 +662,43 @@ mod tests {
         assert!(board.contains("reference checks"));
         assert!(report.artifact("fig08").is_some());
         assert!(report.artifact("fig99").is_none());
+        // The scoreboard gains at least three hybrid rows.
+        let hybrid_rows = board
+            .lines()
+            .filter(|l| l.starts_with("hybrid_lab"))
+            .count();
+        assert!(hybrid_rows >= 3, "{hybrid_rows} hybrid_lab scoreboard rows");
+    }
+
+    #[test]
+    fn hybrid_shootout_dedups_against_the_paper_figures() {
+        // The shootout's baseline and NextLine/PIF_32K/SHIFT columns are
+        // already planned by Figures 8/9: planning it into a matrix that
+        // holds Figure 8 must add only the hybrid-specific keys (3 hybrid
+        // designs + 5 throttled points, per workload).
+        let settings = tiny_settings();
+        let mut matrix = RunMatrix::new();
+        let _ = SpeedupComparisonPlan::plan(
+            &mut matrix,
+            &settings.workloads,
+            &PrefetcherConfig::figure8_suite(),
+            settings.cores,
+            settings.scale,
+            settings.seed,
+        );
+        let after_fig08 = matrix.len();
+        let _ = HybridShootoutPlan::plan(
+            &mut matrix,
+            &settings.workloads,
+            settings.cores,
+            settings.scale,
+            settings.seed,
+        );
+        let hybrid_only = 3 + HybridShootoutPlan::BANDWIDTHS.len();
+        assert_eq!(
+            matrix.len(),
+            after_fig08 + settings.workloads.len() * hybrid_only,
+            "shootout must reuse fig08's baseline/NextLine/PIF_32K/SHIFT runs"
+        );
     }
 }

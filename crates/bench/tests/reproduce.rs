@@ -7,7 +7,7 @@ use std::fs;
 use shift_bench::reproduce::{PaperPlan, ReproduceSettings};
 use shift_trace::{presets, Scale};
 
-const ARTIFACT_NAMES: [&str; 12] = [
+const ARTIFACT_NAMES: [&str; 13] = [
     "fig01",
     "fig02",
     "fig03",
@@ -20,6 +20,7 @@ const ARTIFACT_NAMES: [&str; 12] = [
     "table_pd",
     "table_power",
     "table_storage",
+    "hybrid_lab",
 ];
 
 #[test]

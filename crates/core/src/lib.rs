@@ -14,6 +14,10 @@
 //!   an idealized zero-latency variant, and the virtualized design (§4.2)
 //!   that embeds the history buffer in LLC data blocks and the index table in
 //!   LLC tags.
+//! * [`hybrid`] — composed designs beyond the paper: fallback pairs,
+//!   confidence gating, per-core adaptive selection, and a
+//!   bandwidth-throttled history port, all generic wrappers over the designs
+//!   above.
 //!
 //! The shared building blocks mirror the hardware structures of the paper:
 //! [`SpatialRegion`] records (trigger block + bit vector over eight blocks),
@@ -49,6 +53,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod history;
+pub mod hybrid;
 pub mod index;
 pub mod next_line;
 pub mod pif;
@@ -59,6 +64,10 @@ pub mod shift;
 pub mod storage;
 
 pub use history::HistoryBuffer;
+pub use hybrid::{
+    AdaptConfig, AdaptivePrefetcher, ConfidenceGatedPrefetcher, FallbackPrefetcher, GateConfig,
+    HistoryPortConfig, Selection, ThrottledPrefetcher,
+};
 pub use index::IndexTable;
 pub use next_line::NextLinePrefetcher;
 pub use pif::{Pif, PifConfig};

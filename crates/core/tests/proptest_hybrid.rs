@@ -1,0 +1,158 @@
+//! Differential property tests for the hybrid composition layer.
+//!
+//! The composition semantics of `shift_core::hybrid` are locked by identity,
+//! candidate-for-candidate over arbitrary access/retire streams:
+//!
+//! * `FallbackPrefetcher(A, Null)` ≡ `A` — a null secondary never fires, and
+//!   wrapping must not perturb the primary's candidates or state.
+//! * `FallbackPrefetcher(Null, B)` ≡ `B` — a null primary is always silent,
+//!   so the secondary serves every invocation exactly as it would standalone.
+//! * `ConfidenceGatedPrefetcher(P, threshold = 0)` ≡ `P` — an always-open
+//!   gate is transparent.
+
+use proptest::prelude::*;
+use shift_cache::{LlcConfig, NucaLlc};
+use shift_core::hybrid::{ConfidenceGatedPrefetcher, FallbackPrefetcher, GateConfig};
+use shift_core::{
+    InstructionPrefetcher, NextLinePrefetcher, NullPrefetcher, Pif, PifConfig, PrefetchCandidate,
+};
+use shift_types::{BlockAddr, CoreId};
+
+const CORES: u16 = 2;
+
+/// One event of a synthetic access/retire stream.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    core: CoreId,
+    block: BlockAddr,
+    hit: bool,
+    retire: bool,
+}
+
+/// Raw event tuples as generated: `(core, block, hit, retire)`.
+type RawEvent = (u16, u64, bool, bool);
+
+/// Strategy for an arbitrary stream of access/retire events over a small
+/// block range (small enough that streams recur and the stateful designs
+/// actually produce candidates).
+fn streams() -> impl Strategy<Value = Vec<RawEvent>> {
+    proptest::collection::vec(
+        (0u16..CORES, 0u64..512, any::<bool>(), any::<bool>()),
+        1..400,
+    )
+}
+
+/// Decodes the generated tuples into typed events.
+fn events(raw: &[RawEvent]) -> Vec<Event> {
+    raw.iter()
+        .map(|&(core, block, hit, retire)| Event {
+            core: CoreId::new(core),
+            block: BlockAddr::new(block),
+            hit,
+            retire,
+        })
+        .collect()
+}
+
+/// Drives `reference` and `wrapped` with the identical event stream and
+/// asserts their appended candidates match call-for-call.
+fn assert_identical<R: InstructionPrefetcher, W: InstructionPrefetcher>(
+    reference: &mut R,
+    wrapped: &mut W,
+    events: &[Event],
+) {
+    let mut llc_ref = NucaLlc::new(LlcConfig::micro13(CORES as usize));
+    let mut llc_wrap = NucaLlc::new(LlcConfig::micro13(CORES as usize));
+    let mut out_ref: Vec<PrefetchCandidate> = Vec::new();
+    let mut out_wrap: Vec<PrefetchCandidate> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        out_ref.clear();
+        out_wrap.clear();
+        if e.retire {
+            reference.on_retire(e.core, e.block, &mut llc_ref, &mut out_ref);
+            wrapped.on_retire(e.core, e.block, &mut llc_wrap, &mut out_wrap);
+        } else {
+            reference.on_access(e.core, e.block, e.hit, &mut llc_ref, &mut out_ref);
+            wrapped.on_access(e.core, e.block, e.hit, &mut llc_wrap, &mut out_wrap);
+        }
+        prop_assert_eq!(
+            &out_ref,
+            &out_wrap,
+            "candidates diverged at event {} ({:?})",
+            i,
+            e
+        );
+        // Coverage must agree too — it feeds the prediction-only study.
+        prop_assert_eq!(
+            reference.covers(e.core, e.block),
+            wrapped.covers(e.core, e.block),
+            "covers() diverged at event {}",
+            i
+        );
+    }
+}
+
+proptest! {
+    /// `FallbackPrefetcher(A, Null)`: the null secondary never produces
+    /// candidates, so the pair is candidate-for-candidate the primary.
+    #[test]
+    fn fallback_with_null_secondary_is_identity(raw in streams()) {
+        let mut reference = Pif::new(PifConfig::pif_2k(), CORES);
+        let mut wrapped = FallbackPrefetcher::new(
+            Pif::new(PifConfig::pif_2k(), CORES),
+            NullPrefetcher::new(),
+        );
+        assert_identical(&mut reference, &mut wrapped, &events(&raw));
+    }
+
+    /// `FallbackPrefetcher(Null, B)`: the null primary is always silent, so
+    /// the secondary fires on every invocation exactly as standalone.
+    #[test]
+    fn fallback_with_null_primary_is_identity(raw in streams()) {
+        let mut reference = NextLinePrefetcher::new(2, CORES);
+        let mut wrapped = FallbackPrefetcher::new(
+            NullPrefetcher::new(),
+            NextLinePrefetcher::new(2, CORES),
+        );
+        assert_identical(&mut reference, &mut wrapped, &events(&raw));
+    }
+
+    /// Same identity with a stateful secondary: the secondary observes the
+    /// full stream (not just primary-silent calls), so its state — and hence
+    /// its candidates — match the standalone design.
+    #[test]
+    fn fallback_with_null_primary_is_identity_for_stateful_secondary(raw in streams()) {
+        let mut reference = Pif::new(PifConfig::pif_2k(), CORES);
+        let mut wrapped = FallbackPrefetcher::new(
+            NullPrefetcher::new(),
+            Pif::new(PifConfig::pif_2k(), CORES),
+        );
+        assert_identical(&mut reference, &mut wrapped, &events(&raw));
+    }
+
+    /// A confidence gate with threshold 0 is transparent: u32 confidence can
+    /// never sit below 0, so every candidate passes.
+    #[test]
+    fn gate_at_threshold_zero_is_identity(raw in streams()) {
+        let mut reference = Pif::new(PifConfig::pif_2k(), CORES);
+        let mut wrapped = ConfidenceGatedPrefetcher::new(
+            Pif::new(PifConfig::pif_2k(), CORES),
+            GateConfig::transparent(),
+            CORES,
+        );
+        assert_identical(&mut reference, &mut wrapped, &events(&raw));
+    }
+
+    /// The transparent-gate identity also holds for the next-line design
+    /// (whose candidates come from on_access rather than stream replay).
+    #[test]
+    fn gate_at_threshold_zero_is_identity_for_next_line(raw in streams()) {
+        let mut reference = NextLinePrefetcher::new(1, CORES);
+        let mut wrapped = ConfidenceGatedPrefetcher::new(
+            NextLinePrefetcher::new(1, CORES),
+            GateConfig::transparent(),
+            CORES,
+        );
+        assert_identical(&mut reference, &mut wrapped, &events(&raw));
+    }
+}

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use shift_cache::{CacheConfig, LlcConfig};
-use shift_core::{PifConfig, ShiftMode};
+use shift_core::{AdaptConfig, GateConfig, HistoryPortConfig, PifConfig, ShiftMode};
 use shift_cpu::CoreKind;
 use shift_noc::MeshConfig;
 use shift_trace::Scale;
@@ -25,6 +25,43 @@ pub enum PrefetcherConfig {
         history_records: usize,
         /// Storage mode (dedicated, zero-latency, or LLC-virtualized).
         mode: ShiftMode,
+    },
+    /// Hybrid: SHIFT primary with a next-line fallback (the fallback fires
+    /// only on fetches where SHIFT produced no candidates).
+    ShiftNextLine {
+        /// Shared history capacity in spatial region records.
+        history_records: usize,
+        /// Storage mode of the SHIFT primary.
+        mode: ShiftMode,
+        /// Next-line degree of the fallback.
+        degree: u64,
+    },
+    /// Hybrid: PIF behind a per-core stream-confidence gate.
+    GatedPif {
+        /// The wrapped PIF configuration.
+        config: PifConfig,
+        /// The confidence-gate parameters.
+        gate: GateConfig,
+    },
+    /// Hybrid: per-core adaptive selection between next-line (conservative)
+    /// and SHIFT (aggressive) on observed warm-up miss rate.
+    AdaptiveNlShift {
+        /// Shared history capacity of the SHIFT side.
+        history_records: usize,
+        /// Storage mode of the SHIFT side.
+        mode: ShiftMode,
+        /// The adaptation-window parameters.
+        adapt: AdaptConfig,
+    },
+    /// SHIFT behind a bandwidth-throttled shared history port (the
+    /// degradation-under-contention scenario).
+    ThrottledShift {
+        /// Shared history capacity in spatial region records.
+        history_records: usize,
+        /// Storage mode of the throttled SHIFT.
+        mode: ShiftMode,
+        /// The history-port bandwidth model.
+        port: HistoryPortConfig,
     },
 }
 
@@ -71,6 +108,53 @@ impl PrefetcherConfig {
         PrefetcherConfig::NextLine { degree: 1 }
     }
 
+    /// Hybrid: virtualized SHIFT with a degree-1 next-line fallback.
+    pub fn shift_next_line() -> Self {
+        PrefetcherConfig::ShiftNextLine {
+            history_records: 32 * 1024,
+            mode: ShiftMode::Virtualized,
+            degree: 1,
+        }
+    }
+
+    /// Hybrid: PIF_32K behind the default confidence gate.
+    pub fn gated_pif_32k() -> Self {
+        PrefetcherConfig::GatedPif {
+            config: PifConfig::pif_32k(),
+            gate: GateConfig::default_gate(),
+        }
+    }
+
+    /// Hybrid: per-core adaptive next-line/SHIFT selection with the default
+    /// adaptation window.
+    pub fn adaptive_nl_shift() -> Self {
+        PrefetcherConfig::AdaptiveNlShift {
+            history_records: 32 * 1024,
+            mode: ShiftMode::Virtualized,
+            adapt: AdaptConfig::default_adapt(),
+        }
+    }
+
+    /// Virtualized SHIFT behind a history port limited to
+    /// `candidates_per_window` prefetch candidates per 64-access window.
+    pub fn shift_throttled(candidates_per_window: u32) -> Self {
+        PrefetcherConfig::ThrottledShift {
+            history_records: 32 * 1024,
+            mode: ShiftMode::Virtualized,
+            port: HistoryPortConfig::per_64_accesses(candidates_per_window),
+        }
+    }
+
+    /// The composed designs the hybrid-shootout experiment compares against
+    /// the paper's standalone suite (throttled SHIFT is swept separately).
+    pub fn hybrid_suite() -> Vec<PrefetcherConfig> {
+        vec![
+            PrefetcherConfig::shift_next_line(),
+            PrefetcherConfig::gated_pif_32k(),
+            PrefetcherConfig::adaptive_nl_shift(),
+        ]
+    }
+
     /// Human-readable label used in reports and figures.
     pub fn label(&self) -> String {
         match self {
@@ -84,6 +168,14 @@ impl PrefetcherConfig {
                     zero_latency: false,
                 } => "SHIFT-dedicated".to_owned(),
             },
+            PrefetcherConfig::ShiftNextLine { .. } => "SHIFT+NL".to_owned(),
+            PrefetcherConfig::GatedPif { config, .. } => {
+                format!("Gated-{}", config.design_name())
+            }
+            PrefetcherConfig::AdaptiveNlShift { .. } => "Adaptive-NL/SHIFT".to_owned(),
+            PrefetcherConfig::ThrottledShift { port, .. } => {
+                format!("SHIFT@bw{}", port.candidates_per_window)
+            }
         }
     }
 
@@ -230,6 +322,34 @@ mod tests {
             PrefetcherConfig::shift_dedicated().label(),
             "SHIFT-dedicated"
         );
+    }
+
+    #[test]
+    fn hybrid_suite_labels_are_stable() {
+        let labels: Vec<_> = PrefetcherConfig::hybrid_suite()
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["SHIFT+NL", "Gated-PIF_32K", "Adaptive-NL/SHIFT"]
+        );
+        assert_eq!(PrefetcherConfig::shift_throttled(4).label(), "SHIFT@bw4");
+    }
+
+    #[test]
+    fn hybrid_configs_serialize_distinctly_from_base_kinds() {
+        // RunKey content addressing hashes the serde form: the hybrid
+        // variants must not collide with (or perturb) the existing arms.
+        use serde::json;
+        let virt = json::to_string(&PrefetcherConfig::shift_virtualized());
+        let hybrid = json::to_string(&PrefetcherConfig::shift_next_line());
+        assert_ne!(virt, hybrid);
+        for config in PrefetcherConfig::hybrid_suite() {
+            let text = json::to_string(&config);
+            let back: PrefetcherConfig = json::from_str(&text).unwrap();
+            assert_eq!(back, config);
+        }
     }
 
     #[test]

@@ -23,8 +23,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use shift_cache::{NucaLlc, SetAssocCache};
 use shift_core::{
-    InstructionPrefetcher, NextLinePrefetcher, NullPrefetcher, Pif, PrefetchCandidate, Shift,
-    ShiftConfig,
+    AdaptivePrefetcher, ConfidenceGatedPrefetcher, FallbackPrefetcher, InstructionPrefetcher,
+    NextLinePrefetcher, NullPrefetcher, Pif, PrefetchCandidate, Shift, ShiftConfig,
+    ThrottledPrefetcher,
 };
 use shift_cpu::{CoreTiming, TimingAccumulator};
 use shift_noc::{Mesh, RoundTripTable};
@@ -394,6 +395,29 @@ pub(crate) enum PrefetcherBank {
         /// Core index → index into `units`.
         pf_of_core: Vec<usize>,
     },
+    /// Hybrid: per-workload SHIFT units, each with a next-line fallback.
+    ShiftNextLine {
+        /// Per-workload fallback pairs.
+        units: Vec<FallbackPrefetcher<Shift, NextLinePrefetcher>>,
+        /// Core index → index into `units`.
+        pf_of_core: Vec<usize>,
+    },
+    /// Hybrid: one confidence-gated PIF holding all per-core histories.
+    GatedPif(ConfidenceGatedPrefetcher<Pif>),
+    /// Hybrid: per-workload adaptive next-line/SHIFT selectors.
+    AdaptiveNlShift {
+        /// Per-workload adaptive pairs.
+        units: Vec<AdaptivePrefetcher<NextLinePrefetcher, Shift>>,
+        /// Core index → index into `units`.
+        pf_of_core: Vec<usize>,
+    },
+    /// Per-workload SHIFT units behind bandwidth-throttled history ports.
+    ThrottledShift {
+        /// Per-workload throttled SHIFT units.
+        units: Vec<ThrottledPrefetcher<Shift>>,
+        /// Core index → index into `units`.
+        pf_of_core: Vec<usize>,
+    },
 }
 
 impl PrefetcherBank {
@@ -406,6 +430,14 @@ impl PrefetcherBank {
             PrefetcherBank::NextLine(pf) => pf,
             PrefetcherBank::Pif(pf) => pf,
             PrefetcherBank::Shift { units, pf_of_core } => &mut units[pf_of_core[core_idx]],
+            PrefetcherBank::ShiftNextLine { units, pf_of_core } => &mut units[pf_of_core[core_idx]],
+            PrefetcherBank::GatedPif(pf) => pf,
+            PrefetcherBank::AdaptiveNlShift { units, pf_of_core } => {
+                &mut units[pf_of_core[core_idx]]
+            }
+            PrefetcherBank::ThrottledShift { units, pf_of_core } => {
+                &mut units[pf_of_core[core_idx]]
+            }
         }
     }
 }
@@ -423,6 +455,26 @@ fn step_rounds_uniform<P: InstructionPrefetcher>(
 ) {
     for _ in 0..rounds {
         for idx in 0..cores.len() {
+            cores.core(idx).step_one_fetch(pf, memory, env);
+        }
+    }
+}
+
+/// Round-robin stepping over per-workload prefetcher units (`pf_of_core`
+/// routes each core to its unit), monomorphized per unit type — the shared
+/// loop behind the SHIFT variant and every hybrid that wraps SHIFT.
+#[inline]
+fn step_rounds_units<P: InstructionPrefetcher>(
+    cores: &mut CoreLanes,
+    memory: &mut MemorySystem,
+    env: &mut StepEnv,
+    units: &mut [P],
+    pf_of_core: &[usize],
+    rounds: usize,
+) {
+    for _ in 0..rounds {
+        for idx in 0..cores.len() {
+            let pf = &mut units[pf_of_core[idx]];
             cores.core(idx).step_one_fetch(pf, memory, env);
         }
     }
@@ -544,12 +596,17 @@ impl Engine {
             PrefetcherBank::NextLine(pf) => step_rounds_uniform(cores, memory, env, pf, rounds),
             PrefetcherBank::Pif(pf) => step_rounds_uniform(cores, memory, env, pf, rounds),
             PrefetcherBank::Shift { units, pf_of_core } => {
-                for _ in 0..rounds {
-                    for idx in 0..cores.len() {
-                        let pf = &mut units[pf_of_core[idx]];
-                        cores.core(idx).step_one_fetch(pf, memory, env);
-                    }
-                }
+                step_rounds_units(cores, memory, env, units, pf_of_core, rounds)
+            }
+            PrefetcherBank::ShiftNextLine { units, pf_of_core } => {
+                step_rounds_units(cores, memory, env, units, pf_of_core, rounds)
+            }
+            PrefetcherBank::GatedPif(pf) => step_rounds_uniform(cores, memory, env, pf, rounds),
+            PrefetcherBank::AdaptiveNlShift { units, pf_of_core } => {
+                step_rounds_units(cores, memory, env, units, pf_of_core, rounds)
+            }
+            PrefetcherBank::ThrottledShift { units, pf_of_core } => {
+                step_rounds_units(cores, memory, env, units, pf_of_core, rounds)
             }
         }
     }
@@ -662,7 +719,6 @@ fn build_prefetchers(
     memory: &mut MemorySystem,
 ) -> PrefetcherBank {
     let cores = config.cores;
-    let n_workloads = consolidation.workloads().len();
     match &config.prefetcher {
         PrefetcherConfig::None => PrefetcherBank::Null(NullPrefetcher::new()),
         PrefetcherConfig::NextLine { degree } => {
@@ -673,28 +729,91 @@ fn build_prefetchers(
             history_records,
             mode,
         } => {
-            // One shared history per workload, generated by the first core of
-            // that workload, embedded at a distinct LLC window.
-            let mut units: Vec<Shift> = Vec::with_capacity(n_workloads);
-            let mut pf_of_core = vec![0usize; cores as usize];
-            for w in 0..n_workloads {
-                let workload_cores = consolidation.cores_of(shift_types::WorkloadId::new(w as u8));
-                let generator = workload_cores[0];
-                let history_base = BlockAddr::new(0x7000_0000 + (w as u64) * 0x1_0000);
-                let mut cfg = ShiftConfig::virtualized_micro13(generator, history_base);
-                cfg.history_records = *history_records;
-                cfg.index_entries = (*history_records).max(16);
-                cfg.mode = *mode;
-                cfg.noc_round_trip = memory.mesh().average_round_trip_latency(0).round() as u64;
-                cfg.llc_capacity_blocks = config.llc.capacity_blocks();
-                let mut shift = Shift::new(cfg, cores);
-                shift.install(memory.llc_mut());
-                for c in workload_cores {
-                    pf_of_core[c.index()] = units.len();
-                }
-                units.push(shift);
-            }
+            let (units, pf_of_core) =
+                build_shift_units(config, consolidation, memory, *history_records, *mode);
             PrefetcherBank::Shift { units, pf_of_core }
         }
+        PrefetcherConfig::ShiftNextLine {
+            history_records,
+            mode,
+            degree,
+        } => {
+            let (shifts, pf_of_core) =
+                build_shift_units(config, consolidation, memory, *history_records, *mode);
+            // Each workload's SHIFT gets its own next-line fallback; the
+            // fallback is sized for the full CMP since any of the workload's
+            // cores may fetch through it.
+            let units = shifts
+                .into_iter()
+                .map(|s| FallbackPrefetcher::new(s, NextLinePrefetcher::new(*degree, cores)))
+                .collect();
+            PrefetcherBank::ShiftNextLine { units, pf_of_core }
+        }
+        PrefetcherConfig::GatedPif { config: cfg, gate } => PrefetcherBank::GatedPif(
+            ConfidenceGatedPrefetcher::new(Pif::new(*cfg, cores), *gate, cores),
+        ),
+        PrefetcherConfig::AdaptiveNlShift {
+            history_records,
+            mode,
+            adapt,
+        } => {
+            let (shifts, pf_of_core) =
+                build_shift_units(config, consolidation, memory, *history_records, *mode);
+            let units = shifts
+                .into_iter()
+                .map(|s| {
+                    AdaptivePrefetcher::new(NextLinePrefetcher::new(1, cores), s, *adapt, cores)
+                })
+                .collect();
+            PrefetcherBank::AdaptiveNlShift { units, pf_of_core }
+        }
+        PrefetcherConfig::ThrottledShift {
+            history_records,
+            mode,
+            port,
+        } => {
+            let (shifts, pf_of_core) =
+                build_shift_units(config, consolidation, memory, *history_records, *mode);
+            let units = shifts
+                .into_iter()
+                .map(|s| ThrottledPrefetcher::new(s, *port))
+                .collect();
+            PrefetcherBank::ThrottledShift { units, pf_of_core }
+        }
     }
+}
+
+/// Builds the per-workload SHIFT units: one shared history per workload,
+/// generated by the first core of that workload, embedded at a distinct LLC
+/// window. Shared by the standalone SHIFT bank and every hybrid that wraps
+/// SHIFT, so the wrapped units are bit-identical to the standalone ones.
+fn build_shift_units(
+    config: &CmpConfig,
+    consolidation: &ConsolidationSpec,
+    memory: &mut MemorySystem,
+    history_records: usize,
+    mode: shift_core::ShiftMode,
+) -> (Vec<Shift>, Vec<usize>) {
+    let cores = config.cores;
+    let n_workloads = consolidation.workloads().len();
+    let mut units: Vec<Shift> = Vec::with_capacity(n_workloads);
+    let mut pf_of_core = vec![0usize; cores as usize];
+    for w in 0..n_workloads {
+        let workload_cores = consolidation.cores_of(shift_types::WorkloadId::new(w as u8));
+        let generator = workload_cores[0];
+        let history_base = BlockAddr::new(0x7000_0000 + (w as u64) * 0x1_0000);
+        let mut cfg = ShiftConfig::virtualized_micro13(generator, history_base);
+        cfg.history_records = history_records;
+        cfg.index_entries = history_records.max(16);
+        cfg.mode = mode;
+        cfg.noc_round_trip = memory.mesh().average_round_trip_latency(0).round() as u64;
+        cfg.llc_capacity_blocks = config.llc.capacity_blocks();
+        let mut shift = Shift::new(cfg, cores);
+        shift.install(memory.llc_mut());
+        for c in workload_cores {
+            pf_of_core[c.index()] = units.len();
+        }
+        units.push(shift);
+    }
+    (units, pf_of_core)
 }

@@ -30,6 +30,7 @@ pub mod commonality;
 pub mod consolidation;
 pub mod coverage_breakdown;
 pub mod coverage_vs_history;
+pub mod hybrid_shootout;
 pub mod llc_traffic;
 pub mod performance_density;
 pub mod power_overhead;
@@ -41,6 +42,9 @@ pub use commonality::{commonality, CommonalityResult};
 pub use consolidation::{consolidation, ConsolidationPlan, ConsolidationResult};
 pub use coverage_breakdown::{coverage_breakdown, CoverageBreakdownPlan, CoverageBreakdownResult};
 pub use coverage_vs_history::{coverage_vs_history, HistorySweepPlan, HistorySweepResult};
+pub use hybrid_shootout::{
+    hybrid_shootout, DegradationPoint, HybridRow, HybridShootoutPlan, HybridShootoutResult,
+};
 pub use llc_traffic::{llc_traffic, LlcTrafficPlan, LlcTrafficResult};
 pub use performance_density::{
     performance_density, PerformanceDensityPlan, PerformanceDensityResult,

@@ -94,7 +94,11 @@ impl fmt::Display for PerformanceDensityResult {
     }
 }
 
-fn storage_of(prefetcher: &PrefetcherConfig, cores: u16, llc_blocks: usize) -> StorageCost {
+pub(crate) fn storage_of(
+    prefetcher: &PrefetcherConfig,
+    cores: u16,
+    llc_blocks: usize,
+) -> StorageCost {
     match prefetcher {
         PrefetcherConfig::None | PrefetcherConfig::NextLine { .. } => StorageCost::none(),
         PrefetcherConfig::Pif(cfg) => Pif::new(*cfg, cores).storage(cores),
@@ -107,6 +111,34 @@ fn storage_of(prefetcher: &PrefetcherConfig, cores: u16, llc_blocks: usize) -> S
             cfg.mode = *mode;
             cfg.llc_capacity_blocks = llc_blocks;
             Shift::new(cfg, cores).storage(cores)
+        }
+        // The hybrids cost the sum of their parts; next-line fallbacks and
+        // the gate/port control bits are free, so each reduces to its
+        // history-bearing component.
+        PrefetcherConfig::ShiftNextLine {
+            history_records,
+            mode,
+            ..
+        }
+        | PrefetcherConfig::AdaptiveNlShift {
+            history_records,
+            mode,
+            ..
+        }
+        | PrefetcherConfig::ThrottledShift {
+            history_records,
+            mode,
+            ..
+        } => storage_of(
+            &PrefetcherConfig::Shift {
+                history_records: *history_records,
+                mode: *mode,
+            },
+            cores,
+            llc_blocks,
+        ),
+        PrefetcherConfig::GatedPif { config, .. } => {
+            storage_of(&PrefetcherConfig::Pif(*config), cores, llc_blocks)
         }
     }
 }

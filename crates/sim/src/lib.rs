@@ -16,6 +16,7 @@
 //! | Fig. 10 — workload consolidation | [`experiments::consolidation`](fn@experiments::consolidation) |
 //! | §5.7 — power overhead | [`experiments::power_overhead`](fn@experiments::power_overhead) |
 //! | §5.1 — storage cost table | [`experiments::storage_table`](fn@experiments::storage_table) |
+//! | beyond the paper — hybrid/adaptive designs + throttled history port | [`experiments::hybrid_shootout`](fn@experiments::hybrid_shootout) |
 //!
 //! # Quick start
 //!

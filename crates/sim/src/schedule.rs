@@ -199,17 +199,26 @@ impl CostModel {
         match prefetcher {
             PrefetcherConfig::None => 1.0,
             PrefetcherConfig::NextLine { .. } => self.next_line_weight,
-            PrefetcherConfig::Pif(_) => self.pif_weight,
-            PrefetcherConfig::Shift { mode, .. } => {
-                use shift_core::ShiftMode;
-                match mode {
-                    ShiftMode::Virtualized => self.shift_weight,
-                    ShiftMode::Dedicated { zero_latency: true } => self.shift_zero_latency_weight,
-                    ShiftMode::Dedicated {
-                        zero_latency: false,
-                    } => self.shift_dedicated_weight,
-                }
+            PrefetcherConfig::Pif(_) | PrefetcherConfig::GatedPif { .. } => self.pif_weight,
+            PrefetcherConfig::Shift { mode, .. }
+            | PrefetcherConfig::ThrottledShift { mode, .. } => self.shift_mode_weight(*mode),
+            // Fallback/adaptive hybrids run both component hooks per fetch:
+            // the SHIFT cost plus the (small) next-line overhead.
+            PrefetcherConfig::ShiftNextLine { mode, .. }
+            | PrefetcherConfig::AdaptiveNlShift { mode, .. } => {
+                self.shift_mode_weight(*mode) + (self.next_line_weight - 1.0).max(0.0)
             }
+        }
+    }
+
+    fn shift_mode_weight(&self, mode: shift_core::ShiftMode) -> f64 {
+        use shift_core::ShiftMode;
+        match mode {
+            ShiftMode::Virtualized => self.shift_weight,
+            ShiftMode::Dedicated { zero_latency: true } => self.shift_zero_latency_weight,
+            ShiftMode::Dedicated {
+                zero_latency: false,
+            } => self.shift_dedicated_weight,
         }
     }
 

@@ -57,6 +57,56 @@ fn every_prefetcher_family_is_dispatch_equivalent() {
 }
 
 #[test]
+fn every_hybrid_family_is_dispatch_equivalent() {
+    // The PR that added the hybrid bank variants gets the same lock as the
+    // original four: monomorphized stepping must match the dyn reference
+    // path bit-identically for every composed design.
+    for (seed, prefetcher) in [
+        PrefetcherConfig::shift_next_line(),
+        PrefetcherConfig::gated_pif_32k(),
+        PrefetcherConfig::adaptive_nl_shift(),
+        PrefetcherConfig::shift_throttled(4),
+        PrefetcherConfig::shift_throttled(1),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        assert_dispatch_equivalence(prefetcher, seed as u64 + 41);
+    }
+}
+
+#[test]
+fn consolidated_hybrids_are_dispatch_equivalent() {
+    // Consolidation gives the unit-routed hybrids several units (one wrapped
+    // SHIFT per workload) — the configuration where `pf_of_core` routing in
+    // the new bank variants actually matters.
+    for (seed, prefetcher) in [
+        PrefetcherConfig::shift_next_line(),
+        PrefetcherConfig::adaptive_nl_shift(),
+        PrefetcherConfig::shift_throttled(2),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = ConsolidationSpec::even_split(vec![presets::tiny(), presets::web_frontend()], 4);
+        let config = CmpConfig::micro13(4, prefetcher);
+        let options = SimOptions::new(Scale::Test, seed as u64 + 53);
+
+        let sim = Simulation::consolidated(config, spec, options);
+        let mut enum_engine = sim.engine();
+        let mut dyn_engine = sim.engine();
+        enum_engine.step_rounds(500);
+        dyn_engine.step_rounds_dyn(500);
+        assert_eq!(
+            enum_engine.finish(),
+            dyn_engine.finish(),
+            "enum vs dyn dispatch diverged for consolidated {}",
+            prefetcher.label()
+        );
+    }
+}
+
+#[test]
 fn consolidated_shift_is_dispatch_equivalent() {
     // Consolidation is the one configuration with several prefetcher units
     // (one SHIFT per workload), i.e. where the per-core unit selection

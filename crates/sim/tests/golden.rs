@@ -5,7 +5,9 @@
 //! tests lock the full serialized [`RunResult`] of every Table I workload
 //! preset under both SHIFT and PIF — plus the baseline and next-line
 //! prefetchers on the tiny preset — against JSON recorded from the
-//! pre-optimization engine.
+//! pre-optimization engine. The hybrid-lab presets (SHIFT+next-line,
+//! gated PIF, adaptive, throttled SHIFT) are locked the same way, recorded
+//! when the lab landed.
 //!
 //! On mismatch the actual JSON is written next to the golden file as
 //! `<name>.actual.json` for diffing. To re-bless after an *intentional*
@@ -119,5 +121,38 @@ fn dedicated_and_zero_latency_shift_results_are_bit_identical_to_recorded() {
         "tiny_shift_zero_latency",
         &tiny,
         PrefetcherConfig::shift_zero_latency(),
+    );
+}
+
+#[test]
+fn hybrid_results_are_bit_identical_to_recorded() {
+    // The composed designs of the hybrid lab, on the same two presets the
+    // dispatch tests exercise. Recorded with SHIFT_BLESS=1 when the lab
+    // landed; any later change to the wrappers' issue semantics must re-bless
+    // deliberately.
+    for (name, workload) in [
+        ("tiny", presets::tiny()),
+        ("web_frontend", presets::web_frontend()),
+    ] {
+        check(
+            &format!("{name}_shift_next_line"),
+            &workload,
+            PrefetcherConfig::shift_next_line(),
+        );
+        check(
+            &format!("{name}_gated_pif32k"),
+            &workload,
+            PrefetcherConfig::gated_pif_32k(),
+        );
+        check(
+            &format!("{name}_adaptive_nl_shift"),
+            &workload,
+            PrefetcherConfig::adaptive_nl_shift(),
+        );
+    }
+    check(
+        "tiny_shift_throttled_bw4",
+        &presets::tiny(),
+        PrefetcherConfig::shift_throttled(4),
     );
 }
